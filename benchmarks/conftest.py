@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The physical
+scale is kept small so the whole harness completes in a few minutes; the
+simulated results are still priced at the nominal (paper) dataset sizes, so
+the printed series have the same shape as the corresponding figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, prepare
+
+
+#: Scale/engines used by every benchmark: all engines, modest physical samples.
+BENCH_CONFIG = ExperimentConfig(scale=0.25, runs=2)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def bench_setup():
+    """Datasets, pipelines and engines shared across pipeline benchmarks."""
+    return prepare(BENCH_CONFIG)

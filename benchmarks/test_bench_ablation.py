@@ -1,0 +1,71 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These do not correspond to a figure in the paper; they quantify the
+contribution of individual optimizer rules (Section 4.2 attributes the lazy
+engines' advantage to them) and of the approximate-quantile strategy, using
+the substrate directly.
+"""
+
+import pytest
+
+from repro.frame import col
+from repro.datasets import generate_dataset
+from repro.plan import LazyFrame, OptimizerSettings
+from repro.tpch import generate_tpch, get_query
+
+
+def _taxi_plan(frame):
+    return (LazyFrame.from_frame(frame)
+            .with_column("fare_per_mile", col("fare_amount") / col("trip_distance"))
+            .filter(col("fare_amount") > 0)
+            .filter(col("trip_distance") > 0)
+            .group_agg("passenger_count", {"fare_per_mile": "mean"}))
+
+
+@pytest.mark.parametrize("rule", ["all", "no_projection", "no_predicate", "no_fusion", "none"])
+def test_optimizer_rule_ablation(benchmark, rule):
+    """Cells touched (and wall time) with individual optimizer rules disabled."""
+    settings = {
+        "all": OptimizerSettings(),
+        "no_projection": OptimizerSettings(projection_pushdown=False),
+        "no_predicate": OptimizerSettings(predicate_pushdown=False),
+        "no_fusion": OptimizerSettings(filter_fusion=False),
+        "none": OptimizerSettings.all_disabled(),
+    }[rule]
+    frame = generate_dataset("taxi", scale=0.5).frame
+
+    def run():
+        return _taxi_plan(frame).collect_with_stats(settings)[1].total_cells
+
+    cells = benchmark(run)
+    baseline = _taxi_plan(frame).collect_with_stats(OptimizerSettings.all_disabled())[1].total_cells
+    print(f"\noptimizer ablation [{rule}]: cells touched = {cells} "
+          f"(unoptimized = {baseline})")
+    assert cells <= baseline
+
+
+@pytest.mark.parametrize("approximate", [False, True])
+def test_quantile_strategy_ablation(benchmark, approximate):
+    """Exact (sort-based) vs approximate (sampled) quantiles for ``outlier``."""
+    frame = generate_dataset("loan", scale=1.0).frame
+
+    def run():
+        return frame["annual_inc"].quantile(0.75, approximate=approximate)
+
+    value = benchmark(run)
+    assert value is not None and value > 0
+
+
+@pytest.mark.parametrize("query", ["q01", "q03", "q06"])
+def test_tpch_optimization_ablation(benchmark, query):
+    """TPC-H queries with and without plan optimization (cells touched)."""
+    data = generate_tpch(0.002)
+
+    def run():
+        _, stats = get_query(query)(data).collect_with_stats()
+        return stats.total_cells
+
+    optimized = benchmark(run)
+    _, raw = get_query(query)(data).collect_with_stats(optimize_plan=False)
+    print(f"\n{query}: optimized cells = {optimized}, unoptimized cells = {raw.total_cells}")
+    assert optimized <= raw.total_cells

@@ -1,0 +1,19 @@
+"""Benchmarks regenerating Figures 3 and 4 (CSV / Parquet read and write)."""
+
+from repro.experiments import fig3_io_read, fig4_io_write
+
+
+def test_fig3_read_csv_and_parquet(benchmark, bench_setup):
+    result = benchmark.pedantic(lambda: fig3_io_read.run(setup=bench_setup),
+                                rounds=1, iterations=1)
+    print("\n" + result.format())
+    assert result.best_engine("taxi", "csv") in ("cudf", "vaex")
+    # DataTable has no Parquet support (annotated in the paper's plot).
+    assert any(engine == "datatable" for _, _, engine in result.unsupported)
+
+
+def test_fig4_write_csv_and_parquet(benchmark, bench_setup):
+    result = benchmark.pedantic(lambda: fig4_io_write.run(setup=bench_setup),
+                                rounds=1, iterations=1)
+    print("\n" + result.format())
+    assert result.best_engine("taxi", "csv") in ("polars", "cudf")

@@ -1,0 +1,34 @@
+"""Benchmarks regenerating Figures 1, 2 and 5 (pipeline experiments).
+
+Each benchmark executes the corresponding experiment driver end to end and
+prints the regenerated series (speedups over Pandas) so the output can be
+compared side by side with the paper's plots.
+"""
+
+from repro.experiments import fig1_stage_speedup, fig2_preparator_speedup, fig5_pipeline_speedup
+
+
+def test_fig1_stage_speedups(benchmark, bench_setup):
+    result = benchmark.pedantic(lambda: fig1_stage_speedup.run(setup=bench_setup),
+                                rounds=1, iterations=1)
+    print("\n" + result.format())
+    # headline findings of Section 4.1
+    assert result.best_engine("athlete", "EDA") == "polars"
+    assert result.best_engine("taxi", "DT") == "cudf"
+
+
+def test_fig2_preparator_speedups(benchmark, bench_setup):
+    result = benchmark.pedantic(lambda: fig2_preparator_speedup.run(setup=bench_setup),
+                                rounds=1, iterations=1)
+    for dataset in bench_setup.config.datasets:
+        print("\n" + result.format(dataset))
+    assert result.best_engine("athlete", "isna") in ("polars", "datatable")
+
+
+def test_fig5_pipeline_speedups_eager_vs_lazy(benchmark, bench_setup):
+    result = benchmark.pedantic(lambda: fig5_pipeline_speedup.run(setup=bench_setup),
+                                rounds=1, iterations=1)
+    print("\n" + result.format())
+    assert result.best_engine("taxi") == "cudf"
+    improvement = result.lazy_improvement("patrol", "sparkpd")
+    assert improvement is None or improvement > 0.0

@@ -1,0 +1,28 @@
+"""Benchmarks regenerating Figure 6 and Table 5 (scalability / OOM study)."""
+
+from repro.experiments import fig6_scalability, table5_min_config
+from repro.experiments.context import ExperimentConfig
+
+_CONFIG = ExperimentConfig(scale=0.2, runs=1)
+_FRACTIONS = (0.05, 0.25, 0.50, 1.0)
+
+
+def test_fig6_taxi_scalability(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig6_scalability.run(_CONFIG, fractions=_FRACTIONS), rounds=1, iterations=1)
+    print("\n" + result.format())
+    laptop_finishers = [engine for engine in result.seconds["laptop"][1.0]
+                        if result.completed_full("laptop", engine)]
+    assert laptop_finishers == ["sparksql"]
+    assert not result.completed_full("server", "pandas")
+
+
+def test_table5_minimum_configuration(benchmark):
+    result = benchmark.pedantic(
+        lambda: table5_min_config.run(_CONFIG, datasets=("patrol", "taxi"),
+                                      fractions=_FRACTIONS),
+        rounds=1, iterations=1)
+    print("\n" + result.format())
+    assert result.minimum["taxi"][1.0]["sparksql"] == "I"
+    assert result.minimum["taxi"][1.0]["pandas"] == "OOM"
+    assert result.minimum["patrol"][1.0]["datatable"] in ("I", "II")

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the substrate kernels (wall-clock, not simulated).
+
+Not a figure of the paper, but useful to track the real performance of the
+dataframe substrate that every simulated engine executes on.
+"""
+
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.io import read_csv, write_csv, write_rparquet, read_rparquet
+
+
+@pytest.fixture(scope="module")
+def taxi_frame():
+    return generate_dataset("taxi", scale=1.0).frame
+
+
+def test_substrate_filter(benchmark, taxi_frame):
+    mask = taxi_frame["fare_amount"].gt(10.0)
+    out = benchmark(lambda: taxi_frame.filter(mask))
+    assert out.num_rows <= taxi_frame.num_rows
+
+
+def test_substrate_sort(benchmark, taxi_frame):
+    out = benchmark(lambda: taxi_frame.sort_values(["fare_amount", "trip_distance"]))
+    assert out.num_rows == taxi_frame.num_rows
+
+
+def test_substrate_groupby(benchmark, taxi_frame):
+    out = benchmark(lambda: taxi_frame.group_agg("passenger_count", {"fare_amount": "mean"}))
+    assert out.num_rows >= 1
+
+
+def test_substrate_join(benchmark, taxi_frame):
+    small = taxi_frame.group_agg("vendor_id", {"fare_amount": "mean"}).rename(
+        {"fare_amount": "vendor_mean"})
+    out = benchmark(lambda: taxi_frame.join(small, on="vendor_id"))
+    assert "vendor_mean" in out.columns
+
+
+def test_substrate_csv_roundtrip(benchmark, taxi_frame, tmp_path):
+    path = tmp_path / "taxi.csv"
+
+    def roundtrip():
+        write_csv(taxi_frame, path)
+        return read_csv(path)
+
+    out = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    assert out.num_rows == taxi_frame.num_rows
+
+
+def test_substrate_rparquet_roundtrip(benchmark, taxi_frame, tmp_path):
+    path = tmp_path / "taxi.rpq"
+
+    def roundtrip():
+        write_rparquet(taxi_frame, path)
+        return read_rparquet(path)
+
+    out = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    assert out.num_rows == taxi_frame.num_rows

@@ -1,0 +1,37 @@
+"""Benchmarks regenerating the static tables (Tables 1-4).
+
+These are cheap by construction; they exist so that every artifact of the
+paper has exactly one bench target that prints the regenerated content.
+"""
+
+from repro.experiments.tables import (
+    format_table,
+    table1_features,
+    table2_datasets,
+    table3_compatibility,
+    table4_machines,
+)
+
+
+def test_table1_library_features(benchmark):
+    rows = benchmark(table1_features)
+    assert len(rows) == 9
+    print("\n" + format_table(rows, "Table 1 — features of the compared dataframe libraries"))
+
+
+def test_table2_dataset_features(benchmark, bench_config):
+    rows = benchmark(lambda: table2_datasets(scale=0.1, seed=bench_config.seed))
+    assert len(rows) == 4
+    print("\n" + format_table(rows, "Table 2 — features of the selected datasets"))
+
+
+def test_table3_pandas_api_compatibility(benchmark):
+    rows = benchmark(table3_compatibility)
+    assert len(rows) == 27
+    print("\n" + format_table(rows, "Table 3 — compatibility with the Pandas API"))
+
+
+def test_table4_machine_configurations(benchmark):
+    rows = benchmark(table4_machines)
+    assert len(rows) == 3
+    print("\n" + format_table(rows, "Table 4 — machine configurations"))

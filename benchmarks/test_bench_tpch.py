@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 7 (TPC-H 10 GB, all 22 queries, all engines)."""
+
+from repro.experiments import fig7_tpch
+from repro.experiments.context import ExperimentConfig
+
+_CONFIG = ExperimentConfig(runs=1)
+
+
+def test_fig7_tpch_all_queries(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7_tpch.run(_CONFIG, physical_scale_factor=0.002), rounds=1, iterations=1)
+    print("\n" + result.format())
+    wins = sum(1 for query in result.seconds if result.best_engine(query) == "cudf")
+    assert wins >= len(result.seconds) * 0.8
+    assert result.geometric_mean("polars") < result.geometric_mean("pandas")
+    assert result.geometric_mean("vaex") > result.geometric_mean("polars")
+    assert result.geometric_mean("duckdb") < result.geometric_mean("pandas")

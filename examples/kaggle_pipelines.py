@@ -1,0 +1,42 @@
+"""Scenario: reproduce the paper's per-stage comparison on the Kaggle pipelines.
+
+Runs the three reconstructed Kaggle pipelines of two datasets (Athlete and
+Loan) on every engine, in pipeline-stage mode, and prints the per-stage
+speedups over Pandas — a small-scale version of Figure 1 — followed by the
+per-preparator speedups of the most expensive pipeline (Figure 2 style).
+
+Run with::
+
+    python examples/kaggle_pipelines.py
+"""
+
+from repro.experiments import ExperimentConfig, prepare
+from repro.experiments import fig1_stage_speedup, fig2_preparator_speedup
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        scale=0.3,
+        runs=2,
+        datasets=["athlete", "loan"],
+        engines=["pandas", "sparkpd", "sparksql", "modin_ray", "polars", "cudf",
+                 "vaex", "datatable"],
+    )
+    setup = prepare(config)
+
+    stage_result = fig1_stage_speedup.run(setup=setup)
+    print(stage_result.format())
+    for dataset in config.datasets:
+        for stage in ("EDA", "DT", "DC"):
+            best = stage_result.best_engine(dataset, stage)
+            print(f"  -> best engine for {dataset}/{stage}: {best}")
+
+    print()
+    preparator_result = fig2_preparator_speedup.run(setup=setup)
+    print(preparator_result.format("athlete"))
+    print(f"  -> best engine for athlete/isna: "
+          f"{preparator_result.best_engine('athlete', 'isna')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: build a pipeline, run it on several simulated engines, compare.
+
+This is the 5-minute tour of the library:
+
+1. generate a synthetic dataset (a small sample of the paper's Taxi dataset);
+2. declare a data-preparation pipeline with Bento preparators;
+3. run it on the simulated engines on the paper's evaluation server;
+4. print the simulated runtimes and the speedup over Pandas.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import BentoRunner, PAPER_SERVER, Pipeline, create_engines
+from repro.core.metrics import format_speedup, speedup
+from repro.datasets import generate_dataset
+
+
+def build_pipeline() -> Pipeline:
+    """A small but realistic preparation pipeline over the Taxi dataset."""
+    pipeline = Pipeline("quickstart", "taxi", description="Taxi fare cleanup")
+    pipeline.append("read")
+    pipeline.append("getcols")
+    pipeline.append("isna")
+    pipeline.append("query", predicate={"op": ">", "left": {"col": "fare_amount"},
+                                        "right": {"lit": 0}})
+    pipeline.append("calccol", target="fare_per_mile",
+                    expression={"op": "/", "left": {"col": "fare_amount"},
+                                "right": {"col": "trip_distance"}})
+    pipeline.append("chdate", columns=["pickup_datetime"])
+    pipeline.append("group", by=["passenger_count"], agg={"fare_per_mile": "mean"})
+    pipeline.append("dropna", subset=["fare_per_mile"])
+    pipeline.append("write")
+    return pipeline
+
+
+def main() -> None:
+    # 1. a physically small sample priced at the paper's nominal 77M rows
+    dataset = generate_dataset("taxi", scale=0.3)
+    sim = dataset.simulation_context(PAPER_SERVER, runs=3)
+    print(f"dataset: {dataset.name}, physical rows={dataset.physical_rows}, "
+          f"nominal rows={dataset.nominal_rows}")
+
+    # 2. the pipeline
+    pipeline = build_pipeline()
+    print(f"pipeline: {len(pipeline)} steps, stages={[s.value for s in pipeline.stages()]}")
+
+    # 3. run it on every engine available on the evaluation server
+    runner = BentoRunner(runs=3)
+    engines = create_engines(machine=PAPER_SERVER)
+    timings = {name: runner.run_full(engine, dataset.frame, pipeline, sim)
+               for name, engine in engines.items()}
+
+    # 4. report
+    baseline = timings["pandas"].seconds
+    print(f"\n{'engine':<12}{'simulated time':>16}{'speedup vs Pandas':>20}")
+    for name, timing in sorted(timings.items(), key=lambda kv: kv[1].seconds):
+        if timing.failed:
+            print(f"{name:<12}{'OOM':>16}{'-':>20}")
+            continue
+        print(f"{name:<12}{timing.seconds:>14.2f}s"
+              f"{format_speedup(speedup(baseline, timing.seconds)):>20}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Scenario: which library survives on *your* machine? (Figure 6 / Table 5)
+
+Runs the most expensive Taxi pipeline on incremental dataset samples for the
+three machine configurations of the paper (laptop, workstation, server) and
+prints, for every engine, the runtime or the OOM marker — then derives the
+Table 5 style "minimum configuration" summary.
+
+Run with::
+
+    python examples/scalability_study.py
+"""
+
+from repro.experiments import ExperimentConfig
+from repro.experiments import fig6_scalability, table5_min_config
+
+
+def main() -> None:
+    config = ExperimentConfig(scale=0.3, runs=1)
+
+    print("Running the Figure 6 scalability sweep (this executes the full "
+          "pipeline on every sample size and machine)...\n")
+    result = fig6_scalability.run(config, fractions=(0.05, 0.25, 0.5, 1.0))
+    print(result.format())
+
+    print("\nWho completes the full Taxi pipeline per machine?")
+    for machine in ("laptop", "workstation", "server"):
+        finishers = [engine for engine in result.seconds[machine][1.0]
+                     if result.completed_full(machine, engine)]
+        print(f"  {machine:<12} {', '.join(finishers) if finishers else '(nobody)'}")
+
+    print("\nTable 5 — minimum machine configuration (I=laptop, II=workstation, III=server):")
+    table5 = table5_min_config.run(config, datasets=("taxi",), fractions=(0.05, 0.25, 1.0))
+    print(table5.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setup shim for environments whose setuptools cannot build PEP 517 wheels.
+
+``pip install -e . --no-build-isolation`` (or ``--no-use-pep517``) works with
+this file even when the ``wheel`` package is unavailable; all project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Evaluation of Dataframe Libraries for Data Preparation "
+        "on a Single Machine' (EDBT 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Evaluation of Dataframe Libraries for Data
+Preparation on a Single Machine" (EDBT 2025).
+
+The package is organized in layers:
+
+* :mod:`repro.frame`       — columnar dataframe substrate (numpy-backed);
+* :mod:`repro.plan`        — lazy logical plans, optimizer and executor;
+* :mod:`repro.io`          — CSV and the rparquet columnar binary format;
+* :mod:`repro.simulate`    — machine configurations, cost and memory models;
+* :mod:`repro.engines`     — the simulated dataframe libraries;
+* :mod:`repro.core`        — Bento: preparators, pipelines, runner, metrics;
+* :mod:`repro.datasets`    — synthetic Athlete/Loan/Patrol/Taxi + pipelines;
+* :mod:`repro.tpch`        — TPC-H generator, 22 queries and runner;
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+"""
+
+from .core import BentoRunner, Pipeline, PipelineStep, Stage
+from .engines import SimulationContext, create_engine, create_engines
+from .frame import Column, DataFrame, col, lit
+from .plan import LazyFrame
+from .simulate import LAPTOP, PAPER_SERVER, SERVER, WORKSTATION, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DataFrame",
+    "Column",
+    "col",
+    "lit",
+    "LazyFrame",
+    "Pipeline",
+    "PipelineStep",
+    "Stage",
+    "BentoRunner",
+    "SimulationContext",
+    "create_engine",
+    "create_engines",
+    "MachineConfig",
+    "LAPTOP",
+    "WORKSTATION",
+    "SERVER",
+    "PAPER_SERVER",
+]

@@ -1,0 +1,113 @@
+"""Pandas-API compatibility matrix (paper Table 3).
+
+For every (library, preparator) pair the paper reports whether the library's
+API fully matches the Pandas interface (``full``), offers the operation under
+a different interface (``different``), or misses it entirely so the authors
+implemented it with best effort (``missing``).  The matrix below transcribes
+Table 3; the simulated engines consult it to decide whether a preparator runs
+natively or through the fallback path (which the cost model penalizes).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .preparators import PREPARATOR_NAMES
+
+__all__ = ["Compatibility", "COMPATIBILITY_MATRIX", "compatibility", "compatibility_table",
+           "coverage_fraction"]
+
+
+class Compatibility(enum.Enum):
+    """Support level of a preparator in a library's API."""
+
+    FULL = "full"          # ✓✓  fully matches the Pandas interface
+    DIFFERENT = "different"  # ✓  available under a different interface
+    MISSING = "missing"    # ◦  absent from the API, implemented with best effort
+
+    @property
+    def symbol(self) -> str:
+        return {"full": "✓✓", "different": "✓", "missing": "o"}[self.value]
+
+
+_F = Compatibility.FULL
+_D = Compatibility.DIFFERENT
+_M = Compatibility.MISSING
+
+#: Table 3, row by row.  Pandas itself is by definition fully compatible and
+#: is therefore not listed in the paper's table; the engines add it as FULL.
+COMPATIBILITY_MATRIX: dict[str, dict[str, Compatibility]] = {
+    "read":    {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _D},
+    "write":   {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _D},
+    "isna":    {"sparkpd": _F, "sparksql": _M, "modin": _F, "polars": _D, "cudf": _F, "vaex": _M, "datatable": _D},
+    "outlier": {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _M},
+    "srchptn": {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _F, "datatable": _F},
+    "sort":    {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _F, "datatable": _F},
+    "getcols": {"sparkpd": _F, "sparksql": _F, "modin": _F, "polars": _F, "cudf": _F, "vaex": _D, "datatable": _D},
+    "dtypes":  {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _F},
+    "stats":   {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _M},
+    "query":   {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _M},
+    "cast":    {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _M},
+    "drop":    {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _M, "datatable": _M},
+    "rename":  {"sparkpd": _F, "sparksql": _M, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _M},
+    "pivot":   {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _M, "datatable": _M},
+    "calccol": {"sparkpd": _F, "sparksql": _M, "modin": _F, "polars": _D, "cudf": _M, "vaex": _D, "datatable": _M},
+    "join":    {"sparkpd": _F, "sparksql": _M, "modin": _F, "polars": _D, "cudf": _F, "vaex": _M, "datatable": _M},
+    "onehot":  {"sparkpd": _F, "sparksql": _M, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _M},
+    "catenc":  {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _M},
+    "group":   {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _F, "datatable": _F},
+    "chdate":  {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _M, "cudf": _F, "vaex": _M, "datatable": _M},
+    "dropna":  {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _M},
+    "setcase": {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _F},
+    "norm":    {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _F, "datatable": _M},
+    "dedup":   {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _D, "cudf": _F, "vaex": _M, "datatable": _M},
+    "fillna":  {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _M, "cudf": _F, "vaex": _F, "datatable": _M},
+    "replace": {"sparkpd": _F, "sparksql": _D, "modin": _F, "polars": _M, "cudf": _F, "vaex": _D, "datatable": _M},
+    "edit":    {"sparkpd": _F, "sparksql": _M, "modin": _F, "polars": _D, "cudf": _F, "vaex": _D, "datatable": _F},
+}
+
+#: How engine names map onto the columns of Table 3.
+_ENGINE_TO_COLUMN = {
+    "pandas": None,           # Pandas is the reference API
+    "sparkpd": "sparkpd",
+    "sparksql": "sparksql",
+    "modin_dask": "modin",
+    "modin_ray": "modin",
+    "polars": "polars",
+    "cudf": "cudf",
+    "vaex": "vaex",
+    "datatable": "datatable",
+    "duckdb": None,           # SQL only; not part of Table 3
+}
+
+
+def compatibility(engine: str, preparator: str) -> Compatibility:
+    """Support level of ``preparator`` in ``engine`` (Pandas is always FULL)."""
+    if preparator not in COMPATIBILITY_MATRIX:
+        raise KeyError(f"unknown preparator {preparator!r}")
+    column = _ENGINE_TO_COLUMN.get(engine, engine)
+    if column is None:
+        return Compatibility.FULL
+    row = COMPATIBILITY_MATRIX[preparator]
+    if column not in row:
+        raise KeyError(f"unknown engine {engine!r}")
+    return row[column]
+
+
+def compatibility_table() -> list[dict[str, str]]:
+    """Table 3 as a list of row dictionaries (used by the experiment driver)."""
+    columns = ["sparkpd", "sparksql", "modin", "polars", "cudf", "vaex", "datatable"]
+    rows = []
+    for preparator in PREPARATOR_NAMES:
+        row = {"preparator": preparator}
+        for column in columns:
+            row[column] = COMPATIBILITY_MATRIX[preparator][column].symbol
+        rows.append(row)
+    return rows
+
+
+def coverage_fraction(engine: str) -> float:
+    """Fraction of the 27 preparators natively available (FULL or DIFFERENT)."""
+    levels = [compatibility(engine, p) for p in COMPATIBILITY_MATRIX]
+    native = sum(1 for level in levels if level is not Compatibility.MISSING)
+    return native / len(levels)

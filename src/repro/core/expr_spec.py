@@ -1,0 +1,125 @@
+"""JSON-friendly expression specifications.
+
+Bento pipelines are declared in JSON (the paper's configuration-file driven
+workflow), so expressions used by the ``query`` and ``calccol`` preparators
+need a serializable form.  This module converts small dictionaries into
+:class:`~repro.frame.expressions.Expression` trees::
+
+    {"col": "trip_distance"}
+    {"lit": 3.5}
+    {"op": ">", "left": {"col": "fare_amount"}, "right": {"lit": 0}}
+    {"op": "&", "left": ..., "right": ...}
+    {"fn": "is_null", "arg": {"col": "age"}}
+    {"fn": "contains", "arg": {"col": "name"}, "pattern": "^A"}
+    {"fn": "year", "arg": {"col": "pickup_datetime"}}
+
+Strings are also accepted as a shorthand for column references.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..frame.errors import ExpressionError
+from ..frame.expressions import Expression, col, lit
+
+__all__ = ["parse_expression"]
+
+_BINARY_OPS = {"+", "-", "*", "/", "==", "!=", "<", "<=", ">", ">=", "&", "|"}
+_UNARY_FNS = {"is_null", "not_null", "not", "neg"}
+_STRING_FNS = {"contains", "like", "startswith", "endswith"}
+_DATE_FNS = {"year", "month", "day", "hour", "minute", "second", "weekday", "dayofyear"}
+
+
+def _binary(op: str, left: Expression, right: Expression) -> Expression:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "&":
+        return left & right
+    return left | right
+
+
+def parse_expression(spec: "Expression | Mapping[str, Any] | str | int | float | bool") -> Expression:
+    """Convert a JSON-style specification into an :class:`Expression`.
+
+    Already-built expressions pass through unchanged; bare strings are column
+    references; bare numbers/booleans are literals.
+    """
+    if isinstance(spec, Expression):
+        return spec
+    if isinstance(spec, str):
+        return col(spec)
+    if isinstance(spec, (int, float, bool)):
+        return lit(spec)
+    if not isinstance(spec, Mapping):
+        raise ExpressionError(f"cannot parse expression specification {spec!r}")
+
+    if "col" in spec:
+        return col(str(spec["col"]))
+    if "lit" in spec:
+        return lit(spec["lit"])
+
+    if "op" in spec:
+        op = spec["op"]
+        if op not in _BINARY_OPS:
+            raise ExpressionError(f"unknown operator {op!r} in expression specification")
+        if "left" not in spec or "right" not in spec:
+            raise ExpressionError(f"operator {op!r} requires 'left' and 'right' operands")
+        return _binary(op, parse_expression(spec["left"]), parse_expression(spec["right"]))
+
+    if "fn" in spec:
+        fn = spec["fn"]
+        if "arg" not in spec:
+            raise ExpressionError(f"function {fn!r} requires an 'arg' operand")
+        arg = parse_expression(spec["arg"])
+        if fn in _UNARY_FNS:
+            if fn == "is_null":
+                return arg.is_null()
+            if fn == "not_null":
+                return arg.not_null()
+            if fn == "not":
+                return ~arg
+            return -arg
+        if fn in _STRING_FNS:
+            pattern = spec.get("pattern")
+            if pattern is None:
+                raise ExpressionError(f"string function {fn!r} requires a 'pattern'")
+            if fn == "contains":
+                return arg.str_contains(str(pattern), regex=bool(spec.get("regex", True)))
+            if fn == "like":
+                return arg.str_like(str(pattern))
+            if fn == "startswith":
+                return arg.str_startswith(str(pattern))
+            return arg.str_endswith(str(pattern))
+        if fn in _DATE_FNS:
+            return arg.dt_component(fn)
+        if fn == "isin":
+            values = spec.get("values")
+            if not isinstance(values, (list, tuple)):
+                raise ExpressionError("'isin' requires a list of 'values'")
+            return arg.is_in(values)
+        if fn == "between":
+            if "low" not in spec or "high" not in spec:
+                raise ExpressionError("'between' requires 'low' and 'high'")
+            return arg.between(spec["low"], spec["high"])
+        raise ExpressionError(f"unknown function {fn!r} in expression specification")
+
+    raise ExpressionError(f"cannot parse expression specification {dict(spec)!r}")

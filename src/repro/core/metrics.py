@@ -1,0 +1,60 @@
+"""Evaluation metrics used throughout the paper's figures.
+
+* **speedup** over Pandas (Figures 1, 2 and 5)::
+
+      speedup = time(Pandas, prep/stage) / time(lib, prep/stage)
+
+  values above 1 mean the library outperforms Pandas;
+
+* **impact** of a preparator on its stage (Figure 2, background bars)::
+
+      impact = time(dataset, prep) / time(dataset, stage) * 100
+
+* trimmed averaging of repeated runs (footnote 5) lives in
+  :func:`repro.simulate.clock.trimmed_mean`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+__all__ = ["speedup", "impact_percentages", "geometric_mean_speedup", "format_speedup"]
+
+
+def speedup(pandas_seconds: float, library_seconds: float) -> float:
+    """Speedup of a library over the Pandas baseline for the same work."""
+    if library_seconds <= 0:
+        return math.inf if pandas_seconds > 0 else 1.0
+    if pandas_seconds <= 0:
+        return 0.0
+    return pandas_seconds / library_seconds
+
+
+def impact_percentages(per_preparator_seconds: Mapping[str, float]) -> dict[str, float]:
+    """Share of the stage runtime attributable to each preparator, in percent."""
+    total = sum(v for v in per_preparator_seconds.values() if v > 0)
+    if total <= 0:
+        return {name: 0.0 for name in per_preparator_seconds}
+    return {name: 100.0 * max(value, 0.0) / total
+            for name, value in per_preparator_seconds.items()}
+
+
+def geometric_mean_speedup(speedups: Mapping[str, float] | list[float]) -> float:
+    """Geometric mean of a collection of speedups (robust to outliers)."""
+    values = list(speedups.values()) if isinstance(speedups, Mapping) else list(speedups)
+    values = [v for v in values if v > 0 and math.isfinite(v)]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_speedup(value: float) -> str:
+    """Human-readable rendering used by the report printers."""
+    if math.isinf(value):
+        return "inf"
+    if value >= 100:
+        return f"{value:,.0f}x"
+    if value >= 1:
+        return f"{value:.1f}x"
+    return f"{value:.2f}x"

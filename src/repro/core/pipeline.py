@@ -1,0 +1,168 @@
+"""Pipeline specification: an ordered list of preparator invocations.
+
+A Bento pipeline is declared either programmatically or through a JSON file
+(the paper's configuration-file workflow).  Each step names a preparator and
+its parameters; the stage is derived from the preparator registry.  Example::
+
+    {
+      "name": "taxi-pipeline-1",
+      "dataset": "taxi",
+      "steps": [
+        {"preparator": "getcols"},
+        {"preparator": "query",
+         "params": {"predicate": {"op": ">", "left": {"col": "fare_amount"},
+                                   "right": {"lit": 0}}}},
+        {"preparator": "group",
+         "params": {"by": ["passenger_count"], "agg": {"trip_distance": "mean"}}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from .preparators import Preparator, get_preparator
+from .stages import Stage
+
+__all__ = ["PipelineStep", "Pipeline"]
+
+
+@dataclass
+class PipelineStep:
+    """One preparator invocation inside a pipeline."""
+
+    preparator: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Fail fast on unknown preparator names so malformed JSON is caught
+        # at load time, not halfway through a benchmark run.
+        get_preparator(self.preparator)
+
+    @property
+    def spec(self) -> Preparator:
+        return get_preparator(self.preparator)
+
+    @property
+    def stage(self) -> Stage:
+        return self.spec.stage
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"preparator": self.preparator}
+        if self.params:
+            out["params"] = self.params
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineStep":
+        if "preparator" not in data:
+            raise ValueError(f"pipeline step is missing the 'preparator' key: {dict(data)}")
+        return cls(str(data["preparator"]), dict(data.get("params", {})))
+
+
+@dataclass
+class Pipeline:
+    """An ordered sequence of preparator invocations over one dataset."""
+
+    name: str
+    dataset: str
+    steps: list[PipelineStep] = field(default_factory=list)
+    description: str = ""
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def steps_for_stage(self, stage: "Stage | str") -> list[PipelineStep]:
+        stage = Stage.parse(stage)
+        return [s for s in self.steps if s.stage is stage]
+
+    def stages(self) -> list[Stage]:
+        """Stages present in this pipeline, in canonical order."""
+        present = {s.stage for s in self.steps}
+        return [s for s in Stage.ordered() if s in present]
+
+    def call_counts(self) -> dict[str, int]:
+        """Number of calls per preparator (the ``#calls`` row of Figure 2)."""
+        out: dict[str, int] = {}
+        for step in self.steps:
+            out[step.preparator] = out.get(step.preparator, 0) + 1
+        return out
+
+    def preparators_used(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for step in self.steps:
+            seen.setdefault(step.preparator, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def append(self, preparator: str, **params: Any) -> "Pipeline":
+        """Fluent helper used by the example scripts."""
+        self.steps.append(PipelineStep(preparator, dict(params)))
+        return self
+
+    def restricted_to(self, stages: Iterable["Stage | str"]) -> "Pipeline":
+        """A copy containing only the steps of the given stages."""
+        wanted = {Stage.parse(s) for s in stages}
+        kept = [s for s in self.steps if s.stage in wanted]
+        suffix = "+".join(sorted(s.value for s in wanted))
+        return Pipeline(f"{self.name}[{suffix}]", self.dataset, list(kept), self.description)
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "dataset": self.dataset,
+            "description": self.description,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Pipeline":
+        steps = [PipelineStep.from_dict(s) for s in data.get("steps", [])]
+        return cls(
+            name=str(data.get("name", "pipeline")),
+            dataset=str(data.get("dataset", "")),
+            steps=steps,
+            description=str(data.get("description", "")),
+        )
+
+    def to_json(self, path: "str | Path | None" = None, indent: int = 2) -> str:
+        text = json.dumps(self.to_dict(), indent=indent)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: "str | Path") -> "Pipeline":
+        """Load a pipeline from a JSON file path or a JSON string."""
+        text = source
+        try:
+            path = Path(str(source))
+            if path.exists():
+                text = path.read_text(encoding="utf-8")
+        except OSError:
+            # Raw JSON strings can exceed the filesystem's path-length limit.
+            pass
+        return cls.from_dict(json.loads(str(text)))
+
+    @classmethod
+    def from_steps(cls, name: str, dataset: str,
+                   steps: Sequence[tuple[str, Mapping[str, Any]]],
+                   description: str = "") -> "Pipeline":
+        """Build a pipeline from (preparator, params) tuples."""
+        return cls(name, dataset,
+                   [PipelineStep(p, dict(params)) for p, params in steps], description)

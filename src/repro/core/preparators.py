@@ -1,0 +1,497 @@
+"""The 27 preparators of the Bento framework (paper Table 3).
+
+A :class:`Preparator` couples:
+
+* the paper's short name (``isna``, ``outlier``, ``calccol``, ...) and stage;
+* the cost-model operator class used to price it;
+* an ``apply`` function that executes it eagerly on a substrate
+  :class:`~repro.frame.frame.DataFrame`;
+* optionally a ``lazy_builder`` that appends the equivalent node(s) to a
+  :class:`~repro.plan.builder.LazyFrame` — preparators without one force
+  materialization, exactly like the libraries whose API lacks a lazy variant;
+* a ``touched_columns`` helper used by the cost and memory models to know how
+  much data the operator actually reads.
+
+Preparator names follow the convention of Hameed and Naumann adopted by the
+paper.  Parameters are plain JSON-compatible dictionaries so pipelines can be
+declared in configuration files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..frame.dtypes import parse_dtype
+from ..frame.errors import FrameError
+from ..frame.frame import DataFrame
+from ..plan.builder import LazyFrame
+from .expr_spec import parse_expression
+from .stages import Stage
+
+__all__ = ["Preparator", "PreparatorResult", "PREPARATORS", "get_preparator", "PREPARATOR_NAMES"]
+
+
+@dataclass
+class PreparatorResult:
+    """Outcome of applying one preparator."""
+
+    #: The frame that continues down the pipeline (input frame if the
+    #: preparator is an inspection that does not transform the data).
+    frame: DataFrame
+    #: Side output for inspection preparators (statistics, column lists, ...).
+    output: Any = None
+    #: Whether the preparator replaced the pipeline's current frame.
+    chained: bool = True
+
+
+@dataclass
+class Preparator:
+    """One Bento preparator."""
+
+    name: str
+    long_name: str
+    stage: Stage
+    op_class: str
+    apply: Callable[[DataFrame, Mapping[str, Any]], PreparatorResult]
+    touched_columns: Callable[[DataFrame, Mapping[str, Any]], list[str]]
+    lazy_builder: Callable[[LazyFrame, Mapping[str, Any]], LazyFrame] | None = None
+
+    @property
+    def supports_lazy(self) -> bool:
+        return self.lazy_builder is not None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Preparator({self.name}, stage={self.stage})"
+
+
+# --------------------------------------------------------------------------- #
+# parameter helpers
+# --------------------------------------------------------------------------- #
+def _as_list(value: "str | Sequence[str] | None") -> list[str]:
+    if value is None:
+        return []
+    return [value] if isinstance(value, str) else list(value)
+
+
+def _existing(frame: DataFrame, names: Sequence[str]) -> list[str]:
+    return [n for n in names if n in frame.columns]
+
+
+def _all_columns(frame: DataFrame, params: Mapping[str, Any]) -> list[str]:
+    return frame.columns
+
+
+def _param_columns(key: str, fallback_all: bool = True):
+    def picker(frame: DataFrame, params: Mapping[str, Any]) -> list[str]:
+        names = _existing(frame, _as_list(params.get(key)))
+        if names:
+            return names
+        return frame.columns if fallback_all else []
+    return picker
+
+
+def _numeric_columns(frame: DataFrame) -> list[str]:
+    return [n for n, d in frame.dtypes.items() if d.is_numeric]
+
+
+def _string_columns(frame: DataFrame) -> list[str]:
+    return [n for n, d in frame.dtypes.items() if d.value in ("string", "categorical")]
+
+
+def _first_existing(frame: DataFrame, name: str | None, candidates: list[str]) -> str | None:
+    if name and name in frame.columns:
+        return name
+    return candidates[0] if candidates else None
+
+
+# --------------------------------------------------------------------------- #
+# EDA preparators
+# --------------------------------------------------------------------------- #
+def _apply_isna(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    return PreparatorResult(frame, output=frame.isna(), chained=False)
+
+
+def _apply_outlier(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    column = _first_existing(frame, params.get("column"), _numeric_columns(frame))
+    if column is None:
+        return PreparatorResult(frame, output=None, chained=False)
+    mask = frame.locate_outliers(column, factor=float(params.get("factor", 1.5)),
+                                 approximate=bool(params.get("approximate", False)))
+    return PreparatorResult(frame, output=mask, chained=False)
+
+
+def _apply_srchptn(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    column = _first_existing(frame, params.get("column"), _string_columns(frame))
+    if column is None:
+        return PreparatorResult(frame, output=frame.head(0), chained=False)
+    matched = frame.search_pattern(column, str(params.get("pattern", ".")),
+                                   regex=bool(params.get("regex", True)))
+    return PreparatorResult(frame, output=matched, chained=False)
+
+
+def _apply_sort(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    by = _existing(frame, _as_list(params.get("by"))) or frame.columns[:1]
+    ascending = params.get("ascending", True)
+    return PreparatorResult(frame.sort_values(by, ascending))
+
+
+def _apply_getcols(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    return PreparatorResult(frame, output=frame.columns, chained=False)
+
+
+def _apply_dtypes(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    return PreparatorResult(frame, output={k: v.value for k, v in frame.dtypes.items()}, chained=False)
+
+
+def _apply_stats(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    return PreparatorResult(frame, output=frame.describe(
+        approximate_quantiles=bool(params.get("approximate", False))), chained=False)
+
+
+def _apply_query(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    expression = parse_expression(params["predicate"])
+    mask = expression.evaluate(frame)
+    return PreparatorResult(frame.filter(mask))
+
+
+def _lazy_query(lazy: LazyFrame, params: Mapping[str, Any]) -> LazyFrame:
+    return lazy.filter(parse_expression(params["predicate"]))
+
+
+def _lazy_sort(lazy: LazyFrame, params: Mapping[str, Any]) -> LazyFrame:
+    by = _as_list(params.get("by"))
+    if not by:
+        return lazy
+    return lazy.sort(by, params.get("ascending", True))
+
+
+# --------------------------------------------------------------------------- #
+# DT preparators
+# --------------------------------------------------------------------------- #
+def _apply_cast(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    mapping = {k: parse_dtype(v) for k, v in dict(params.get("columns", {})).items()
+               if k in frame.columns}
+    return PreparatorResult(frame.cast(mapping) if mapping else frame)
+
+
+def _apply_drop(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    names = _existing(frame, _as_list(params.get("columns")))
+    return PreparatorResult(frame.drop(names) if names else frame)
+
+
+def _apply_rename(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    mapping = {k: v for k, v in dict(params.get("mapping", {})).items() if k in frame.columns}
+    return PreparatorResult(frame.rename(mapping) if mapping else frame)
+
+
+def _apply_pivot(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    index = _first_existing(frame, params.get("index"), _string_columns(frame) or frame.columns)
+    columns = _first_existing(frame, params.get("columns"),
+                              [c for c in _string_columns(frame) if c != index] or frame.columns)
+    values = _first_existing(frame, params.get("values"), _numeric_columns(frame))
+    if index is None or columns is None or values is None or index == columns:
+        return PreparatorResult(frame, output=None, chained=False)
+    pivoted = frame.pivot_table(index, columns, values, str(params.get("aggfunc", "mean")))
+    return PreparatorResult(frame, output=pivoted, chained=False)
+
+
+def _apply_calccol(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    target = str(params.get("target", "derived"))
+    expression = parse_expression(params["expression"])
+    return PreparatorResult(frame.with_column(target, expression.evaluate(frame)))
+
+
+def _lazy_calccol(lazy: LazyFrame, params: Mapping[str, Any]) -> LazyFrame:
+    return lazy.with_column(str(params.get("target", "derived")),
+                            parse_expression(params["expression"]))
+
+
+def _apply_join(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    """Join the current frame with an aggregate of itself.
+
+    Kaggle pipelines typically join the working dataframe with a small
+    aggregate (per-group statistics); the ``with`` parameter describes that
+    aggregate: ``{"by": [...], "agg": {col: fn}}``.
+    """
+    spec = dict(params.get("with", {}))
+    keys = _existing(frame, _as_list(spec.get("by") or params.get("on")))
+    if not keys:
+        return PreparatorResult(frame, chained=False)
+    agg = {k: v for k, v in dict(spec.get("agg", {})).items() if k in frame.columns}
+    if not agg:
+        numeric = [c for c in _numeric_columns(frame) if c not in keys]
+        if not numeric:
+            return PreparatorResult(frame, chained=False)
+        agg = {numeric[0]: "mean"}
+    right = frame.group_agg(keys, agg)
+    rename = {name: f"{name}_{fn}_by_{'_'.join(keys)}" if isinstance(fn, str) else name
+              for name, fn in agg.items()}
+    right = right.rename(rename)
+    joined = frame.join(right, on=keys, how=str(params.get("how", "left")))
+    return PreparatorResult(joined)
+
+
+def _apply_onehot(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    column = _first_existing(frame, params.get("column"), _string_columns(frame))
+    if column is None:
+        return PreparatorResult(frame, chained=False)
+    encoded = frame.one_hot_encode(column, max_categories=int(params.get("max_categories", 32)))
+    return PreparatorResult(encoded)
+
+
+def _apply_catenc(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    names = _existing(frame, _as_list(params.get("columns"))) or _string_columns(frame)[:1]
+    return PreparatorResult(frame.categorical_encode(names) if names else frame)
+
+
+def _apply_group(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    keys = _existing(frame, _as_list(params.get("by"))) or frame.columns[:1]
+    agg = {k: v for k, v in dict(params.get("agg", {})).items() if k in frame.columns}
+    if not agg:
+        numeric = [c for c in _numeric_columns(frame) if c not in keys]
+        agg = {numeric[0]: "mean"} if numeric else {keys[0]: "count"}
+    grouped = frame.group_agg(keys, agg)
+    if bool(params.get("replace", False)):
+        return PreparatorResult(grouped)
+    return PreparatorResult(frame, output=grouped, chained=False)
+
+
+def _lazy_group(lazy: LazyFrame, params: Mapping[str, Any]) -> "LazyFrame | None":
+    if not bool(params.get("replace", False)):
+        # Aggregation used for inspection only: the engine must materialize
+        # and run it eagerly (returning None signals "cannot defer").
+        return None
+    keys = _as_list(params.get("by"))
+    return lazy.group_agg(keys, dict(params.get("agg", {})))
+
+
+# --------------------------------------------------------------------------- #
+# DC preparators
+# --------------------------------------------------------------------------- #
+def _apply_chdate(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    names = _existing(frame, _as_list(params.get("columns")))
+    if not names:
+        return PreparatorResult(frame, chained=False)
+    if params.get("output_format"):
+        parsed = frame.parse_dates(names, params.get("format"))
+        return PreparatorResult(parsed.format_dates(names, str(params["output_format"])))
+    return PreparatorResult(frame.parse_dates(names, params.get("format")))
+
+
+def _apply_dropna(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    subset = _existing(frame, _as_list(params.get("subset"))) or None
+    return PreparatorResult(frame.dropna(subset=subset, how=str(params.get("how", "any"))))
+
+
+def _lazy_dropna(lazy: LazyFrame, params: Mapping[str, Any]) -> LazyFrame:
+    subset = _as_list(params.get("subset")) or None
+    return lazy.drop_nulls(subset=subset, how=str(params.get("how", "any")))
+
+
+def _apply_setcase(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    names = _existing(frame, _as_list(params.get("columns"))) or _string_columns(frame)[:1]
+    if not names:
+        return PreparatorResult(frame, chained=False)
+    return PreparatorResult(frame.set_case(names, str(params.get("mode", "lower"))))
+
+
+def _apply_norm(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    names = _existing(frame, _as_list(params.get("columns"))) or _numeric_columns(frame)[:1]
+    if not names:
+        return PreparatorResult(frame, chained=False)
+    return PreparatorResult(frame.normalize(names, str(params.get("method", "minmax"))))
+
+
+def _apply_dedup(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    subset = _existing(frame, _as_list(params.get("subset"))) or None
+    return PreparatorResult(frame.drop_duplicates(subset=subset,
+                                                  keep=str(params.get("keep", "first"))))
+
+
+def _lazy_dedup(lazy: LazyFrame, params: Mapping[str, Any]) -> LazyFrame:
+    subset = _as_list(params.get("subset")) or None
+    return lazy.distinct(subset=subset)
+
+
+def _apply_fillna(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    value = params.get("value", 0)
+    if isinstance(value, Mapping):
+        value = {k: v for k, v in value.items() if k in frame.columns}
+        if not value:
+            return PreparatorResult(frame, chained=False)
+    return PreparatorResult(frame.fillna(value))
+
+
+def _lazy_fillna(lazy: LazyFrame, params: Mapping[str, Any]) -> LazyFrame:
+    return lazy.fill_nulls(params.get("value", 0))
+
+
+def _apply_replace(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    column = _first_existing(frame, params.get("column"), _string_columns(frame))
+    mapping = dict(params.get("mapping", {}))
+    if column is None or not mapping:
+        return PreparatorResult(frame, chained=False)
+    return PreparatorResult(frame.replace_values(column, mapping))
+
+
+_EDIT_FUNCTIONS: dict[str, Callable[[Any], Any]] = {
+    "strip": lambda v: v.strip() if isinstance(v, str) else v,
+    "upper": lambda v: v.upper() if isinstance(v, str) else v,
+    "lower": lambda v: v.lower() if isinstance(v, str) else v,
+    "abs": lambda v: abs(v) if isinstance(v, (int, float)) else v,
+    "double": lambda v: v * 2 if isinstance(v, (int, float)) else v,
+    "round": lambda v: round(v, 2) if isinstance(v, float) else v,
+    "first_token": lambda v: v.split()[0] if isinstance(v, str) and v.split() else v,
+}
+
+
+def _apply_edit(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    column = _first_existing(frame, params.get("column"), frame.columns)
+    if column is None:
+        return PreparatorResult(frame, chained=False)
+    if "expression" in params:
+        expression = parse_expression(params["expression"])
+        return PreparatorResult(frame.with_column(column, expression.evaluate(frame)))
+    func = _EDIT_FUNCTIONS.get(str(params.get("function", "strip")), _EDIT_FUNCTIONS["strip"])
+    return PreparatorResult(frame.edit_values(column, func))
+
+
+# --------------------------------------------------------------------------- #
+# I/O preparators (paths are handled by the engines / runner)
+# --------------------------------------------------------------------------- #
+def _apply_read(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    # The engine performs the physical read; when invoked directly on an
+    # in-memory frame this preparator is the identity.
+    return PreparatorResult(frame)
+
+
+def _apply_write(frame: DataFrame, params: Mapping[str, Any]) -> PreparatorResult:
+    return PreparatorResult(frame, chained=False)
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+def _touched_none(frame: DataFrame, params: Mapping[str, Any]) -> list[str]:
+    return []
+
+
+def _touched_single(key: str, fallback: Callable[[DataFrame], list[str]]):
+    def picker(frame: DataFrame, params: Mapping[str, Any]) -> list[str]:
+        name = params.get(key)
+        if name and name in frame.columns:
+            return [name]
+        candidates = fallback(frame)
+        return candidates[:1]
+    return picker
+
+
+def _touched_group(frame: DataFrame, params: Mapping[str, Any]) -> list[str]:
+    keys = _existing(frame, _as_list(params.get("by"))) or frame.columns[:1]
+    agg = [k for k in dict(params.get("agg", {})) if k in frame.columns]
+    return list(dict.fromkeys(keys + agg))
+
+
+def _touched_join(frame: DataFrame, params: Mapping[str, Any]) -> list[str]:
+    spec = dict(params.get("with", {}))
+    keys = _existing(frame, _as_list(spec.get("by") or params.get("on")))
+    agg = [k for k in dict(spec.get("agg", {})) if k in frame.columns]
+    return list(dict.fromkeys(keys + agg)) or frame.columns
+
+
+def _touched_pivot(frame: DataFrame, params: Mapping[str, Any]) -> list[str]:
+    names = [params.get("index"), params.get("columns"), params.get("values")]
+    found = _existing(frame, [n for n in names if n])
+    return found or frame.columns[:3]
+
+
+def _touched_cast(frame: DataFrame, params: Mapping[str, Any]) -> list[str]:
+    return _existing(frame, list(dict(params.get("columns", {})))) or frame.columns
+
+
+def _touched_predicate(frame: DataFrame, params: Mapping[str, Any]) -> list[str]:
+    try:
+        expression = parse_expression(params.get("predicate") or params.get("expression"))
+    except FrameError:
+        return frame.columns
+    return _existing(frame, sorted(expression.columns())) or frame.columns
+
+
+PREPARATORS: dict[str, Preparator] = {}
+
+
+def _register(preparator: Preparator) -> None:
+    PREPARATORS[preparator.name] = preparator
+
+
+_register(Preparator("read", "load dataframe", Stage.IO, "read_csv",
+                     _apply_read, _all_columns))
+_register(Preparator("write", "output dataframe", Stage.IO, "write_csv",
+                     _apply_write, _all_columns))
+
+_register(Preparator("isna", "locate missing values", Stage.EDA, "isna",
+                     _apply_isna, _all_columns))
+_register(Preparator("outlier", "locate outliers", Stage.EDA, "quantile",
+                     _apply_outlier, _touched_single("column", _numeric_columns)))
+_register(Preparator("srchptn", "search by pattern", Stage.EDA, "string",
+                     _apply_srchptn, _touched_single("column", _string_columns)))
+_register(Preparator("sort", "sort values", Stage.EDA, "sort",
+                     _apply_sort, _param_columns("by"), lazy_builder=_lazy_sort))
+_register(Preparator("getcols", "get columns list", Stage.EDA, "metadata",
+                     _apply_getcols, _touched_none))
+_register(Preparator("dtypes", "get columns types", Stage.EDA, "metadata",
+                     _apply_dtypes, _touched_none))
+_register(Preparator("stats", "get dataframe statistics", Stage.EDA, "stats",
+                     _apply_stats, lambda f, p: _numeric_columns(f) or f.columns))
+_register(Preparator("query", "query columns", Stage.EDA, "filter",
+                     _apply_query, _touched_predicate, lazy_builder=_lazy_query))
+
+_register(Preparator("cast", "cast columns types", Stage.DT, "cast",
+                     _apply_cast, _touched_cast))
+_register(Preparator("drop", "delete columns", Stage.DT, "metadata",
+                     _apply_drop, _param_columns("columns")))
+_register(Preparator("rename", "rename columns", Stage.DT, "metadata",
+                     _apply_rename, lambda f, p: _existing(f, list(dict(p.get("mapping", {}))))))
+_register(Preparator("pivot", "pivot table", Stage.DT, "pivot",
+                     _apply_pivot, _touched_pivot))
+_register(Preparator("calccol", "calculate column using expressions", Stage.DT, "elementwise",
+                     _apply_calccol, _touched_predicate, lazy_builder=_lazy_calccol))
+_register(Preparator("join", "join dataframes", Stage.DT, "join",
+                     _apply_join, _touched_join))
+_register(Preparator("onehot", "one hot encoding", Stage.DT, "encode",
+                     _apply_onehot, _touched_single("column", _string_columns)))
+_register(Preparator("catenc", "categorical encoding", Stage.DT, "encode",
+                     _apply_catenc, _param_columns("columns")))
+_register(Preparator("group", "group dataframe", Stage.DT, "groupby",
+                     _apply_group, _touched_group, lazy_builder=_lazy_group))
+
+_register(Preparator("chdate", "change date & time format", Stage.DC, "date",
+                     _apply_chdate, _param_columns("columns", fallback_all=False)))
+_register(Preparator("dropna", "delete empty and invalid rows", Stage.DC, "dropna",
+                     _apply_dropna, _param_columns("subset"), lazy_builder=_lazy_dropna))
+_register(Preparator("setcase", "set content case", Stage.DC, "string",
+                     _apply_setcase, _param_columns("columns")))
+_register(Preparator("norm", "normalize numeric values", Stage.DC, "elementwise",
+                     _apply_norm, _param_columns("columns")))
+_register(Preparator("dedup", "deduplicate rows", Stage.DC, "dedup",
+                     _apply_dedup, _param_columns("subset"), lazy_builder=_lazy_dedup))
+_register(Preparator("fillna", "fill empty cells", Stage.DC, "fillna",
+                     _apply_fillna,
+                     lambda f, p: _existing(f, list(p["value"])) if isinstance(p.get("value"), Mapping)
+                     else f.columns,
+                     lazy_builder=_lazy_fillna))
+_register(Preparator("replace", "replace values occurrences", Stage.DC, "elementwise",
+                     _apply_replace, _touched_single("column", _string_columns)))
+_register(Preparator("edit", "edit & replace cell data", Stage.DC, "elementwise",
+                     _apply_edit, _touched_single("column", lambda f: f.columns)))
+
+PREPARATOR_NAMES = tuple(PREPARATORS)
+
+
+def get_preparator(name: str) -> Preparator:
+    """Look up a preparator by its paper short name."""
+    try:
+        return PREPARATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown preparator {name!r}; available: {sorted(PREPARATORS)}") from None

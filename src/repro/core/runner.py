@@ -1,0 +1,262 @@
+"""Bento's execution runner: the paper's three measurement modes.
+
+Section 3 defines how every number in the evaluation is produced:
+
+* **function-core** — each preparator is executed (and timed) alone; lazy
+  engines are forced to materialize after every call;
+* **pipeline-stage** — each of the four stages (I/O, EDA, DT, DC) is executed
+  as a unit, so lazy engines may optimize within a stage;
+* **pipeline-full** — the entire pipeline runs end to end, with or without
+  lazy evaluation (the Figure 5 comparison).
+
+Every measurement is repeated ``runs`` times and averaged with the 20th-80th
+percentile trimming protocol; failures raised by the memory model are recorded
+as OOM outcomes (the ✕ entries of Table 5 and the OOM markers of Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..frame.frame import DataFrame
+from ..simulate.clock import RunReport, trimmed_mean
+from ..simulate.memory import SimulatedOOMError
+from .pipeline import Pipeline, PipelineStep
+from .stages import Stage
+
+if TYPE_CHECKING:  # imported only for type checking to avoid a circular import
+    from ..engines.base import BaseEngine, SimulationContext
+
+__all__ = ["PreparatorTiming", "StageTiming", "PipelineTiming", "BentoRunner"]
+
+
+@dataclass
+class PreparatorTiming:
+    """Function-core result: average seconds per preparator call."""
+
+    engine: str
+    dataset: str
+    pipeline: str
+    seconds_by_call: list[tuple[str, float]] = field(default_factory=list)
+    failed: bool = False
+    failure_reason: str = ""
+
+    def seconds_by_preparator(self) -> dict[str, float]:
+        """Average seconds per preparator (averaging over its calls)."""
+        sums: dict[str, list[float]] = {}
+        for name, seconds in self.seconds_by_call:
+            sums.setdefault(name, []).append(seconds)
+        return {name: sum(values) / len(values) for name, values in sums.items()}
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(seconds for _, seconds in self.seconds_by_call)
+
+
+@dataclass
+class StageTiming:
+    """Pipeline-stage result: average seconds for one stage."""
+
+    engine: str
+    dataset: str
+    pipeline: str
+    stage: str
+    seconds: float
+    lazy: bool = False
+    failed: bool = False
+    failure_reason: str = ""
+
+
+@dataclass
+class PipelineTiming:
+    """Pipeline-full result."""
+
+    engine: str
+    dataset: str
+    pipeline: str
+    seconds: float
+    lazy: bool = False
+    peak_bytes: int = 0
+    failed: bool = False
+    failure_reason: str = ""
+
+
+class BentoRunner:
+    """Runs pipelines on engines under the three measurement modes."""
+
+    def __init__(self, runs: int = 3):
+        if runs < 1:
+            raise ValueError("runs must be at least 1")
+        self.runs = runs
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _average(self, per_run: Sequence[float]) -> float:
+        return trimmed_mean(per_run)
+
+    @staticmethod
+    def _is_io_step(step: PipelineStep) -> bool:
+        return step.preparator in ("read", "write")
+
+    def _run_io_step(self, engine: BaseEngine, frame: DataFrame, step: PipelineStep,
+                     sim: SimulationContext, run_index: int) -> tuple[DataFrame, float]:
+        file_format = str(step.params.get("format", "csv"))
+        if step.preparator == "read":
+            loaded, record = engine.read_dataset(frame, sim, file_format=file_format,
+                                                 run_index=run_index)
+            return loaded, record.seconds
+        record = engine.write_dataset(frame, sim, file_format=file_format,
+                                      run_index=run_index)
+        return frame, record.seconds
+
+    # ------------------------------------------------------------------ #
+    # function-core mode
+    # ------------------------------------------------------------------ #
+    def run_function_core(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                          sim: SimulationContext) -> PreparatorTiming:
+        """Execute and price every preparator call in isolation."""
+        result = PreparatorTiming(engine.name, sim.dataset_name, pipeline.name)
+        try:
+            per_call: dict[int, list[float]] = {}
+            for run_index in range(self.runs):
+                current = frame
+                for position, step in enumerate(pipeline.steps):
+                    if self._is_io_step(step):
+                        current, seconds = self._run_io_step(engine, current, step, sim, run_index)
+                    else:
+                        outcome, record = engine.execute_step(current, step, sim,
+                                                              run_index=run_index,
+                                                              pipeline_scope=False)
+                        seconds = record.seconds
+                        if outcome.chained:
+                            current = outcome.frame
+                    per_call.setdefault(position, []).append(seconds)
+            for position, step in enumerate(pipeline.steps):
+                result.seconds_by_call.append(
+                    (step.preparator, self._average(per_call[position]))
+                )
+        except SimulatedOOMError as oom:
+            result.failed = True
+            result.failure_reason = str(oom)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # pipeline-stage mode
+    # ------------------------------------------------------------------ #
+    def run_stage(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                  stage: "Stage | str", sim: SimulationContext,
+                  lazy: bool | None = None) -> StageTiming:
+        """Execute one stage of the pipeline as a unit.
+
+        The whole pipeline runs in order (later steps may depend on columns
+        produced by earlier ones), but only the steps belonging to the target
+        stage contribute to the reported time.  Lazy engines may defer within
+        each contiguous block of target-stage steps — the stage-granularity
+        optimization of Figure 1.
+        """
+        stage = Stage.parse(stage)
+        use_lazy = engine.supports_lazy if lazy is None else (lazy and engine.supports_lazy)
+        timing = StageTiming(engine.name, sim.dataset_name, pipeline.name, stage.value,
+                             seconds=0.0, lazy=use_lazy)
+        if not pipeline.steps_for_stage(stage):
+            return timing
+        try:
+            per_run: list[float] = []
+            for run_index in range(self.runs):
+                current = frame
+                total = 0.0
+                for in_stage, block in self._stage_blocks(pipeline, stage):
+                    io_steps = [s for s in block if self._is_io_step(s)]
+                    other = [s for s in block if not self._is_io_step(s)]
+                    for step in io_steps:
+                        current, seconds = self._run_io_step(engine, current, step, sim, run_index)
+                        if in_stage:
+                            total += seconds
+                    if not other:
+                        continue
+                    report = RunReport(engine=engine.name,
+                                       label=f"{pipeline.name}:{stage.value}")
+                    current, report = engine.execute_steps(
+                        current, other, sim, lazy=use_lazy if in_stage else False,
+                        run_index=run_index, report=report, pipeline_scope=False)
+                    if in_stage:
+                        total += report.total_seconds
+                per_run.append(total)
+            timing.seconds = self._average(per_run)
+        except SimulatedOOMError as oom:
+            timing.failed = True
+            timing.failure_reason = str(oom)
+        return timing
+
+    @staticmethod
+    def _stage_blocks(pipeline: Pipeline, stage: Stage) -> list[tuple[bool, list[PipelineStep]]]:
+        """Split the pipeline into contiguous blocks in/out of the target stage."""
+        blocks: list[tuple[bool, list[PipelineStep]]] = []
+        for step in pipeline.steps:
+            in_stage = step.stage is stage
+            if blocks and blocks[-1][0] == in_stage:
+                blocks[-1][1].append(step)
+            else:
+                blocks.append((in_stage, [step]))
+        return blocks
+
+    def run_all_stages(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                       sim: SimulationContext, lazy: bool | None = None) -> dict[str, StageTiming]:
+        """Stage timings for every stage present in the pipeline."""
+        return {stage.value: self.run_stage(engine, frame, pipeline, stage, sim, lazy)
+                for stage in pipeline.stages()}
+
+    # ------------------------------------------------------------------ #
+    # pipeline-full mode
+    # ------------------------------------------------------------------ #
+    def run_full(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                 sim: SimulationContext, lazy: bool | None = None) -> PipelineTiming:
+        """Execute the entire pipeline end to end."""
+        use_lazy = engine.supports_lazy if lazy is None else (lazy and engine.supports_lazy)
+        timing = PipelineTiming(engine.name, sim.dataset_name, pipeline.name,
+                                seconds=0.0, lazy=use_lazy)
+        try:
+            per_run: list[float] = []
+            peak = 0
+            for run_index in range(self.runs):
+                current = frame
+                total = 0.0
+                report = RunReport(engine=engine.name, label=pipeline.name)
+                non_io: list[PipelineStep] = []
+                for step in pipeline.steps:
+                    if self._is_io_step(step):
+                        # flush accumulated transformation steps first
+                        if non_io:
+                            current, report = engine.execute_steps(
+                                current, non_io, sim, lazy=use_lazy, run_index=run_index,
+                                report=report, pipeline_scope=True)
+                            non_io = []
+                        current, seconds = self._run_io_step(engine, current, step, sim, run_index)
+                        total += seconds
+                    else:
+                        non_io.append(step)
+                if non_io:
+                    current, report = engine.execute_steps(current, non_io, sim,
+                                                           lazy=use_lazy, run_index=run_index,
+                                                           report=report, pipeline_scope=True)
+                total += report.total_seconds
+                peak = max(peak, report.peak_bytes)
+                per_run.append(total)
+            timing.seconds = self._average(per_run)
+            timing.peak_bytes = peak
+        except SimulatedOOMError as oom:
+            timing.failed = True
+            timing.failure_reason = str(oom)
+        return timing
+
+    # ------------------------------------------------------------------ #
+    # convenience: run many engines
+    # ------------------------------------------------------------------ #
+    def run_full_matrix(self, engines: Mapping[str, BaseEngine], frame: DataFrame,
+                        pipeline: Pipeline, sim: SimulationContext,
+                        lazy: bool | None = None) -> dict[str, PipelineTiming]:
+        """Pipeline-full timings for a dict of engines."""
+        return {name: self.run_full(engine, frame, pipeline, sim, lazy)
+                for name, engine in engines.items()}

@@ -1,0 +1,39 @@
+"""The four data-preparation stages identified by the paper.
+
+Every preparator belongs to exactly one stage (Section 3, "Data Preparation
+Pipelines"): input/output (I/O), exploratory data analysis (EDA), data
+transformation (DT) and data cleaning (DC).  Figures 1, 2 and 5 aggregate
+runtimes by these stages.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Stage"]
+
+
+class Stage(enum.Enum):
+    """Data-preparation stage."""
+
+    IO = "I/O"
+    EDA = "EDA"
+    DT = "DT"
+    DC = "DC"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def ordered(cls) -> tuple["Stage", ...]:
+        return (cls.IO, cls.EDA, cls.DT, cls.DC)
+
+    @classmethod
+    def parse(cls, value: "Stage | str") -> "Stage":
+        if isinstance(value, Stage):
+            return value
+        normalized = value.strip().upper().replace("/", "")
+        mapping = {"IO": cls.IO, "EDA": cls.EDA, "DT": cls.DT, "DC": cls.DC}
+        if normalized in mapping:
+            return mapping[normalized]
+        raise ValueError(f"unknown stage {value!r}; expected one of I/O, EDA, DT, DC")

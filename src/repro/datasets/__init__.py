@@ -1,0 +1,32 @@
+"""Synthetic evaluation datasets and their Kaggle-style pipelines.
+
+Reproduces the four Table 2 datasets (Athlete, Loan, Patrol, Taxi) as
+deterministic synthetic generators with the same schema shape, null rates and
+string characteristics, plus three data-preparation pipelines per dataset.
+"""
+
+from .base import DatasetSpec, GeneratedDataset
+from .generator import ColumnFactory
+from .pipelines import build_pipelines, get_pipeline, get_pipelines, pipeline_call_counts
+from .registry import (
+    DATASET_NAMES,
+    DATASET_SPECS,
+    generate_dataset,
+    get_dataset_spec,
+    table2,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "GeneratedDataset",
+    "ColumnFactory",
+    "DATASET_SPECS",
+    "DATASET_NAMES",
+    "get_dataset_spec",
+    "generate_dataset",
+    "table2",
+    "build_pipelines",
+    "get_pipelines",
+    "get_pipeline",
+    "pipeline_call_counts",
+]

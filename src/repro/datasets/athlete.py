@@ -1,0 +1,73 @@
+"""Synthetic Athlete dataset (120 Years of Olympic History).
+
+Table 2: 0.03 GB CSV, 0.2 M rows, 15 columns (5 numeric, 10 string), 9 % null
+cells, string lengths between 1 and 108 characters.  The real dataset lists
+one row per athlete-event result; the synthetic version reproduces the schema
+and value distributions that the Kaggle preparation pipelines exercise
+(medal nulls, height/weight/age nulls, categorical teams and sports).
+"""
+
+from __future__ import annotations
+
+from ..frame.frame import DataFrame
+from .generator import ColumnFactory
+
+__all__ = ["build_athlete"]
+
+_SPORTS = ["Athletics", "Swimming", "Gymnastics", "Rowing", "Fencing", "Cycling",
+           "Shooting", "Wrestling", "Boxing", "Sailing", "Judo", "Basketball"]
+_TEAMS = ["United States", "Italy", "France", "Germany", "China", "Japan", "Brazil",
+          "Kenya", "Australia", "Canada", "Norway", "Spain", "Netherlands", "Hungary"]
+_NOC = ["USA", "ITA", "FRA", "GER", "CHN", "JPN", "BRA", "KEN", "AUS", "CAN", "NOR",
+        "ESP", "NED", "HUN"]
+_CITIES = ["London", "Rio de Janeiro", "Beijing", "Athens", "Sydney", "Atlanta",
+           "Barcelona", "Seoul", "Los Angeles", "Moscow", "Montreal", "Munich"]
+_MEDALS = ["Gold", "Silver", "Bronze"]
+
+
+def build_athlete(rows: int, seed: int = 7) -> DataFrame:
+    """Generate a physical Athlete sample with ``rows`` rows."""
+    make = ColumnFactory(rows, seed)
+    season = make.categories(["Summer", "Winter"], weights=[0.8, 0.2])
+    year = make.year_integers(1896, 2016, step=2)
+    games = _compose_games(season, year)
+    event_suffix = make.categories(["100m", "200m", "Relay", "Team", "Individual",
+                                    "Sprint", "Marathon", "Freestyle", "Heavyweight"])
+    sport = make.categories(_SPORTS)
+    event = _concat(sport, event_suffix)
+
+    return DataFrame({
+        "id": make.sequence(1),
+        "name": make.names(),
+        "sex": make.categories(["M", "F"], weights=[0.66, 0.34]),
+        "age": make.integers(14, 45, null_fraction=0.03),
+        "height": make.normal(176.0, 10.0, null_fraction=0.20, clip_low=120),
+        "weight": make.normal(72.0, 12.0, null_fraction=0.21, clip_low=30),
+        "team": make.categories(_TEAMS),
+        "noc": make.categories(_NOC),
+        "games": games,
+        "year": year,
+        "season": season,
+        "city": make.categories(_CITIES),
+        "sport": sport,
+        "event": event,
+        "medal": make.categories(_MEDALS, null_fraction=0.85),
+    })
+
+
+def _compose_games(season, year):
+    """Compose the ``games`` column as "<year> <season>" strings."""
+    from ..frame.column import Column
+    from ..frame.dtypes import STRING
+
+    seasons = season.to_list()
+    years = year.to_list()
+    values = [f"{y} {s}" if (y is not None and s is not None) else None
+              for y, s in zip(years, seasons)]
+    return Column.from_values(values, STRING)
+
+
+def _concat(left, right):
+    from ..frame import strings as string_ops
+
+    return string_ops.concat_strings(left, right, separator=" ")

@@ -1,0 +1,166 @@
+"""Dataset specifications and generated datasets.
+
+A :class:`DatasetSpec` captures the nominal characteristics of one of the four
+evaluation datasets (Table 2); :func:`DatasetSpec.generate` materializes a
+deterministic physical sample at a configurable scale and wraps it in a
+:class:`GeneratedDataset`, which knows how to extrapolate sizes back to the
+nominal scale and to build the :class:`~repro.engines.base.SimulationContext`
+used by the engines and the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..engines.base import SimulationContext
+from ..frame.frame import DataFrame
+from ..io import write_csv, write_rparquet
+from ..simulate.hardware import PAPER_SERVER, MachineConfig
+
+__all__ = ["DatasetSpec", "GeneratedDataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Nominal description of an evaluation dataset (one row of Table 2)."""
+
+    name: str
+    description: str
+    nominal_rows: int
+    nominal_csv_gb: float
+    num_columns: int
+    numeric_columns: int
+    string_columns: int
+    boolean_columns: int
+    null_fraction: float
+    string_length_range: tuple[int, int]
+    #: Physical rows generated at scale=1.0 (kept laptop-friendly).
+    default_physical_rows: int
+    builder: Callable[[int, int], DataFrame]
+
+    def generate(self, scale: float = 1.0, seed: int = 7) -> "GeneratedDataset":
+        """Generate a physical sample.
+
+        ``scale`` multiplies the default physical sample size (not the nominal
+        size); the nominal row count always stays at the Table 2 value so the
+        cost model prices the experiments at paper scale.
+        """
+        physical_rows = max(64, int(round(self.default_physical_rows * scale)))
+        frame = self.builder(physical_rows, seed)
+        return GeneratedDataset(spec=self, frame=frame, seed=seed)
+
+    def table2_row(self, dataset: "GeneratedDataset | None" = None) -> dict:
+        """Row of Table 2 for this dataset (measured on the sample if given)."""
+        measured_nulls = dataset.frame.null_fraction() if dataset is not None else self.null_fraction
+        return {
+            "dataset": self.name,
+            "csv_size_gb": self.nominal_csv_gb,
+            "rows_millions": round(self.nominal_rows / 1e6, 1),
+            "columns": self.num_columns,
+            "numeric": self.numeric_columns,
+            "string": self.string_columns,
+            "boolean": self.boolean_columns,
+            "null_pct": round(100 * measured_nulls),
+            "str_len_range": self.string_length_range,
+        }
+
+
+@dataclass
+class GeneratedDataset:
+    """A physically generated sample of a dataset specification."""
+
+    spec: DatasetSpec
+    frame: DataFrame
+    seed: int = 7
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def physical_rows(self) -> int:
+        return self.frame.num_rows
+
+    @property
+    def nominal_rows(self) -> int:
+        return self.spec.nominal_rows
+
+    @property
+    def row_scale(self) -> float:
+        return self.nominal_rows / max(1, self.physical_rows)
+
+    @property
+    def nominal_memory_bytes(self) -> int:
+        """In-memory footprint extrapolated to the nominal row count."""
+        return int(self.frame.memory_usage() * self.row_scale)
+
+    @property
+    def nominal_csv_bytes(self) -> int:
+        return int(self.spec.nominal_csv_gb * 1024 ** 3)
+
+    @property
+    def nominal_parquet_bytes(self) -> int:
+        # Parquet's columnar compression typically shrinks these datasets to
+        # roughly a third of the CSV footprint.
+        return int(self.nominal_csv_bytes * 0.35)
+
+    # ------------------------------------------------------------------ #
+    def sample(self, fraction: float, seed: int | None = None) -> "GeneratedDataset":
+        """A row-sampled copy (the incremental samples of Figure 6 / Table 5).
+
+        The nominal row count of the sample scales with ``fraction`` so that
+        cost and memory models price the reduced dataset, exactly like the
+        paper's 1 %-100 % samples of Taxi and Patrol.
+        """
+        sampled_frame = self.frame.sample(fraction, seed=seed if seed is not None else self.seed)
+        scaled_spec = DatasetSpec(
+            name=f"{self.spec.name}-{int(round(fraction * 100))}pct",
+            description=self.spec.description,
+            nominal_rows=max(1, int(round(self.spec.nominal_rows * fraction))),
+            nominal_csv_gb=self.spec.nominal_csv_gb * fraction,
+            num_columns=self.spec.num_columns,
+            numeric_columns=self.spec.numeric_columns,
+            string_columns=self.spec.string_columns,
+            boolean_columns=self.spec.boolean_columns,
+            null_fraction=self.spec.null_fraction,
+            string_length_range=self.spec.string_length_range,
+            default_physical_rows=self.spec.default_physical_rows,
+            builder=self.spec.builder,
+        )
+        return GeneratedDataset(spec=scaled_spec, frame=sampled_frame, seed=self.seed)
+
+    # ------------------------------------------------------------------ #
+    def simulation_context(self, machine: MachineConfig = PAPER_SERVER,
+                           runs: int = 10) -> SimulationContext:
+        """Simulation context tying this sample to its nominal size."""
+        column_bytes = {name: int(self.frame[name].memory_usage() * self.row_scale)
+                        for name in self.frame.columns}
+        return SimulationContext(
+            machine=machine,
+            nominal_rows=self.nominal_rows,
+            physical_rows=self.physical_rows,
+            dataset_bytes=sum(column_bytes.values()),
+            csv_bytes=self.nominal_csv_bytes,
+            parquet_bytes=self.nominal_parquet_bytes,
+            column_bytes=column_bytes,
+            dataset_name=self.name,
+            runs=runs,
+        )
+
+    # ------------------------------------------------------------------ #
+    def write_files(self, directory: "str | Path") -> dict[str, Path]:
+        """Write the physical sample as CSV and rparquet (for I/O experiments)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        csv_path = directory / f"{self.name}.csv"
+        parquet_path = directory / f"{self.name}.rparquet"
+        write_csv(self.frame, csv_path)
+        write_rparquet(self.frame, parquet_path)
+        return {"csv": csv_path, "rparquet": parquet_path}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"GeneratedDataset({self.name}, physical_rows={self.physical_rows}, "
+                f"nominal_rows={self.nominal_rows})")

@@ -1,0 +1,149 @@
+"""Column generation primitives for the synthetic datasets.
+
+The paper evaluates on four Kaggle datasets that cannot be redistributed or
+downloaded in this environment (Table 2: Athlete, Loan, Patrol, Taxi).  The
+generators below produce deterministic synthetic data reproducing the
+*features* that drive the evaluation — row counts, column counts, dtype mix,
+null percentage, string-length ranges — at a configurable physical scale.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Sequence
+
+import numpy as np
+
+from ..frame.column import Column
+from ..frame.dtypes import BOOL, FLOAT64, INT64, STRING
+
+__all__ = [
+    "ColumnFactory",
+]
+
+_ALPHABET = np.array(list(string.ascii_letters + string.digits + "    "), dtype="<U1")
+
+
+class ColumnFactory:
+    """Deterministic generator of substrate columns.
+
+    All methods are seeded through the factory's random generator, so the same
+    (seed, rows) pair always produces identical data — required for the
+    reproducibility of every figure.
+    """
+
+    def __init__(self, rows: int, seed: int = 7):
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        self.rows = rows
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # null injection
+    # ------------------------------------------------------------------ #
+    def _with_nulls(self, values: list, null_fraction: float) -> list:
+        if null_fraction <= 0:
+            return values
+        mask = self.rng.random(self.rows) < null_fraction
+        return [None if m else v for v, m in zip(values, mask)]
+
+    # ------------------------------------------------------------------ #
+    # numeric columns
+    # ------------------------------------------------------------------ #
+    def sequence(self, start: int = 0) -> Column:
+        """Monotonically increasing integer identifier."""
+        return Column.from_values(list(range(start, start + self.rows)), INT64)
+
+    def integers(self, low: int, high: int, null_fraction: float = 0.0) -> Column:
+        values = self.rng.integers(low, high, size=self.rows).tolist()
+        return Column.from_values(self._with_nulls(values, null_fraction),
+                                  INT64 if null_fraction == 0 else None)
+
+    def normal(self, mean: float, std: float, null_fraction: float = 0.0,
+               clip_low: float | None = None) -> Column:
+        values = self.rng.normal(mean, std, size=self.rows)
+        if clip_low is not None:
+            values = np.maximum(values, clip_low)
+        return Column.from_values(self._with_nulls(values.tolist(), null_fraction), FLOAT64)
+
+    def exponential(self, scale: float, null_fraction: float = 0.0) -> Column:
+        values = self.rng.exponential(scale, size=self.rows).tolist()
+        return Column.from_values(self._with_nulls(values, null_fraction), FLOAT64)
+
+    def uniform(self, low: float, high: float, null_fraction: float = 0.0) -> Column:
+        values = self.rng.uniform(low, high, size=self.rows).tolist()
+        return Column.from_values(self._with_nulls(values, null_fraction), FLOAT64)
+
+    def booleans(self, true_fraction: float = 0.5, null_fraction: float = 0.0) -> Column:
+        values = (self.rng.random(self.rows) < true_fraction).tolist()
+        return Column.from_values(self._with_nulls(values, null_fraction), BOOL)
+
+    # ------------------------------------------------------------------ #
+    # string columns
+    # ------------------------------------------------------------------ #
+    def categories(self, vocabulary: Sequence[str], null_fraction: float = 0.0,
+                   weights: Sequence[float] | None = None) -> Column:
+        """Strings drawn from a fixed vocabulary (skewed if weights are given)."""
+        vocab = list(vocabulary)
+        probabilities = None
+        if weights is not None:
+            weights = np.asarray(list(weights), dtype=np.float64)
+            probabilities = weights / weights.sum()
+        picks = self.rng.choice(len(vocab), size=self.rows, p=probabilities)
+        values = [vocab[i] for i in picks]
+        return Column.from_values(self._with_nulls(values, null_fraction), STRING)
+
+    def random_strings(self, min_length: int, max_length: int,
+                       null_fraction: float = 0.0) -> Column:
+        """Free-text strings with lengths uniform in [min_length, max_length]."""
+        lengths = self.rng.integers(min_length, max_length + 1, size=self.rows)
+        # Draw all characters at once, then split per row (fast enough for the
+        # physical sample sizes used here).
+        total = int(lengths.sum())
+        chars = self.rng.choice(_ALPHABET, size=max(total, 1))
+        values: list[str] = []
+        offset = 0
+        for length in lengths:
+            values.append("".join(chars[offset:offset + length]))
+            offset += length
+        return Column.from_values(self._with_nulls(values, null_fraction), STRING)
+
+    def codes(self, prefix: str, cardinality: int, null_fraction: float = 0.0) -> Column:
+        """Identifier-like strings such as ``ZONE-042``."""
+        picks = self.rng.integers(0, cardinality, size=self.rows)
+        values = [f"{prefix}{int(p):04d}" for p in picks]
+        return Column.from_values(self._with_nulls(values, null_fraction), STRING)
+
+    def names(self, null_fraction: float = 0.0) -> Column:
+        """Person-like names (first + last drawn from small vocabularies)."""
+        first = ["Alice", "Bruno", "Chen", "Dalia", "Elena", "Farid", "Giulia", "Hugo",
+                 "Ines", "Jonas", "Karim", "Lena", "Marco", "Nadia", "Omar", "Paula"]
+        last = ["Rossi", "Smith", "Tanaka", "Oliveira", "Martin", "Kowalski", "Novak",
+                "Garcia", "Dubois", "Hansen", "Ricci", "Moreau", "Silva", "Weber"]
+        f = self.rng.integers(0, len(first), size=self.rows)
+        l = self.rng.integers(0, len(last), size=self.rows)
+        values = [f"{first[i]} {last[j]}" for i, j in zip(f, l)]
+        return Column.from_values(self._with_nulls(values, null_fraction), STRING)
+
+    # ------------------------------------------------------------------ #
+    # temporal columns (kept as strings: raw CSV data arrives as text)
+    # ------------------------------------------------------------------ #
+    def date_strings(self, start_year: int, end_year: int, fmt: str = "%Y-%m-%d",
+                     with_time: bool = False, null_fraction: float = 0.0) -> Column:
+        years = self.rng.integers(start_year, end_year + 1, size=self.rows)
+        months = self.rng.integers(1, 13, size=self.rows)
+        days = self.rng.integers(1, 29, size=self.rows)
+        if with_time:
+            hours = self.rng.integers(0, 24, size=self.rows)
+            minutes = self.rng.integers(0, 60, size=self.rows)
+            values = [f"{y:04d}-{m:02d}-{d:02d} {h:02d}:{mi:02d}:00"
+                      for y, m, d, h, mi in zip(years, months, days, hours, minutes)]
+        else:
+            values = [f"{y:04d}-{m:02d}-{d:02d}" for y, m, d in zip(years, months, days)]
+        return Column.from_values(self._with_nulls(values, null_fraction), STRING)
+
+    def year_integers(self, start_year: int, end_year: int, step: int = 1,
+                      null_fraction: float = 0.0) -> Column:
+        choices = np.arange(start_year, end_year + 1, step)
+        picks = self.rng.choice(choices, size=self.rows)
+        return Column.from_values(self._with_nulls([int(v) for v in picks], null_fraction), INT64)

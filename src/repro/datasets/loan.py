@@ -1,0 +1,81 @@
+"""Synthetic Loan dataset (LendingClub loan applications).
+
+Table 2: 1.6 GB CSV, 2 M rows, 151 columns (113 numeric, 38 string), 31 % null
+cells, string lengths between 1 and 3988 characters.  The real dataset has a
+handful of semantically rich columns (loan amount, interest rate, grade,
+purpose, employment) followed by a long tail of sparsely populated numeric
+attributes — which is exactly what produces the 31 % null fraction.  The
+synthetic version reproduces that structure: a set of named core columns plus
+programmatically generated filler columns with high null rates.
+"""
+
+from __future__ import annotations
+
+from ..frame.column import Column
+from ..frame.frame import DataFrame
+from .generator import ColumnFactory
+
+__all__ = ["build_loan"]
+
+_GRADES = ["A", "B", "C", "D", "E", "F", "G"]
+_SUB_GRADES = [f"{g}{i}" for g in _GRADES for i in range(1, 6)]
+_PURPOSES = ["debt_consolidation", "credit_card", "home_improvement", "major_purchase",
+             "small_business", "car", "medical", "moving", "vacation", "house", "other"]
+_HOME = ["RENT", "MORTGAGE", "OWN", "ANY"]
+_STATUS = ["Fully Paid", "Current", "Charged Off", "Late (31-120 days)",
+           "In Grace Period", "Default"]
+_STATES = ["CA", "TX", "NY", "FL", "IL", "PA", "OH", "GA", "NC", "NJ", "VA", "WA"]
+_EMP_TITLES = ["Teacher", "Manager", "Registered Nurse", "Driver", "Owner", "Supervisor",
+               "Engineer", "Sales", "Analyst", "Project Manager", "Accountant"]
+
+#: Core columns below, plus filler columns to reach the Table 2 schema width.
+_NUM_CORE = 14
+_STR_CORE = 12
+_TOTAL_NUMERIC = 113
+_TOTAL_STRING = 38
+
+
+def build_loan(rows: int, seed: int = 7) -> DataFrame:
+    """Generate a physical Loan sample with ``rows`` rows (151 columns)."""
+    make = ColumnFactory(rows, seed)
+    data: dict[str, Column] = {
+        # ---- core numeric attributes -------------------------------------
+        "id": make.sequence(10_000),
+        "loan_amnt": make.uniform(1_000, 40_000),
+        "funded_amnt": make.uniform(1_000, 40_000),
+        "int_rate": make.uniform(5.0, 31.0),
+        "installment": make.uniform(30.0, 1_500.0),
+        "annual_inc": make.exponential(70_000, null_fraction=0.02),
+        "dti": make.uniform(0.0, 45.0, null_fraction=0.03),
+        "delinq_2yrs": make.integers(0, 8, null_fraction=0.02),
+        "open_acc": make.integers(1, 40, null_fraction=0.02),
+        "pub_rec": make.integers(0, 4, null_fraction=0.02),
+        "revol_bal": make.exponential(16_000),
+        "revol_util": make.uniform(0.0, 120.0, null_fraction=0.05),
+        "total_acc": make.integers(2, 90, null_fraction=0.02),
+        "fico_range_low": make.integers(600, 850),
+        # ---- core string attributes ---------------------------------------
+        "term": make.categories([" 36 months", " 60 months"], weights=[0.7, 0.3]),
+        "grade": make.categories(_GRADES),
+        "sub_grade": make.categories(_SUB_GRADES),
+        "emp_title": make.categories(_EMP_TITLES, null_fraction=0.07),
+        "emp_length": make.categories(["< 1 year", "1 year", "2 years", "5 years",
+                                       "10+ years"], null_fraction=0.06),
+        "home_ownership": make.categories(_HOME),
+        "verification_status": make.categories(["Verified", "Source Verified", "Not Verified"]),
+        "issue_d": make.date_strings(2012, 2018, fmt="%b-%Y"),
+        "loan_status": make.categories(_STATUS),
+        "purpose": make.categories(_PURPOSES),
+        "addr_state": make.categories(_STATES),
+        "desc": make.random_strings(10, 220, null_fraction=0.65),
+    }
+    # ---- filler numeric columns (sparsely populated, as in the raw dump) ---
+    for index in range(_TOTAL_NUMERIC - _NUM_CORE):
+        null_fraction = 0.12 + 0.40 * ((index * 37) % 100) / 100.0  # 0.12 .. 0.52
+        data[f"attr_num_{index:03d}"] = make.uniform(0.0, 1_000.0,
+                                                     null_fraction=min(null_fraction, 0.9))
+    # ---- filler string columns ---------------------------------------------
+    for index in range(_TOTAL_STRING - _STR_CORE):
+        null_fraction = 0.15 + 0.30 * ((index * 53) % 100) / 100.0
+        data[f"attr_str_{index:03d}"] = make.codes("FLAG", 12, null_fraction=min(null_fraction, 0.85))
+    return DataFrame(data)

@@ -1,0 +1,78 @@
+"""Synthetic Patrol dataset (Stanford Open Policing Project, California stops).
+
+Table 2: 6.7 GB CSV, 27 M rows, 34 columns (5 numeric, 27 string, 2 boolean),
+22 % null cells, string lengths between 1 and 2293 characters.  Rows describe
+traffic stops: timestamps, locations, officer and subject attributes, outcome
+codes and free-text fields; many string columns are sparsely populated, which
+drives the high null fraction.
+"""
+
+from __future__ import annotations
+
+from ..frame.column import Column
+from ..frame.frame import DataFrame
+from .generator import ColumnFactory
+
+__all__ = ["build_patrol"]
+
+_COUNTIES = ["Los Angeles", "San Diego", "Orange", "Riverside", "San Bernardino",
+             "Santa Clara", "Alameda", "Sacramento", "Contra Costa", "Fresno"]
+_AGENCIES = ["CHP", "LAPD", "SDPD", "SFPD", "SJPD", "OPD", "FPD"]
+_RACES = ["white", "hispanic", "black", "asian/pacific islander", "other"]
+_OUTCOMES = ["warning", "citation", "arrest", None]
+_VIOLATIONS = ["speeding", "registration", "equipment", "seatbelt", "dui",
+               "cell phone", "stop sign", "red light", "lane change"]
+_SEARCH_BASIS = ["consent", "probable cause", "incident to arrest", "inventory"]
+
+
+def build_patrol(rows: int, seed: int = 7) -> DataFrame:
+    """Generate a physical Patrol sample with ``rows`` rows (34 columns)."""
+    make = ColumnFactory(rows, seed)
+    data: dict[str, Column] = {
+        # ---- numeric (5) ---------------------------------------------------
+        "raw_row_number": make.sequence(1),
+        "subject_age": make.integers(15, 95, null_fraction=0.12),
+        "officer_id": make.integers(1_000, 99_999),
+        "lat": make.uniform(32.5, 42.0, null_fraction=0.30),
+        "lng": make.uniform(-124.4, -114.1, null_fraction=0.30),
+        # ---- boolean (2) ----------------------------------------------------
+        "search_conducted": make.booleans(0.05),
+        "contraband_found": make.booleans(0.02, null_fraction=0.45),
+        # ---- strings (27) ---------------------------------------------------
+        "date": make.date_strings(2009, 2016),
+        "time": make.categories([f"{h:02d}:{m:02d}" for h in range(24) for m in (0, 15, 30, 45)]),
+        "location": make.random_strings(8, 60, null_fraction=0.25),
+        "county_name": make.categories(_COUNTIES),
+        "district": make.codes("D", 40, null_fraction=0.35),
+        "beat": make.codes("BEAT", 200, null_fraction=0.40),
+        "subject_race": make.categories(_RACES, null_fraction=0.05),
+        "subject_sex": make.categories(["male", "female"], weights=[0.68, 0.32],
+                                       null_fraction=0.04),
+        "officer_race": make.categories(_RACES, null_fraction=0.30),
+        "officer_sex": make.categories(["male", "female"], weights=[0.85, 0.15],
+                                       null_fraction=0.28),
+        "department_id": make.codes("DEP", 60),
+        "department_name": make.categories(_AGENCIES),
+        "type": make.categories(["vehicular", "pedestrian"], weights=[0.95, 0.05]),
+        "violation": make.categories(_VIOLATIONS, null_fraction=0.10),
+        "arrest_made": make.categories(["TRUE", "FALSE"], weights=[0.03, 0.97],
+                                       null_fraction=0.15),
+        "citation_issued": make.categories(["TRUE", "FALSE"], weights=[0.55, 0.45],
+                                           null_fraction=0.15),
+        "warning_issued": make.categories(["TRUE", "FALSE"], weights=[0.35, 0.65],
+                                          null_fraction=0.15),
+        "outcome": make.categories([o for o in _OUTCOMES if o], null_fraction=0.22),
+        "search_basis": make.categories(_SEARCH_BASIS, null_fraction=0.93),
+        "reason_for_stop": make.categories(_VIOLATIONS, null_fraction=0.18),
+        "vehicle_make": make.categories(["TOYOTA", "FORD", "HONDA", "CHEVROLET", "NISSAN",
+                                         "BMW", "DODGE", "HYUNDAI"], null_fraction=0.35),
+        "vehicle_model": make.codes("MODEL", 300, null_fraction=0.45),
+        "vehicle_color": make.categories(["black", "white", "silver", "gray", "blue", "red"],
+                                         null_fraction=0.38),
+        "vehicle_year": make.categories([str(y) for y in range(1990, 2017)],
+                                        null_fraction=0.40),
+        "officer_assignment": make.random_strings(4, 40, null_fraction=0.55),
+        "notes": make.random_strings(10, 200, null_fraction=0.80),
+        "subject_dob": make.date_strings(1930, 2001, null_fraction=0.20),
+    }
+    return DataFrame(data)

@@ -1,0 +1,394 @@
+"""Data-preparation pipelines for the four datasets.
+
+The paper extracts, for every dataset, the data-preparation sections of the
+three top-voted Kaggle notebooks (the part preceding model training).  Those
+notebooks are not redistributable, so the pipelines below are reconstructed to
+exercise the same preparator mix per dataset that Figure 2 reports (e.g. the
+Patrol pipelines are dominated by ``group``, ``chdate`` and ``dropna``; the
+Taxi pipelines by ``calccol``, ``group`` and date handling; the Loan pipelines
+by ``dropna``/``fillna`` over the sparse columns and by ``outlier``/``dedup``).
+
+Per the paper, the *first* pipeline of each dataset is the most expensive one
+(roughly 3x the others) and is the one used for the scalability study.
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import Pipeline
+
+__all__ = ["build_pipelines", "get_pipelines", "get_pipeline", "pipeline_call_counts"]
+
+
+# --------------------------------------------------------------------------- #
+# Athlete
+# --------------------------------------------------------------------------- #
+def _athlete_pipelines() -> list[Pipeline]:
+    first = Pipeline.from_steps("athlete-1", "athlete", [
+        ("read", {}),
+        ("getcols", {}),
+        ("isna", {}),
+        ("fillna", {"value": {"medal": "None"}}),
+        ("fillna", {"value": {"height": 175.0, "weight": 70.0}}),
+        ("query", {"predicate": {"op": ">", "left": {"col": "year"}, "right": {"lit": 1950}}}),
+        ("calccol", {"target": "bmi",
+                     "expression": {"op": "/", "left": {"col": "weight"},
+                                    "right": {"op": "*", "left": {"col": "height"},
+                                              "right": {"col": "height"}}}}),
+        ("calccol", {"target": "age_decade",
+                     "expression": {"op": "/", "left": {"col": "age"}, "right": {"lit": 10}}}),
+        ("cast", {"columns": {"age": "float64"}}),
+        ("sort", {"by": ["year", "team"]}),
+        ("group", {"by": ["team"], "agg": {"bmi": "mean", "age": "mean"}}),
+        ("join", {"with": {"by": ["noc"], "agg": {"weight": "mean"}}, "how": "left"}),
+        ("onehot", {"column": "season"}),
+        ("dedup", {"subset": ["id"]}),
+        ("edit", {"column": "name", "function": "strip"}),
+        ("replace", {"column": "sex", "mapping": {"M": "male", "F": "female"}}),
+        ("write", {}),
+    ], description="Medal and physique analysis (most expensive pipeline)")
+
+    second = Pipeline.from_steps("athlete-2", "athlete", [
+        ("read", {}),
+        ("dtypes", {}),
+        ("stats", {}),
+        ("query", {"predicate": {"op": "==", "left": {"col": "season"},
+                                 "right": {"lit": "Summer"}}}),
+        ("query", {"predicate": {"fn": "not_null", "arg": {"col": "medal"}}}),
+        ("group", {"by": ["noc"], "agg": {"id": "count"}}),
+        ("group", {"by": ["sport", "sex"], "agg": {"height": "mean", "weight": "mean"}}),
+        ("calccol", {"target": "height_m",
+                     "expression": {"op": "/", "left": {"col": "height"}, "right": {"lit": 100}}}),
+        ("fillna", {"value": {"age": 25}}),
+        ("edit", {"column": "team", "function": "upper"}),
+    ], description="Medal tables per country and sport")
+
+    third = Pipeline.from_steps("athlete-3", "athlete", [
+        ("read", {}),
+        ("getcols", {}),
+        ("isna", {}),
+        ("dropna", {"subset": ["age", "height", "weight"]}),
+        ("query", {"predicate": {"fn": "isin", "arg": {"col": "sport"},
+                                 "values": ["Athletics", "Swimming", "Gymnastics"]}}),
+        ("sort", {"by": ["year"]}),
+        ("group", {"by": ["year", "season"], "agg": {"age": "mean"}}),
+        ("pivot", {"index": "season", "columns": "sex", "values": "age", "aggfunc": "mean"}),
+        ("fillna", {"value": {"medal": "None"}}),
+        ("onehot", {"column": "medal"}),
+        ("rename", {"mapping": {"noc": "country_code"}}),
+        ("edit", {"column": "city", "function": "upper"}),
+        ("replace", {"column": "season", "mapping": {"Summer": "S", "Winter": "W"}}),
+    ], description="Longitudinal trends of athlete features")
+    return [first, second, third]
+
+
+# --------------------------------------------------------------------------- #
+# Loan
+# --------------------------------------------------------------------------- #
+def _loan_pipelines() -> list[Pipeline]:
+    first = Pipeline.from_steps("loan-1", "loan", [
+        ("read", {}),
+        ("getcols", {}),
+        ("dtypes", {}),
+        ("isna", {}),
+        ("outlier", {"column": "annual_inc"}),
+        ("drop", {"columns": ["desc", "attr_str_000", "attr_str_001"]}),
+        ("dropna", {"subset": ["loan_amnt", "int_rate", "annual_inc"]}),
+        ("dedup", {"subset": ["id"]}),
+        ("query", {"predicate": {"op": "<", "left": {"col": "dti"}, "right": {"lit": 40}}}),
+        ("chdate", {"columns": ["issue_d"]}),
+        ("catenc", {"columns": ["grade", "sub_grade", "purpose"]}),
+        ("onehot", {"column": "home_ownership"}),
+        ("calccol", {"target": "installment_ratio",
+                     "expression": {"op": "/", "left": {"col": "installment"},
+                                    "right": {"col": "loan_amnt"}}}),
+        ("norm", {"columns": ["loan_amnt", "annual_inc"], "method": "zscore"}),
+        ("group", {"by": ["grade"], "agg": {"int_rate": "mean", "loan_amnt": "mean"}}),
+        ("fillna", {"value": {"revol_util": 0.0, "dti": 0.0}}),
+        ("setcase", {"columns": ["emp_title"], "mode": "lower"}),
+        ("write", {}),
+    ], description="Credit-risk feature engineering (most expensive pipeline)")
+
+    second = Pipeline.from_steps("loan-2", "loan", [
+        ("read", {}),
+        ("stats", {}),
+        ("isna", {}),
+        ("outlier", {"column": "dti"}),
+        ("sort", {"by": ["int_rate"], "ascending": False}),
+        ("query", {"predicate": {"op": "==", "left": {"col": "loan_status"},
+                                 "right": {"lit": "Charged Off"}}}),
+        ("group", {"by": ["purpose"], "agg": {"loan_amnt": "mean", "int_rate": "mean"}}),
+        ("catenc", {"columns": ["term", "verification_status"]}),
+        ("fillna", {"value": {"emp_title": "unknown"}}),
+        ("chdate", {"columns": ["issue_d"]}),
+        ("edit", {"column": "emp_length", "function": "strip"}),
+        ("dropna", {"subset": ["revol_util"]}),
+    ], description="Default-rate exploration by purpose")
+
+    third = Pipeline.from_steps("loan-3", "loan", [
+        ("read", {}),
+        ("getcols", {}),
+        ("dtypes", {}),
+        ("isna", {}),
+        ("drop", {"columns": ["attr_str_002", "attr_str_003", "attr_num_000"]}),
+        ("dropna", {"subset": ["fico_range_low"], "how": "any"}),
+        ("query", {"predicate": {"op": ">", "left": {"col": "annual_inc"}, "right": {"lit": 10000}}}),
+        ("sort", {"by": ["annual_inc"]}),
+        ("calccol", {"target": "income_to_loan",
+                     "expression": {"op": "/", "left": {"col": "annual_inc"},
+                                    "right": {"col": "loan_amnt"}}}),
+        ("calccol", {"target": "high_fico",
+                     "expression": {"op": ">", "left": {"col": "fico_range_low"},
+                                    "right": {"lit": 720}}}),
+        ("group", {"by": ["addr_state"], "agg": {"loan_amnt": "sum"}}),
+        ("onehot", {"column": "grade"}),
+        ("fillna", {"value": 0}),
+        ("norm", {"columns": ["revol_bal"]}),
+        ("replace", {"column": "term", "mapping": {" 36 months": "36", " 60 months": "60"}}),
+        ("setcase", {"columns": ["purpose"], "mode": "upper"}),
+    ], description="State-level lending profile")
+    return [first, second, third]
+
+
+# --------------------------------------------------------------------------- #
+# Patrol
+# --------------------------------------------------------------------------- #
+def _patrol_pipelines() -> list[Pipeline]:
+    first = Pipeline.from_steps("patrol-1", "patrol", [
+        ("read", {}),
+        ("getcols", {}),
+        ("dtypes", {}),
+        ("isna", {}),
+        ("stats", {}),
+        ("chdate", {"columns": ["date"]}),
+        ("dropna", {"subset": ["subject_age", "subject_race"]}),
+        ("query", {"predicate": {"op": ">", "left": {"col": "subject_age"}, "right": {"lit": 17}}}),
+        ("query", {"predicate": {"op": "==", "left": {"col": "type"},
+                                 "right": {"lit": "vehicular"}}}),
+        ("srchptn", {"column": "violation", "pattern": "speed"}),
+        ("calccol", {"target": "is_arrest",
+                     "expression": {"op": "==", "left": {"col": "arrest_made"},
+                                    "right": {"lit": "TRUE"}}}),
+        ("cast", {"columns": {"subject_age": "float64"}}),
+        ("group", {"by": ["county_name"], "agg": {"raw_row_number": "count"}}),
+        ("group", {"by": ["subject_race"], "agg": {"subject_age": "mean"}}),
+        ("group", {"by": ["county_name", "subject_race"], "agg": {"raw_row_number": "count"}}),
+        ("drop", {"columns": ["notes", "officer_assignment"]}),
+        ("sort", {"by": ["date"]}),
+        ("write", {}),
+    ], description="Stop-rate analysis by county and race (most expensive pipeline)")
+
+    second = Pipeline.from_steps("patrol-2", "patrol", [
+        ("read", {}),
+        ("getcols", {}),
+        ("isna", {}),
+        ("query", {"predicate": {"op": "==", "left": {"col": "search_conducted"},
+                                 "right": {"lit": True}}}),
+        ("query", {"predicate": {"fn": "not_null", "arg": {"col": "search_basis"}}}),
+        ("query", {"predicate": {"fn": "not_null", "arg": {"col": "outcome"}}}),
+        ("query", {"predicate": {"fn": "contains", "arg": {"col": "county_name"},
+                                 "pattern": "San"}}),
+        ("srchptn", {"column": "search_basis", "pattern": "consent"}),
+        ("calccol", {"target": "found",
+                     "expression": {"op": "==", "left": {"col": "contraband_found"},
+                                    "right": {"lit": True}}}),
+        ("calccol", {"target": "age_band",
+                     "expression": {"op": "/", "left": {"col": "subject_age"},
+                                    "right": {"lit": 10}}}),
+        ("calccol", {"target": "officer_young",
+                     "expression": {"op": "<", "left": {"col": "officer_id"},
+                                    "right": {"lit": 50000}}}),
+        ("calccol", {"target": "lat_band",
+                     "expression": {"op": "/", "left": {"col": "lat"}, "right": {"lit": 2}}}),
+        ("cast", {"columns": {"officer_id": "float64", "subject_age": "float64"}}),
+        ("cast", {"columns": {"lat": "float64", "lng": "float64"}}),
+        ("cast", {"columns": {"raw_row_number": "float64"}}),
+        ("group", {"by": ["search_basis"], "agg": {"raw_row_number": "count"}}),
+        ("group", {"by": ["outcome"], "agg": {"subject_age": "mean"}}),
+        ("group", {"by": ["county_name"], "agg": {"lat": "mean", "lng": "mean"}}),
+        ("group", {"by": ["subject_sex"], "agg": {"raw_row_number": "count"}}),
+        ("group", {"by": ["vehicle_make"], "agg": {"raw_row_number": "count"}}),
+        ("group", {"by": ["violation"], "agg": {"raw_row_number": "count"}}),
+        ("chdate", {"columns": ["date"]}),
+        ("dropna", {"subset": ["lat", "lng"]}),
+    ], description="Search and contraband analysis")
+
+    third = Pipeline.from_steps("patrol-3", "patrol", [
+        ("read", {}),
+        ("getcols", {}),
+        ("getcols", {}),
+        ("dtypes", {}),
+        ("stats", {}),
+        ("isna", {}),
+        ("query", {"predicate": {"fn": "not_null", "arg": {"col": "violation"}}}),
+        ("query", {"predicate": {"op": ">", "left": {"col": "subject_age"}, "right": {"lit": 15}}}),
+        ("query", {"predicate": {"op": "<", "left": {"col": "subject_age"}, "right": {"lit": 90}}}),
+        ("query", {"predicate": {"op": "==", "left": {"col": "subject_sex"},
+                                 "right": {"lit": "male"}}}),
+        ("query", {"predicate": {"fn": "contains", "arg": {"col": "violation"},
+                                 "pattern": "speed|dui"}}),
+        ("srchptn", {"column": "department_name", "pattern": "PD"}),
+        ("calccol", {"target": "decade",
+                     "expression": {"op": "/", "left": {"col": "subject_age"},
+                                    "right": {"lit": 10}}}),
+        ("calccol", {"target": "south",
+                     "expression": {"op": "<", "left": {"col": "lat"}, "right": {"lit": 35.0}}}),
+        ("cast", {"columns": {"subject_age": "float64"}}),
+        ("cast", {"columns": {"officer_id": "float64"}}),
+        ("group", {"by": ["violation"], "agg": {"raw_row_number": "count"}}),
+        ("drop", {"columns": ["notes"]}),
+        ("chdate", {"columns": ["date", "subject_dob"]}),
+        ("dropna", {"subset": ["county_name"]}),
+        ("sort", {"by": ["county_name", "date"]}),
+    ], description="Violation mix per demographic group")
+    return [first, second, third]
+
+
+# --------------------------------------------------------------------------- #
+# Taxi
+# --------------------------------------------------------------------------- #
+def _taxi_pipelines() -> list[Pipeline]:
+    first = Pipeline.from_steps("taxi-1", "taxi", [
+        ("read", {}),
+        ("getcols", {}),
+        ("isna", {}),
+        ("chdate", {"columns": ["pickup_datetime", "dropoff_datetime"]}),
+        ("query", {"predicate": {"op": ">", "left": {"col": "fare_amount"}, "right": {"lit": 0}}}),
+        ("query", {"predicate": {"op": ">", "left": {"col": "trip_distance"}, "right": {"lit": 0}}}),
+        ("query", {"predicate": {"op": "<", "left": {"col": "passenger_count"}, "right": {"lit": 7}}}),
+        ("calccol", {"target": "fare_per_mile",
+                     "expression": {"op": "/", "left": {"col": "fare_amount"},
+                                    "right": {"col": "trip_distance"}}}),
+        ("calccol", {"target": "tip_fraction",
+                     "expression": {"op": "/", "left": {"col": "tip_amount"},
+                                    "right": {"col": "total_amount"}}}),
+        ("calccol", {"target": "pickup_hour",
+                     "expression": {"fn": "hour", "arg": {"col": "pickup_datetime"}}}),
+        ("calccol", {"target": "pickup_weekday",
+                     "expression": {"fn": "weekday", "arg": {"col": "pickup_datetime"}}}),
+        ("calccol", {"target": "is_long_trip",
+                     "expression": {"op": ">", "left": {"col": "trip_distance"},
+                                    "right": {"lit": 10}}}),
+        ("cast", {"columns": {"passenger_count": "float64"}}),
+        ("catenc", {"columns": ["store_and_fwd_flag"]}),
+        ("group", {"by": ["passenger_count"], "agg": {"fare_amount": "mean",
+                                                      "trip_distance": "mean"}}),
+        ("group", {"by": ["vendor_id"], "agg": {"total_amount": "sum"}}),
+        ("group", {"by": ["rate_code_id"], "agg": {"tip_amount": "mean"}}),
+        ("group", {"by": ["pickup_hour"], "agg": {"fare_amount": "mean"}}),
+        ("onehot", {"column": "store_and_fwd_flag"}),
+        ("pivot", {"index": "vendor_id", "columns": "rate_code_id", "values": "fare_amount",
+                   "aggfunc": "mean"}),
+        ("sort", {"by": ["pickup_datetime"]}),
+        ("drop", {"columns": ["improvement_surcharge", "mta_tax"]}),
+        ("edit", {"column": "total_amount", "function": "round"}),
+        ("write", {}),
+    ], description="Trip-duration feature engineering (most expensive pipeline)")
+
+    second = Pipeline.from_steps("taxi-2", "taxi", [
+        ("read", {}),
+        ("getcols", {}),
+        ("dtypes", {}),
+        ("isna", {}),
+        ("isna", {}),
+        ("query", {"predicate": {"op": ">", "left": {"col": "total_amount"}, "right": {"lit": 0}}}),
+        ("query", {"predicate": {"op": "<", "left": {"col": "trip_distance"}, "right": {"lit": 60}}}),
+        ("query", {"predicate": {"op": ">=", "left": {"col": "pickup_latitude"},
+                                 "right": {"lit": 40.6}}}),
+        ("calccol", {"target": "dlat",
+                     "expression": {"op": "-", "left": {"col": "dropoff_latitude"},
+                                    "right": {"col": "pickup_latitude"}}}),
+        ("calccol", {"target": "dlng",
+                     "expression": {"op": "-", "left": {"col": "dropoff_longitude"},
+                                    "right": {"col": "pickup_longitude"}}}),
+        ("calccol", {"target": "manhattan_distance",
+                     "expression": {"op": "+", "left": {"col": "dlat"}, "right": {"col": "dlng"}}}),
+        ("calccol", {"target": "speed_proxy",
+                     "expression": {"op": "/", "left": {"col": "trip_distance"},
+                                    "right": {"op": "+", "left": {"col": "fare_amount"},
+                                              "right": {"lit": 1}}}}),
+        ("calccol", {"target": "expensive",
+                     "expression": {"op": ">", "left": {"col": "fare_amount"},
+                                    "right": {"lit": 30}}}),
+        ("cast", {"columns": {"vendor_id": "float64"}}),
+        ("chdate", {"columns": ["pickup_datetime"]}),
+        ("chdate", {"columns": ["dropoff_datetime"]}),
+        ("group", {"by": ["passenger_count"], "agg": {"tip_amount": "mean"}}),
+        ("sort", {"by": ["total_amount"], "ascending": False}),
+        ("stats", {}),
+        ("edit", {"column": "trip_distance", "function": "round"}),
+    ], description="Geographic displacement features")
+
+    third = Pipeline.from_steps("taxi-3", "taxi", [
+        ("read", {}),
+        ("getcols", {}),
+        ("stats", {}),
+        ("query", {"predicate": {"op": ">", "left": {"col": "tip_amount"}, "right": {"lit": 0}}}),
+        ("query", {"predicate": {"op": "<", "left": {"col": "fare_amount"}, "right": {"lit": 200}}}),
+        ("query", {"predicate": {"op": ">", "left": {"col": "trip_distance"}, "right": {"lit": 0.2}}}),
+        ("calccol", {"target": "tip_rate",
+                     "expression": {"op": "/", "left": {"col": "tip_amount"},
+                                    "right": {"col": "fare_amount"}}}),
+        ("calccol", {"target": "total_check",
+                     "expression": {"op": "+", "left": {"col": "fare_amount"},
+                                    "right": {"col": "tip_amount"}}}),
+        ("calccol", {"target": "pickup_month",
+                     "expression": {"fn": "month", "arg": {"col": "pickup_datetime"}}}),
+        ("calccol", {"target": "generous",
+                     "expression": {"op": ">", "left": {"col": "tip_rate"},
+                                    "right": {"lit": 0.25}}}),
+        ("calccol", {"target": "fare_bucket",
+                     "expression": {"op": "/", "left": {"col": "fare_amount"},
+                                    "right": {"lit": 10}}}),
+        ("catenc", {"columns": ["store_and_fwd_flag"]}),
+        ("group", {"by": ["vendor_id"], "agg": {"tip_rate": "mean"}}),
+        ("group", {"by": ["passenger_count"], "agg": {"tip_rate": "mean"}}),
+        ("group", {"by": ["rate_code_id"], "agg": {"fare_amount": "mean"}}),
+        ("group", {"by": ["store_and_fwd_flag"], "agg": {"total_amount": "mean"}}),
+        ("group", {"by": ["generous"], "agg": {"trip_distance": "mean"}}),
+        ("pivot", {"index": "vendor_id", "columns": "passenger_count", "values": "tip_rate",
+                   "aggfunc": "mean"}),
+        ("sort", {"by": ["tip_rate"], "ascending": False}),
+        ("chdate", {"columns": ["pickup_datetime", "dropoff_datetime"]}),
+        ("edit", {"column": "tip_rate", "function": "round"}),
+        ("dtypes", {}),
+    ], description="Tipping behaviour analysis")
+    return [first, second, third]
+
+
+_BUILDERS = {
+    "athlete": _athlete_pipelines,
+    "loan": _loan_pipelines,
+    "patrol": _patrol_pipelines,
+    "taxi": _taxi_pipelines,
+}
+
+
+def build_pipelines() -> dict[str, list[Pipeline]]:
+    """All pipelines, keyed by dataset name (three per dataset)."""
+    return {name: builder() for name, builder in _BUILDERS.items()}
+
+
+def get_pipelines(dataset: str) -> list[Pipeline]:
+    """The three pipelines of one dataset (index 0 is the most expensive)."""
+    try:
+        return _BUILDERS[dataset]()
+    except KeyError:
+        raise KeyError(f"unknown dataset {dataset!r}; available: {sorted(_BUILDERS)}") from None
+
+
+def get_pipeline(dataset: str, index: int = 0) -> Pipeline:
+    """One pipeline of a dataset by positional index (0, 1 or 2)."""
+    pipelines = get_pipelines(dataset)
+    if not 0 <= index < len(pipelines):
+        raise IndexError(f"pipeline index {index} out of range for dataset {dataset!r}")
+    return pipelines[index]
+
+
+def pipeline_call_counts(dataset: str) -> dict[str, list[int]]:
+    """Per-preparator call counts across the three pipelines (Figure 2 header)."""
+    pipelines = get_pipelines(dataset)
+    names: dict[str, list[int]] = {}
+    for position, pipeline in enumerate(pipelines):
+        for preparator, count in pipeline.call_counts().items():
+            names.setdefault(preparator, [0] * len(pipelines))[position] = count
+    return names

@@ -1,0 +1,101 @@
+"""Registry of the four evaluation datasets (paper Table 2).
+
+Every dataset is described by a :class:`~repro.datasets.base.DatasetSpec` that
+carries the nominal characteristics from Table 2 and a builder producing the
+synthetic physical sample.  Use :func:`get_dataset_spec` /
+:func:`generate_dataset` to obtain them; :func:`table2` regenerates Table 2.
+"""
+
+from __future__ import annotations
+
+from .athlete import build_athlete
+from .base import DatasetSpec, GeneratedDataset
+from .loan import build_loan
+from .patrol import build_patrol
+from .taxi import build_taxi
+
+__all__ = ["DATASET_SPECS", "DATASET_NAMES", "get_dataset_spec", "generate_dataset", "table2"]
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "athlete": DatasetSpec(
+        name="athlete",
+        description="120 Years of Olympic History: athletes and results",
+        nominal_rows=200_000,
+        nominal_csv_gb=0.03,
+        num_columns=15,
+        numeric_columns=5,
+        string_columns=10,
+        boolean_columns=0,
+        null_fraction=0.09,
+        string_length_range=(1, 108),
+        default_physical_rows=4_000,
+        builder=build_athlete,
+    ),
+    "loan": DatasetSpec(
+        name="loan",
+        description="LendingClub loan applications and financial profiles",
+        nominal_rows=2_000_000,
+        nominal_csv_gb=1.6,
+        num_columns=151,
+        numeric_columns=113,
+        string_columns=38,
+        boolean_columns=0,
+        null_fraction=0.31,
+        string_length_range=(1, 3988),
+        default_physical_rows=1_500,
+        builder=build_loan,
+    ),
+    "patrol": DatasetSpec(
+        name="patrol",
+        description="Stanford Open Policing Project: California traffic stops",
+        nominal_rows=27_000_000,
+        nominal_csv_gb=6.7,
+        num_columns=34,
+        numeric_columns=5,
+        string_columns=27,
+        boolean_columns=2,
+        null_fraction=0.22,
+        string_length_range=(1, 2293),
+        default_physical_rows=3_000,
+        builder=build_patrol,
+    ),
+    "taxi": DatasetSpec(
+        name="taxi",
+        description="New York City taxi trips, 2015",
+        nominal_rows=77_000_000,
+        nominal_csv_gb=10.9,
+        num_columns=18,
+        numeric_columns=15,
+        string_columns=3,
+        boolean_columns=0,
+        null_fraction=0.0,
+        string_length_range=(1, 19),
+        default_physical_rows=6_000,
+        builder=build_taxi,
+    ),
+}
+
+DATASET_NAMES = tuple(DATASET_SPECS)
+
+
+def get_dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset specification by name."""
+    try:
+        return DATASET_SPECS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASET_SPECS)}") from None
+
+
+def generate_dataset(name: str, scale: float = 1.0, seed: int = 7) -> GeneratedDataset:
+    """Generate the physical sample of one dataset."""
+    return get_dataset_spec(name).generate(scale=scale, seed=seed)
+
+
+def table2(scale: float = 0.25, seed: int = 7) -> list[dict]:
+    """Regenerate Table 2 (dataset features), measuring nulls on real samples."""
+    rows = []
+    for name in DATASET_NAMES:
+        spec = get_dataset_spec(name)
+        dataset = spec.generate(scale=scale, seed=seed)
+        rows.append(spec.table2_row(dataset))
+    return rows

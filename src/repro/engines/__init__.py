@@ -1,0 +1,47 @@
+"""Simulated dataframe engines.
+
+One engine per library evaluated in the paper (plus DuckDB for TPC-H), all
+executing the same preparators on the same substrate but with the execution
+strategy, cost profile, memory behaviour and API-compatibility level of the
+library they stand in for.
+"""
+
+from .base import BaseEngine, EngineUnavailableError, SimulationContext
+from .cudf_engine import CuDFEngine
+from .datatable_engine import DataTableEngine
+from .duckdb_engine import DuckDBEngine
+from .modin_engine import ModinDaskEngine, ModinRayEngine
+from .pandas_engine import PandasEngine
+from .polars_engine import PolarsEngine
+from .registry import (
+    DEFAULT_ENGINES,
+    ENGINE_CLASSES,
+    TPCH_ENGINES,
+    available_engines,
+    create_engine,
+    create_engines,
+)
+from .spark_engines import SparkPandasEngine, SparkSQLEngine
+from .vaex_engine import VaexEngine
+
+__all__ = [
+    "BaseEngine",
+    "SimulationContext",
+    "EngineUnavailableError",
+    "PandasEngine",
+    "SparkPandasEngine",
+    "SparkSQLEngine",
+    "ModinDaskEngine",
+    "ModinRayEngine",
+    "PolarsEngine",
+    "CuDFEngine",
+    "VaexEngine",
+    "DataTableEngine",
+    "DuckDBEngine",
+    "ENGINE_CLASSES",
+    "DEFAULT_ENGINES",
+    "TPCH_ENGINES",
+    "create_engine",
+    "create_engines",
+    "available_engines",
+]

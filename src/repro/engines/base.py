@@ -1,0 +1,362 @@
+"""Base class of the simulated dataframe engines.
+
+An *engine* couples three things:
+
+* a **physical execution strategy** on the substrate — eager per-preparator
+  execution, lazy plan building with optimization, chunked streaming,
+  partitioned execution, sentinel-null kernels — so that every engine really
+  computes the result of every preparator (results are identical across
+  engines, which the tests verify);
+* an :class:`~repro.simulate.profiles.EngineProfile` and a
+  :class:`~repro.simulate.costmodel.CostModel`, which price each executed
+  operation on the *nominal* dataset size (the physical data is a small scaled
+  sample; the :class:`SimulationContext` carries the scale factor);
+* the Pandas-API **compatibility matrix** (Table 3): preparators missing from
+  a library's API run through a fallback path that the cost model penalizes,
+  mirroring the paper's "implemented by us with best effort / default to
+  Pandas" behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..core.compat import Compatibility, compatibility
+from ..core.pipeline import PipelineStep
+from ..core.preparators import Preparator, PreparatorResult, get_preparator
+from ..core.stages import Stage
+from ..frame.frame import DataFrame
+from ..io import read_any, write_any
+from ..plan.builder import LazyFrame
+from ..plan.executor import ExecutionStats
+from ..plan.optimizer import OptimizerSettings
+from ..simulate.clock import OperationRecord, RunReport
+from ..simulate.costmodel import CostModel, SimulatedCost
+from ..simulate.hardware import PAPER_SERVER, MachineConfig
+from ..simulate.memory import SimulatedOOMError
+from ..simulate.profiles import EngineProfile, get_profile
+
+__all__ = ["SimulationContext", "BaseEngine", "EngineUnavailableError"]
+
+
+class EngineUnavailableError(RuntimeError):
+    """The engine cannot run on the given machine (e.g. CuDF without a GPU)."""
+
+
+@dataclass
+class SimulationContext:
+    """Scale information tying the physical sample to the nominal dataset.
+
+    ``row_scale`` is ``nominal_rows / physical_rows``: the substrate executes
+    on the physical sample while the cost model prices the nominal size.
+    """
+
+    machine: MachineConfig = PAPER_SERVER
+    nominal_rows: int = 0
+    physical_rows: int = 0
+    dataset_bytes: int = 0
+    csv_bytes: int = 0
+    parquet_bytes: int = 0
+    column_bytes: dict[str, int] = field(default_factory=dict)
+    dataset_name: str = ""
+    runs: int = 10
+
+    @property
+    def row_scale(self) -> float:
+        if self.physical_rows <= 0:
+            return 1.0
+        return max(1.0, self.nominal_rows / self.physical_rows)
+
+    def nominal_row_count(self, physical_rows: int) -> int:
+        return int(round(physical_rows * self.row_scale))
+
+    def bytes_for_columns(self, columns: Sequence[str], physical_rows: int | None = None) -> int:
+        """Nominal bytes of the given columns (optionally for a row subset)."""
+        if not self.column_bytes:
+            rows = self.nominal_rows if physical_rows is None else self.nominal_row_count(physical_rows)
+            return rows * max(1, len(columns)) * 16
+        total = sum(self.column_bytes.get(name, 0) for name in columns)
+        if total == 0:
+            total = self.dataset_bytes * max(1, len(columns)) // max(1, len(self.column_bytes))
+        if physical_rows is not None and self.nominal_rows > 0:
+            fraction = self.nominal_row_count(physical_rows) / self.nominal_rows
+            total = int(total * min(1.0, max(fraction, 0.0)))
+        return int(total)
+
+    @classmethod
+    def for_frame(cls, frame: DataFrame, machine: MachineConfig = PAPER_SERVER,
+                  nominal_rows: int | None = None, name: str = "adhoc", runs: int = 10
+                  ) -> "SimulationContext":
+        """Context for an ad-hoc in-memory frame (examples, tests, TPC-H)."""
+        physical = frame.num_rows
+        nominal = nominal_rows if nominal_rows is not None else physical
+        scale = (nominal / physical) if physical else 1.0
+        column_bytes = {c: int(frame[c].memory_usage() * scale) for c in frame.columns}
+        dataset_bytes = sum(column_bytes.values())
+        return cls(machine=machine, nominal_rows=nominal, physical_rows=physical,
+                   dataset_bytes=dataset_bytes, csv_bytes=int(dataset_bytes * 1.1),
+                   parquet_bytes=int(dataset_bytes * 0.45), column_bytes=column_bytes,
+                   dataset_name=name, runs=runs)
+
+
+#: Mapping from plan-executor operator labels to cost-model operator classes.
+_PLAN_OP_TO_COST_CLASS = {
+    "scan": None,
+    "read": "read_csv",
+    "project": "metadata",
+    "filter": "filter",
+    "with_column": "elementwise",
+    "sort": "sort",
+    "groupby": "groupby",
+    "join": "join",
+    "dedup": "dedup",
+    "dropna": "dropna",
+    "fillna": "fillna",
+    "limit": "metadata",
+    "drop": "metadata",
+    "pivot": "pivot",
+    "onehot": "encode",
+    "catenc": "encode",
+    "setcase": "string",
+    "chdate": "date",
+    "norm": "elementwise",
+    "map": "elementwise",
+}
+
+#: Cost multiplier applied when a preparator is missing from the library API
+#: and had to be implemented "with best effort" (Table 3's ◦ entries).
+_FALLBACK_PENALTY = 2.5
+
+
+class BaseEngine:
+    """Eager reference engine; every simulated library derives from it."""
+
+    #: Short name of the engine profile (overridden by subclasses).
+    profile_name = "pandas"
+
+    def __init__(self, machine: MachineConfig = PAPER_SERVER,
+                 optimizer_settings: OptimizerSettings | None = None):
+        self.machine = machine
+        self.profile: EngineProfile = get_profile(self.profile_name)
+        self.cost_model = CostModel(machine)
+        self.optimizer_settings = optimizer_settings or OptimizerSettings()
+        self._validate_machine()
+
+    # ------------------------------------------------------------------ #
+    # identity / capabilities
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def display_name(self) -> str:
+        return self.profile.display_name
+
+    @property
+    def supports_lazy(self) -> bool:
+        return self.profile.lazy
+
+    @property
+    def supports_parquet(self) -> bool:
+        return self.profile.supports_parquet
+
+    def _validate_machine(self) -> None:
+        if self.profile.uses_gpu and self.machine.gpu is None:
+            raise EngineUnavailableError(
+                f"{self.display_name} requires a GPU, but machine "
+                f"{self.machine.name!r} has none"
+            )
+
+    def compatibility_for(self, preparator: str) -> Compatibility:
+        return compatibility(self.name, preparator)
+
+    # ------------------------------------------------------------------ #
+    # pricing helpers
+    # ------------------------------------------------------------------ #
+    def _price(self, op_class: str, physical_rows: int, columns: Sequence[str],
+               sim: SimulationContext, *, bytes_in: int | None = None,
+               lazy: bool = False, run_index: int = 0,
+               pipeline_scope: bool = False) -> SimulatedCost:
+        nominal_rows = sim.nominal_row_count(physical_rows)
+        if bytes_in is None:
+            bytes_in = sim.bytes_for_columns(columns, physical_rows)
+        return self.cost_model.estimate(
+            self.profile, op_class, nominal_rows, max(1, len(columns)),
+            bytes_in=bytes_in, dataset_bytes=sim.dataset_bytes,
+            lazy=lazy, run_index=run_index, pipeline_scope=pipeline_scope,
+        )
+
+    def _record(self, step_name: str, op_class: str, stage: Stage, cost: SimulatedCost,
+                physical_rows: int, columns: Sequence[str], sim: SimulationContext,
+                lazy: bool = False) -> OperationRecord:
+        return OperationRecord(
+            engine=self.name,
+            operation=step_name,
+            op_class=op_class,
+            stage=stage.value,
+            seconds=cost.seconds,
+            rows=sim.nominal_row_count(physical_rows),
+            columns=max(1, len(columns)),
+            peak_bytes=cost.peak_bytes,
+            spilled=cost.spilled,
+            streamed=cost.streamed,
+            lazy=lazy,
+        )
+
+    # ------------------------------------------------------------------ #
+    # physical execution hooks (overridden by engines with special paths)
+    # ------------------------------------------------------------------ #
+    def _execute_preparator(self, preparator: Preparator, frame: DataFrame,
+                            params: Mapping[str, Any]) -> PreparatorResult:
+        return preparator.apply(frame, params)
+
+    # ------------------------------------------------------------------ #
+    # single-step execution (function-core mode)
+    # ------------------------------------------------------------------ #
+    def execute_step(self, frame: DataFrame, step: "PipelineStep | str",
+                     sim: SimulationContext, params: Mapping[str, Any] | None = None,
+                     run_index: int = 0, lazy: bool = False,
+                     pipeline_scope: bool = False) -> tuple[PreparatorResult, OperationRecord]:
+        """Run one preparator eagerly and price it.
+
+        Raises :class:`~repro.simulate.memory.SimulatedOOMError` when the
+        memory model rejects the operation on this machine.
+        """
+        if isinstance(step, PipelineStep):
+            name, call_params = step.preparator, step.params
+        else:
+            name, call_params = step, dict(params or {})
+        preparator = get_preparator(name)
+        touched = preparator.touched_columns(frame, call_params)
+        cost = self._price(preparator.op_class, frame.num_rows, touched, sim,
+                           lazy=lazy, run_index=run_index, pipeline_scope=pipeline_scope)
+        if self.compatibility_for(name) is Compatibility.MISSING:
+            cost.seconds *= self._fallback_penalty(preparator)
+        result = self._execute_preparator(preparator, frame, call_params)
+        record = self._record(name, preparator.op_class, preparator.stage, cost,
+                              frame.num_rows, touched, sim, lazy=lazy)
+        return result, record
+
+    def _fallback_penalty(self, preparator: Preparator) -> float:
+        return _FALLBACK_PENALTY
+
+    # ------------------------------------------------------------------ #
+    # I/O
+    # ------------------------------------------------------------------ #
+    def read_dataset(self, frame: DataFrame, sim: SimulationContext,
+                     file_format: str = "csv", path: "str | Path | None" = None,
+                     run_index: int = 0) -> tuple[DataFrame, OperationRecord]:
+        """Price (and optionally physically perform) loading the dataset."""
+        if file_format in ("parquet", "rparquet") and not self.supports_parquet:
+            raise EngineUnavailableError(f"{self.display_name} does not support Parquet")
+        op_class = "read_csv" if file_format == "csv" else "read_parquet"
+        bytes_in = sim.csv_bytes if op_class == "read_csv" else sim.parquet_bytes
+        cost = self._price(op_class, sim.physical_rows, list(sim.column_bytes) or ["*"], sim,
+                           bytes_in=bytes_in, run_index=run_index)
+        loaded = read_any(path, "csv" if file_format == "csv" else "rparquet") if path else frame
+        record = self._record("read", op_class, Stage.IO, cost, sim.physical_rows,
+                              loaded.columns, sim)
+        return loaded, record
+
+    def write_dataset(self, frame: DataFrame, sim: SimulationContext,
+                      file_format: str = "csv", path: "str | Path | None" = None,
+                      run_index: int = 0) -> OperationRecord:
+        """Price (and optionally physically perform) writing the frame."""
+        if file_format in ("parquet", "rparquet") and not self.supports_parquet:
+            raise EngineUnavailableError(f"{self.display_name} does not support Parquet")
+        op_class = "write_csv" if file_format == "csv" else "write_parquet"
+        bytes_out = sim.csv_bytes if op_class == "write_csv" else sim.parquet_bytes
+        cost = self._price(op_class, frame.num_rows, frame.columns, sim,
+                           bytes_in=bytes_out, run_index=run_index)
+        if path is not None:
+            write_any(frame, path, "csv" if file_format == "csv" else "rparquet")
+        return self._record("write", op_class, Stage.IO, cost, frame.num_rows,
+                            frame.columns, sim)
+
+    # ------------------------------------------------------------------ #
+    # multi-step execution (pipeline-stage / pipeline-full modes)
+    # ------------------------------------------------------------------ #
+    def execute_steps(self, frame: DataFrame, steps: Sequence[PipelineStep],
+                      sim: SimulationContext, *, lazy: bool = False, run_index: int = 0,
+                      report: RunReport | None = None,
+                      pipeline_scope: bool = True) -> tuple[DataFrame, RunReport]:
+        """Run a sequence of steps, eagerly or lazily.
+
+        Lazy execution (only for engines whose library supports it) batches
+        consecutive *chainable, lazily expressible* steps into one logical
+        plan, optimizes it and prices the operators that actually ran —
+        reproducing the Section 4.2 comparison.
+        """
+        report = report or RunReport(engine=self.name, label="steps")
+        if lazy and self.supports_lazy:
+            frame = self._execute_steps_lazy(frame, steps, sim, run_index, report,
+                                             pipeline_scope)
+            return frame, report
+        current = frame
+        for step in steps:
+            result, record = self.execute_step(current, step, sim, run_index=run_index,
+                                               pipeline_scope=pipeline_scope)
+            report.add(record)
+            if result.chained:
+                current = result.frame
+        return current, report
+
+    # -- lazy path ------------------------------------------------------- #
+    def _execute_steps_lazy(self, frame: DataFrame, steps: Sequence[PipelineStep],
+                            sim: SimulationContext, run_index: int, report: RunReport,
+                            pipeline_scope: bool) -> DataFrame:
+        current = frame
+        pending: LazyFrame | None = None
+
+        def flush(lazy_frame: LazyFrame | None) -> None:
+            nonlocal current
+            if lazy_frame is None:
+                return
+            collected, stats = lazy_frame.collect_with_stats(self.optimizer_settings)
+            self._price_plan_stats(stats, sim, run_index, report, pipeline_scope)
+            current = collected
+
+        for step in steps:
+            preparator = step.spec
+            if preparator.supports_lazy:
+                base = pending if pending is not None else LazyFrame.from_frame(current)
+                extended = preparator.lazy_builder(base, step.params)
+                if extended is not None:
+                    pending = extended
+                    continue
+            # Step cannot be deferred: materialize what is pending, then run it.
+            flush(pending)
+            pending = None
+            result, record = self.execute_step(current, step, sim, run_index=run_index,
+                                               lazy=True, pipeline_scope=pipeline_scope)
+            report.add(record)
+            if result.chained:
+                current = result.frame
+        flush(pending)
+        return current
+
+    def _price_plan_stats(self, stats: ExecutionStats, sim: SimulationContext,
+                          run_index: int, report: RunReport, pipeline_scope: bool) -> None:
+        for op in stats.operators:
+            op_class = _PLAN_OP_TO_COST_CLASS.get(op.operator, "elementwise")
+            if op_class is None:
+                continue
+            columns = ["*"] * max(1, op.columns)
+            bytes_in = sim.nominal_row_count(op.rows_in) * max(1, op.columns) * 16
+            cost = self.cost_model.estimate(
+                self.profile, op_class, sim.nominal_row_count(op.rows_in),
+                max(1, op.columns), bytes_in=bytes_in, dataset_bytes=sim.dataset_bytes,
+                lazy=True, run_index=run_index, pipeline_scope=pipeline_scope,
+            )
+            report.add(OperationRecord(
+                engine=self.name, operation=f"plan:{op.operator}", op_class=op_class,
+                stage="plan", seconds=cost.seconds, rows=sim.nominal_row_count(op.rows_in),
+                columns=max(1, op.columns), peak_bytes=cost.peak_bytes,
+                spilled=cost.spilled, streamed=cost.streamed, lazy=True,
+            ))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(machine={self.machine.name})"

@@ -1,0 +1,25 @@
+"""Simulated CuDF engine (NVIDIA RAPIDS).
+
+CuDF executes the Pandas API on a single GPU: massive data parallelism for
+sorts, joins, group-bys and encodings, at the price of (i) a host-to-device
+transfer for the working data, (ii) per-call kernel-launch overhead that
+dominates on small datasets (which is why Polars beats it on Athlete), and
+(iii) the requirement that the working set fit in GPU memory — CuDF is
+excluded from the paper's scalability experiment for exactly this reason.
+
+The engine refuses to instantiate on machines without a GPU
+(:class:`~repro.engines.base.EngineUnavailableError`), and the memory model
+raises a simulated OOM when the working set exceeds the device memory.
+"""
+
+from __future__ import annotations
+
+from .base import BaseEngine
+
+__all__ = ["CuDFEngine"]
+
+
+class CuDFEngine(BaseEngine):
+    """GPU-accelerated engine with a Pandas-like API and no query optimizer."""
+
+    profile_name = "cudf"

@@ -1,0 +1,52 @@
+"""Simulated DataTable engine (H2O ``datatable``).
+
+DataTable stores Frames column-oriented in native-C buffers, memory-maps data
+on disk, uses copy-on-write sharing, and encodes missing values with
+*sentinel* values instead of a validity bitmap.  Statistics are computed when
+the Frame is created (making ``stats`` almost free), casts manipulate buffers
+in place, and the CSV reader memory-maps the file — but grouping and joining
+are comparatively slow, joins only support unique keys (anything else falls
+back to Pandas), and Parquet is not supported at all.
+
+The physical ``isna`` below really goes through the sentinel representation
+(:meth:`~repro.frame.column.Column.to_sentinel`) to exercise that distinct
+code path; results are identical to the bitmap-based engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.preparators import Preparator, PreparatorResult
+from ..frame.column import Column
+from ..frame.dtypes import BOOL
+from ..frame.frame import DataFrame
+from .base import BaseEngine
+
+__all__ = ["DataTableEngine"]
+
+
+class DataTableEngine(BaseEngine):
+    """Column-oriented native-C engine with sentinel-encoded nulls."""
+
+    profile_name = "datatable"
+
+    def _execute_preparator(self, preparator: Preparator, frame: DataFrame,
+                            params: Mapping[str, Any]) -> PreparatorResult:
+        if preparator.name == "isna":
+            return PreparatorResult(frame, output=self._isna_via_sentinels(frame), chained=False)
+        return preparator.apply(frame, params)
+
+    @staticmethod
+    def _isna_via_sentinels(frame: DataFrame) -> DataFrame:
+        """Missing-value mask computed from the sentinel encoding."""
+        data: dict[str, Column] = {}
+        for name in frame.columns:
+            column = frame[name]
+            sentinel = column.to_sentinel()
+            restored = Column.from_sentinel(np.asarray(sentinel), column.dtype
+                                            if column.dtype.value != "categorical" else column.dtype)
+            data[name] = Column(~restored.validity, BOOL)
+        return DataFrame(data)

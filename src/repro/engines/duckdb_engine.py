@@ -1,0 +1,20 @@
+"""Simulated DuckDB engine.
+
+DuckDB is *not* part of the dataframe comparison (it has no Pandas-like API);
+the paper includes it only in the TPC-H experiment as a reference point for
+OLAP database systems.  It is modelled here the same way: a vectorized,
+multi-threaded SQL executor with full query optimization and larger-than-RAM
+spilling, exposed through the same lazy plan interface the TPC-H queries use.
+"""
+
+from __future__ import annotations
+
+from .base import BaseEngine
+
+__all__ = ["DuckDBEngine"]
+
+
+class DuckDBEngine(BaseEngine):
+    """In-process analytical SQL engine used as the TPC-H reference point."""
+
+    profile_name = "duckdb"

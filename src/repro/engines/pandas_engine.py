@@ -1,0 +1,19 @@
+"""Simulated Pandas engine — the single-threaded, eager baseline.
+
+Pandas is the reference point of every figure in the paper: fully Pandas-API
+compatible by definition, eager evaluation (every preparator materializes its
+result immediately), no multithreading, no query optimization, the whole
+dataset and all intermediates kept in main memory.
+"""
+
+from __future__ import annotations
+
+from .base import BaseEngine
+
+__all__ = ["PandasEngine"]
+
+
+class PandasEngine(BaseEngine):
+    """Eager, single-threaded reference engine."""
+
+    profile_name = "pandas"

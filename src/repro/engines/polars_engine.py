@@ -1,0 +1,31 @@
+"""Simulated Polars engine.
+
+Polars (Rust, Arrow-backed) supports both eager and lazy execution; its eager
+API often delegates to the lazy engine internally, and the lazy API adds
+streaming execution, early filtering and projection pushdown.  Nulls are
+tracked with Arrow validity bitmaps, which is why ``isna`` is orders of
+magnitude faster than Pandas' element-wise comparison.  Its weakness in the
+paper is scalability: the strict in-memory execution model makes it the first
+engine to hit OOM when data outgrows RAM.
+
+The lazy path uses the plan layer with every optimizer rule enabled; an
+ablation constructor argument lets the benchmarks disable individual rules.
+"""
+
+from __future__ import annotations
+
+from ..plan.optimizer import OptimizerSettings
+from ..simulate.hardware import PAPER_SERVER, MachineConfig
+from .base import BaseEngine
+
+__all__ = ["PolarsEngine"]
+
+
+class PolarsEngine(BaseEngine):
+    """Rust/Arrow engine with eager and lazy (optimized) execution."""
+
+    profile_name = "polars"
+
+    def __init__(self, machine: MachineConfig = PAPER_SERVER,
+                 optimizer_settings: OptimizerSettings | None = None):
+        super().__init__(machine, optimizer_settings or OptimizerSettings())

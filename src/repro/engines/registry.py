@@ -1,0 +1,92 @@
+"""Engine registry: construct simulated engines by name.
+
+The registry is the only place that knows every engine class; experiment
+drivers, benchmarks and examples go through :func:`create_engine` /
+:func:`create_engines` so that adding an engine is a one-line change.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..plan.optimizer import OptimizerSettings
+from ..simulate.hardware import PAPER_SERVER, MachineConfig
+from .base import BaseEngine, EngineUnavailableError
+from .cudf_engine import CuDFEngine
+from .datatable_engine import DataTableEngine
+from .duckdb_engine import DuckDBEngine
+from .modin_engine import ModinDaskEngine, ModinRayEngine
+from .pandas_engine import PandasEngine
+from .polars_engine import PolarsEngine
+from .spark_engines import SparkPandasEngine, SparkSQLEngine
+from .vaex_engine import VaexEngine
+
+__all__ = [
+    "ENGINE_CLASSES",
+    "DEFAULT_ENGINES",
+    "TPCH_ENGINES",
+    "create_engine",
+    "create_engines",
+    "available_engines",
+]
+
+ENGINE_CLASSES: dict[str, type[BaseEngine]] = {
+    "pandas": PandasEngine,
+    "sparkpd": SparkPandasEngine,
+    "sparksql": SparkSQLEngine,
+    "modin_dask": ModinDaskEngine,
+    "modin_ray": ModinRayEngine,
+    "polars": PolarsEngine,
+    "cudf": CuDFEngine,
+    "vaex": VaexEngine,
+    "datatable": DataTableEngine,
+    "duckdb": DuckDBEngine,
+}
+
+#: The engines compared throughout the data-preparation experiments
+#: (Figures 1-6); DuckDB joins only for TPC-H (Figure 7).
+DEFAULT_ENGINES: tuple[str, ...] = (
+    "pandas", "sparkpd", "sparksql", "modin_dask", "modin_ray",
+    "polars", "cudf", "vaex", "datatable",
+)
+
+TPCH_ENGINES: tuple[str, ...] = DEFAULT_ENGINES + ("duckdb",)
+
+
+def create_engine(name: str, machine: MachineConfig = PAPER_SERVER,
+                  optimizer_settings: OptimizerSettings | None = None) -> BaseEngine:
+    """Instantiate one engine by short name.
+
+    Raises :class:`~repro.engines.base.EngineUnavailableError` when the engine
+    cannot run on the given machine (CuDF without a GPU).
+    """
+    try:
+        cls = ENGINE_CLASSES[name]
+    except KeyError:
+        raise KeyError(f"unknown engine {name!r}; available: {sorted(ENGINE_CLASSES)}") from None
+    return cls(machine=machine, optimizer_settings=optimizer_settings)
+
+
+def create_engines(names: Sequence[str] | None = None,
+                   machine: MachineConfig = PAPER_SERVER,
+                   skip_unavailable: bool = True,
+                   optimizer_settings: OptimizerSettings | None = None) -> dict[str, BaseEngine]:
+    """Instantiate several engines, optionally skipping unavailable ones.
+
+    The paper itself skips CuDF on GPU-less machine configurations (Section
+    4.3), which is what ``skip_unavailable=True`` reproduces.
+    """
+    engines: dict[str, BaseEngine] = {}
+    for name in (names or DEFAULT_ENGINES):
+        try:
+            engines[name] = create_engine(name, machine, optimizer_settings)
+        except EngineUnavailableError:
+            if not skip_unavailable:
+                raise
+    return engines
+
+
+def available_engines(machine: MachineConfig = PAPER_SERVER,
+                      names: Iterable[str] | None = None) -> list[str]:
+    """Names of the engines that can run on the given machine."""
+    return list(create_engines(list(names) if names else None, machine))

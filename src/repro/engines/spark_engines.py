@@ -1,0 +1,36 @@
+"""Simulated PySpark engines: Pandas-on-Spark (SparkPD) and Spark SQL.
+
+Both engines share the Spark execution substrate in the paper — a JVM-backed,
+multithreaded executor with Catalyst query optimization and disk spillover —
+but expose different APIs:
+
+* **SparkPD** (Pandas on Spark, né Koalas) translates Pandas calls into Spark
+  plans.  Each call pays a translation/driver round trip, which is why the
+  paper finds it among the slowest engines for cheap metadata operations while
+  benefiting enormously (≈80 % on Patrol) from lazy whole-pipeline execution.
+* **SparkSQL** works directly on Spark DataFrames/SQL; it has lower per-call
+  overhead, the same optimizer, and the disk-spillover mechanism that makes it
+  the only engine completing the largest pipelines on the laptop
+  configuration.
+
+Physical execution happens on the substrate; laziness uses the plan layer with
+all optimizer rules enabled (Catalyst's early filtering / projection pruning).
+"""
+
+from __future__ import annotations
+
+from .base import BaseEngine
+
+__all__ = ["SparkPandasEngine", "SparkSQLEngine"]
+
+
+class SparkPandasEngine(BaseEngine):
+    """Pandas-on-Spark API: Pandas-compatible calls translated to Spark plans."""
+
+    profile_name = "sparkpd"
+
+
+class SparkSQLEngine(BaseEngine):
+    """Spark SQL API: relational operators with Catalyst optimization."""
+
+    profile_name = "sparksql"

@@ -1,0 +1,18 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+* Tables 1-4: :mod:`repro.experiments.tables`
+* Figure 1:   :mod:`repro.experiments.fig1_stage_speedup`
+* Figure 2:   :mod:`repro.experiments.fig2_preparator_speedup`
+* Figure 3:   :mod:`repro.experiments.fig3_io_read`
+* Figure 4:   :mod:`repro.experiments.fig4_io_write`
+* Figure 5:   :mod:`repro.experiments.fig5_pipeline_speedup`
+* Figure 6:   :mod:`repro.experiments.fig6_scalability`
+* Table 5:    :mod:`repro.experiments.table5_min_config`
+* Figure 7:   :mod:`repro.experiments.fig7_tpch`
+* Everything: :mod:`repro.experiments.report`
+"""
+
+from .context import ExperimentConfig
+from .common import ExperimentSetup, prepare
+
+__all__ = ["ExperimentConfig", "ExperimentSetup", "prepare"]

@@ -1,0 +1,84 @@
+"""Figure 1: average speedup over Pandas per stage (EDA, DT, DC) per dataset.
+
+For every dataset and every stage, the three pipelines are executed in
+pipeline-stage mode (lazy evaluation allowed at stage granularity for the
+engines that support it); the stage runtimes are averaged over the pipelines
+and reported as a speedup over the Pandas baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.metrics import speedup
+from ..core.stages import Stage
+from .common import ExperimentSetup, prepare
+from .context import ExperimentConfig
+
+__all__ = ["StageSpeedupResult", "run"]
+
+_STAGES = (Stage.EDA, Stage.DT, Stage.DC)
+
+
+@dataclass
+class StageSpeedupResult:
+    """speedups[dataset][stage][engine] -> speedup over Pandas."""
+
+    speedups: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    seconds: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    failures: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def best_engine(self, dataset: str, stage: str) -> str:
+        candidates = self.speedups.get(dataset, {}).get(stage, {})
+        non_baseline = {k: v for k, v in candidates.items() if k != "pandas"}
+        if not non_baseline:
+            return ""
+        return max(non_baseline.items(), key=lambda kv: kv[1])[0]
+
+    def format(self) -> str:
+        lines = ["Figure 1 — average speedup over Pandas per stage"]
+        for dataset, stages in self.speedups.items():
+            for stage, per_engine in stages.items():
+                rendered = ", ".join(f"{engine}={value:.2f}x"
+                                     for engine, value in per_engine.items())
+                lines.append(f"  {dataset:<8} {stage:<4} {rendered}")
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig | None = None,
+        setup: ExperimentSetup | None = None) -> StageSpeedupResult:
+    """Execute the Figure 1 experiment."""
+    setup = setup or prepare(config)
+    result = StageSpeedupResult()
+    baseline = setup.baseline()
+
+    for dataset_name, generated in setup.datasets.items():
+        sim = setup.context_for(dataset_name)
+        pipelines = setup.pipelines_for(dataset_name)
+        result.speedups[dataset_name] = {}
+        result.seconds[dataset_name] = {}
+        for stage in _STAGES:
+            stage_seconds: dict[str, list[float]] = {}
+            for pipeline in pipelines:
+                if not pipeline.steps_for_stage(stage):
+                    continue
+                baseline_timing = setup.runner.run_stage(baseline, generated.frame, pipeline,
+                                                         stage, sim)
+                for engine_name, engine in setup.engines.items():
+                    timing = (baseline_timing if engine_name == "pandas"
+                              else setup.runner.run_stage(engine, generated.frame, pipeline,
+                                                          stage, sim))
+                    if timing.failed:
+                        result.failures.append((dataset_name, engine_name, stage.value))
+                        continue
+                    stage_seconds.setdefault(engine_name, []).append(timing.seconds)
+            averaged = {name: sum(values) / len(values)
+                        for name, values in stage_seconds.items() if values}
+            if "pandas" not in averaged:
+                continue
+            pandas_seconds = averaged["pandas"]
+            result.seconds[dataset_name][stage.value] = averaged
+            result.speedups[dataset_name][stage.value] = {
+                name: speedup(pandas_seconds, value) for name, value in averaged.items()
+            }
+    return result

@@ -1,0 +1,98 @@
+"""Figure 2: per-preparator speedup over Pandas, call counts and stage impact.
+
+Every preparator call of every pipeline is executed in isolation
+(function-core mode, forcing materialization for lazy engines); per
+preparator we report the average speedup over Pandas, the number of calls in
+each of the three pipelines, and the preparator's impact on its stage (its
+share of the stage runtime, computed on the Pandas baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.metrics import impact_percentages, speedup
+from ..core.preparators import get_preparator
+from ..datasets.pipelines import pipeline_call_counts
+from .common import ExperimentSetup, prepare
+from .context import ExperimentConfig
+
+__all__ = ["PreparatorSpeedupResult", "run"]
+
+
+@dataclass
+class PreparatorSpeedupResult:
+    """Per-dataset, per-preparator speedups and metadata."""
+
+    #: speedups[dataset][preparator][engine] -> speedup over Pandas
+    speedups: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    #: call_counts[dataset][preparator] -> [calls in pipeline 1, 2, 3]
+    call_counts: dict[str, dict[str, list[int]]] = field(default_factory=dict)
+    #: impact[dataset][preparator] -> % of its stage runtime (Pandas baseline)
+    impact: dict[str, dict[str, float]] = field(default_factory=dict)
+    failures: list[tuple[str, str]] = field(default_factory=list)
+
+    def best_engine(self, dataset: str, preparator: str) -> str:
+        candidates = self.speedups.get(dataset, {}).get(preparator, {})
+        non_baseline = {k: v for k, v in candidates.items() if k != "pandas"}
+        if not non_baseline:
+            return ""
+        return max(non_baseline.items(), key=lambda kv: kv[1])[0]
+
+    def format(self, dataset: str) -> str:
+        lines = [f"Figure 2 — per-preparator speedup over Pandas ({dataset})"]
+        for preparator, per_engine in self.speedups.get(dataset, {}).items():
+            calls = self.call_counts.get(dataset, {}).get(preparator, [])
+            share = self.impact.get(dataset, {}).get(preparator, 0.0)
+            rendered = ", ".join(f"{e}={v:.1f}x" for e, v in per_engine.items() if e != "pandas")
+            lines.append(f"  {preparator:<8} calls={calls} impact={share:.0f}%  {rendered}")
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig | None = None,
+        setup: ExperimentSetup | None = None) -> PreparatorSpeedupResult:
+    """Execute the Figure 2 experiment."""
+    setup = setup or prepare(config)
+    result = PreparatorSpeedupResult()
+    baseline = setup.baseline()
+
+    for dataset_name, generated in setup.datasets.items():
+        sim = setup.context_for(dataset_name)
+        pipelines = setup.pipelines_for(dataset_name)
+        result.call_counts[dataset_name] = pipeline_call_counts(dataset_name)
+
+        # seconds[engine][preparator] -> list of per-call averaged seconds
+        seconds: dict[str, dict[str, list[float]]] = {}
+        for pipeline in pipelines:
+            for engine_name, engine in {**{"pandas": baseline}, **setup.engines}.items():
+                timing = setup.runner.run_function_core(engine, generated.frame, pipeline, sim)
+                if timing.failed:
+                    result.failures.append((dataset_name, engine_name))
+                    continue
+                per_prep = timing.seconds_by_preparator()
+                bucket = seconds.setdefault(engine_name, {})
+                for preparator, value in per_prep.items():
+                    bucket.setdefault(preparator, []).append(value)
+
+        pandas_seconds = {prep: sum(v) / len(v)
+                          for prep, v in seconds.get("pandas", {}).items()}
+        result.speedups[dataset_name] = {}
+        for preparator, baseline_value in pandas_seconds.items():
+            per_engine: dict[str, float] = {}
+            for engine_name, per_prep in seconds.items():
+                values = per_prep.get(preparator)
+                if not values:
+                    continue
+                per_engine[engine_name] = speedup(baseline_value, sum(values) / len(values))
+            result.speedups[dataset_name][preparator] = per_engine
+
+        # Impact: share of the stage runtime, measured on the Pandas baseline.
+        by_stage: dict[str, dict[str, float]] = {}
+        for preparator, value in pandas_seconds.items():
+            stage = get_preparator(preparator).stage.value
+            by_stage.setdefault(stage, {})[preparator] = value
+        impact: dict[str, float] = {}
+        for stage_values in by_stage.values():
+            impact.update(impact_percentages(stage_values))
+        result.impact[dataset_name] = impact
+    return result

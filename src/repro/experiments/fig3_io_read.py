@@ -1,0 +1,75 @@
+"""Figure 3: average runtime for reading CSV and Parquet files per dataset.
+
+Every engine reads every dataset in both formats (engines without Parquet
+support — DataTable — are reported as unsupported, matching the "parquet not
+supported" annotation in the paper's plot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engines.base import EngineUnavailableError
+from ..simulate.memory import SimulatedOOMError
+from ..simulate.clock import trimmed_mean
+from .common import ExperimentSetup, prepare
+from .context import ExperimentConfig
+
+__all__ = ["IOReadResult", "run"]
+
+FORMATS = ("csv", "parquet")
+
+
+@dataclass
+class IOReadResult:
+    """seconds[dataset][format][engine] -> average read time."""
+
+    seconds: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    unsupported: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def best_engine(self, dataset: str, file_format: str) -> str:
+        candidates = self.seconds.get(dataset, {}).get(file_format, {})
+        if not candidates:
+            return ""
+        return min(candidates.items(), key=lambda kv: kv[1])[0]
+
+    def format(self) -> str:
+        lines = ["Figure 3 — average read time (seconds, lower is better)"]
+        for dataset, formats in self.seconds.items():
+            for file_format, per_engine in formats.items():
+                rendered = ", ".join(f"{e}={v:.2f}s" for e, v in per_engine.items())
+                lines.append(f"  {dataset:<8} {file_format:<7} {rendered}")
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig | None = None,
+        setup: ExperimentSetup | None = None,
+        operation: str = "read") -> IOReadResult:
+    """Execute the Figure 3 (read) or Figure 4 (write) experiment."""
+    setup = setup or prepare(config)
+    result = IOReadResult()
+    for dataset_name, generated in setup.datasets.items():
+        sim = setup.context_for(dataset_name)
+        result.seconds[dataset_name] = {}
+        for file_format in FORMATS:
+            per_engine: dict[str, float] = {}
+            for engine_name, engine in setup.engines.items():
+                try:
+                    per_run = []
+                    for run_index in range(setup.config.runs):
+                        if operation == "read":
+                            _, record = engine.read_dataset(generated.frame, sim,
+                                                            file_format=file_format,
+                                                            run_index=run_index)
+                        else:
+                            record = engine.write_dataset(generated.frame, sim,
+                                                          file_format=file_format,
+                                                          run_index=run_index)
+                        per_run.append(record.seconds)
+                    per_engine[engine_name] = trimmed_mean(per_run)
+                except EngineUnavailableError:
+                    result.unsupported.append((dataset_name, file_format, engine_name))
+                except SimulatedOOMError:
+                    result.unsupported.append((dataset_name, file_format, engine_name))
+            result.seconds[dataset_name][file_format] = per_engine
+    return result

@@ -1,0 +1,22 @@
+"""Figure 4: average runtime for writing CSV and Parquet files per dataset.
+
+Shares its implementation with the read experiment (Figure 3); only the
+direction of the I/O differs.
+"""
+
+from __future__ import annotations
+
+from .common import ExperimentSetup
+from .context import ExperimentConfig
+from .fig3_io_read import IOReadResult, run as _run_io
+
+__all__ = ["IOWriteResult", "run"]
+
+#: Same result structure as the read experiment.
+IOWriteResult = IOReadResult
+
+
+def run(config: ExperimentConfig | None = None,
+        setup: ExperimentSetup | None = None) -> IOWriteResult:
+    """Execute the Figure 4 experiment (write CSV / Parquet)."""
+    return _run_io(config, setup, operation="write")

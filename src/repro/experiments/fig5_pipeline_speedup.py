@@ -1,0 +1,105 @@
+"""Figure 5: speedup over Pandas for the entire pipeline, eager vs lazy.
+
+Every engine runs the three pipelines of every dataset end to end; engines
+supporting lazy evaluation (SparkPD, SparkSQL, Polars) are measured in both
+evaluation modes so the lazy-evaluation benefit of Section 4.2 can be
+reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.metrics import speedup
+from .common import ExperimentSetup, prepare
+from .context import ExperimentConfig
+
+__all__ = ["PipelineSpeedupResult", "run"]
+
+
+@dataclass
+class PipelineSpeedupResult:
+    """Full-pipeline speedups, per dataset, per engine, per evaluation mode."""
+
+    #: speedups[dataset][engine]["eager"|"lazy"] -> speedup over Pandas
+    speedups: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    #: seconds[dataset][engine]["eager"|"lazy"] -> average seconds
+    seconds: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    failures: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def lazy_improvement(self, dataset: str, engine: str) -> float | None:
+        """Relative improvement of lazy over eager (0.2 = 20 % faster)."""
+        modes = self.seconds.get(dataset, {}).get(engine, {})
+        if "eager" not in modes or "lazy" not in modes or modes["eager"] <= 0:
+            return None
+        return (modes["eager"] - modes["lazy"]) / modes["eager"]
+
+    def best_engine(self, dataset: str) -> str:
+        candidates = {}
+        for engine, modes in self.speedups.get(dataset, {}).items():
+            if engine == "pandas":
+                continue
+            candidates[engine] = max(modes.values()) if modes else 0.0
+        if not candidates:
+            return ""
+        return max(candidates.items(), key=lambda kv: kv[1])[0]
+
+    def format(self) -> str:
+        lines = ["Figure 5 — full pipeline speedup over Pandas (eager / lazy)"]
+        for dataset, engines in self.speedups.items():
+            for engine, modes in engines.items():
+                eager = modes.get("eager")
+                lazy = modes.get("lazy")
+                rendered = f"eager={eager:.2f}x" if eager is not None else "eager=OOM"
+                if lazy is not None:
+                    rendered += f", lazy={lazy:.2f}x"
+                lines.append(f"  {dataset:<8} {engine:<11} {rendered}")
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig | None = None,
+        setup: ExperimentSetup | None = None) -> PipelineSpeedupResult:
+    """Execute the Figure 5 experiment."""
+    setup = setup or prepare(config)
+    result = PipelineSpeedupResult()
+    baseline = setup.baseline()
+
+    for dataset_name, generated in setup.datasets.items():
+        sim = setup.context_for(dataset_name)
+        pipelines = setup.pipelines_for(dataset_name)
+        per_engine_mode: dict[str, dict[str, list[float]]] = {}
+
+        for pipeline in pipelines:
+            baseline_timing = setup.runner.run_full(baseline, generated.frame, pipeline, sim,
+                                                    lazy=False)
+            if baseline_timing.failed:
+                result.failures.append((dataset_name, "pandas", pipeline.name))
+                continue
+            per_engine_mode.setdefault("pandas", {}).setdefault("eager", []).append(
+                baseline_timing.seconds)
+            for engine_name, engine in setup.engines.items():
+                if engine_name == "pandas":
+                    continue
+                modes = ["eager", "lazy"] if engine.supports_lazy else ["eager"]
+                for mode in modes:
+                    timing = setup.runner.run_full(engine, generated.frame, pipeline, sim,
+                                                   lazy=(mode == "lazy"))
+                    if timing.failed:
+                        result.failures.append((dataset_name, engine_name, pipeline.name))
+                        continue
+                    per_engine_mode.setdefault(engine_name, {}).setdefault(mode, []).append(
+                        timing.seconds)
+
+        pandas_values = per_engine_mode.get("pandas", {}).get("eager", [])
+        if not pandas_values:
+            continue
+        pandas_seconds = sum(pandas_values) / len(pandas_values)
+        result.seconds[dataset_name] = {}
+        result.speedups[dataset_name] = {}
+        for engine_name, modes in per_engine_mode.items():
+            averaged = {mode: sum(values) / len(values) for mode, values in modes.items() if values}
+            result.seconds[dataset_name][engine_name] = averaged
+            result.speedups[dataset_name][engine_name] = {
+                mode: speedup(pandas_seconds, value) for mode, value in averaged.items()
+            }
+    return result

@@ -1,0 +1,82 @@
+"""Figure 6: runtime of the full pipeline on incremental samples of Taxi,
+for the laptop, workstation and server configurations.
+
+The most expensive pipeline (the first one) is run on growing samples of the
+Taxi dataset for every machine configuration; engines that hit the simulated
+OOM are recorded as failures, which reproduces both the curves and the OOM
+markers of Figure 6.  CuDF is excluded because the smaller machine
+configurations have no GPU, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.runner import BentoRunner
+from ..datasets.registry import generate_dataset
+from ..engines.registry import create_engines
+from ..simulate.hardware import LAPTOP, SERVER, WORKSTATION, MachineConfig
+from ..datasets.pipelines import get_pipeline
+from .context import ExperimentConfig
+
+__all__ = ["ScalabilityResult", "run", "DEFAULT_FRACTIONS"]
+
+DEFAULT_FRACTIONS = (0.01, 0.05, 0.15, 0.25, 0.50, 0.75, 1.0)
+_MACHINES: tuple[MachineConfig, ...] = (LAPTOP, WORKSTATION, SERVER)
+
+
+@dataclass
+class ScalabilityResult:
+    """seconds[machine][fraction][engine] -> runtime, or None when OOM."""
+
+    dataset: str
+    fractions: tuple[float, ...]
+    seconds: dict[str, dict[float, dict[str, float | None]]] = field(default_factory=dict)
+
+    def oom_boundary(self, machine: str, engine: str) -> float | None:
+        """Smallest sample fraction at which the engine hit OOM (None = never)."""
+        for fraction in self.fractions:
+            value = self.seconds.get(machine, {}).get(fraction, {}).get(engine, None)
+            if value is None:
+                return fraction
+        return None
+
+    def completed_full(self, machine: str, engine: str) -> bool:
+        value = self.seconds.get(machine, {}).get(self.fractions[-1], {}).get(engine)
+        return value is not None
+
+    def format(self) -> str:
+        lines = [f"Figure 6 — full pipeline runtime on incremental {self.dataset} samples"]
+        for machine, per_fraction in self.seconds.items():
+            lines.append(f"  [{machine}]")
+            for fraction, per_engine in per_fraction.items():
+                rendered = ", ".join(
+                    f"{e}={'OOM' if v is None else format(v, '.1f') + 's'}"
+                    for e, v in per_engine.items())
+                lines.append(f"    {int(fraction * 100):>3}%  {rendered}")
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig | None = None, dataset: str = "taxi",
+        fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+        machines: tuple[MachineConfig, ...] = _MACHINES) -> ScalabilityResult:
+    """Execute the Figure 6 experiment."""
+    config = config or ExperimentConfig()
+    base = generate_dataset(dataset, scale=config.scale, seed=config.seed)
+    pipeline = get_pipeline(dataset, 0)
+    runner = BentoRunner(runs=config.runs)
+    engine_names = [name for name in config.engines if name != "cudf"]
+    result = ScalabilityResult(dataset=dataset, fractions=tuple(fractions))
+
+    for machine in machines:
+        engines = create_engines(engine_names, machine=machine, skip_unavailable=True)
+        result.seconds[machine.name] = {}
+        for fraction in fractions:
+            sample = base.sample(fraction) if fraction < 1.0 else base
+            sim = sample.simulation_context(machine, runs=config.runs)
+            per_engine: dict[str, float | None] = {}
+            for engine_name, engine in engines.items():
+                timing = runner.run_full(engine, sample.frame, pipeline, sim)
+                per_engine[engine_name] = None if timing.failed else timing.seconds
+            result.seconds[machine.name][fraction] = per_engine
+    return result

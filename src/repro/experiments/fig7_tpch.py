@@ -1,0 +1,73 @@
+"""Figure 7: performance of the dataframe libraries on the TPC-H 10 GB queries.
+
+All 22 queries are executed by every engine (including DuckDB, the SQL
+reference point); the reported time is the simulated runtime at the nominal
+scale factor 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engines.registry import create_engines
+from ..tpch.datagen import generate_tpch
+from ..tpch.queries import query_names
+from ..tpch.runner import TPCHRunner
+from .context import ExperimentConfig
+
+__all__ = ["TPCHResult", "run"]
+
+
+@dataclass
+class TPCHResult:
+    """seconds[query][engine] -> simulated runtime (inf when failed)."""
+
+    seconds: dict[str, dict[str, float]] = field(default_factory=dict)
+    rows: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def best_engine(self, query: str) -> str:
+        candidates = self.seconds.get(query, {})
+        if not candidates:
+            return ""
+        return min(candidates.items(), key=lambda kv: kv[1])[0]
+
+    def best_cpu_engine(self, query: str) -> str:
+        candidates = {k: v for k, v in self.seconds.get(query, {}).items()
+                      if k not in ("cudf", "duckdb")}
+        if not candidates:
+            return ""
+        return min(candidates.items(), key=lambda kv: kv[1])[0]
+
+    def geometric_mean(self, engine: str) -> float:
+        import math
+
+        values = [per_engine[engine] for per_engine in self.seconds.values()
+                  if engine in per_engine and per_engine[engine] not in (0, float("inf"))]
+        if not values:
+            return float("inf")
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    def format(self) -> str:
+        lines = ["Figure 7 — TPC-H 10 GB, simulated seconds per query (lower is better)"]
+        for query, per_engine in self.seconds.items():
+            rendered = ", ".join(f"{e}={v:.2f}" for e, v in per_engine.items())
+            lines.append(f"  {query}: {rendered}")
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig | None = None, physical_scale_factor: float = 0.002,
+        queries: list[str] | None = None) -> TPCHResult:
+    """Execute the Figure 7 experiment."""
+    config = config or ExperimentConfig()
+    data = generate_tpch(physical_scale_factor, seed=config.seed)
+    runner = TPCHRunner(data, runs=config.runs)
+    engines = create_engines(list(config.tpch_engines), machine=config.machine,
+                             skip_unavailable=True)
+    matrix = runner.run_matrix(engines, queries or query_names())
+
+    result = TPCHResult()
+    for engine_name, per_query in matrix.items():
+        for query_name, outcome in per_query.items():
+            result.seconds.setdefault(query_name, {})[engine_name] = outcome.seconds
+            result.rows.setdefault(query_name, {})[engine_name] = outcome.rows
+    return result

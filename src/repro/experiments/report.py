@@ -1,0 +1,79 @@
+"""End-to-end report: regenerate every table and figure in one call.
+
+``python -m repro.experiments.report`` prints the full reproduction report
+(static tables plus all seven figures) at a configurable scale.  The same
+entry point backs the EXPERIMENTS.md summary and the example scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import (
+    fig1_stage_speedup,
+    fig2_preparator_speedup,
+    fig3_io_read,
+    fig4_io_write,
+    fig5_pipeline_speedup,
+    fig6_scalability,
+    fig7_tpch,
+    table5_min_config,
+)
+from .common import prepare
+from .context import ExperimentConfig
+from .tables import (
+    format_table,
+    table1_features,
+    table2_datasets,
+    table3_compatibility,
+    table4_machines,
+)
+
+__all__ = ["full_report", "main"]
+
+
+def full_report(config: ExperimentConfig | None = None, include_tpch: bool = True,
+                include_scalability: bool = True) -> str:
+    """Regenerate every artifact and return the formatted report."""
+    config = config or ExperimentConfig()
+    setup = prepare(config)
+    sections: list[str] = []
+
+    sections.append(format_table(table1_features(), "Table 1 — library features"))
+    sections.append(format_table(table2_datasets(scale=min(config.scale, 0.5), seed=config.seed),
+                                 "Table 2 — dataset features"))
+    sections.append(format_table(table3_compatibility(), "Table 3 — Pandas API compatibility"))
+    sections.append(format_table(table4_machines(), "Table 4 — machine configurations"))
+
+    sections.append(fig1_stage_speedup.run(setup=setup).format())
+    fig2 = fig2_preparator_speedup.run(setup=setup)
+    for dataset in config.datasets:
+        sections.append(fig2.format(dataset))
+    sections.append(fig3_io_read.run(setup=setup).format())
+    sections.append(fig4_io_write.run(setup=setup).format())
+    sections.append(fig5_pipeline_speedup.run(setup=setup).format())
+    if include_scalability:
+        sections.append(fig6_scalability.run(config).format())
+        sections.append(table5_min_config.run(config).format())
+    if include_tpch:
+        sections.append(fig7_tpch.run(config).format())
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate the paper's tables and figures")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="physical sample scale (1.0 = full default samples)")
+    parser.add_argument("--runs", type=int, default=2, help="simulated measurement repetitions")
+    parser.add_argument("--skip-tpch", action="store_true", help="skip the TPC-H experiment")
+    parser.add_argument("--skip-scalability", action="store_true",
+                        help="skip Figure 6 / Table 5")
+    args = parser.parse_args(argv)
+    config = ExperimentConfig(scale=args.scale, runs=args.runs)
+    print(full_report(config, include_tpch=not args.skip_tpch,
+                      include_scalability=not args.skip_scalability))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

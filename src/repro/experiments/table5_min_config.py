@@ -1,0 +1,74 @@
+"""Table 5: minimum machine configuration for the full pipeline per sample.
+
+For progressively larger samples of Patrol and Taxi, the table reports the
+smallest machine configuration (laptop < workstation < server) on which each
+library completes the most expensive pipeline, or OOM when not even the
+server suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.runner import BentoRunner
+from ..datasets.pipelines import get_pipeline
+from ..datasets.registry import generate_dataset
+from ..engines.registry import create_engines
+from ..simulate.hardware import LAPTOP, SERVER, WORKSTATION
+from .context import ExperimentConfig
+from .fig6_scalability import DEFAULT_FRACTIONS
+
+__all__ = ["MinConfigResult", "run"]
+
+_MACHINE_LABELS = {"laptop": "I", "workstation": "II", "server": "III"}
+_ORDERED_MACHINES = (LAPTOP, WORKSTATION, SERVER)
+
+
+@dataclass
+class MinConfigResult:
+    """minimum[dataset][fraction][engine] -> 'I' | 'II' | 'III' | 'OOM'."""
+
+    fractions: tuple[float, ...]
+    minimum: dict[str, dict[float, dict[str, str]]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = ["Table 5 — minimum machine configuration per dataset sample"]
+        for dataset, per_fraction in self.minimum.items():
+            lines.append(f"  [{dataset}]")
+            for fraction, per_engine in per_fraction.items():
+                rendered = ", ".join(f"{e}={v}" for e, v in per_engine.items())
+                lines.append(f"    {int(fraction * 100):>3}%  {rendered}")
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig | None = None,
+        datasets: tuple[str, ...] = ("patrol", "taxi"),
+        fractions: tuple[float, ...] = DEFAULT_FRACTIONS) -> MinConfigResult:
+    """Execute the Table 5 experiment."""
+    config = config or ExperimentConfig()
+    runner = BentoRunner(runs=1)
+    engine_names = [name for name in config.engines if name != "cudf"]
+    result = MinConfigResult(fractions=tuple(fractions))
+
+    for dataset_name in datasets:
+        base = generate_dataset(dataset_name, scale=config.scale, seed=config.seed)
+        pipeline = get_pipeline(dataset_name, 0)
+        result.minimum[dataset_name] = {}
+        for fraction in fractions:
+            sample = base.sample(fraction) if fraction < 1.0 else base
+            per_engine: dict[str, str] = {}
+            for engine_name in engine_names:
+                label = "OOM"
+                for machine in _ORDERED_MACHINES:
+                    engines = create_engines([engine_name], machine=machine,
+                                             skip_unavailable=True)
+                    if engine_name not in engines:
+                        continue
+                    sim = sample.simulation_context(machine, runs=1)
+                    timing = runner.run_full(engines[engine_name], sample.frame, pipeline, sim)
+                    if not timing.failed:
+                        label = _MACHINE_LABELS[machine.name]
+                        break
+                per_engine[engine_name] = label
+            result.minimum[dataset_name][fraction] = per_engine
+    return result

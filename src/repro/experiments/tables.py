@@ -1,0 +1,57 @@
+"""Reproduction of the paper's static tables (Tables 1-4).
+
+These tables do not require running pipelines: Table 1 and Table 3 are
+properties of the engines, Table 2 is measured on the generated datasets and
+Table 4 describes the machine configurations.  Each function returns the table
+as a list of row dictionaries; :func:`format_table` renders any of them as
+fixed-width text for the reports and benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.compat import compatibility_table
+from ..datasets.registry import table2 as _dataset_table2
+from ..simulate.hardware import LAPTOP, SERVER, WORKSTATION
+from ..simulate.profiles import ENGINE_ORDER, get_profile
+
+__all__ = ["table1_features", "table2_datasets", "table3_compatibility",
+           "table4_machines", "format_table"]
+
+
+def table1_features() -> list[dict]:
+    """Table 1: features of the compared dataframe libraries."""
+    return [get_profile(name).feature_row() for name in ENGINE_ORDER]
+
+
+def table2_datasets(scale: float = 0.25, seed: int = 7) -> list[dict]:
+    """Table 2: features of the selected datasets (measured on samples)."""
+    return _dataset_table2(scale=scale, seed=seed)
+
+
+def table3_compatibility() -> list[dict]:
+    """Table 3: Pandas-API compatibility of every preparator per library."""
+    return compatibility_table()
+
+
+def table4_machines() -> list[dict]:
+    """Table 4: specifications of each machine configuration."""
+    return [machine.describe() for machine in (LAPTOP, WORKSTATION, SERVER)]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Fixed-width text rendering of a list of row dictionaries."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    headers = list(rows[0].keys())
+    cells = [[str(row.get(h, "")) for h in headers] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Columnar dataframe substrate.
+
+This package implements, from scratch on top of numpy, the dataframe data
+structure that every library evaluated in the paper exposes: typed nullable
+columns, a two-dimensional frame, group-by, joins, pivots, string and datetime
+kernels, and an expression AST used by the lazy engines.
+"""
+
+from .column import Column
+from .dtypes import (
+    BOOL,
+    CATEGORICAL,
+    DATETIME,
+    DType,
+    FLOAT64,
+    INT64,
+    STRING,
+    infer_dtype,
+    parse_dtype,
+)
+from .errors import (
+    ColumnNotFoundError,
+    DTypeError,
+    DuplicateColumnError,
+    EmptyFrameError,
+    ExpressionError,
+    FrameError,
+    IOFormatError,
+    JoinError,
+    LengthMismatchError,
+    PlanError,
+    UnsupportedOperationError,
+)
+from .expressions import Expression, col, lit
+from .frame import DataFrame, concat_rows
+
+__all__ = [
+    "Column",
+    "DataFrame",
+    "concat_rows",
+    "DType",
+    "INT64",
+    "FLOAT64",
+    "BOOL",
+    "STRING",
+    "DATETIME",
+    "CATEGORICAL",
+    "infer_dtype",
+    "parse_dtype",
+    "Expression",
+    "col",
+    "lit",
+    "FrameError",
+    "ColumnNotFoundError",
+    "DuplicateColumnError",
+    "DTypeError",
+    "LengthMismatchError",
+    "EmptyFrameError",
+    "JoinError",
+    "ExpressionError",
+    "PlanError",
+    "IOFormatError",
+    "UnsupportedOperationError",
+]

@@ -1,0 +1,155 @@
+"""Datetime parsing, formatting and component extraction.
+
+The substrate stores timestamps as nanoseconds since the Unix epoch (int64)
+with an external validity mask, which matches both the Arrow representation
+and numpy's ``datetime64[ns]``.  The helpers in this module implement the
+pieces needed by the ``chdate`` preparator and by the TPC-H date predicates:
+
+* :func:`parse_datetime_scalar` / :func:`parse_datetime_column` — turn common
+  textual formats into epoch nanoseconds;
+* :func:`format_datetime_column` — render epoch nanoseconds with a strftime
+  pattern;
+* :func:`extract_component` — pull out year / month / day / hour / weekday.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import numpy as np
+
+from .column import Column
+from .dtypes import DATETIME, INT64, STRING
+from .errors import DTypeError
+
+__all__ = [
+    "NS_PER_SECOND",
+    "NS_PER_DAY",
+    "parse_datetime_scalar",
+    "parse_datetime_column",
+    "format_datetime_column",
+    "extract_component",
+    "date_to_ns",
+    "ns_to_datetime",
+]
+
+NS_PER_SECOND = 1_000_000_000
+NS_PER_DAY = 86_400 * NS_PER_SECOND
+
+_FORMATS = (
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d",
+    "%Y/%m/%d",
+    "%d/%m/%Y",
+    "%m/%d/%Y",
+    "%d-%m-%Y",
+    "%Y%m%d",
+    "%Y-%m-%d %H:%M",
+    "%m/%d/%Y %H:%M:%S",
+    "%m/%d/%Y %H:%M",
+    "%b-%Y",
+    "%b %Y",
+    "%Y",
+)
+
+
+def date_to_ns(year: int, month: int = 1, day: int = 1, hour: int = 0,
+               minute: int = 0, second: int = 0) -> int:
+    """Epoch nanoseconds for a calendar timestamp (UTC)."""
+    dt = datetime(year, month, day, hour, minute, second, tzinfo=timezone.utc)
+    return int(dt.timestamp()) * NS_PER_SECOND
+
+
+def ns_to_datetime(ns: int) -> datetime:
+    """Inverse of :func:`date_to_ns` (UTC, second precision)."""
+    return datetime.fromtimestamp(ns / NS_PER_SECOND, tz=timezone.utc)
+
+
+def parse_datetime_scalar(text: str) -> int | None:
+    """Parse a single textual timestamp; returns ``None`` when unparseable."""
+    if text is None:
+        return None
+    text = text.strip()
+    if not text:
+        return None
+    for fmt in _FORMATS:
+        try:
+            dt = datetime.strptime(text, fmt).replace(tzinfo=timezone.utc)
+            return int(dt.timestamp() * NS_PER_SECOND)
+        except ValueError:
+            continue
+    # ISO fallback handles fractional seconds and timezone offsets.
+    try:
+        dt = datetime.fromisoformat(text)
+        if dt.tzinfo is None:
+            dt = dt.replace(tzinfo=timezone.utc)
+        return int(dt.timestamp() * NS_PER_SECOND)
+    except ValueError:
+        return None
+
+
+def parse_datetime_column(column: Column, fmt: str | None = None) -> Column:
+    """Parse a string column into a DATETIME column (the ``chdate`` preparator)."""
+    if column.dtype is DATETIME:
+        return column.copy()
+    if column.dtype is INT64:
+        return Column(column.values.astype(np.int64), DATETIME, column.validity.copy())
+    if column.dtype is not STRING and column.dtype.value != "categorical":
+        raise DTypeError(f"cannot parse {column.dtype} column as datetime")
+    strings = column.to_string_array()
+    n = len(strings)
+    values = np.zeros(n, dtype=np.int64)
+    validity = np.zeros(n, dtype=bool)
+    for i, text in enumerate(strings):
+        if text is None:
+            continue
+        if fmt is not None:
+            try:
+                dt = datetime.strptime(text, fmt).replace(tzinfo=timezone.utc)
+                values[i] = int(dt.timestamp() * NS_PER_SECOND)
+                validity[i] = True
+                continue
+            except ValueError:
+                pass
+        parsed = parse_datetime_scalar(text)
+        if parsed is not None:
+            values[i] = parsed
+            validity[i] = True
+    return Column(values, DATETIME, validity)
+
+
+def format_datetime_column(column: Column, fmt: str = "%Y-%m-%d") -> Column:
+    """Render a DATETIME column as strings using a strftime pattern."""
+    if column.dtype is not DATETIME:
+        column = parse_datetime_column(column)
+    out = np.empty(len(column), dtype=object)
+    for i in range(len(column)):
+        if column.validity[i]:
+            out[i] = ns_to_datetime(int(column.values[i])).strftime(fmt)
+        else:
+            out[i] = None
+    return Column(out, STRING, column.validity.copy())
+
+
+_COMPONENTS = ("year", "month", "day", "hour", "minute", "second", "weekday", "dayofyear")
+
+
+def extract_component(column: Column, component: str) -> Column:
+    """Extract an integer calendar component from a DATETIME column."""
+    if component not in _COMPONENTS:
+        raise ValueError(f"unknown datetime component {component!r}; expected one of {_COMPONENTS}")
+    if column.dtype is not DATETIME:
+        column = parse_datetime_column(column)
+    out = np.zeros(len(column), dtype=np.int64)
+    for i in range(len(column)):
+        if not column.validity[i]:
+            continue
+        dt = ns_to_datetime(int(column.values[i]))
+        if component == "weekday":
+            out[i] = dt.weekday()
+        elif component == "dayofyear":
+            out[i] = dt.timetuple().tm_yday
+        else:
+            out[i] = getattr(dt, component)
+    return Column(out, INT64, column.validity.copy())

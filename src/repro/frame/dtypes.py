@@ -1,0 +1,200 @@
+"""Logical data types for substrate columns.
+
+The substrate supports a small, closed set of logical dtypes that is
+sufficient for every preparator in the paper and for the TPC-H queries:
+
+* ``INT64``      — 64-bit signed integers
+* ``FLOAT64``    — double precision floats
+* ``BOOL``       — booleans
+* ``STRING``     — variable-length unicode strings
+* ``DATETIME``   — nanoseconds since the Unix epoch (int64 payload)
+* ``CATEGORICAL``— dictionary-encoded strings (int32 codes + category table)
+
+Each logical dtype maps onto a numpy storage dtype; null handling is done with
+an external validity mask (see :mod:`repro.frame.column`), mirroring the
+Arrow-style representation used by Polars/CuDF in the paper, with an optional
+sentinel representation used by the simulated DataTable engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from .errors import DTypeError
+
+__all__ = [
+    "DType",
+    "INT64",
+    "FLOAT64",
+    "BOOL",
+    "STRING",
+    "DATETIME",
+    "CATEGORICAL",
+    "infer_dtype",
+    "numpy_storage_dtype",
+    "is_numeric",
+    "common_dtype",
+    "parse_dtype",
+]
+
+
+class DType(enum.Enum):
+    """Logical column type."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    STRING = "string"
+    DATETIME = "datetime"
+    CATEGORICAL = "categorical"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DType.INT64, DType.FLOAT64, DType.BOOL)
+
+    @property
+    def is_temporal(self) -> bool:
+        return self is DType.DATETIME
+
+    @property
+    def itemsize(self) -> int:
+        """Approximate per-value storage footprint in bytes.
+
+        Strings are assigned an average budget of 32 bytes, which matches the
+        memory model used to extrapolate dataset sizes (Table 2 reports string
+        length ranges; 32 bytes is a conservative mid-point including object
+        overhead).
+        """
+        return _ITEMSIZE[self]
+
+
+INT64 = DType.INT64
+FLOAT64 = DType.FLOAT64
+BOOL = DType.BOOL
+STRING = DType.STRING
+DATETIME = DType.DATETIME
+CATEGORICAL = DType.CATEGORICAL
+
+_ITEMSIZE = {
+    DType.INT64: 8,
+    DType.FLOAT64: 8,
+    DType.BOOL: 1,
+    DType.STRING: 32,
+    DType.DATETIME: 8,
+    DType.CATEGORICAL: 4,
+}
+
+_STORAGE = {
+    DType.INT64: np.dtype(np.int64),
+    DType.FLOAT64: np.dtype(np.float64),
+    DType.BOOL: np.dtype(np.bool_),
+    DType.STRING: np.dtype(object),
+    DType.DATETIME: np.dtype(np.int64),
+    DType.CATEGORICAL: np.dtype(np.int32),
+}
+
+_ALIASES = {
+    "int": DType.INT64,
+    "int64": DType.INT64,
+    "integer": DType.INT64,
+    "float": DType.FLOAT64,
+    "float64": DType.FLOAT64,
+    "double": DType.FLOAT64,
+    "bool": DType.BOOL,
+    "boolean": DType.BOOL,
+    "str": DType.STRING,
+    "string": DType.STRING,
+    "object": DType.STRING,
+    "datetime": DType.DATETIME,
+    "timestamp": DType.DATETIME,
+    "date": DType.DATETIME,
+    "category": DType.CATEGORICAL,
+    "categorical": DType.CATEGORICAL,
+}
+
+
+def parse_dtype(value: "DType | str") -> DType:
+    """Turn a dtype or a user-facing alias string into a :class:`DType`."""
+    if isinstance(value, DType):
+        return value
+    if isinstance(value, str):
+        key = value.strip().lower()
+        if key in _ALIASES:
+            return _ALIASES[key]
+    raise DTypeError(f"unknown dtype {value!r}")
+
+
+def numpy_storage_dtype(dtype: DType) -> np.dtype:
+    """Numpy dtype used to store values of the given logical dtype."""
+    return _STORAGE[dtype]
+
+
+def is_numeric(dtype: DType) -> bool:
+    return dtype.is_numeric
+
+
+def infer_dtype(values: Any) -> DType:
+    """Infer the logical dtype of a Python/numpy sequence.
+
+    ``None`` and NaN entries are ignored during inference; a sequence with only
+    nulls defaults to ``FLOAT64`` (the same behaviour Pandas exhibits).
+    """
+    arr = np.asarray(values, dtype=object) if not isinstance(values, np.ndarray) else values
+    if arr.dtype != object:
+        kind = arr.dtype.kind
+        if kind in "iu":
+            return DType.INT64
+        if kind == "f":
+            return DType.FLOAT64
+        if kind == "b":
+            return DType.BOOL
+        if kind == "M":
+            return DType.DATETIME
+        if kind in "US":
+            return DType.STRING
+        return DType.STRING
+    saw_float = saw_int = saw_bool = saw_str = False
+    for item in arr.ravel():
+        if item is None or (isinstance(item, float) and np.isnan(item)):
+            continue
+        if isinstance(item, bool) or isinstance(item, np.bool_):
+            saw_bool = True
+        elif isinstance(item, (int, np.integer)):
+            saw_int = True
+        elif isinstance(item, (float, np.floating)):
+            saw_float = True
+        elif isinstance(item, str):
+            saw_str = True
+        else:
+            saw_str = True
+    if saw_str:
+        return DType.STRING
+    if saw_float:
+        return DType.FLOAT64
+    if saw_int:
+        return DType.INT64
+    if saw_bool:
+        return DType.BOOL
+    return DType.FLOAT64
+
+
+def common_dtype(left: DType, right: DType) -> DType:
+    """Result dtype of an arithmetic operation between two numeric dtypes."""
+    if left == right:
+        return left
+    numeric_order = {DType.BOOL: 0, DType.INT64: 1, DType.FLOAT64: 2}
+    if left in numeric_order and right in numeric_order:
+        return left if numeric_order[left] >= numeric_order[right] else right
+    if DType.STRING in (left, right):
+        return DType.STRING
+    if DType.DATETIME in (left, right):
+        other = right if left is DType.DATETIME else left
+        if other in (DType.INT64, DType.FLOAT64):
+            return DType.DATETIME
+    raise DTypeError(f"no common dtype between {left} and {right}")

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the dataframe substrate.
+
+Every error raised by :mod:`repro.frame`, :mod:`repro.plan` and :mod:`repro.io`
+derives from :class:`FrameError`, so callers can catch substrate problems with
+a single ``except`` clause while still distinguishing the common failure modes
+(unknown column, incompatible dtypes, malformed input, ...).
+"""
+
+from __future__ import annotations
+
+
+class FrameError(Exception):
+    """Base class for all substrate errors."""
+
+
+class ColumnNotFoundError(FrameError, KeyError):
+    """A referenced column does not exist in the frame."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        message = f"column {name!r} not found"
+        if available:
+            message += f"; available columns: {', '.join(available)}"
+        super().__init__(message)
+
+
+class DuplicateColumnError(FrameError, ValueError):
+    """A frame would end up with two columns sharing the same name."""
+
+
+class DTypeError(FrameError, TypeError):
+    """An operation received a column of an unsupported or mismatched dtype."""
+
+
+class LengthMismatchError(FrameError, ValueError):
+    """Columns of different lengths were combined into one frame."""
+
+
+class EmptyFrameError(FrameError, ValueError):
+    """An operation that requires rows was applied to an empty frame."""
+
+
+class JoinError(FrameError, ValueError):
+    """Join keys are invalid (missing columns, incompatible dtypes, ...)."""
+
+
+class ExpressionError(FrameError, ValueError):
+    """An expression tree cannot be evaluated against the target frame."""
+
+
+class PlanError(FrameError, ValueError):
+    """A logical plan is malformed or cannot be optimized/executed."""
+
+
+class IOFormatError(FrameError, ValueError):
+    """A file being read does not conform to the expected format."""
+
+
+class UnsupportedOperationError(FrameError, NotImplementedError):
+    """The requested operation is not supported by this engine or dtype."""

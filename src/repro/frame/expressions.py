@@ -1,0 +1,315 @@
+"""Expression AST evaluated against a DataFrame.
+
+Expressions are the building block of the lazy layer (:mod:`repro.plan`) and
+of the ``calccol`` / ``query`` preparators.  They form a small algebra:
+
+* :func:`col` — reference a column by name;
+* :func:`lit` — a scalar literal;
+* arithmetic (``+ - * /``), comparisons (``== != < <= > >=``), boolean
+  combinators (``&``, ``|``, ``~``), membership (:meth:`Expression.is_in`),
+  null checks, string helpers (:meth:`Expression.str_contains`,
+  :meth:`Expression.str_like`) and date component extraction.
+
+An expression knows which columns it references (:meth:`Expression.columns`),
+which is what enables projection pushdown in the optimizer, and can be
+evaluated against a frame to produce a :class:`~repro.frame.column.Column`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from . import strings as string_ops
+from .column import Column
+from .datetimes import extract_component
+from .dtypes import BOOL
+from .errors import ExpressionError
+
+__all__ = ["Expression", "col", "lit"]
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    def evaluate(self, frame) -> Column:
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of the columns this expression reads."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Compact textual form used in plan explanations."""
+        raise NotImplementedError
+
+    # -- operator sugar -------------------------------------------------- #
+    def _wrap(self, other: Any) -> "Expression":
+        return other if isinstance(other, Expression) else Literal(other)
+
+    def __add__(self, other): return BinaryOp("+", self, self._wrap(other))
+    def __radd__(self, other): return BinaryOp("+", self._wrap(other), self)
+    def __sub__(self, other): return BinaryOp("-", self, self._wrap(other))
+    def __rsub__(self, other): return BinaryOp("-", self._wrap(other), self)
+    def __mul__(self, other): return BinaryOp("*", self, self._wrap(other))
+    def __rmul__(self, other): return BinaryOp("*", self._wrap(other), self)
+    def __truediv__(self, other): return BinaryOp("/", self, self._wrap(other))
+    def __rtruediv__(self, other): return BinaryOp("/", self._wrap(other), self)
+    def __eq__(self, other): return BinaryOp("==", self, self._wrap(other))  # type: ignore[override]
+    def __ne__(self, other): return BinaryOp("!=", self, self._wrap(other))  # type: ignore[override]
+    def __lt__(self, other): return BinaryOp("<", self, self._wrap(other))
+    def __le__(self, other): return BinaryOp("<=", self, self._wrap(other))
+    def __gt__(self, other): return BinaryOp(">", self, self._wrap(other))
+    def __ge__(self, other): return BinaryOp(">=", self, self._wrap(other))
+    def __and__(self, other): return BinaryOp("&", self, self._wrap(other))
+    def __or__(self, other): return BinaryOp("|", self, self._wrap(other))
+    def __invert__(self): return UnaryOp("not", self)
+    def __neg__(self): return UnaryOp("neg", self)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- named helpers ---------------------------------------------------- #
+    def is_null(self) -> "Expression":
+        return UnaryOp("is_null", self)
+
+    def not_null(self) -> "Expression":
+        return UnaryOp("not_null", self)
+
+    def is_in(self, values: Iterable[Any]) -> "Expression":
+        return IsIn(self, list(values))
+
+    def str_contains(self, pattern: str, regex: bool = True) -> "Expression":
+        return StringPredicate(self, "contains", pattern, regex=regex)
+
+    def str_like(self, pattern: str) -> "Expression":
+        return StringPredicate(self, "like", pattern)
+
+    def str_startswith(self, prefix: str) -> "Expression":
+        return StringPredicate(self, "startswith", prefix)
+
+    def str_endswith(self, suffix: str) -> "Expression":
+        return StringPredicate(self, "endswith", suffix)
+
+    def dt_component(self, component: str) -> "Expression":
+        return DateComponent(self, component)
+
+    def between(self, low: Any, high: Any) -> "Expression":
+        return (self >= low) & (self <= high)
+
+    def apply(self, func: Callable[[Any], Any], dtype=None) -> "Expression":
+        return Apply(self, func, dtype)
+
+    def alias(self, name: str) -> "Aliased":
+        return Aliased(self, name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Expression<{self.describe()}>"
+
+
+class Aliased(Expression):
+    """An expression carrying an output column name."""
+
+    def __init__(self, inner: Expression, name: str):
+        self.inner = inner
+        self.name = name
+
+    def evaluate(self, frame) -> Column:
+        return self.inner.evaluate(frame)
+
+    def columns(self) -> set[str]:
+        return self.inner.columns()
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()} AS {self.name}"
+
+
+class ColumnRef(Expression):
+    """Reference to a frame column by name."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, frame) -> Column:
+        return frame[self.name]
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def describe(self) -> str:
+        return f"col({self.name})"
+
+
+class Literal(Expression):
+    """A scalar constant broadcast to the frame length."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, frame) -> Column:
+        return Column.from_values([self.value] * frame.num_rows)
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def describe(self) -> str:
+        return repr(self.value)
+
+
+_BINARY_COLUMN_OPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div",
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+    "&": "logical_and", "|": "logical_or",
+}
+
+
+class BinaryOp(Expression):
+    """Arithmetic, comparison or boolean combination of two expressions."""
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _BINARY_COLUMN_OPS:
+            raise ExpressionError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, frame) -> Column:
+        left = self.left.evaluate(frame)
+        # Scalar right-hand sides skip materializing a literal column.
+        if isinstance(self.right, Literal) and self.op not in ("&", "|"):
+            right: Any = self.right.value
+        else:
+            right = self.right.evaluate(frame)
+        method = getattr(left, _BINARY_COLUMN_OPS[self.op])
+        return method(right)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+
+class UnaryOp(Expression):
+    """Negation, boolean NOT and null checks."""
+
+    def __init__(self, op: str, operand: Expression):
+        if op not in ("neg", "not", "is_null", "not_null"):
+            raise ExpressionError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def evaluate(self, frame) -> Column:
+        value = self.operand.evaluate(frame)
+        if self.op == "neg":
+            return value.neg()
+        if self.op == "not":
+            return value.logical_not()
+        if self.op == "is_null":
+            return value.is_null()
+        return value.not_null()
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def describe(self) -> str:
+        return f"{self.op}({self.operand.describe()})"
+
+
+class IsIn(Expression):
+    """Membership test against a fixed set of values."""
+
+    def __init__(self, operand: Expression, values: Sequence[Any]):
+        self.operand = operand
+        self.values = list(values)
+
+    def evaluate(self, frame) -> Column:
+        return self.operand.evaluate(frame).is_in(self.values)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def describe(self) -> str:
+        preview = ", ".join(repr(v) for v in self.values[:4])
+        return f"{self.operand.describe()} IN [{preview}{', ...' if len(self.values) > 4 else ''}]"
+
+
+class StringPredicate(Expression):
+    """String pattern predicates: contains / like / startswith / endswith."""
+
+    def __init__(self, operand: Expression, kind: str, pattern: str, regex: bool = True):
+        if kind not in ("contains", "like", "startswith", "endswith"):
+            raise ExpressionError(f"unknown string predicate {kind!r}")
+        self.operand = operand
+        self.kind = kind
+        self.pattern = pattern
+        self.regex = regex
+
+    def evaluate(self, frame) -> Column:
+        value = self.operand.evaluate(frame)
+        if self.kind == "contains":
+            return string_ops.contains(value, self.pattern, regex=self.regex)
+        if self.kind == "like":
+            return string_ops.match_like(value, self.pattern)
+        if self.kind == "startswith":
+            return string_ops.startswith(value, self.pattern)
+        return string_ops.endswith(value, self.pattern)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.operand.describe()}, {self.pattern!r})"
+
+
+class DateComponent(Expression):
+    """Extract year/month/day/... from a datetime expression."""
+
+    def __init__(self, operand: Expression, component: str):
+        self.operand = operand
+        self.component = component
+
+    def evaluate(self, frame) -> Column:
+        return extract_component(self.operand.evaluate(frame), self.component)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def describe(self) -> str:
+        return f"{self.component}({self.operand.describe()})"
+
+
+class Apply(Expression):
+    """Apply an arbitrary Python scalar function (escape hatch for ``edit``)."""
+
+    def __init__(self, operand: Expression, func: Callable[[Any], Any], dtype=None):
+        self.operand = operand
+        self.func = func
+        self.dtype = dtype
+
+    def evaluate(self, frame) -> Column:
+        return self.operand.evaluate(frame).apply(self.func, self.dtype)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def describe(self) -> str:
+        name = getattr(self.func, "__name__", "λ")
+        return f"apply({self.operand.describe()}, {name})"
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column of the target frame by name."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """A literal scalar expression."""
+    return Literal(value)
+
+
+def ensure_boolean(column: Column) -> np.ndarray:
+    """Validate that an expression produced a boolean mask and return it."""
+    if column.dtype is not BOOL:
+        raise ExpressionError(f"predicate must evaluate to BOOL, got {column.dtype}")
+    return column.to_numpy_bool()

@@ -1,0 +1,128 @@
+"""Hash-join kernel for the substrate.
+
+Implements inner / left / right / outer / semi / anti equi-joins on one or
+more key columns.  The build side is always the right frame (a hash table
+from key tuple to row indices), the probe side the left frame — the classic
+strategy used by Polars, CuDF and Spark for equi-joins.
+
+Column-name collisions on non-key columns are resolved with a ``_right``
+suffix, matching the Pandas convention Bento relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .column import Column
+from .errors import JoinError
+
+__all__ = ["hash_join"]
+
+_VALID_HOW = ("inner", "left", "right", "outer", "semi", "anti")
+
+
+def _key_tuples(frame, keys: Sequence[str]) -> list[tuple]:
+    lists = [frame[k].to_list() for k in keys]
+    return list(zip(*lists)) if lists else []
+
+
+def _build_table(keys: list[tuple]) -> dict[tuple, list[int]]:
+    table: dict[tuple, list[int]] = {}
+    for idx, key in enumerate(keys):
+        table.setdefault(key, []).append(idx)
+    return table
+
+
+def _gather_column(column: Column, indices: list[int | None]) -> Column:
+    """Take with ``None`` producing a null row (for outer joins)."""
+    values = column.to_list()
+    out = [values[i] if i is not None else None for i in indices]
+    dtype = column.dtype if column.dtype.value != "categorical" else None
+    return Column.from_values(out, dtype)
+
+
+def hash_join(
+    left,
+    right,
+    left_on: Sequence[str],
+    right_on: Sequence[str] | None = None,
+    how: str = "inner",
+    suffix: str = "_right",
+):
+    """Join two DataFrames on equality of key columns.
+
+    Parameters mirror the ``join`` preparator: ``left_on``/``right_on`` name
+    the key columns on each side, ``how`` selects the join type and ``suffix``
+    disambiguates clashing non-key column names from the right side.
+    """
+    from .frame import DataFrame
+
+    if how not in _VALID_HOW:
+        raise JoinError(f"unknown join type {how!r}; expected one of {_VALID_HOW}")
+    right_on = list(right_on) if right_on is not None else list(left_on)
+    left_on = list(left_on)
+    if len(left_on) != len(right_on):
+        raise JoinError("left_on and right_on must have the same number of key columns")
+    for name in left_on:
+        if name not in left.columns:
+            raise JoinError(f"left join key {name!r} not in left frame")
+    for name in right_on:
+        if name not in right.columns:
+            raise JoinError(f"right join key {name!r} not in right frame")
+
+    left_keys = _key_tuples(left, left_on)
+    right_keys = _key_tuples(right, right_on)
+    table = _build_table(right_keys)
+
+    left_idx: list[int | None] = []
+    right_idx: list[int | None] = []
+
+    if how in ("inner", "left", "outer"):
+        matched_right: set[int] = set()
+        for i, key in enumerate(left_keys):
+            matches = table.get(key) if None not in key else None
+            if matches:
+                for j in matches:
+                    left_idx.append(i)
+                    right_idx.append(j)
+                    matched_right.add(j)
+            elif how in ("left", "outer"):
+                left_idx.append(i)
+                right_idx.append(None)
+        if how == "outer":
+            for j in range(len(right_keys)):
+                if j not in matched_right:
+                    left_idx.append(None)
+                    right_idx.append(j)
+    elif how == "right":
+        # implemented as a left join with sides swapped, then reordered
+        swapped = hash_join(right, left, right_on, left_on, how="left", suffix=suffix)
+        # reorder columns: left columns first, then right
+        return swapped
+    elif how in ("semi", "anti"):
+        for i, key in enumerate(left_keys):
+            has_match = None not in key and key in table
+            if (how == "semi") == has_match:
+                left_idx.append(i)
+                right_idx.append(None)
+
+    data: dict[str, Column] = {}
+    for name in left.columns:
+        data[name] = _gather_column(left[name], left_idx)
+
+    if how not in ("semi", "anti"):
+        key_map = dict(zip(right_on, left_on))
+        for name in right.columns:
+            if name in key_map and key_map[name] == name:
+                # identical key column name already provided by the left side
+                continue
+            out_name = name
+            if out_name in data:
+                out_name = f"{name}{suffix}"
+            if out_name in data:
+                raise JoinError(f"cannot disambiguate output column {name!r}")
+            data[out_name] = _gather_column(right[name], right_idx)
+
+    return DataFrame(data)

@@ -1,0 +1,142 @@
+"""String kernels used by the EDA/DT/DC preparators.
+
+These functions operate on STRING (or CATEGORICAL) columns and return new
+columns; they back the ``srchptn``, ``setcase``, ``replace`` (substring
+variant) and ``edit`` preparators as well as the string predicates in the
+TPC-H queries (``LIKE`` patterns).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+import numpy as np
+
+from .column import Column
+from .dtypes import BOOL, INT64, STRING
+from .errors import DTypeError
+
+__all__ = [
+    "contains",
+    "match_like",
+    "startswith",
+    "endswith",
+    "set_case",
+    "strip",
+    "replace_substring",
+    "str_length",
+    "extract_regex",
+    "concat_strings",
+]
+
+
+def _string_values(column: Column, op_name: str) -> np.ndarray:
+    if column.dtype not in (STRING,) and column.dtype.value != "categorical":
+        raise DTypeError(f"{op_name} requires a string column, got {column.dtype}")
+    return column.to_string_array()
+
+
+def _map_strings(column: Column, func: Callable[[str], str], op_name: str) -> Column:
+    strings = _string_values(column, op_name)
+    out = np.empty(len(strings), dtype=object)
+    for i, s in enumerate(strings):
+        out[i] = func(s) if s is not None else None
+    return Column(out, STRING, column.validity.copy())
+
+
+def contains(column: Column, pattern: str, regex: bool = True, case: bool = True) -> Column:
+    """Boolean column marking rows whose string matches ``pattern``.
+
+    Backs the ``srchptn`` (search by pattern) preparator.  With
+    ``regex=False`` the pattern is treated as a literal substring.
+    """
+    strings = _string_values(column, "contains")
+    flags = 0 if case else re.IGNORECASE
+    if regex:
+        compiled = re.compile(pattern, flags)
+        matcher = lambda s: compiled.search(s) is not None  # noqa: E731
+    else:
+        needle = pattern if case else pattern.lower()
+        matcher = (lambda s: needle in s) if case else (lambda s: needle in s.lower())
+    out = np.zeros(len(strings), dtype=bool)
+    for i, s in enumerate(strings):
+        if s is not None:
+            out[i] = matcher(s)
+    return Column(out, BOOL, column.validity.copy())
+
+
+def match_like(column: Column, pattern: str) -> Column:
+    """SQL ``LIKE`` matching (``%`` and ``_`` wildcards), used by TPC-H."""
+    regex = "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$"
+    return contains(column, regex, regex=True)
+
+
+def startswith(column: Column, prefix: str) -> Column:
+    strings = _string_values(column, "startswith")
+    out = np.array([s.startswith(prefix) if s is not None else False for s in strings], dtype=bool)
+    return Column(out, BOOL, column.validity.copy())
+
+
+def endswith(column: Column, suffix: str) -> Column:
+    strings = _string_values(column, "endswith")
+    out = np.array([s.endswith(suffix) if s is not None else False for s in strings], dtype=bool)
+    return Column(out, BOOL, column.validity.copy())
+
+
+def set_case(column: Column, mode: str = "lower") -> Column:
+    """Change string case (the ``setcase`` preparator): lower/upper/title."""
+    funcs = {"lower": str.lower, "upper": str.upper, "title": str.title, "capitalize": str.capitalize}
+    if mode not in funcs:
+        raise ValueError(f"unknown case mode {mode!r}; expected one of {sorted(funcs)}")
+    return _map_strings(column, funcs[mode], "set_case")
+
+
+def strip(column: Column, chars: str | None = None) -> Column:
+    return _map_strings(column, lambda s: s.strip(chars), "strip")
+
+
+def replace_substring(column: Column, old: str, new: str, regex: bool = False) -> Column:
+    """Substring replacement within each value (string variant of ``replace``)."""
+    if regex:
+        compiled = re.compile(old)
+        return _map_strings(column, lambda s: compiled.sub(new, s), "replace_substring")
+    return _map_strings(column, lambda s: s.replace(old, new), "replace_substring")
+
+
+def str_length(column: Column) -> Column:
+    strings = _string_values(column, "str_length")
+    out = np.array([len(s) if s is not None else 0 for s in strings], dtype=np.int64)
+    return Column(out, INT64, column.validity.copy())
+
+
+def extract_regex(column: Column, pattern: str, group: int = 0) -> Column:
+    """Extract the first regex match (or capture group) from each value."""
+    compiled = re.compile(pattern)
+    strings = _string_values(column, "extract_regex")
+    out = np.empty(len(strings), dtype=object)
+    validity = column.validity.copy()
+    for i, s in enumerate(strings):
+        if s is None:
+            out[i] = None
+            continue
+        match = compiled.search(s)
+        if match is None:
+            out[i] = None
+            validity[i] = False
+        else:
+            out[i] = match.group(group)
+    return Column(out, STRING, validity)
+
+
+def concat_strings(left: Column, right: Column, separator: str = "") -> Column:
+    """Concatenate two string columns elementwise."""
+    a = _string_values(left, "concat_strings")
+    b = _string_values(right, "concat_strings")
+    if len(a) != len(b):
+        raise DTypeError("concat_strings requires columns of equal length")
+    out = np.empty(len(a), dtype=object)
+    validity = left.validity & right.validity
+    for i in range(len(a)):
+        out[i] = f"{a[i]}{separator}{b[i]}" if validity[i] else None
+    return Column(out, STRING, validity)

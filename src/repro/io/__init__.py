@@ -1,0 +1,36 @@
+"""File I/O for the substrate: CSV and the rparquet columnar binary format."""
+
+from .csv import csv_row_count, read_csv, scan_csv_chunks, write_csv
+from .rparquet import read_rparquet, read_rparquet_schema, write_rparquet
+from .schema import Schema, infer_schema, infer_value_dtype
+
+__all__ = [
+    "read_csv",
+    "write_csv",
+    "scan_csv_chunks",
+    "csv_row_count",
+    "read_rparquet",
+    "write_rparquet",
+    "read_rparquet_schema",
+    "Schema",
+    "infer_schema",
+    "infer_value_dtype",
+]
+
+
+def read_any(path, file_format: str = "csv", columns=None):
+    """Dispatch helper used by FileScan execution: read CSV or rparquet."""
+    if file_format in ("csv", "CSV"):
+        return read_csv(path, columns=columns)
+    if file_format in ("rparquet", "parquet"):
+        return read_rparquet(path, columns=columns)
+    raise ValueError(f"unknown file format {file_format!r}")
+
+
+def write_any(frame, path, file_format: str = "csv") -> int:
+    """Dispatch helper: write CSV or rparquet; returns bytes written."""
+    if file_format in ("csv", "CSV"):
+        return write_csv(frame, path)
+    if file_format in ("rparquet", "parquet"):
+        return write_rparquet(frame, path)
+    raise ValueError(f"unknown file format {file_format!r}")

@@ -1,0 +1,175 @@
+"""CSV reader and writer for the substrate.
+
+The reader supports the features the paper's I/O stage exercises:
+
+* schema inference from a configurable sample of rows (or an explicit schema);
+* chunked reading (the strategy Vaex and DataTable use to bound memory);
+* projection (``columns=...``), which the lazy engines' projection pushdown
+  exploits to avoid materializing unused columns;
+* empty strings decoded as nulls.
+
+The writer streams rows out in chunks and never materializes the textual
+representation of the whole frame.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..frame.column import Column
+from ..frame.datetimes import ns_to_datetime, parse_datetime_scalar
+from ..frame.dtypes import BOOL, DATETIME, DType, FLOAT64, INT64, STRING
+from ..frame.errors import IOFormatError
+from ..frame.frame import DataFrame, concat_rows
+from .schema import Schema, infer_schema
+
+__all__ = ["read_csv", "write_csv", "scan_csv_chunks", "csv_row_count"]
+
+_TRUE = {"true", "t", "yes", "1"}
+_FALSE = {"false", "f", "no", "0"}
+
+
+def _decode_cell(text: str | None, dtype: DType):
+    if text is None:
+        return None
+    value = text.strip()
+    if not value:
+        return None
+    try:
+        if dtype is INT64:
+            return int(float(value)) if "." in value or "e" in value.lower() else int(value)
+        if dtype is FLOAT64:
+            return float(value)
+        if dtype is BOOL:
+            lowered = value.lower()
+            if lowered in _TRUE:
+                return True
+            if lowered in _FALSE:
+                return False
+            return None
+        if dtype is DATETIME:
+            return parse_datetime_scalar(value)
+    except ValueError:
+        return None
+    return value
+
+
+def _rows_to_frame(header: Sequence[str], rows: list[Sequence[str]], schema: Schema,
+                   columns: Sequence[str] | None) -> DataFrame:
+    wanted = list(columns) if columns is not None else list(header)
+    positions = {name: i for i, name in enumerate(header)}
+    data: dict[str, Column] = {}
+    for name in wanted:
+        if name not in positions:
+            raise IOFormatError(f"column {name!r} not present in CSV header")
+        dtype = schema[name] if name in schema else STRING
+        pos = positions[name]
+        decoded = [_decode_cell(row[pos] if pos < len(row) else None, dtype) for row in rows]
+        data[name] = Column.from_values(decoded, dtype)
+    return DataFrame(data)
+
+
+def scan_csv_chunks(
+    path: "str | Path",
+    chunk_rows: int = 50_000,
+    columns: Sequence[str] | None = None,
+    schema: Schema | None = None,
+    delimiter: str = ",",
+    sample_rows: int = 1000,
+) -> Iterator[DataFrame]:
+    """Yield the CSV file as a sequence of DataFrame chunks.
+
+    This is the streaming entry point used by the Vaex- and DataTable-style
+    engines; :func:`read_csv` simply concatenates the chunks.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise IOFormatError(f"CSV file not found: {path}")
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise IOFormatError(f"CSV file {path} is empty") from None
+        header = [h.strip() for h in header]
+
+        buffered: list[Sequence[str]] = []
+        if schema is None:
+            for row in reader:
+                buffered.append(row)
+                if len(buffered) >= sample_rows:
+                    break
+            schema = infer_schema(header, buffered)
+
+        chunk: list[Sequence[str]] = []
+        emitted = False
+        for row in buffered:
+            chunk.append(row)
+            if len(chunk) >= chunk_rows:
+                yield _rows_to_frame(header, chunk, schema, columns)
+                emitted = True
+                chunk = []
+        for row in reader:
+            chunk.append(row)
+            if len(chunk) >= chunk_rows:
+                yield _rows_to_frame(header, chunk, schema, columns)
+                emitted = True
+                chunk = []
+        if chunk or not emitted:
+            yield _rows_to_frame(header, chunk, schema, columns)
+
+
+def read_csv(
+    path: "str | Path",
+    columns: Sequence[str] | None = None,
+    schema: Schema | None = None,
+    delimiter: str = ",",
+    chunk_rows: int = 100_000,
+) -> DataFrame:
+    """Read a CSV file into a DataFrame (the ``read`` preparator)."""
+    chunks = list(scan_csv_chunks(path, chunk_rows=chunk_rows, columns=columns,
+                                  schema=schema, delimiter=delimiter))
+    if len(chunks) == 1:
+        return chunks[0]
+    return concat_rows(chunks)
+
+
+def _encode_cell(value, dtype: DType) -> str:
+    if value is None:
+        return ""
+    if dtype is DATETIME:
+        return ns_to_datetime(int(value)).strftime("%Y-%m-%d %H:%M:%S")
+    if dtype is BOOL:
+        return "true" if value else "false"
+    if dtype is FLOAT64:
+        return repr(float(value))
+    return str(value)
+
+
+def write_csv(frame: DataFrame, path: "str | Path", delimiter: str = ",",
+              chunk_rows: int = 100_000) -> int:
+    """Write a DataFrame to CSV (the ``write`` preparator); returns bytes written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    dtypes = frame.dtypes
+    names = frame.columns
+    lists = {name: frame[name].to_list() for name in names}
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(names)
+        for start in range(0, frame.num_rows, chunk_rows):
+            stop = min(frame.num_rows, start + chunk_rows)
+            for i in range(start, stop):
+                writer.writerow([_encode_cell(lists[name][i], dtypes[name]) for name in names])
+    return path.stat().st_size
+
+
+def csv_row_count(path: "str | Path") -> int:
+    """Number of data rows in a CSV file (cheap line count, header excluded)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return max(0, sum(1 for _ in handle) - 1)

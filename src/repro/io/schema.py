@@ -1,0 +1,118 @@
+"""Schema description and inference for files on disk.
+
+A :class:`Schema` maps column names to logical dtypes and can be inferred from
+a sample of textual values (CSV) or stored alongside the columnar binary
+format.  Inference follows the conservative strategy the dataframe libraries
+in the paper use for CSV ingestion: try integer, then float, then boolean,
+then datetime, otherwise string; a column with any unparseable value falls
+back to string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..frame.datetimes import parse_datetime_scalar
+from ..frame.dtypes import BOOL, DATETIME, DType, FLOAT64, INT64, STRING, parse_dtype
+
+__all__ = ["Schema", "infer_value_dtype", "infer_schema"]
+
+_TRUE_LITERALS = {"true", "false", "t", "f", "yes", "no"}
+
+
+@dataclass
+class Schema:
+    """Ordered mapping of column name to logical dtype."""
+
+    fields: dict[str, DType]
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, "DType | str"]) -> "Schema":
+        return cls({name: parse_dtype(dtype) for name, dtype in mapping.items()})
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __getitem__(self, name: str) -> DType:
+        return self.fields[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+    def __iter__(self):
+        return iter(self.fields.items())
+
+    def select(self, names: Sequence[str]) -> "Schema":
+        return Schema({name: self.fields[name] for name in names if name in self.fields})
+
+    def to_dict(self) -> dict[str, str]:
+        return {name: dtype.value for name, dtype in self.fields.items()}
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, str]) -> "Schema":
+        return cls.from_mapping(mapping)
+
+
+def infer_value_dtype(text: str) -> DType:
+    """Dtype of a single textual value (empty strings are treated as nulls)."""
+    value = text.strip()
+    if not value:
+        return FLOAT64  # null-only contributions default to float
+    lowered = value.lower()
+    if lowered in _TRUE_LITERALS:
+        return BOOL
+    try:
+        int(value)
+        return INT64
+    except ValueError:
+        pass
+    try:
+        float(value)
+        return FLOAT64
+    except ValueError:
+        pass
+    if parse_datetime_scalar(value) is not None and len(value) >= 6:
+        return DATETIME
+    return STRING
+
+
+_PROMOTION = {
+    (INT64, FLOAT64): FLOAT64,
+    (FLOAT64, INT64): FLOAT64,
+    (BOOL, INT64): INT64,
+    (INT64, BOOL): INT64,
+    (BOOL, FLOAT64): FLOAT64,
+    (FLOAT64, BOOL): FLOAT64,
+}
+
+
+def _merge(current: DType | None, new: DType) -> DType:
+    if current is None or current == new:
+        return new
+    promoted = _PROMOTION.get((current, new))
+    if promoted is not None:
+        return promoted
+    return STRING
+
+
+def infer_schema(header: Sequence[str], sample_rows: Iterable[Sequence[str]]) -> Schema:
+    """Infer a schema from a CSV header and a sample of parsed rows."""
+    merged: list[DType | None] = [None] * len(header)
+    saw_value = [False] * len(header)
+    for row in sample_rows:
+        for i, cell in enumerate(row[: len(header)]):
+            if cell is None or not cell.strip():
+                continue
+            saw_value[i] = True
+            merged[i] = _merge(merged[i], infer_value_dtype(cell))
+    fields: dict[str, DType] = {}
+    for name, dtype, seen in zip(header, merged, saw_value):
+        fields[name] = dtype if (dtype is not None and seen) else STRING if not seen else dtype
+        if fields[name] is None:
+            fields[name] = STRING
+    return Schema(fields)

@@ -1,0 +1,54 @@
+"""Lazy evaluation layer: logical plans, optimizer and executor.
+
+This is the substrate behind the lazy engines (Polars lazy, Spark SQL,
+Pandas-on-Spark): pipelines are recorded as logical plans, optimized with
+projection pushdown / predicate pushdown / filter fusion, and executed against
+the dataframe substrate while recording how much work was actually done.
+"""
+
+from .builder import LazyFrame
+from .executor import ExecutionStats, Executor, OperatorStat, execute
+from .logical import (
+    Aggregate,
+    Distinct,
+    DropNulls,
+    FileScan,
+    FillNulls,
+    Filter,
+    Join,
+    Limit,
+    MapFrame,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    WithColumn,
+    explain,
+)
+from .optimizer import Optimizer, OptimizerSettings, optimize
+
+__all__ = [
+    "LazyFrame",
+    "Executor",
+    "ExecutionStats",
+    "OperatorStat",
+    "execute",
+    "Optimizer",
+    "OptimizerSettings",
+    "optimize",
+    "PlanNode",
+    "Scan",
+    "FileScan",
+    "Project",
+    "Filter",
+    "WithColumn",
+    "Sort",
+    "Aggregate",
+    "Join",
+    "Distinct",
+    "DropNulls",
+    "FillNulls",
+    "Limit",
+    "MapFrame",
+    "explain",
+]

@@ -1,0 +1,142 @@
+"""LazyFrame: fluent builder over logical plans.
+
+:class:`LazyFrame` mirrors the lazy APIs of Polars and Spark SQL in the paper:
+each method appends a node to the logical plan and returns a new LazyFrame;
+nothing is executed until :meth:`collect` is called, at which point the plan
+is optimized and run by the :class:`~repro.plan.executor.Executor`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..frame.expressions import Expression
+from ..frame.frame import DataFrame
+from .executor import ExecutionStats, Executor
+from .logical import (
+    Aggregate,
+    Distinct,
+    DropNulls,
+    FileScan,
+    FillNulls,
+    Filter,
+    Join,
+    Limit,
+    MapFrame,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    WithColumn,
+    explain,
+)
+from .optimizer import OptimizerSettings
+
+__all__ = ["LazyFrame"]
+
+
+class LazyFrame:
+    """A deferred computation over a DataFrame source."""
+
+    def __init__(self, plan: PlanNode):
+        self._plan = plan
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_frame(cls, frame: DataFrame) -> "LazyFrame":
+        return cls(Scan(frame))
+
+    @classmethod
+    def from_file(cls, path: str, file_format: str = "csv") -> "LazyFrame":
+        return cls(FileScan(str(path), file_format))
+
+    @property
+    def plan(self) -> PlanNode:
+        return self._plan
+
+    def explain(self, optimized: bool = False,
+                settings: OptimizerSettings | None = None) -> str:
+        """Textual plan, optionally after optimization."""
+        plan = self._plan
+        if optimized:
+            from .optimizer import Optimizer
+
+            plan = Optimizer(settings).optimize(plan)
+        return explain(plan)
+
+    # ------------------------------------------------------------------ #
+    # plan-building API
+    # ------------------------------------------------------------------ #
+    def select(self, columns: Sequence[str]) -> "LazyFrame":
+        return LazyFrame(Project(self._plan, tuple(columns)))
+
+    def drop(self, columns: "str | Sequence[str]") -> "LazyFrame":
+        dropped = {columns} if isinstance(columns, str) else set(columns)
+        func = lambda frame, cols=dropped: frame.drop([c for c in cols if c in frame.columns])  # noqa: E731
+        return LazyFrame(MapFrame(self._plan, func, label="drop", barrier=False))
+
+    def filter(self, predicate: Expression) -> "LazyFrame":
+        return LazyFrame(Filter(self._plan, predicate))
+
+    def with_column(self, name: str, expression: Expression) -> "LazyFrame":
+        return LazyFrame(WithColumn(self._plan, name, expression))
+
+    def sort(self, by: "str | Sequence[str]", ascending: "bool | Sequence[bool]" = True) -> "LazyFrame":
+        keys = (by,) if isinstance(by, str) else tuple(by)
+        orders = (ascending,) * len(keys) if isinstance(ascending, bool) else tuple(ascending)
+        return LazyFrame(Sort(self._plan, keys, orders))
+
+    def group_agg(self, keys: "str | Sequence[str]",
+                  aggregations: Mapping[str, "str | Sequence[str]"]) -> "LazyFrame":
+        key_tuple = (keys,) if isinstance(keys, str) else tuple(keys)
+        return LazyFrame(Aggregate(self._plan, key_tuple, dict(aggregations)))
+
+    def join(self, other: "LazyFrame | DataFrame", on: "str | Sequence[str] | None" = None,
+             left_on: "str | Sequence[str] | None" = None,
+             right_on: "str | Sequence[str] | None" = None,
+             how: str = "inner", suffix: str = "_right") -> "LazyFrame":
+        if on is not None:
+            left_on = right_on = on
+        if left_on is None or right_on is None:
+            raise ValueError("join requires 'on' or both 'left_on' and 'right_on'")
+        left_keys = (left_on,) if isinstance(left_on, str) else tuple(left_on)
+        right_keys = (right_on,) if isinstance(right_on, str) else tuple(right_on)
+        right_plan = other.plan if isinstance(other, LazyFrame) else Scan(other)
+        return LazyFrame(Join(self._plan, right_plan, left_keys, right_keys, how, suffix))
+
+    def distinct(self, subset: Sequence[str] | None = None) -> "LazyFrame":
+        return LazyFrame(Distinct(self._plan, tuple(subset) if subset else None))
+
+    def drop_nulls(self, subset: Sequence[str] | None = None, how: str = "any") -> "LazyFrame":
+        return LazyFrame(DropNulls(self._plan, tuple(subset) if subset else None, how))
+
+    def fill_nulls(self, value: Any) -> "LazyFrame":
+        return LazyFrame(FillNulls(self._plan, value))
+
+    def limit(self, n: int) -> "LazyFrame":
+        return LazyFrame(Limit(self._plan, n))
+
+    def map_frame(self, func: Callable[[DataFrame], DataFrame], label: str = "map",
+                  needs: Sequence[str] | None = None, barrier: bool = True) -> "LazyFrame":
+        """Append an arbitrary frame transformation (optimization barrier)."""
+        return LazyFrame(MapFrame(self._plan, func, label,
+                                  tuple(needs) if needs else None, barrier))
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def collect(self, settings: OptimizerSettings | None = None, optimize_plan: bool = True,
+                file_reader=None) -> DataFrame:
+        frame, _ = self.collect_with_stats(settings, optimize_plan, file_reader)
+        return frame
+
+    def collect_with_stats(self, settings: OptimizerSettings | None = None,
+                           optimize_plan: bool = True,
+                           file_reader=None) -> tuple[DataFrame, ExecutionStats]:
+        executor = Executor(settings, optimize_plan, file_reader)
+        return executor.execute(self._plan)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LazyFrame(\n{self.explain()}\n)"

@@ -1,0 +1,354 @@
+"""Logical plan nodes for the lazy evaluation layer.
+
+A logical plan is a tree of operator nodes rooted at the final operation and
+terminating in :class:`Scan` leaves (either an in-memory frame or a file).
+Lazy engines in the paper (Polars lazy, Spark SQL) build such a plan while the
+user composes the pipeline and only execute it — after optimization — when a
+result is requested; the optimizer lives in :mod:`repro.plan.optimizer` and
+the physical executor in :mod:`repro.plan.executor`.
+
+Each node knows:
+
+* its child/children;
+* which columns it *requires* from its input (for projection pushdown);
+* a one-line description used by ``explain()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..frame.expressions import Expression
+from ..frame.frame import DataFrame
+from ..frame.errors import PlanError
+
+__all__ = [
+    "PlanNode",
+    "Scan",
+    "FileScan",
+    "Project",
+    "Filter",
+    "WithColumn",
+    "Sort",
+    "Aggregate",
+    "Join",
+    "Distinct",
+    "DropNulls",
+    "FillNulls",
+    "Limit",
+    "MapFrame",
+    "explain",
+]
+
+
+class PlanNode:
+    """Base class for all logical plan nodes."""
+
+    def children(self) -> list["PlanNode"]:
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["PlanNode"]) -> "PlanNode":
+        """Rebuild this node with new children (used by optimizer rewrites)."""
+        raise NotImplementedError
+
+    def required_columns(self) -> set[str] | None:
+        """Columns this node itself reads from its input.
+
+        ``None`` means "all columns" (e.g. ``Distinct`` without a subset).
+        """
+        return None
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.describe()})"
+
+
+@dataclass
+class Scan(PlanNode):
+    """Leaf node: an already-materialized in-memory frame."""
+
+    frame: DataFrame
+    projected: tuple[str, ...] | None = None
+
+    def children(self) -> list[PlanNode]:
+        return []
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        if children:
+            raise PlanError("Scan has no children")
+        return self
+
+    def describe(self) -> str:
+        cols = "*" if self.projected is None else ", ".join(self.projected)
+        return f"scan in-memory frame [{cols}] ({self.frame.num_rows} rows)"
+
+
+@dataclass
+class FileScan(PlanNode):
+    """Leaf node: a CSV or rparquet file on disk."""
+
+    path: str
+    file_format: str = "csv"
+    projected: tuple[str, ...] | None = None
+
+    def children(self) -> list[PlanNode]:
+        return []
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        if children:
+            raise PlanError("FileScan has no children")
+        return self
+
+    def describe(self) -> str:
+        cols = "*" if self.projected is None else ", ".join(self.projected)
+        return f"scan {self.file_format} {self.path} [{cols}]"
+
+
+@dataclass
+class Project(PlanNode):
+    """Keep a subset of columns, in order."""
+
+    child: PlanNode
+    columns: tuple[str, ...]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return Project(children[0], self.columns)
+
+    def required_columns(self) -> set[str]:
+        return set(self.columns)
+
+    def describe(self) -> str:
+        return f"project [{', '.join(self.columns)}]"
+
+
+@dataclass
+class Filter(PlanNode):
+    """Keep rows satisfying a boolean predicate expression."""
+
+    child: PlanNode
+    predicate: Expression
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return Filter(children[0], self.predicate)
+
+    def required_columns(self) -> set[str]:
+        return self.predicate.columns()
+
+    def describe(self) -> str:
+        return f"filter {self.predicate.describe()}"
+
+
+@dataclass
+class WithColumn(PlanNode):
+    """Add or replace a column computed from an expression."""
+
+    child: PlanNode
+    name: str
+    expression: Expression
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return WithColumn(children[0], self.name, self.expression)
+
+    def required_columns(self) -> set[str]:
+        return self.expression.columns()
+
+    def describe(self) -> str:
+        return f"with_column {self.name} = {self.expression.describe()}"
+
+
+@dataclass
+class Sort(PlanNode):
+    """Sort rows by one or more key columns."""
+
+    child: PlanNode
+    by: tuple[str, ...]
+    ascending: tuple[bool, ...]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return Sort(children[0], self.by, self.ascending)
+
+    def required_columns(self) -> set[str]:
+        return set(self.by)
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{k}{'' if a else ' desc'}" for k, a in zip(self.by, self.ascending))
+        return f"sort [{keys}]"
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Group-by + aggregation."""
+
+    child: PlanNode
+    keys: tuple[str, ...]
+    aggregations: Mapping[str, Any]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return Aggregate(children[0], self.keys, self.aggregations)
+
+    def required_columns(self) -> set[str]:
+        return set(self.keys) | set(self.aggregations)
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{fn}({name})" if isinstance(fn, str) else f"{list(fn)}({name})"
+                         for name, fn in self.aggregations.items())
+        return f"aggregate by [{', '.join(self.keys)}]: {aggs}"
+
+
+@dataclass
+class Join(PlanNode):
+    """Equi-join of two child plans."""
+
+    left: PlanNode
+    right: PlanNode
+    left_on: tuple[str, ...]
+    right_on: tuple[str, ...]
+    how: str = "inner"
+    suffix: str = "_right"
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return Join(children[0], children[1], self.left_on, self.right_on, self.how, self.suffix)
+
+    def required_columns(self) -> set[str]:
+        return set(self.left_on) | set(self.right_on)
+
+    def describe(self) -> str:
+        return f"{self.how} join on {list(self.left_on)} = {list(self.right_on)}"
+
+
+@dataclass
+class Distinct(PlanNode):
+    """Drop duplicate rows, optionally over a key subset."""
+
+    child: PlanNode
+    subset: tuple[str, ...] | None = None
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return Distinct(children[0], self.subset)
+
+    def required_columns(self) -> set[str] | None:
+        return None if self.subset is None else set(self.subset)
+
+    def describe(self) -> str:
+        return "distinct" if self.subset is None else f"distinct on [{', '.join(self.subset)}]"
+
+
+@dataclass
+class DropNulls(PlanNode):
+    """Drop rows containing nulls, optionally restricted to a column subset."""
+
+    child: PlanNode
+    subset: tuple[str, ...] | None = None
+    how: str = "any"
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return DropNulls(children[0], self.subset, self.how)
+
+    def required_columns(self) -> set[str] | None:
+        return None if self.subset is None else set(self.subset)
+
+    def describe(self) -> str:
+        scope = "*" if self.subset is None else ", ".join(self.subset)
+        return f"drop_nulls({scope}, how={self.how})"
+
+
+@dataclass
+class FillNulls(PlanNode):
+    """Fill nulls with a scalar or a per-column mapping."""
+
+    child: PlanNode
+    value: Any
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return FillNulls(children[0], self.value)
+
+    def required_columns(self) -> set[str] | None:
+        if isinstance(self.value, Mapping):
+            return set(self.value)
+        return None
+
+    def describe(self) -> str:
+        return f"fill_nulls({self.value!r})"
+
+
+@dataclass
+class Limit(PlanNode):
+    """Keep the first ``n`` rows."""
+
+    child: PlanNode
+    n: int
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return Limit(children[0], self.n)
+
+    def describe(self) -> str:
+        return f"limit {self.n}"
+
+
+@dataclass
+class MapFrame(PlanNode):
+    """Escape hatch: apply an arbitrary frame -> frame function.
+
+    Used for preparators with no dedicated plan node (pivot, one-hot, case
+    changes, ...).  The optimizer treats it as a barrier: nothing is pushed
+    below it unless the node declares the columns it needs.
+    """
+
+    child: PlanNode
+    func: Any
+    label: str = "map"
+    needs: tuple[str, ...] | None = None
+    barrier: bool = True
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
+        return MapFrame(children[0], self.func, self.label, self.needs, self.barrier)
+
+    def required_columns(self) -> set[str] | None:
+        return None if self.needs is None else set(self.needs)
+
+    def describe(self) -> str:
+        return f"map[{self.label}]"
+
+
+def explain(node: PlanNode, indent: int = 0) -> str:
+    """Readable multi-line rendering of a plan tree."""
+    lines = ["  " * indent + node.describe()]
+    for child in node.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Hardware, cost and memory simulation.
+
+The paper's measurements come from a 48-thread / 512 GB / A100 server and
+three derived machine configurations; this reproduction replaces that hardware
+with an analytical model: machine configurations (:mod:`hardware`), per-engine
+execution profiles (:mod:`profiles`), an operator cost model
+(:mod:`costmodel`), a working-set / spill / OOM memory model (:mod:`memory`)
+and a virtual clock with the paper's run-averaging protocol (:mod:`clock`).
+"""
+
+from .clock import OperationRecord, RunReport, VirtualClock, average_runs, trimmed_mean
+from .costmodel import BASE_BYTE_COST_NS, BASE_CELL_COST_NS, CostModel, SimulatedCost
+from .hardware import (
+    GB,
+    LAPTOP,
+    MACHINE_CONFIGS,
+    PAPER_SERVER,
+    SERVER,
+    WORKSTATION,
+    GpuConfig,
+    MachineConfig,
+    get_machine,
+)
+from .memory import MemoryAssessment, MemoryModel, OPERATOR_PEAK_FACTORS, SimulatedOOMError
+from .profiles import ENGINE_ORDER, ENGINE_PROFILES, EngineProfile, get_profile
+
+__all__ = [
+    "GpuConfig",
+    "MachineConfig",
+    "LAPTOP",
+    "WORKSTATION",
+    "SERVER",
+    "PAPER_SERVER",
+    "MACHINE_CONFIGS",
+    "get_machine",
+    "GB",
+    "EngineProfile",
+    "ENGINE_PROFILES",
+    "ENGINE_ORDER",
+    "get_profile",
+    "CostModel",
+    "SimulatedCost",
+    "BASE_CELL_COST_NS",
+    "BASE_BYTE_COST_NS",
+    "MemoryModel",
+    "MemoryAssessment",
+    "SimulatedOOMError",
+    "OPERATOR_PEAK_FACTORS",
+    "VirtualClock",
+    "RunReport",
+    "OperationRecord",
+    "trimmed_mean",
+    "average_runs",
+]

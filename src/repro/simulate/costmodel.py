@@ -1,0 +1,187 @@
+"""Analytical cost model: operator work → simulated runtime.
+
+Every preparator / query operator executed on the substrate is also *priced*
+by this model for the engine that nominally executed it.  The simulated time
+of one operation is::
+
+    time = fixed_overhead
+         + (work_units × base_cost × engine_multiplier) / parallel_speedup
+         + transfer_time (GPU engines)
+         + spill_time (engines that offload to disk)
+
+where ``work_units`` is the number of cells touched (or bytes for I/O
+operators), ``base_cost`` is the single-threaded Pandas kernel cost for the
+operator class, ``engine_multiplier`` encodes the library's relative kernel
+efficiency (see :mod:`repro.simulate.profiles`) and ``parallel_speedup`` is an
+Amdahl-style speedup from the machine's threads or the GPU.
+
+The model is deliberately simple and fully documented: the goal is to
+reproduce the *shape* of the paper's comparison (orderings, crossovers, OOM
+boundaries), not absolute wall-clock numbers of hardware we do not have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from .hardware import MachineConfig
+from .memory import MemoryAssessment, MemoryModel
+from .profiles import EngineProfile
+
+__all__ = ["BASE_CELL_COST_NS", "BASE_BYTE_COST_NS", "SimulatedCost", "CostModel"]
+
+#: Single-threaded Pandas-kernel cost per cell, in nanoseconds.
+BASE_CELL_COST_NS: dict[str, float] = {
+    "metadata": 0.0,
+    "isna": 6.0,
+    "stats": 60.0,
+    "quantile": 40.0,
+    "filter": 8.0,
+    "elementwise": 10.0,
+    "string": 120.0,
+    "date": 400.0,
+    "fillna": 12.0,
+    "dropna": 10.0,
+    "cast": 15.0,
+    "encode": 60.0,
+    "sort": 25.0,
+    "groupby": 50.0,
+    "join": 60.0,
+    "pivot": 80.0,
+    "dedup": 70.0,
+}
+
+#: I/O operator cost per byte, in nanoseconds (single-threaded CSV parse, ...).
+BASE_BYTE_COST_NS: dict[str, float] = {
+    "read_csv": 25.0,
+    "read_parquet": 4.0,
+    "write_csv": 30.0,
+    "write_parquet": 8.0,
+}
+
+#: Operator classes whose cost grows as n·log n rather than linearly.
+_LOG_FACTOR_OPS = frozenset({"sort", "dedup"})
+
+_JITTER_AMPLITUDE = 0.03
+
+
+@dataclass
+class SimulatedCost:
+    """Simulated runtime and memory outcome of one operation."""
+
+    seconds: float
+    peak_bytes: int
+    spilled_bytes: int = 0
+    streamed: bool = False
+    work_cells: int = 0
+
+    @property
+    def spilled(self) -> bool:
+        return self.spilled_bytes > 0
+
+
+def _deterministic_jitter(*parts: object) -> float:
+    """Reproducible pseudo-noise in [-1, 1] derived from the arguments."""
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode()).digest()
+    return (int.from_bytes(digest[:4], "little") / 0xFFFFFFFF) * 2.0 - 1.0
+
+
+class CostModel:
+    """Prices operator executions for a (machine, engine) pair."""
+
+    def __init__(self, machine: MachineConfig, memory_model: MemoryModel | None = None):
+        self.machine = machine
+        self.memory = memory_model or MemoryModel(machine)
+
+    # ------------------------------------------------------------------ #
+    # speedups
+    # ------------------------------------------------------------------ #
+    def parallel_speedup(self, engine: EngineProfile) -> float:
+        """Amdahl speedup over one thread for CPU engines, GPU factor otherwise."""
+        if engine.uses_gpu:
+            gpu = self.machine.gpu
+            return gpu.throughput_multiplier if gpu is not None else 1.0
+        p = engine.parallel_fraction
+        threads = max(1, self.machine.cpu_threads)
+        return 1.0 / ((1.0 - p) + p / threads)
+
+    # ------------------------------------------------------------------ #
+    # pricing
+    # ------------------------------------------------------------------ #
+    def estimate(
+        self,
+        engine: EngineProfile,
+        op_class: str,
+        rows: int,
+        cols: int,
+        *,
+        bytes_in: int | None = None,
+        dataset_bytes: int | None = None,
+        lazy: bool = False,
+        run_index: int = 0,
+        pipeline_scope: bool = False,
+    ) -> SimulatedCost:
+        """Simulated cost of one operator execution.
+
+        ``rows``/``cols`` describe the (nominal) input touched by the
+        operator; ``bytes_in`` is required for I/O operators and is also used
+        for memory accounting when provided; ``dataset_bytes`` is the full
+        in-memory dataset size driving the residency term of the memory model.
+        ``lazy=True`` applies the engine's reduced per-operation overhead (one
+        planned query instead of a forced materialization per call).  Raises
+        :class:`~repro.simulate.memory.SimulatedOOMError` when the operation
+        cannot fit.
+        """
+        cells = max(0, rows) * max(1, cols)
+        if bytes_in is None:
+            bytes_in = cells * 8
+
+        assessment: MemoryAssessment = self.memory.assess(
+            engine, op_class, bytes_in, dataset_bytes=dataset_bytes,
+            pipeline_scope=pipeline_scope,
+        )
+
+        if op_class in BASE_BYTE_COST_NS:
+            base = BASE_BYTE_COST_NS[op_class]
+            work_units = float(bytes_in)
+        else:
+            base = BASE_CELL_COST_NS.get(op_class, BASE_CELL_COST_NS["elementwise"])
+            work_units = float(cells)
+            if op_class in _LOG_FACTOR_OPS and rows > 2:
+                work_units *= math.log2(rows) / 8.0
+
+        per_unit_ns = base * engine.multiplier(op_class)
+        speedup = self.parallel_speedup(engine)
+        work_seconds = (work_units * per_unit_ns) / 1e9 / max(speedup, 1e-9)
+        if engine.lazy and not lazy:
+            # Forcing eager execution on a lazy-capable engine materializes
+            # (and for Spark, converts) the intermediate result of every call.
+            work_seconds *= engine.eager_work_penalty
+
+        overhead = engine.fixed_overhead_s
+        if lazy and engine.lazy_fixed_overhead_s is not None:
+            overhead = engine.lazy_fixed_overhead_s
+
+        transfer_seconds = 0.0
+        if engine.uses_gpu and self.machine.gpu is not None and op_class in BASE_BYTE_COST_NS:
+            # Host<->device transfer is paid when data enters or leaves the GPU
+            # (reads and writes); between operators the frame stays resident.
+            transfer_seconds = bytes_in / (self.machine.gpu.transfer_gb_per_s * 1024 ** 3)
+
+        spill_seconds = 0.0
+        if assessment.spilled_bytes:
+            spill_seconds = assessment.spilled_bytes / (self.machine.disk_gb_per_s * 1024 ** 3)
+
+        seconds = overhead + work_seconds + transfer_seconds + spill_seconds
+        jitter = _deterministic_jitter(engine.name, op_class, rows, cols, run_index)
+        seconds *= 1.0 + _JITTER_AMPLITUDE * jitter
+
+        return SimulatedCost(
+            seconds=max(seconds, 1e-7),
+            peak_bytes=assessment.peak_bytes,
+            spilled_bytes=assessment.spilled_bytes,
+            streamed=assessment.streamed,
+            work_cells=int(work_units),
+        )

@@ -1,0 +1,110 @@
+"""Machine and accelerator configurations.
+
+The paper runs its main experiments on a dual AMD EPYC server (48 threads,
+512 GB RAM, NVIDIA A100 40 GB) and its scalability study on three simulated
+configurations (Table 4: laptop, workstation, server).  Since this
+reproduction runs on whatever small machine executes the test suite, the
+hardware is modelled explicitly: a :class:`MachineConfig` carries the thread
+count, RAM size, disk bandwidth used for spill, and optionally a
+:class:`GpuConfig`; the cost and memory models consume these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GpuConfig",
+    "MachineConfig",
+    "LAPTOP",
+    "WORKSTATION",
+    "SERVER",
+    "PAPER_SERVER",
+    "MACHINE_CONFIGS",
+    "get_machine",
+]
+
+GB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """A CUDA-capable accelerator (the paper uses an NVIDIA A100 40 GB)."""
+
+    name: str = "A100"
+    memory_gb: float = 40.0
+    #: Throughput multiplier over one CPU thread for data-parallel kernels.
+    throughput_multiplier: float = 220.0
+    #: Host-to-device transfer bandwidth in GB/s (PCIe 4.0 x16 ballpark).
+    transfer_gb_per_s: float = 24.0
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_gb * GB)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A single-machine hardware configuration (Table 4)."""
+
+    name: str
+    cpu_threads: int
+    ram_gb: float
+    gpu: GpuConfig | None = None
+    #: Sequential disk bandwidth in GB/s, used for spill-to-disk and I/O.
+    disk_gb_per_s: float = 1.8
+    #: Fraction of RAM actually usable by the dataframe process.
+    usable_ram_fraction: float = 0.9
+    #: Dask / Ray worker configuration (informational, reported in Table 4).
+    dask_workers: int = 4
+    dask_threads: int = 8
+    ray_workers: int = 8
+
+    @property
+    def ram_bytes(self) -> int:
+        return int(self.ram_gb * GB)
+
+    @property
+    def usable_ram_bytes(self) -> int:
+        return int(self.ram_bytes * self.usable_ram_fraction)
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    def describe(self) -> dict:
+        """Row used when regenerating Table 4."""
+        return {
+            "machine": self.name,
+            "cpus": self.cpu_threads,
+            "ram_gb": self.ram_gb,
+            "dask": f"{self.dask_workers}-{self.dask_threads}",
+            "ray": self.ray_workers,
+            "gpu": self.gpu.name if self.gpu else "-",
+        }
+
+
+#: Table 4 configurations.
+LAPTOP = MachineConfig("laptop", cpu_threads=8, ram_gb=16.0,
+                       dask_workers=4, dask_threads=8, ray_workers=8)
+WORKSTATION = MachineConfig("workstation", cpu_threads=16, ram_gb=64.0,
+                            dask_workers=4, dask_threads=16, ray_workers=16)
+SERVER = MachineConfig("server", cpu_threads=24, ram_gb=128.0,
+                       dask_workers=6, dask_threads=24, ray_workers=24)
+
+#: The full evaluation machine (Section 3, "Hardware and Software").
+PAPER_SERVER = MachineConfig("paper-server", cpu_threads=48, ram_gb=512.0,
+                             gpu=GpuConfig(), dask_workers=8, dask_threads=48,
+                             ray_workers=48)
+
+MACHINE_CONFIGS = {m.name: m for m in (LAPTOP, WORKSTATION, SERVER, PAPER_SERVER)}
+
+
+def get_machine(name: str) -> MachineConfig:
+    """Look up a machine configuration by name."""
+    try:
+        return MACHINE_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(MACHINE_CONFIGS)}"
+        ) from None

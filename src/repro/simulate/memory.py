@@ -1,0 +1,173 @@
+"""Working-set accounting, spill-to-disk and simulated out-of-memory errors.
+
+The paper's scalability study (Section 4.3, Figure 6, Table 5) is entirely
+about memory behaviour: which libraries complete the full Taxi/Patrol pipeline
+on a laptop, which ones spill, and which ones hit OOM at which sample size.
+This module reproduces that mechanism with a two-term model:
+
+``peak = residency + operator working set``
+
+* the **residency** term is the fraction of the dataset the engine keeps
+  resident while a pipeline runs (whole dataset for eager in-memory engines,
+  almost nothing for memory-mapped Vaex/DataTable, a JVM-inflated copy for
+  Pandas-on-Spark).  In pipeline scope it grows by the engine's
+  ``pipeline_residency_multiplier`` — eager engines accumulate materialized
+  intermediates;
+* the **operator working set** is the bytes the operator actually touches
+  (columns used × rows), scaled by the engine's working-set multiplier and the
+  operator's peak factor (joins, sorts and pivots allocate the largest
+  intermediates).  Engines that stream an operator class only keep a bounded
+  window of it resident;
+* engines that *spill* (Spark's disk offload, DuckDB) never OOM but report the
+  spilled volume so the cost model can charge disk bandwidth;
+* everything else raises :class:`SimulatedOOMError` when the peak does not fit
+  in the machine's usable RAM — or in GPU memory for CuDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hardware import MachineConfig
+from .profiles import EngineProfile
+
+__all__ = ["SimulatedOOMError", "MemoryAssessment", "MemoryModel", "OPERATOR_PEAK_FACTORS"]
+
+
+class SimulatedOOMError(RuntimeError):
+    """Raised when the memory model determines that an operation cannot fit."""
+
+    def __init__(self, engine: str, operation: str, required_bytes: int, budget_bytes: int,
+                 device: str = "RAM"):
+        self.engine = engine
+        self.operation = operation
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+        self.device = device
+        super().__init__(
+            f"{engine}: {operation} needs {required_bytes / 1024 ** 3:.1f} GiB of {device}, "
+            f"only {budget_bytes / 1024 ** 3:.1f} GiB available"
+        )
+
+
+@dataclass
+class MemoryAssessment:
+    """Outcome of the memory model for a single operation."""
+
+    peak_bytes: int
+    spilled_bytes: int = 0
+    streamed: bool = False
+
+    @property
+    def spilled(self) -> bool:
+        return self.spilled_bytes > 0
+
+
+#: Extra working-set factor per operator class, on top of the engine multiplier.
+#: Wide operations (join/pivot/one-hot/sort) allocate large intermediates.
+OPERATOR_PEAK_FACTORS: dict[str, float] = {
+    "read_csv": 1.2,
+    "read_parquet": 1.0,
+    "write_csv": 1.1,
+    "write_parquet": 1.0,
+    "metadata": 0.01,
+    "isna": 0.15,
+    "stats": 0.3,
+    "quantile": 0.4,
+    "filter": 1.0,
+    "elementwise": 1.1,
+    "string": 1.2,
+    "date": 1.1,
+    "fillna": 1.1,
+    "dropna": 1.0,
+    "cast": 1.2,
+    "encode": 1.4,
+    "sort": 2.0,
+    "groupby": 1.5,
+    "join": 2.2,
+    "pivot": 2.0,
+    "dedup": 1.6,
+    "pipeline": 1.2,
+}
+
+
+class MemoryModel:
+    """Evaluates whether an operation fits on a machine for a given engine."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+
+    # ------------------------------------------------------------------ #
+    def assess(
+        self,
+        engine: EngineProfile,
+        op_class: str,
+        op_bytes: int,
+        dataset_bytes: int | None = None,
+        pipeline_scope: bool = False,
+    ) -> MemoryAssessment:
+        """Return the memory outcome of an operation or raise :class:`SimulatedOOMError`.
+
+        ``op_bytes`` is the volume the operator touches (used columns × rows);
+        ``dataset_bytes`` the full in-memory dataset size, which drives the
+        residency term (defaults to ``op_bytes``).  ``pipeline_scope=True``
+        accounts for the accumulated intermediates of a whole pipeline run.
+        """
+        if dataset_bytes is None:
+            dataset_bytes = op_bytes
+        factor = OPERATOR_PEAK_FACTORS.get(op_class, 1.0)
+
+        residency = dataset_bytes * engine.resident_fraction
+        if pipeline_scope:
+            residency *= engine.pipeline_residency_multiplier
+
+        working_set = op_bytes * engine.memory_multiplier * factor
+        streamed = False
+        if op_class in engine.streaming_ops:
+            working_set *= engine.streaming_memory_fraction
+            streamed = True
+
+        peak = int(residency + working_set)
+
+        # GPU-resident engines must fit everything on the device.
+        if engine.requires_gpu_memory:
+            gpu = self.machine.gpu
+            if gpu is None:
+                raise SimulatedOOMError(engine.name, op_class, peak, 0, device="GPU")
+            if peak > gpu.memory_bytes:
+                raise SimulatedOOMError(engine.name, op_class, peak,
+                                        gpu.memory_bytes, device="GPU")
+            return MemoryAssessment(peak_bytes=peak, streamed=streamed)
+
+        budget = self.machine.usable_ram_bytes
+        if peak <= budget:
+            return MemoryAssessment(peak_bytes=peak, streamed=streamed)
+
+        if engine.spill_to_disk:
+            spilled = peak - budget
+            return MemoryAssessment(peak_bytes=budget, spilled_bytes=spilled, streamed=streamed)
+
+        raise SimulatedOOMError(engine.name, op_class, peak, budget)
+
+    # ------------------------------------------------------------------ #
+    def fits_operation(self, engine: EngineProfile, op_class: str, op_bytes: int,
+                       dataset_bytes: int | None = None, pipeline_scope: bool = False) -> bool:
+        """Boolean convenience wrapper around :meth:`assess`."""
+        try:
+            self.assess(engine, op_class, op_bytes, dataset_bytes, pipeline_scope)
+            return True
+        except SimulatedOOMError:
+            return False
+
+    def fits_pipeline(self, engine: EngineProfile, dataset_bytes: int,
+                      heaviest_op: str = "pivot", heavy_op_fraction: float = 0.3) -> bool:
+        """True when the engine can run a full pipeline over ``dataset_bytes``.
+
+        ``heaviest_op`` and ``heavy_op_fraction`` describe the most
+        memory-hungry operator of the pipeline and the fraction of the dataset
+        it touches; pipeline runners pass the real values from their
+        preparator lists.
+        """
+        op_bytes = int(dataset_bytes * heavy_op_fraction)
+        return self.fits_operation(engine, heaviest_op, op_bytes, dataset_bytes,
+                                   pipeline_scope=True)

@@ -1,0 +1,28 @@
+"""TPC-H substrate: synthetic data generator, the 22 queries, and the runner
+used to reproduce Figure 7."""
+
+from .datagen import TPCHData, generate_tpch
+from .queries import QUERIES, get_query, query_names
+from .runner import TPCHQueryResult, TPCHRunner
+from .schema import (
+    FIXED_TABLES,
+    TABLE_CARDINALITY_PER_SF,
+    TABLE_NAMES,
+    TPCH_NOMINAL_SCALE_FACTOR,
+    rows_at_scale,
+)
+
+__all__ = [
+    "TPCHData",
+    "generate_tpch",
+    "QUERIES",
+    "get_query",
+    "query_names",
+    "TPCHRunner",
+    "TPCHQueryResult",
+    "TABLE_CARDINALITY_PER_SF",
+    "FIXED_TABLES",
+    "TABLE_NAMES",
+    "TPCH_NOMINAL_SCALE_FACTOR",
+    "rows_at_scale",
+]

@@ -1,0 +1,265 @@
+"""Synthetic TPC-H data generator (a small stand-in for ``dbgen``).
+
+Generates the eight TPC-H tables at a configurable *physical* scale factor
+with the schema, key relationships and value domains needed by the 22 queries:
+foreign keys are always valid, dates span 1992-1998, prices/discounts/taxes
+follow the specification's ranges, and string fields (comments, part names,
+phone numbers) have realistic shapes.  Dates are stored as DATETIME columns
+(epoch nanoseconds) so query predicates compare numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frame.column import Column
+from ..frame.datetimes import NS_PER_DAY, date_to_ns
+from ..frame.dtypes import DATETIME, FLOAT64, INT64, STRING
+from ..frame.frame import DataFrame
+from .schema import (
+    NATIONS,
+    ORDER_STATUS,
+    PRIORITIES,
+    REGIONS,
+    RETURN_FLAGS,
+    SEGMENTS,
+    SHIP_MODES,
+    TPCH_NOMINAL_SCALE_FACTOR,
+    rows_at_scale,
+)
+
+__all__ = ["TPCHData", "generate_tpch"]
+
+_START_DATE = date_to_ns(1992, 1, 1)
+_END_DATE = date_to_ns(1998, 8, 2)
+_P_TYPES_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_P_TYPES_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_P_TYPES_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_CONTAINERS_1 = ["SM", "MED", "LG", "JUMBO", "WRAP"]
+_CONTAINERS_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+_COLORS = ["almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+           "blanched", "blue", "blush", "brown", "burlywood", "chartreuse", "chocolate",
+           "coral", "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger",
+           "firebrick", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+           "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender"]
+_COMMENT_WORDS = ["carefully", "quickly", "furiously", "slyly", "blithely", "requests",
+                  "deposits", "packages", "accounts", "instructions", "theodolites",
+                  "pending", "final", "express", "special", "regular", "ironic", "even",
+                  "bold", "silent", "unusual", "sleep", "haggle", "nag", "wake"]
+
+
+@dataclass
+class TPCHData:
+    """The eight generated tables plus scale metadata."""
+
+    tables: dict[str, DataFrame]
+    physical_scale_factor: float
+    nominal_scale_factor: float = TPCH_NOMINAL_SCALE_FACTOR
+
+    def __getitem__(self, name: str) -> DataFrame:
+        return self.tables[name]
+
+    @property
+    def row_scale(self) -> float:
+        """Nominal rows / physical rows (same ratio for every scaled table)."""
+        return self.nominal_scale_factor / self.physical_scale_factor
+
+    def total_physical_rows(self) -> int:
+        return sum(t.num_rows for t in self.tables.values())
+
+    def nominal_memory_bytes(self) -> int:
+        return int(sum(t.memory_usage() for t in self.tables.values()) * self.row_scale)
+
+
+class _Generator:
+    """Internal helper holding the RNG and shared sampling routines."""
+
+    def __init__(self, seed: int):
+        self.rng = np.random.default_rng(seed)
+
+    def pick(self, values: list[str], n: int) -> list[str]:
+        idx = self.rng.integers(0, len(values), size=n)
+        return [values[i] for i in idx]
+
+    def comment(self, n: int, words: int = 6) -> Column:
+        picks = self.rng.integers(0, len(_COMMENT_WORDS), size=(n, words))
+        values = [" ".join(_COMMENT_WORDS[j] for j in row) for row in picks]
+        return Column.from_values(values, STRING)
+
+    def money(self, n: int, low: float, high: float) -> Column:
+        values = np.round(self.rng.uniform(low, high, size=n), 2)
+        return Column(values, FLOAT64)
+
+    def dates(self, n: int, start_ns: int = _START_DATE, end_ns: int = _END_DATE) -> Column:
+        days = (end_ns - start_ns) // NS_PER_DAY
+        offsets = self.rng.integers(0, days + 1, size=n)
+        values = start_ns + offsets * NS_PER_DAY
+        return Column(values.astype(np.int64), DATETIME)
+
+    def phone(self, n: int) -> Column:
+        country = self.rng.integers(10, 35, size=n)
+        a = self.rng.integers(100, 1000, size=n)
+        b = self.rng.integers(100, 1000, size=n)
+        c = self.rng.integers(1000, 10000, size=n)
+        values = [f"{cc}-{x}-{y}-{z}" for cc, x, y, z in zip(country, a, b, c)]
+        return Column.from_values(values, STRING)
+
+
+def _region(gen: _Generator) -> DataFrame:
+    return DataFrame({
+        "r_regionkey": Column.from_values(list(range(len(REGIONS))), INT64),
+        "r_name": Column.from_values(REGIONS, STRING),
+        "r_comment": gen.comment(len(REGIONS)),
+    })
+
+
+def _nation(gen: _Generator) -> DataFrame:
+    return DataFrame({
+        "n_nationkey": Column.from_values(list(range(len(NATIONS))), INT64),
+        "n_name": Column.from_values([name for name, _ in NATIONS], STRING),
+        "n_regionkey": Column.from_values([region for _, region in NATIONS], INT64),
+        "n_comment": gen.comment(len(NATIONS)),
+    })
+
+
+def _supplier(gen: _Generator, rows: int) -> DataFrame:
+    keys = list(range(1, rows + 1))
+    return DataFrame({
+        "s_suppkey": Column.from_values(keys, INT64),
+        "s_name": Column.from_values([f"Supplier#{k:09d}" for k in keys], STRING),
+        "s_address": gen.comment(rows, words=3),
+        "s_nationkey": Column(gen.rng.integers(0, len(NATIONS), size=rows).astype(np.int64), INT64),
+        "s_phone": gen.phone(rows),
+        "s_acctbal": gen.money(rows, -999.99, 9999.99),
+        "s_comment": gen.comment(rows),
+    })
+
+
+def _customer(gen: _Generator, rows: int) -> DataFrame:
+    keys = list(range(1, rows + 1))
+    return DataFrame({
+        "c_custkey": Column.from_values(keys, INT64),
+        "c_name": Column.from_values([f"Customer#{k:09d}" for k in keys], STRING),
+        "c_address": gen.comment(rows, words=3),
+        "c_nationkey": Column(gen.rng.integers(0, len(NATIONS), size=rows).astype(np.int64), INT64),
+        "c_phone": gen.phone(rows),
+        "c_acctbal": gen.money(rows, -999.99, 9999.99),
+        "c_mktsegment": Column.from_values(gen.pick(SEGMENTS, rows), STRING),
+        "c_comment": gen.comment(rows),
+    })
+
+
+def _part(gen: _Generator, rows: int) -> DataFrame:
+    keys = list(range(1, rows + 1))
+    names = [" ".join(gen.pick(_COLORS, 3)) for _ in range(rows)]
+    types = [f"{a} {b} {c}" for a, b, c in zip(gen.pick(_P_TYPES_1, rows),
+                                               gen.pick(_P_TYPES_2, rows),
+                                               gen.pick(_P_TYPES_3, rows))]
+    containers = [f"{a} {b}" for a, b in zip(gen.pick(_CONTAINERS_1, rows),
+                                             gen.pick(_CONTAINERS_2, rows))]
+    return DataFrame({
+        "p_partkey": Column.from_values(keys, INT64),
+        "p_name": Column.from_values(names, STRING),
+        "p_mfgr": Column.from_values([f"Manufacturer#{int(v)}" for v in
+                                      gen.rng.integers(1, 6, size=rows)], STRING),
+        "p_brand": Column.from_values([f"Brand#{int(v)}{int(w)}" for v, w in
+                                       zip(gen.rng.integers(1, 6, size=rows),
+                                           gen.rng.integers(1, 6, size=rows))], STRING),
+        "p_type": Column.from_values(types, STRING),
+        "p_size": Column(gen.rng.integers(1, 51, size=rows).astype(np.int64), INT64),
+        "p_container": Column.from_values(containers, STRING),
+        "p_retailprice": gen.money(rows, 900.0, 2000.0),
+        "p_comment": gen.comment(rows, words=3),
+    })
+
+
+def _partsupp(gen: _Generator, rows: int, part_rows: int, supplier_rows: int) -> DataFrame:
+    partkeys = gen.rng.integers(1, part_rows + 1, size=rows).astype(np.int64)
+    suppkeys = gen.rng.integers(1, supplier_rows + 1, size=rows).astype(np.int64)
+    return DataFrame({
+        "ps_partkey": Column(partkeys, INT64),
+        "ps_suppkey": Column(suppkeys, INT64),
+        "ps_availqty": Column(gen.rng.integers(1, 10_000, size=rows).astype(np.int64), INT64),
+        "ps_supplycost": gen.money(rows, 1.0, 1000.0),
+        "ps_comment": gen.comment(rows),
+    })
+
+
+def _orders(gen: _Generator, rows: int, customer_rows: int) -> DataFrame:
+    keys = list(range(1, rows + 1))
+    return DataFrame({
+        "o_orderkey": Column.from_values(keys, INT64),
+        "o_custkey": Column(gen.rng.integers(1, customer_rows + 1, size=rows).astype(np.int64), INT64),
+        "o_orderstatus": Column.from_values(gen.pick(ORDER_STATUS, rows), STRING),
+        "o_totalprice": gen.money(rows, 1_000.0, 450_000.0),
+        "o_orderdate": gen.dates(rows, _START_DATE, date_to_ns(1998, 8, 2)),
+        "o_orderpriority": Column.from_values(gen.pick(PRIORITIES, rows), STRING),
+        "o_clerk": Column.from_values([f"Clerk#{int(v):09d}" for v in
+                                       gen.rng.integers(1, 1001, size=rows)], STRING),
+        "o_shippriority": Column.from_values([0] * rows, INT64),
+        "o_comment": gen.comment(rows),
+    })
+
+
+def _lineitem(gen: _Generator, rows: int, orders_rows: int, part_rows: int,
+              supplier_rows: int) -> DataFrame:
+    orderkeys = gen.rng.integers(1, orders_rows + 1, size=rows).astype(np.int64)
+    quantity = gen.rng.integers(1, 51, size=rows).astype(np.float64)
+    extendedprice = np.round(quantity * gen.rng.uniform(900.0, 2000.0, size=rows), 2)
+    discount = np.round(gen.rng.uniform(0.0, 0.10, size=rows), 2)
+    tax = np.round(gen.rng.uniform(0.0, 0.08, size=rows), 2)
+    shipdate = gen.dates(rows)
+    commit_offset = gen.rng.integers(1, 90, size=rows) * NS_PER_DAY
+    receipt_offset = gen.rng.integers(1, 30, size=rows) * NS_PER_DAY
+    return DataFrame({
+        "l_orderkey": Column(orderkeys, INT64),
+        "l_partkey": Column(gen.rng.integers(1, part_rows + 1, size=rows).astype(np.int64), INT64),
+        "l_suppkey": Column(gen.rng.integers(1, supplier_rows + 1, size=rows).astype(np.int64), INT64),
+        "l_linenumber": Column(gen.rng.integers(1, 8, size=rows).astype(np.int64), INT64),
+        "l_quantity": Column(quantity, FLOAT64),
+        "l_extendedprice": Column(extendedprice, FLOAT64),
+        "l_discount": Column(discount, FLOAT64),
+        "l_tax": Column(tax, FLOAT64),
+        "l_returnflag": Column.from_values(gen.pick(RETURN_FLAGS, rows), STRING),
+        "l_linestatus": Column.from_values(gen.pick(["F", "O"], rows), STRING),
+        "l_shipdate": shipdate,
+        "l_commitdate": Column(shipdate.values + commit_offset.astype(np.int64), DATETIME),
+        "l_receiptdate": Column(shipdate.values + receipt_offset.astype(np.int64), DATETIME),
+        "l_shipinstruct": Column.from_values(gen.pick(["DELIVER IN PERSON", "COLLECT COD",
+                                                       "NONE", "TAKE BACK RETURN"], rows), STRING),
+        "l_shipmode": Column.from_values(gen.pick(SHIP_MODES, rows), STRING),
+        "l_comment": gen.comment(rows, words=4),
+    })
+
+
+def generate_tpch(physical_scale_factor: float = 0.002, seed: int = 42,
+                  nominal_scale_factor: float = TPCH_NOMINAL_SCALE_FACTOR) -> TPCHData:
+    """Generate all eight TPC-H tables at a small physical scale factor.
+
+    The default physical SF of 0.002 yields ~12k lineitem rows — enough for
+    every query to produce non-trivial results while staying laptop-fast.
+    """
+    if physical_scale_factor <= 0:
+        raise ValueError("physical_scale_factor must be positive")
+    gen = _Generator(seed)
+    supplier_rows = rows_at_scale("supplier", physical_scale_factor)
+    part_rows = rows_at_scale("part", physical_scale_factor)
+    partsupp_rows = rows_at_scale("partsupp", physical_scale_factor)
+    customer_rows = rows_at_scale("customer", physical_scale_factor)
+    orders_rows = rows_at_scale("orders", physical_scale_factor)
+    lineitem_rows = rows_at_scale("lineitem", physical_scale_factor)
+
+    tables = {
+        "region": _region(gen),
+        "nation": _nation(gen),
+        "supplier": _supplier(gen, supplier_rows),
+        "customer": _customer(gen, customer_rows),
+        "part": _part(gen, part_rows),
+        "partsupp": _partsupp(gen, partsupp_rows, part_rows, supplier_rows),
+        "orders": _orders(gen, orders_rows, customer_rows),
+        "lineitem": _lineitem(gen, lineitem_rows, orders_rows, part_rows, supplier_rows),
+    }
+    return TPCHData(tables=tables, physical_scale_factor=physical_scale_factor,
+                    nominal_scale_factor=nominal_scale_factor)

@@ -1,0 +1,572 @@
+"""The 22 TPC-H queries expressed against the dataframe API.
+
+Each query is a function taking a :class:`~repro.tpch.datagen.TPCHData` and
+returning a :class:`~repro.plan.builder.LazyFrame`, mirroring the publicly
+available Pandas translation of the TPC-H suite the paper relies on: the same
+logical plan is executed by every engine, and lazy engines additionally
+optimize it.  Correlated sub-queries are expressed the standard way — as
+aggregations joined back to the outer query.
+
+A few queries simplify cosmetic details (string concatenations in output
+columns, exotic tie-breaking in ORDER BY) without changing the relational
+structure: the joins, filters, aggregations and their ordering are preserved,
+which is what the runtime comparison depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..frame.datetimes import date_to_ns
+from ..frame.expressions import col, lit
+from ..frame.frame import DataFrame
+from ..plan.builder import LazyFrame
+from .datagen import TPCHData
+
+__all__ = ["QUERIES", "get_query", "query_names"]
+
+
+def _lazy(data: TPCHData, table: str) -> LazyFrame:
+    return LazyFrame.from_frame(data[table])
+
+
+def _date(year: int, month: int = 1, day: int = 1) -> int:
+    return date_to_ns(year, month, day)
+
+
+# --------------------------------------------------------------------------- #
+# Q1 - Q6
+# --------------------------------------------------------------------------- #
+def q01(data: TPCHData) -> LazyFrame:
+    """Pricing summary report: aggregates over recently shipped line items."""
+    return (
+        _lazy(data, "lineitem")
+        .filter(col("l_shipdate") <= _date(1998, 9, 2))
+        .with_column("disc_price", col("l_extendedprice") * (lit(1) - col("l_discount")))
+        .with_column("charge",
+                     col("l_extendedprice") * (lit(1) - col("l_discount")) * (lit(1) + col("l_tax")))
+        .group_agg(["l_returnflag", "l_linestatus"], {
+            "l_quantity": ["sum", "mean"],
+            "l_extendedprice": ["sum", "mean"],
+            "disc_price": "sum",
+            "charge": "sum",
+            "l_discount": "mean",
+            "l_orderkey": "count",
+        })
+        .sort(["l_returnflag", "l_linestatus"])
+    )
+
+
+def q02(data: TPCHData) -> LazyFrame:
+    """Minimum-cost supplier for brass parts of size 15 in Europe."""
+    europe_suppliers = (
+        _lazy(data, "supplier")
+        .join(_lazy(data, "nation"), left_on="s_nationkey", right_on="n_nationkey")
+        .join(_lazy(data, "region"), left_on="n_regionkey", right_on="r_regionkey")
+        .filter(col("r_name") == "EUROPE")
+    )
+    candidate = (
+        _lazy(data, "partsupp")
+        .join(europe_suppliers, left_on="ps_suppkey", right_on="s_suppkey")
+        .join(_lazy(data, "part"), left_on="ps_partkey", right_on="p_partkey")
+        .filter((col("p_size") == 15) & col("p_type").str_contains("BRASS$"))
+    )
+    min_cost = candidate.group_agg("ps_partkey", {"ps_supplycost": "min"})
+    return (
+        candidate
+        .join(min_cost.select(["ps_partkey", "ps_supplycost"]),
+              on="ps_partkey", suffix="_min")
+        .filter(col("ps_supplycost") == col("ps_supplycost_min"))
+        .select(["s_acctbal", "s_name", "n_name", "ps_partkey", "p_mfgr", "s_phone"])
+        .sort(["s_acctbal", "n_name", "s_name"], ascending=[False, True, True])
+        .limit(100)
+    )
+
+
+def q03(data: TPCHData) -> LazyFrame:
+    """Unshipped orders with the highest revenue for one market segment."""
+    customers = _lazy(data, "customer").filter(col("c_mktsegment") == "BUILDING")
+    orders = _lazy(data, "orders").filter(col("o_orderdate") < _date(1995, 3, 15))
+    lineitems = _lazy(data, "lineitem").filter(col("l_shipdate") > _date(1995, 3, 15))
+    return (
+        lineitems
+        .join(orders, left_on="l_orderkey", right_on="o_orderkey")
+        .join(customers, left_on="o_custkey", right_on="c_custkey")
+        .with_column("revenue", col("l_extendedprice") * (lit(1) - col("l_discount")))
+        .group_agg(["l_orderkey", "o_orderdate", "o_shippriority"], {"revenue": "sum"})
+        .sort(["revenue", "o_orderdate"], ascending=[False, True])
+        .limit(10)
+    )
+
+
+def q04(data: TPCHData) -> LazyFrame:
+    """Order-priority count for orders with at least one late line item."""
+    late = (
+        _lazy(data, "lineitem")
+        .filter(col("l_commitdate") < col("l_receiptdate"))
+        .select(["l_orderkey"])
+        .distinct()
+    )
+    return (
+        _lazy(data, "orders")
+        .filter((col("o_orderdate") >= _date(1993, 7, 1)) &
+                (col("o_orderdate") < _date(1993, 10, 1)))
+        .join(late, left_on="o_orderkey", right_on="l_orderkey")
+        .group_agg("o_orderpriority", {"o_orderkey": "count"})
+        .sort("o_orderpriority")
+    )
+
+
+def q05(data: TPCHData) -> LazyFrame:
+    """Local supplier revenue per Asian nation."""
+    return (
+        _lazy(data, "lineitem")
+        .join(_lazy(data, "orders"), left_on="l_orderkey", right_on="o_orderkey")
+        .join(_lazy(data, "customer"), left_on="o_custkey", right_on="c_custkey")
+        .join(_lazy(data, "supplier"), left_on="l_suppkey", right_on="s_suppkey")
+        .filter(col("c_nationkey") == col("s_nationkey"))
+        .join(_lazy(data, "nation"), left_on="s_nationkey", right_on="n_nationkey")
+        .join(_lazy(data, "region"), left_on="n_regionkey", right_on="r_regionkey")
+        .filter((col("r_name") == "ASIA") &
+                (col("o_orderdate") >= _date(1994, 1, 1)) &
+                (col("o_orderdate") < _date(1995, 1, 1)))
+        .with_column("revenue", col("l_extendedprice") * (lit(1) - col("l_discount")))
+        .group_agg("n_name", {"revenue": "sum"})
+        .sort("revenue", ascending=False)
+    )
+
+
+def q06(data: TPCHData) -> LazyFrame:
+    """Forecast revenue change from a small discount band (highly selective)."""
+    return (
+        _lazy(data, "lineitem")
+        .filter((col("l_shipdate") >= _date(1994, 1, 1)) &
+                (col("l_shipdate") < _date(1995, 1, 1)) &
+                (col("l_discount") >= 0.05) & (col("l_discount") <= 0.07) &
+                (col("l_quantity") < 24))
+        .with_column("revenue", col("l_extendedprice") * col("l_discount"))
+        .with_column("bucket", lit(1))
+        .group_agg("bucket", {"revenue": "sum"})
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Q7 - Q11
+# --------------------------------------------------------------------------- #
+def q07(data: TPCHData) -> LazyFrame:
+    """Volume shipping between two nations (France / Germany)."""
+    suppliers = (
+        _lazy(data, "supplier")
+        .join(_lazy(data, "nation").select(["n_nationkey", "n_name"]),
+              left_on="s_nationkey", right_on="n_nationkey")
+    )
+    customers = (
+        _lazy(data, "customer")
+        .join(_lazy(data, "nation").select(["n_nationkey", "n_name"]),
+              left_on="c_nationkey", right_on="n_nationkey")
+        .map_frame(lambda f: f.rename({"n_name": "cust_nation"}), label="map",
+                   needs=["n_name"], barrier=False)
+    )
+    return (
+        _lazy(data, "lineitem")
+        .filter((col("l_shipdate") >= _date(1995, 1, 1)) & (col("l_shipdate") <= _date(1996, 12, 31)))
+        .join(_lazy(data, "orders"), left_on="l_orderkey", right_on="o_orderkey")
+        .join(customers, left_on="o_custkey", right_on="c_custkey")
+        .join(suppliers, left_on="l_suppkey", right_on="s_suppkey")
+        .filter(((col("n_name") == "FRANCE") & (col("cust_nation") == "GERMANY")) |
+                ((col("n_name") == "GERMANY") & (col("cust_nation") == "FRANCE")))
+        .with_column("volume", col("l_extendedprice") * (lit(1) - col("l_discount")))
+        .with_column("l_year", col("l_shipdate").dt_component("year"))
+        .group_agg(["n_name", "cust_nation", "l_year"], {"volume": "sum"})
+        .sort(["n_name", "cust_nation", "l_year"])
+    )
+
+
+def q08(data: TPCHData) -> LazyFrame:
+    """National market share for one part type in one region."""
+    parts = _lazy(data, "part").filter(col("p_type").str_contains("ECONOMY ANODIZED STEEL"))
+    america_customers = (
+        _lazy(data, "customer")
+        .join(_lazy(data, "nation").select(["n_nationkey", "n_regionkey"]),
+              left_on="c_nationkey", right_on="n_nationkey")
+        .join(_lazy(data, "region"), left_on="n_regionkey", right_on="r_regionkey")
+        .filter(col("r_name") == "AMERICA")
+        .select(["c_custkey"])
+    )
+    supplier_nation = (
+        _lazy(data, "supplier")
+        .join(_lazy(data, "nation").select(["n_nationkey", "n_name"]),
+              left_on="s_nationkey", right_on="n_nationkey")
+        .select(["s_suppkey", "n_name"])
+    )
+    return (
+        _lazy(data, "lineitem")
+        .join(parts.select(["p_partkey"]), left_on="l_partkey", right_on="p_partkey")
+        .join(_lazy(data, "orders"), left_on="l_orderkey", right_on="o_orderkey")
+        .filter((col("o_orderdate") >= _date(1995, 1, 1)) & (col("o_orderdate") <= _date(1996, 12, 31)))
+        .join(america_customers, left_on="o_custkey", right_on="c_custkey")
+        .join(supplier_nation, left_on="l_suppkey", right_on="s_suppkey")
+        .with_column("volume", col("l_extendedprice") * (lit(1) - col("l_discount")))
+        .with_column("o_year", col("o_orderdate").dt_component("year"))
+        .group_agg(["o_year", "n_name"], {"volume": "sum"})
+        .sort(["o_year", "n_name"])
+    )
+
+
+def q09(data: TPCHData) -> LazyFrame:
+    """Product-type profit measure, by nation and year."""
+    green_parts = _lazy(data, "part").filter(col("p_name").str_contains("green"))
+    return (
+        _lazy(data, "lineitem")
+        .join(green_parts.select(["p_partkey"]), left_on="l_partkey", right_on="p_partkey")
+        .join(_lazy(data, "partsupp"),
+              left_on=["l_partkey", "l_suppkey"], right_on=["ps_partkey", "ps_suppkey"])
+        .join(_lazy(data, "supplier").select(["s_suppkey", "s_nationkey"]),
+              left_on="l_suppkey", right_on="s_suppkey")
+        .join(_lazy(data, "nation").select(["n_nationkey", "n_name"]),
+              left_on="s_nationkey", right_on="n_nationkey")
+        .join(_lazy(data, "orders").select(["o_orderkey", "o_orderdate"]),
+              left_on="l_orderkey", right_on="o_orderkey")
+        .with_column("amount",
+                     col("l_extendedprice") * (lit(1) - col("l_discount")) -
+                     col("ps_supplycost") * col("l_quantity"))
+        .with_column("o_year", col("o_orderdate").dt_component("year"))
+        .group_agg(["n_name", "o_year"], {"amount": "sum"})
+        .sort(["n_name", "o_year"], ascending=[True, False])
+    )
+
+
+def q10(data: TPCHData) -> LazyFrame:
+    """Customers who returned items, ranked by lost revenue."""
+    return (
+        _lazy(data, "lineitem")
+        .filter(col("l_returnflag") == "R")
+        .join(_lazy(data, "orders"), left_on="l_orderkey", right_on="o_orderkey")
+        .filter((col("o_orderdate") >= _date(1993, 10, 1)) & (col("o_orderdate") < _date(1994, 1, 1)))
+        .join(_lazy(data, "customer"), left_on="o_custkey", right_on="c_custkey")
+        .join(_lazy(data, "nation").select(["n_nationkey", "n_name"]),
+              left_on="c_nationkey", right_on="n_nationkey")
+        .with_column("revenue", col("l_extendedprice") * (lit(1) - col("l_discount")))
+        .group_agg(["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name"],
+                   {"revenue": "sum"})
+        .sort("revenue", ascending=False)
+        .limit(20)
+    )
+
+
+def q11(data: TPCHData) -> LazyFrame:
+    """Most important stock held by suppliers of one nation (Germany)."""
+    german = (
+        _lazy(data, "partsupp")
+        .join(_lazy(data, "supplier").select(["s_suppkey", "s_nationkey"]),
+              left_on="ps_suppkey", right_on="s_suppkey")
+        .join(_lazy(data, "nation").select(["n_nationkey", "n_name"]),
+              left_on="s_nationkey", right_on="n_nationkey")
+        .filter(col("n_name") == "GERMANY")
+        .with_column("value", col("ps_supplycost") * col("ps_availqty"))
+    )
+    return (
+        german
+        .group_agg("ps_partkey", {"value": "sum"})
+        .sort("value", ascending=False)
+        .limit(200)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Q12 - Q17
+# --------------------------------------------------------------------------- #
+def q12(data: TPCHData) -> LazyFrame:
+    """Shipping-mode effect on late deliveries for two modes."""
+    return (
+        _lazy(data, "lineitem")
+        .filter(col("l_shipmode").is_in(["MAIL", "SHIP"]) &
+                (col("l_commitdate") < col("l_receiptdate")) &
+                (col("l_shipdate") < col("l_commitdate")) &
+                (col("l_receiptdate") >= _date(1994, 1, 1)) &
+                (col("l_receiptdate") < _date(1995, 1, 1)))
+        .join(_lazy(data, "orders").select(["o_orderkey", "o_orderpriority"]),
+              left_on="l_orderkey", right_on="o_orderkey")
+        .with_column("high_line",
+                     col("o_orderpriority").is_in(["1-URGENT", "2-HIGH"]))
+        .with_column("low_line", ~col("o_orderpriority").is_in(["1-URGENT", "2-HIGH"]))
+        .map_frame(_cast_bool_to_int(["high_line", "low_line"]), label="map",
+                   needs=["high_line", "low_line"], barrier=False)
+        .group_agg("l_shipmode", {"high_line": "sum", "low_line": "sum"})
+        .sort("l_shipmode")
+    )
+
+
+def q13(data: TPCHData) -> LazyFrame:
+    """Distribution of customers by number of (non-complaint) orders."""
+    orders = (
+        _lazy(data, "orders")
+        .filter(~col("o_comment").str_contains("special.*requests"))
+        .group_agg("o_custkey", {"o_orderkey": "count"})
+        .map_frame(lambda f: f.rename({"o_orderkey": "c_count"}), label="map",
+                   needs=["o_orderkey"], barrier=False)
+    )
+    return (
+        _lazy(data, "customer").select(["c_custkey"])
+        .join(orders, left_on="c_custkey", right_on="o_custkey", how="left")
+        .fill_nulls({"c_count": 0})
+        .group_agg("c_count", {"c_custkey": "count"})
+        .sort(["c_custkey", "c_count"], ascending=[False, False])
+    )
+
+
+def q14(data: TPCHData) -> LazyFrame:
+    """Share of promotional revenue in one month."""
+    return (
+        _lazy(data, "lineitem")
+        .filter((col("l_shipdate") >= _date(1995, 9, 1)) & (col("l_shipdate") < _date(1995, 10, 1)))
+        .join(_lazy(data, "part").select(["p_partkey", "p_type"]),
+              left_on="l_partkey", right_on="p_partkey")
+        .with_column("revenue", col("l_extendedprice") * (lit(1) - col("l_discount")))
+        .with_column("is_promo", col("p_type").str_startswith("PROMO"))
+        .map_frame(_promo_ratio, label="map", needs=["revenue", "is_promo"], barrier=True)
+    )
+
+
+def q15(data: TPCHData) -> LazyFrame:
+    """Top supplier by revenue over one quarter."""
+    revenue = (
+        _lazy(data, "lineitem")
+        .filter((col("l_shipdate") >= _date(1996, 1, 1)) & (col("l_shipdate") < _date(1996, 4, 1)))
+        .with_column("rev", col("l_extendedprice") * (lit(1) - col("l_discount")))
+        .group_agg("l_suppkey", {"rev": "sum"})
+    )
+    return (
+        revenue
+        .map_frame(_keep_max("rev"), label="map", needs=["rev"], barrier=True)
+        .join(_lazy(data, "supplier").select(["s_suppkey", "s_name", "s_address", "s_phone"]),
+              left_on="l_suppkey", right_on="s_suppkey")
+        .sort("l_suppkey")
+    )
+
+
+def q16(data: TPCHData) -> LazyFrame:
+    """Supplier counts per part attribute combination, excluding complainers."""
+    complainers = (
+        _lazy(data, "supplier")
+        .filter(col("s_comment").str_contains("carefully.*requests"))
+        .select(["s_suppkey"])
+    )
+    return (
+        _lazy(data, "partsupp")
+        .join(_lazy(data, "part"), left_on="ps_partkey", right_on="p_partkey")
+        .filter((col("p_brand") != "Brand#45") &
+                (~col("p_type").str_startswith("MEDIUM POLISHED")) &
+                col("p_size").is_in([49, 14, 23, 45, 19, 3, 36, 9]))
+        .join(complainers, left_on="ps_suppkey", right_on="s_suppkey", how="anti")
+        .group_agg(["p_brand", "p_type", "p_size"], {"ps_suppkey": "nunique"})
+        .sort(["ps_suppkey", "p_brand", "p_type", "p_size"],
+              ascending=[False, True, True, True])
+    )
+
+
+def q17(data: TPCHData) -> LazyFrame:
+    """Average yearly revenue lost if small orders were not filled."""
+    target_parts = (
+        _lazy(data, "part")
+        .filter((col("p_brand") == "Brand#23") & (col("p_container") == "MED BOX"))
+        .select(["p_partkey"])
+    )
+    lineitem = _lazy(data, "lineitem").join(target_parts, left_on="l_partkey",
+                                            right_on="p_partkey")
+    avg_quantity = (
+        lineitem.group_agg("l_partkey", {"l_quantity": "mean"})
+        .map_frame(lambda f: f.rename({"l_quantity": "avg_qty"}), label="map",
+                   needs=["l_quantity"], barrier=False)
+    )
+    return (
+        lineitem
+        .join(avg_quantity, on="l_partkey")
+        .filter(col("l_quantity") < col("avg_qty") * 0.2)
+        .with_column("bucket", lit(1))
+        .group_agg("bucket", {"l_extendedprice": "sum"})
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Q18 - Q22
+# --------------------------------------------------------------------------- #
+def q18(data: TPCHData) -> LazyFrame:
+    """Large-volume customers (orders above a total quantity threshold)."""
+    big_orders = (
+        _lazy(data, "lineitem")
+        .group_agg("l_orderkey", {"l_quantity": "sum"})
+        .filter(col("l_quantity") > 300)
+        .map_frame(lambda f: f.rename({"l_quantity": "total_qty"}), label="map",
+                   needs=["l_quantity"], barrier=False)
+    )
+    return (
+        big_orders
+        .join(_lazy(data, "orders"), left_on="l_orderkey", right_on="o_orderkey")
+        .join(_lazy(data, "customer").select(["c_custkey", "c_name"]),
+              left_on="o_custkey", right_on="c_custkey")
+        .select(["c_name", "o_custkey", "l_orderkey", "o_orderdate", "o_totalprice", "total_qty"])
+        .sort(["o_totalprice", "o_orderdate"], ascending=[False, True])
+        .limit(100)
+    )
+
+
+def q19(data: TPCHData) -> LazyFrame:
+    """Discounted revenue for three brand/container/quantity combinations."""
+    joined = (
+        _lazy(data, "lineitem")
+        .filter(col("l_shipmode").is_in(["AIR", "REG AIR"]) &
+                (col("l_shipinstruct") == "DELIVER IN PERSON"))
+        .join(_lazy(data, "part"), left_on="l_partkey", right_on="p_partkey")
+    )
+    predicate = (
+        ((col("p_brand") == "Brand#12") & col("p_container").str_contains("SM") &
+         (col("l_quantity") >= 1) & (col("l_quantity") <= 11) & (col("p_size") <= 5)) |
+        ((col("p_brand") == "Brand#23") & col("p_container").str_contains("MED") &
+         (col("l_quantity") >= 10) & (col("l_quantity") <= 20) & (col("p_size") <= 10)) |
+        ((col("p_brand") == "Brand#34") & col("p_container").str_contains("LG") &
+         (col("l_quantity") >= 20) & (col("l_quantity") <= 30) & (col("p_size") <= 15))
+    )
+    return (
+        joined
+        .filter(predicate)
+        .with_column("revenue", col("l_extendedprice") * (lit(1) - col("l_discount")))
+        .with_column("bucket", lit(1))
+        .group_agg("bucket", {"revenue": "sum"})
+    )
+
+
+def q20(data: TPCHData) -> LazyFrame:
+    """Suppliers with excess stock of forest parts in Canada."""
+    forest_parts = _lazy(data, "part").filter(col("p_name").str_startswith("forest")) \
+                                      .select(["p_partkey"])
+    shipped = (
+        _lazy(data, "lineitem")
+        .filter((col("l_shipdate") >= _date(1994, 1, 1)) & (col("l_shipdate") < _date(1995, 1, 1)))
+        .group_agg(["l_partkey", "l_suppkey"], {"l_quantity": "sum"})
+        .map_frame(lambda f: f.rename({"l_quantity": "shipped_qty"}), label="map",
+                   needs=["l_quantity"], barrier=False)
+    )
+    excess = (
+        _lazy(data, "partsupp")
+        .join(forest_parts, left_on="ps_partkey", right_on="p_partkey")
+        .join(shipped, left_on=["ps_partkey", "ps_suppkey"], right_on=["l_partkey", "l_suppkey"],
+              how="left")
+        .fill_nulls({"shipped_qty": 0.0})
+        .filter(col("ps_availqty") > col("shipped_qty") * 0.5)
+        .select(["ps_suppkey"])
+        .distinct()
+    )
+    return (
+        _lazy(data, "supplier")
+        .join(_lazy(data, "nation").select(["n_nationkey", "n_name"]),
+              left_on="s_nationkey", right_on="n_nationkey")
+        .filter(col("n_name") == "CANADA")
+        .join(excess, left_on="s_suppkey", right_on="ps_suppkey", how="semi")
+        .select(["s_name", "s_address"])
+        .sort("s_name")
+    )
+
+
+def q21(data: TPCHData) -> LazyFrame:
+    """Suppliers who kept multi-supplier orders waiting (Saudi Arabia)."""
+    late_lines = (
+        _lazy(data, "lineitem")
+        .filter(col("l_receiptdate") > col("l_commitdate"))
+        .join(_lazy(data, "orders").select(["o_orderkey", "o_orderstatus"]),
+              left_on="l_orderkey", right_on="o_orderkey")
+        .filter(col("o_orderstatus") == "F")
+    )
+    suppliers_per_order = (
+        _lazy(data, "lineitem")
+        .group_agg("l_orderkey", {"l_suppkey": "nunique"})
+        .map_frame(lambda f: f.rename({"l_suppkey": "suppliers_in_order"}), label="map",
+                   needs=["l_suppkey"], barrier=False)
+    )
+    return (
+        late_lines
+        .join(suppliers_per_order, on="l_orderkey")
+        .filter(col("suppliers_in_order") > 1)
+        .join(_lazy(data, "supplier").select(["s_suppkey", "s_name", "s_nationkey"]),
+              left_on="l_suppkey", right_on="s_suppkey")
+        .join(_lazy(data, "nation").select(["n_nationkey", "n_name"]),
+              left_on="s_nationkey", right_on="n_nationkey")
+        .filter(col("n_name") == "SAUDI ARABIA")
+        .group_agg("s_name", {"l_orderkey": "nunique"})
+        .sort(["l_orderkey", "s_name"], ascending=[False, True])
+        .limit(100)
+    )
+
+
+def q22(data: TPCHData) -> LazyFrame:
+    """Customers from selected country codes with no orders but good balance."""
+    country_codes = ["13", "31", "23", "29", "30", "18", "17"]
+    customers = (
+        _lazy(data, "customer")
+        .with_column("cntrycode", col("c_phone").apply(lambda v: v[:2], dtype="string"))
+        .filter(col("cntrycode").is_in(country_codes))
+    )
+    with_orders = _lazy(data, "orders").select(["o_custkey"]).distinct()
+    return (
+        customers
+        .join(with_orders, left_on="c_custkey", right_on="o_custkey", how="anti")
+        .map_frame(_filter_above_global_mean, label="map",
+                   needs=["c_acctbal", "cntrycode"], barrier=True)
+        .group_agg("cntrycode", {"c_acctbal": ["count", "sum"]})
+        .sort("cntrycode")
+    )
+
+
+# --------------------------------------------------------------------------- #
+# helpers used by map_frame steps
+# --------------------------------------------------------------------------- #
+def _cast_bool_to_int(columns: list[str]) -> Callable[[DataFrame], DataFrame]:
+    def mapper(frame: DataFrame) -> DataFrame:
+        return frame.cast({name: "int64" for name in columns if name in frame.columns})
+    return mapper
+
+
+def _promo_ratio(frame: DataFrame) -> DataFrame:
+    """Final scalar of Q14: 100 * promo revenue / total revenue."""
+    revenue = frame["revenue"]
+    promo_mask = frame["is_promo"].to_numpy_bool()
+    total = revenue.sum()
+    promo = revenue.filter(promo_mask).sum()
+    ratio = 100.0 * promo / total if total else 0.0
+    return DataFrame({"promo_revenue_pct": [ratio]})
+
+
+def _keep_max(column: str) -> Callable[[DataFrame], DataFrame]:
+    def mapper(frame: DataFrame) -> DataFrame:
+        top = frame[column].max()
+        if top is None:
+            return frame
+        return frame.filter(frame[column].ge(top))
+    return mapper
+
+
+def _filter_above_global_mean(frame: DataFrame) -> DataFrame:
+    """Q22 inner predicate: keep customers above the positive-balance mean."""
+    positive = frame["c_acctbal"].filter(frame["c_acctbal"].gt(0.0).to_numpy_bool())
+    threshold = positive.mean() or 0.0
+    return frame.filter(frame["c_acctbal"].gt(threshold).to_numpy_bool())
+
+
+QUERIES: dict[str, Callable[[TPCHData], LazyFrame]] = {
+    f"q{i:02d}": fn for i, fn in enumerate(
+        [q01, q02, q03, q04, q05, q06, q07, q08, q09, q10, q11,
+         q12, q13, q14, q15, q16, q17, q18, q19, q20, q21, q22], start=1)
+}
+
+
+def query_names() -> list[str]:
+    """The 22 query identifiers, in order (``q01`` ... ``q22``)."""
+    return list(QUERIES)
+
+
+def get_query(name: str) -> Callable[[TPCHData], LazyFrame]:
+    """Look up a query builder by identifier."""
+    try:
+        return QUERIES[name]
+    except KeyError:
+        raise KeyError(f"unknown TPC-H query {name!r}; expected q01..q22") from None

@@ -1,0 +1,100 @@
+"""TPC-H execution and pricing across the simulated engines (Figure 7).
+
+Every query is executed physically once per engine on the generated sample —
+lazy engines (Spark SQL, Spark PD, Polars, DuckDB) run the optimized plan,
+eager engines run the unoptimized one — and the operators that actually ran
+are priced by each engine's cost model at the nominal scale factor (SF 10 in
+the paper).  The physical results are also returned so tests can check that
+every engine computes the same answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engines.base import BaseEngine, SimulationContext
+from ..frame.frame import DataFrame
+from ..plan.optimizer import OptimizerSettings
+from ..simulate.clock import RunReport, trimmed_mean
+from ..simulate.memory import SimulatedOOMError
+from .datagen import TPCHData
+from .queries import QUERIES, get_query
+
+__all__ = ["TPCHQueryResult", "TPCHRunner"]
+
+
+@dataclass
+class TPCHQueryResult:
+    """Outcome of one (engine, query) pair."""
+
+    engine: str
+    query: str
+    seconds: float
+    rows: int = 0
+    failed: bool = False
+    failure_reason: str = ""
+    frame: DataFrame | None = field(default=None, repr=False)
+
+
+class TPCHRunner:
+    """Runs the 22 queries on one or more engines."""
+
+    def __init__(self, data: TPCHData, runs: int = 3):
+        self.data = data
+        self.runs = max(1, runs)
+
+    # ------------------------------------------------------------------ #
+    def simulation_context(self, engine: BaseEngine) -> SimulationContext:
+        """Context pricing the whole TPC-H database at the nominal scale."""
+        total_physical = self.data.total_physical_rows()
+        nominal_rows = int(total_physical * self.data.row_scale)
+        dataset_bytes = self.data.nominal_memory_bytes()
+        return SimulationContext(
+            machine=engine.machine,
+            nominal_rows=nominal_rows,
+            physical_rows=total_physical,
+            dataset_bytes=dataset_bytes,
+            csv_bytes=int(dataset_bytes * 1.2),
+            parquet_bytes=int(dataset_bytes * 0.4),
+            column_bytes={},
+            dataset_name=f"tpch-sf{self.data.nominal_scale_factor:g}",
+            runs=self.runs,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_query(self, engine: BaseEngine, query: str,
+                  keep_frame: bool = False) -> TPCHQueryResult:
+        """Execute one query on one engine and price it."""
+        builder = get_query(query)
+        sim = self.simulation_context(engine)
+        lazy = engine.supports_lazy
+        settings = engine.optimizer_settings if lazy else OptimizerSettings.all_disabled()
+        try:
+            per_run: list[float] = []
+            frame: DataFrame | None = None
+            for run_index in range(self.runs):
+                plan = builder(self.data)
+                frame, stats = plan.collect_with_stats(settings, optimize_plan=lazy)
+                report = RunReport(engine=engine.name, label=query)
+                engine._price_plan_stats(stats, sim, run_index, report, pipeline_scope=False)
+                per_run.append(report.total_seconds)
+            return TPCHQueryResult(
+                engine=engine.name, query=query, seconds=trimmed_mean(per_run),
+                rows=frame.num_rows if frame is not None else 0,
+                frame=frame if keep_frame else None,
+            )
+        except SimulatedOOMError as oom:
+            return TPCHQueryResult(engine=engine.name, query=query, seconds=float("inf"),
+                                   failed=True, failure_reason=str(oom))
+
+    # ------------------------------------------------------------------ #
+    def run_all(self, engine: BaseEngine, queries: list[str] | None = None,
+                keep_frames: bool = False) -> dict[str, TPCHQueryResult]:
+        """Run every query (or a subset) on one engine."""
+        names = queries or list(QUERIES)
+        return {name: self.run_query(engine, name, keep_frame=keep_frames) for name in names}
+
+    def run_matrix(self, engines: dict[str, BaseEngine],
+                   queries: list[str] | None = None) -> dict[str, dict[str, TPCHQueryResult]]:
+        """Figure 7: every engine × every query."""
+        return {name: self.run_all(engine, queries) for name, engine in engines.items()}

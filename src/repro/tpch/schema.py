@@ -1,0 +1,61 @@
+"""TPC-H schema constants.
+
+The eight tables of the TPC-H benchmark with their nominal cardinalities per
+scale factor (SF).  The paper runs the 22 queries at SF 10 — the largest scale
+that fits the 40 GB of GPU memory — so that is the nominal scale the cost
+model prices; the physical generator produces a much smaller sample.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLE_CARDINALITY_PER_SF", "FIXED_TABLES", "TABLE_NAMES", "rows_at_scale",
+           "REGIONS", "NATIONS", "SEGMENTS", "PRIORITIES", "SHIP_MODES", "RETURN_FLAGS",
+           "ORDER_STATUS", "TPCH_NOMINAL_SCALE_FACTOR"]
+
+#: Rows per unit scale factor (TPC-H specification, section 4.2.3).
+TABLE_CARDINALITY_PER_SF: dict[str, int] = {
+    "supplier": 10_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Tables whose size does not depend on the scale factor.
+FIXED_TABLES: dict[str, int] = {
+    "nation": 25,
+    "region": 5,
+}
+
+TABLE_NAMES = tuple(TABLE_CARDINALITY_PER_SF) + tuple(FIXED_TABLES)
+
+#: The scale factor the paper evaluates (TPC-H 10 GB).
+TPCH_NOMINAL_SCALE_FACTOR = 10.0
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: (nation, region index) pairs, following the TPC-H nation table.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+RETURN_FLAGS = ["R", "A", "N"]
+ORDER_STATUS = ["F", "O", "P"]
+
+
+def rows_at_scale(table: str, scale_factor: float) -> int:
+    """Nominal row count of a table at the given scale factor."""
+    if table in FIXED_TABLES:
+        return FIXED_TABLES[table]
+    if table in TABLE_CARDINALITY_PER_SF:
+        return max(1, int(TABLE_CARDINALITY_PER_SF[table] * scale_factor))
+    raise KeyError(f"unknown TPC-H table {table!r}; available: {TABLE_NAMES}")

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Everything here is intentionally tiny: the substrate is exercised on frames of
+a few dozen to a few thousand rows, and the simulation layer extrapolates to
+paper scale, so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.engines import SimulationContext, create_engines
+from repro.frame import DataFrame
+from repro.simulate import PAPER_SERVER
+from repro.tpch import generate_tpch
+
+
+@pytest.fixture
+def small_frame() -> DataFrame:
+    """A small mixed-type frame with nulls, used across the substrate tests."""
+    return DataFrame({
+        "id": [1, 2, 3, 4, 5, 6],
+        "group": ["a", "b", "a", "c", "b", None],
+        "value": [10.0, None, 30.0, 40.0, 50.0, 60.0],
+        "count": [1, 2, 3, 4, None, 6],
+        "flag": [True, False, True, None, True, False],
+        "when": ["2015-01-01", "2015-02-15", None, "2016-07-04", "2014-12-31", "2015-06-30"],
+    })
+
+
+@pytest.fixture(scope="session")
+def athlete_dataset():
+    """A tiny physical Athlete sample (session-scoped: generated once)."""
+    return generate_dataset("athlete", scale=0.2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def taxi_dataset():
+    """A tiny physical Taxi sample (session-scoped)."""
+    return generate_dataset("taxi", scale=0.2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def engines():
+    """All simulated engines on the paper's evaluation server."""
+    return create_engines(machine=PAPER_SERVER)
+
+
+@pytest.fixture
+def adhoc_sim(small_frame) -> SimulationContext:
+    """Simulation context for the small ad-hoc frame, scaled to 1M rows."""
+    return SimulationContext.for_frame(small_frame, PAPER_SERVER,
+                                       nominal_rows=1_000_000, name="adhoc")
+
+
+@pytest.fixture(scope="session")
+def tpch_data():
+    """A tiny TPC-H database shared by the TPC-H tests."""
+    return generate_tpch(physical_scale_factor=0.001, seed=3)

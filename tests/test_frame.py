@@ -1,0 +1,302 @@
+"""Unit tests for the DataFrame substrate."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, FLOAT64, INT64, STRING, concat_rows
+from repro.frame.errors import (
+    ColumnNotFoundError,
+    DuplicateColumnError,
+    JoinError,
+    LengthMismatchError,
+)
+
+
+class TestBasics:
+    def test_shape_and_columns(self, small_frame):
+        assert small_frame.shape == (6, 6)
+        assert small_frame.columns[0] == "id"
+        assert "value" in small_frame
+
+    def test_dtypes(self, small_frame):
+        dtypes = small_frame.dtypes
+        assert dtypes["id"] is INT64
+        assert dtypes["group"] is STRING
+        assert dtypes["value"] is FLOAT64
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(LengthMismatchError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_unknown_column_raises(self, small_frame):
+        with pytest.raises(ColumnNotFoundError):
+            small_frame["nope"]
+
+    def test_row_and_to_dict(self, small_frame):
+        assert small_frame.row(0)["id"] == 1
+        assert small_frame.to_dict()["group"][1] == "b"
+
+    def test_from_rows(self):
+        frame = DataFrame.from_rows([{"a": 1, "b": "x"}, {"a": 2}])
+        assert frame.shape == (2, 2)
+        assert frame["b"].to_list() == ["x", None]
+
+    def test_equals_and_copy(self, small_frame):
+        assert small_frame.equals(small_frame.copy())
+        assert not small_frame.equals(small_frame.drop("id"))
+
+    def test_memory_usage_positive(self, small_frame):
+        assert small_frame.memory_usage() > 0
+
+    def test_empty_frame(self):
+        frame = DataFrame()
+        assert frame.shape == (0, 0)
+        assert frame.null_fraction() == 0.0
+
+
+class TestColumnManipulation:
+    def test_select_order(self, small_frame):
+        out = small_frame.select(["value", "id"])
+        assert out.columns == ["value", "id"]
+
+    def test_select_missing(self, small_frame):
+        with pytest.raises(ColumnNotFoundError):
+            small_frame.select(["id", "nope"])
+
+    def test_drop(self, small_frame):
+        out = small_frame.drop(["flag", "when"])
+        assert "flag" not in out.columns and out.num_columns == 4
+
+    def test_rename(self, small_frame):
+        out = small_frame.rename({"id": "identifier"})
+        assert "identifier" in out.columns and "id" not in out.columns
+
+    def test_rename_duplicate_rejected(self, small_frame):
+        with pytest.raises(DuplicateColumnError):
+            small_frame.rename({"id": "value"})
+
+    def test_with_column_add_and_replace(self, small_frame):
+        out = small_frame.with_column("double_id", small_frame["id"].mul(2))
+        assert out["double_id"].to_list() == [2, 4, 6, 8, 10, 12]
+        replaced = out.with_column("id", out["id"].mul(0))
+        assert replaced["id"].to_list() == [0] * 6
+
+    def test_with_column_length_mismatch(self, small_frame):
+        with pytest.raises(LengthMismatchError):
+            small_frame.with_column("bad", [1, 2])
+
+    def test_cast(self, small_frame):
+        out = small_frame.cast({"id": "float64"})
+        assert out.dtypes["id"] is FLOAT64
+
+
+class TestRowSelection:
+    def test_filter(self, small_frame):
+        mask = small_frame["value"].gt(25.0)
+        out = small_frame.filter(mask)
+        assert out.num_rows == 4
+
+    def test_head_slice_take(self, small_frame):
+        assert small_frame.head(2).num_rows == 2
+        assert small_frame.slice(4).num_rows == 2
+        assert small_frame.take(np.array([5, 0]))["id"].to_list() == [6, 1]
+
+    def test_sample_deterministic(self, small_frame):
+        a = small_frame.sample(0.5, seed=3)
+        b = small_frame.sample(0.5, seed=3)
+        assert a.equals(b)
+        assert a.num_rows == 3
+
+    def test_sort_single_key(self, small_frame):
+        out = small_frame.sort_values("value")
+        values = [v for v in out["value"].to_list() if v is not None]
+        assert values == sorted(values)
+
+    def test_sort_multi_key_descending(self, small_frame):
+        out = small_frame.sort_values(["group", "value"], ascending=[True, False])
+        groups = [g for g in out["group"].to_list() if g is not None]
+        assert groups == sorted(groups)
+
+    def test_sort_is_stable_on_ties(self):
+        frame = DataFrame({"k": [1, 1, 1], "v": ["a", "b", "c"]})
+        assert frame.sort_values("k")["v"].to_list() == ["a", "b", "c"]
+
+    def test_drop_duplicates(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert frame.drop_duplicates().num_rows == 2
+
+    def test_drop_duplicates_subset_keep_last(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": ["first", "last", "only"]})
+        out = frame.drop_duplicates(subset=["a"], keep="last")
+        assert out["b"].to_list() == ["last", "only"]
+
+    def test_dropna_any_and_all(self, small_frame):
+        # only the first row is fully populated (each other row has one null)
+        assert small_frame.dropna().num_rows == 1
+        assert small_frame.dropna(how="all").num_rows == 6
+
+    def test_dropna_subset(self, small_frame):
+        assert small_frame.dropna(subset=["value"]).num_rows == 5
+
+
+class TestMissingValues:
+    def test_isna_counts(self, small_frame):
+        counts = small_frame.null_counts()
+        assert counts["value"] == 1 and counts["id"] == 0
+
+    def test_null_fraction(self, small_frame):
+        assert small_frame.null_fraction() == pytest.approx(5 / 36)
+
+    def test_fillna_scalar(self, small_frame):
+        out = small_frame.fillna(0)
+        assert out["value"].null_count() == 0
+
+    def test_fillna_mapping(self, small_frame):
+        out = small_frame.fillna({"group": "unknown"})
+        assert out["group"].null_count() == 0
+        assert out["value"].null_count() == 1
+
+    def test_fillna_unknown_column(self, small_frame):
+        with pytest.raises(ColumnNotFoundError):
+            small_frame.fillna({"nope": 0})
+
+
+class TestStatistics:
+    def test_describe_contains_numeric_columns(self, small_frame):
+        stats = small_frame.describe()
+        assert "value" in stats.columns and "group" not in stats.columns
+        assert stats["statistic"].to_list()[0] == "count"
+
+    def test_quantile(self, small_frame):
+        out = small_frame.quantile(0.5, columns=["id"])
+        assert out["id"] == pytest.approx(3.5)
+
+    def test_locate_outliers(self):
+        frame = DataFrame({"x": [1.0, 2.0, 2.5, 3.0, 100.0]})
+        mask = frame.locate_outliers("x")
+        assert mask.to_list() == [False, False, False, False, True]
+
+
+class TestTransforms:
+    def test_search_pattern(self, small_frame):
+        out = small_frame.search_pattern("group", "a")
+        assert out.num_rows == 2
+
+    def test_set_case(self, small_frame):
+        out = small_frame.set_case(["group"], "upper")
+        assert out["group"].to_list()[0] == "A"
+
+    def test_replace_values(self, small_frame):
+        out = small_frame.replace_values("group", {"a": "alpha"})
+        assert out["group"].to_list().count("alpha") == 2
+
+    def test_edit_values(self, small_frame):
+        out = small_frame.edit_values("id", lambda v: v * 10)
+        assert out["id"].to_list()[0] == 10
+
+    def test_normalize(self, small_frame):
+        out = small_frame.normalize(["id"])
+        assert out["id"].max() == pytest.approx(1.0)
+
+    def test_parse_and_format_dates(self, small_frame):
+        parsed = small_frame.parse_dates(["when"])
+        assert parsed["when"].dtype.value == "datetime"
+        formatted = parsed.format_dates(["when"], "%Y")
+        assert formatted["when"].to_list()[0] == "2015"
+
+    def test_extract_date_component(self, small_frame):
+        out = small_frame.extract_date_component("when", "year")
+        assert out["when_year"].to_list()[0] == 2015
+
+    def test_categorical_encode(self, small_frame):
+        out = small_frame.categorical_encode(["group"])
+        values = out["group"].to_list()
+        assert set(v for v in values if v is not None) <= {0, 1, 2}
+
+    def test_one_hot_encode(self, small_frame):
+        out = small_frame.one_hot_encode("group")
+        assert "group_a" in out.columns and "group" not in out.columns
+        assert sum(out["group_a"].to_list()) == 2
+
+
+class TestRelationalOps:
+    def test_group_agg_mean(self, small_frame):
+        out = small_frame.group_agg("group", {"value": "mean"})
+        lookup = dict(zip(out["group"].to_list(), out["value"].to_list()))
+        assert lookup["a"] == pytest.approx(20.0)
+
+    def test_group_agg_multiple_functions(self, small_frame):
+        out = small_frame.group_agg("group", {"id": ["count", "max"]})
+        assert "id_count" in out.columns and "id_max" in out.columns
+
+    def test_groupby_size(self, small_frame):
+        out = small_frame.groupby("group").size()
+        lookup = dict(zip(out["group"].to_list(), out["count"].to_list()))
+        assert lookup["a"] == 2 and lookup[None] == 1
+
+    def test_group_by_unknown_column(self, small_frame):
+        with pytest.raises(ColumnNotFoundError):
+            small_frame.group_agg("nope", {"value": "mean"})
+
+    def test_inner_join(self):
+        left = DataFrame({"k": [1, 2, 3], "v": ["a", "b", "c"]})
+        right = DataFrame({"k": [2, 3, 4], "w": [20, 30, 40]})
+        out = left.join(right, on="k")
+        assert out["k"].to_list() == [2, 3]
+        assert out["w"].to_list() == [20, 30]
+
+    def test_left_join_produces_nulls(self):
+        left = DataFrame({"k": [1, 2], "v": ["a", "b"]})
+        right = DataFrame({"k": [2], "w": [20]})
+        out = left.join(right, on="k", how="left")
+        assert out["w"].to_list() == [None, 20]
+
+    def test_outer_join(self):
+        left = DataFrame({"k": [1, 2], "v": ["a", "b"]})
+        right = DataFrame({"k": [2, 3], "w": [20, 30]})
+        out = left.join(right, on="k", how="outer")
+        assert out.num_rows == 3
+
+    def test_semi_and_anti_join(self):
+        left = DataFrame({"k": [1, 2, 3]})
+        right = DataFrame({"k": [2]})
+        assert left.join(right, on="k", how="semi")["k"].to_list() == [2]
+        assert left.join(right, on="k", how="anti")["k"].to_list() == [1, 3]
+
+    def test_join_suffix_on_collision(self):
+        left = DataFrame({"k": [1], "v": [1]})
+        right = DataFrame({"k": [1], "v": [2]})
+        out = left.join(right, on="k")
+        assert "v_right" in out.columns
+
+    def test_join_requires_keys(self):
+        with pytest.raises(ValueError):
+            DataFrame({"a": [1]}).join(DataFrame({"b": [1]}))
+
+    def test_join_missing_key_column(self):
+        with pytest.raises(JoinError):
+            DataFrame({"a": [1]}).join(DataFrame({"b": [1]}), on="a")
+
+    def test_multi_key_join(self):
+        left = DataFrame({"a": [1, 1, 2], "b": ["x", "y", "x"], "v": [1, 2, 3]})
+        right = DataFrame({"a": [1, 2], "b": ["y", "x"], "w": [10, 20]})
+        out = left.join(right, on=["a", "b"])
+        assert sorted(out["w"].to_list()) == [10, 20]
+
+    def test_pivot_table(self, small_frame):
+        out = small_frame.pivot_table("group", "flag", "value", aggfunc="sum")
+        assert "group" in out.columns
+        assert any(c.startswith("flag_") for c in out.columns)
+
+    def test_concat_rows(self, small_frame):
+        out = concat_rows([small_frame.head(2), small_frame.slice(2, 2)])
+        assert out.num_rows == 4
+        assert out.columns == small_frame.columns
+
+    def test_concat_schema_mismatch(self, small_frame):
+        with pytest.raises(LengthMismatchError):
+            concat_rows([small_frame, small_frame.drop("id")])
+
+    def test_to_string_renders(self, small_frame):
+        text = small_frame.to_string(max_rows=3)
+        assert "id" in text and "..." in text

@@ -1,0 +1,156 @@
+"""Tests for CSV and rparquet I/O plus schema inference."""
+
+import pytest
+
+from repro.frame import DataFrame
+from repro.frame.errors import IOFormatError
+from repro.io import (
+    Schema,
+    csv_row_count,
+    infer_value_dtype,
+    read_any,
+    read_csv,
+    read_rparquet,
+    read_rparquet_schema,
+    scan_csv_chunks,
+    write_any,
+    write_csv,
+    write_rparquet,
+)
+
+
+@pytest.fixture
+def mixed_frame():
+    return DataFrame({
+        "i": [1, 2, None, 4],
+        "f": [1.5, None, 3.25, 4.0],
+        "s": ["alpha", "beta", None, "delta"],
+        "b": [True, False, None, True],
+        "d": ["2015-01-02", "2016-02-03", None, "2017-03-04"],
+    })
+
+
+class TestCSV:
+    def test_roundtrip_preserves_values_and_nulls(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.csv"
+        size = write_csv(mixed_frame, path)
+        assert size > 0
+        back = read_csv(path)
+        assert back["i"].to_list() == [1, 2, None, 4]
+        assert back["s"].to_list() == ["alpha", "beta", None, "delta"]
+        assert back["b"].to_list() == [True, False, None, True]
+
+    def test_dtype_inference(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(mixed_frame, path)
+        dtypes = {name: dtype.value for name, dtype in read_csv(path).dtypes.items()}
+        assert dtypes == {"i": "int64", "f": "float64", "s": "string",
+                          "b": "bool", "d": "datetime"}
+
+    def test_projection(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(mixed_frame, path)
+        assert read_csv(path, columns=["s", "i"]).columns == ["s", "i"]
+
+    def test_projection_unknown_column(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(mixed_frame, path)
+        with pytest.raises(IOFormatError):
+            read_csv(path, columns=["nope"])
+
+    def test_explicit_schema_overrides_inference(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(mixed_frame, path)
+        schema = Schema.from_mapping({"i": "string", "f": "float64", "s": "string",
+                                      "b": "string", "d": "string"})
+        out = read_csv(path, schema=schema)
+        assert out.dtypes["i"].value == "string"
+
+    def test_chunked_scan(self, tmp_path):
+        frame = DataFrame({"x": list(range(250))})
+        path = tmp_path / "big.csv"
+        write_csv(frame, path)
+        chunks = list(scan_csv_chunks(path, chunk_rows=100))
+        assert [c.num_rows for c in chunks] == [100, 100, 50]
+
+    def test_row_count(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(mixed_frame, path)
+        assert csv_row_count(path) == 4
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IOFormatError):
+            read_csv(tmp_path / "absent.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(IOFormatError):
+            read_csv(path)
+
+
+class TestRParquet:
+    def test_roundtrip(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.rpq"
+        size = write_rparquet(mixed_frame, path)
+        assert size > 0
+        back = read_rparquet(path)
+        for name in ("i", "f", "s", "b"):
+            assert back[name].to_list() == mixed_frame[name].to_list()
+
+    def test_projection_reads_subset(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.rpq"
+        write_rparquet(mixed_frame, path)
+        out = read_rparquet(path, columns=["f"])
+        assert out.columns == ["f"]
+
+    def test_schema_only_read(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.rpq"
+        write_rparquet(mixed_frame, path)
+        schema = read_rparquet_schema(path)
+        assert schema["i"].value == "int64"
+        assert "s" in schema
+
+    def test_unknown_column_rejected(self, mixed_frame, tmp_path):
+        path = tmp_path / "data.rpq"
+        write_rparquet(mixed_frame, path)
+        with pytest.raises(IOFormatError):
+            read_rparquet(path, columns=["zzz"])
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.rpq"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(IOFormatError):
+            read_rparquet(path)
+
+    def test_smaller_than_csv_for_repetitive_data(self, tmp_path):
+        frame = DataFrame({"s": ["the same long string value"] * 2000,
+                           "x": [1.234567] * 2000})
+        csv_size = write_csv(frame, tmp_path / "a.csv")
+        rpq_size = write_rparquet(frame, tmp_path / "a.rpq")
+        assert rpq_size < csv_size
+
+
+class TestDispatchAndSchema:
+    def test_read_write_any(self, mixed_frame, tmp_path):
+        for fmt, suffix in (("csv", "csv"), ("rparquet", "rpq")):
+            path = tmp_path / f"data.{suffix}"
+            write_any(mixed_frame, path, fmt)
+            assert read_any(path, fmt).num_rows == 4
+
+    def test_unknown_format(self, mixed_frame, tmp_path):
+        with pytest.raises(ValueError):
+            write_any(mixed_frame, tmp_path / "x.bin", "orc")
+
+    @pytest.mark.parametrize("text,expected", [
+        ("12", "int64"), ("1.5", "float64"), ("true", "bool"),
+        ("2015-06-01", "datetime"), ("hello", "string"),
+    ])
+    def test_infer_value_dtype(self, text, expected):
+        assert infer_value_dtype(text).value == expected
+
+    def test_schema_mapping_helpers(self):
+        schema = Schema.from_mapping({"a": "int64", "b": "string"})
+        assert schema.names == ["a", "b"]
+        assert schema.select(["b"]).names == ["b"]
+        assert Schema.from_dict(schema.to_dict()).to_dict() == schema.to_dict()

@@ -1,0 +1,201 @@
+"""Tests for the lazy plan layer: builder, optimizer rules, executor."""
+
+import pytest
+
+from repro.frame import DataFrame, col, lit
+from repro.plan import (
+    FileScan,
+    Filter,
+    LazyFrame,
+    Optimizer,
+    OptimizerSettings,
+    Project,
+    Scan,
+    explain,
+)
+from repro.plan.optimizer import _plan_columns
+from repro.frame.errors import PlanError
+
+
+@pytest.fixture
+def frame():
+    return DataFrame({
+        "a": list(range(20)),
+        "b": ["x", "y"] * 10,
+        "c": [float(i) * 0.5 for i in range(20)],
+        "unused": ["junk"] * 20,
+    })
+
+
+class TestLazyFrameBuilder:
+    def test_collect_identity(self, frame):
+        assert LazyFrame.from_frame(frame).collect().equals(frame)
+
+    def test_filter_and_select(self, frame):
+        out = (LazyFrame.from_frame(frame)
+               .filter(col("a") >= 10)
+               .select(["a", "b"])
+               .collect())
+        assert out.num_rows == 10 and out.columns == ["a", "b"]
+
+    def test_with_column_and_sort(self, frame):
+        out = (LazyFrame.from_frame(frame)
+               .with_column("a2", col("a") * 2)
+               .sort("a", ascending=False)
+               .collect())
+        assert out["a2"].to_list()[0] == 38
+
+    def test_group_agg(self, frame):
+        out = LazyFrame.from_frame(frame).group_agg("b", {"c": "sum"}).collect()
+        assert out.num_rows == 2
+
+    def test_join(self, frame):
+        right = DataFrame({"b": ["x", "y"], "w": [1, 2]})
+        out = LazyFrame.from_frame(frame).join(right, on="b").collect()
+        assert "w" in out.columns and out.num_rows == 20
+
+    def test_distinct_dropnulls_fillnulls_limit(self, frame):
+        out = (LazyFrame.from_frame(frame)
+               .distinct(subset=["b"])
+               .fill_nulls(0)
+               .drop_nulls()
+               .limit(1)
+               .collect())
+        assert out.num_rows == 1
+
+    def test_drop_and_map_frame(self, frame):
+        out = (LazyFrame.from_frame(frame)
+               .drop("unused")
+               .map_frame(lambda f: f.head(3), label="head")
+               .collect())
+        assert out.num_rows == 3 and "unused" not in out.columns
+
+    def test_join_requires_keys(self, frame):
+        with pytest.raises(ValueError):
+            LazyFrame.from_frame(frame).join(frame)
+
+    def test_explain_lists_operators(self, frame):
+        text = LazyFrame.from_frame(frame).filter(col("a") > 3).explain()
+        assert "filter" in text and "scan" in text
+
+
+class TestOptimizerRules:
+    def _plan(self, frame):
+        return (LazyFrame.from_frame(frame)
+                .with_column("derived", col("a") + 1)
+                .filter(col("a") > 5)
+                .filter(col("b") == "x")
+                .group_agg("b", {"c": "mean"}))
+
+    def test_filter_fusion_merges_adjacent_filters(self, frame):
+        optimized = Optimizer(OptimizerSettings(projection_pushdown=False,
+                                                predicate_pushdown=False)).optimize(
+            self._plan(frame).plan)
+        text = explain(optimized)
+        assert text.count("filter") == 1 and "&" in text
+
+    def test_predicate_pushdown_moves_filter_below_with_column(self, frame):
+        optimized = Optimizer(OptimizerSettings(projection_pushdown=False)).optimize(
+            self._plan(frame).plan)
+        text = explain(optimized).splitlines()
+        filter_depth = next(i for i, line in enumerate(text) if "filter" in line)
+        derived_depth = next(i for i, line in enumerate(text) if "with_column" in line)
+        assert filter_depth > derived_depth  # filter sits *below* the projection of derived
+
+    def test_projection_pushdown_prunes_unused_columns(self, frame):
+        optimized = Optimizer().optimize(self._plan(frame).plan)
+        text = explain(optimized)
+        assert "unused" not in text
+
+    def test_filter_not_pushed_when_depending_on_derived_column(self, frame):
+        plan = (LazyFrame.from_frame(frame)
+                .with_column("derived", col("a") + 1)
+                .filter(col("derived") > 3).plan)
+        optimized = Optimizer().optimize(plan)
+        lines = explain(optimized).splitlines()
+        assert "filter" in lines[0]
+
+    def test_filter_pushdown_into_join_left_side(self, frame):
+        right = DataFrame({"b": ["x", "y"], "w": [1, 2]})
+        plan = (LazyFrame.from_frame(frame)
+                .join(right, on="b")
+                .filter(col("a") > 10).plan)
+        optimized = Optimizer().optimize(plan)
+        text = explain(optimized).splitlines()
+        join_line = next(i for i, line in enumerate(text) if "join" in line)
+        filter_line = next(i for i, line in enumerate(text) if "filter" in line)
+        assert filter_line > join_line
+
+    def test_all_disabled_is_identity(self, frame):
+        plan = self._plan(frame).plan
+        optimized = Optimizer(OptimizerSettings.all_disabled()).optimize(plan)
+        assert explain(optimized) == explain(plan)
+
+    @pytest.mark.parametrize("settings", [
+        OptimizerSettings(),
+        OptimizerSettings(projection_pushdown=False),
+        OptimizerSettings(predicate_pushdown=False),
+        OptimizerSettings(filter_fusion=False),
+        OptimizerSettings.all_disabled(),
+    ])
+    def test_optimization_preserves_results(self, frame, settings):
+        lazy = self._plan(frame)
+        optimized = lazy.collect(settings)
+        baseline = lazy.collect(optimize_plan=False)
+        assert optimized.equals(baseline)
+
+    def test_optimized_plan_touches_fewer_cells(self, frame):
+        lazy = self._plan(frame)
+        _, optimized_stats = lazy.collect_with_stats()
+        _, raw_stats = lazy.collect_with_stats(optimize_plan=False)
+        assert optimized_stats.total_cells < raw_stats.total_cells
+
+    def test_plan_columns_helper(self, frame):
+        plan = self._plan(frame).plan
+        assert _plan_columns(plan) == {"b", "c"}
+        assert _plan_columns(FileScan("x.csv")) is None
+
+
+class TestExecutor:
+    def test_execution_stats_record_operators(self, frame):
+        _, stats = (LazyFrame.from_frame(frame)
+                    .filter(col("a") > 5)
+                    .group_agg("b", {"c": "sum"})
+                    .collect_with_stats())
+        operators = {op.operator for op in stats.operators}
+        assert {"scan", "filter", "groupby"} <= operators
+        assert stats.total_rows > 0
+        assert stats.by_operator()["filter"] > 0
+
+    def test_filescan_requires_reader(self):
+        with pytest.raises(PlanError):
+            LazyFrame(FileScan("missing.csv")).collect()
+
+    def test_filescan_uses_injected_reader(self, frame, tmp_path):
+        from repro.io import write_csv
+
+        path = tmp_path / "t.csv"
+        write_csv(frame, path)
+        out = LazyFrame.from_file(str(path)).collect(
+            file_reader=lambda p, fmt, cols: __import__("repro.io", fromlist=["read_csv"]).read_csv(p, columns=cols))
+        assert out.num_rows == frame.num_rows
+
+    def test_scan_projection_applied(self, frame):
+        plan = Project(Scan(frame), ("a",))
+        out, _ = LazyFrame(plan).collect_with_stats()
+        assert out.columns == ["a"]
+
+    def test_unknown_node_rejected(self):
+        class Bogus:
+            def children(self):
+                return []
+
+        with pytest.raises(PlanError):
+            from repro.plan.executor import Executor
+
+            Executor(optimize_plan=False).execute(Bogus())  # type: ignore[arg-type]
+
+    def test_filter_on_scan_with_projection(self, frame):
+        plan = Filter(Scan(frame, projected=("a", "b")), col("a") > 3)
+        out, _ = LazyFrame(plan).collect_with_stats()
+        assert set(out.columns) == {"a", "b"}

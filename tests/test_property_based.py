@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.metrics import impact_percentages, speedup
+from repro.frame import Column, DataFrame, col
+from repro.io import read_rparquet, write_rparquet
+from repro.plan import LazyFrame, OptimizerSettings
+from repro.simulate import CostModel, PAPER_SERVER, get_profile, trimmed_mean
+
+_SETTINGS = settings(max_examples=40, deadline=None,
+                     suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+numeric_lists = st.lists(
+    st.one_of(st.none(), st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)),
+    min_size=1, max_size=60,
+)
+int_lists = st.lists(st.one_of(st.none(), st.integers(min_value=-10_000, max_value=10_000)),
+                     min_size=1, max_size=60)
+string_lists = st.lists(st.one_of(st.none(), st.text(min_size=0, max_size=8)),
+                        min_size=1, max_size=60)
+
+
+@st.composite
+def frames(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    keys = draw(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=n, max_size=n))
+    values = draw(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                           min_size=n, max_size=n))
+    flags = draw(st.lists(st.integers(min_value=0, max_value=3), min_size=n, max_size=n))
+    return DataFrame({"key": keys, "value": values, "flag": flags})
+
+
+class TestColumnProperties:
+    @_SETTINGS
+    @given(numeric_lists)
+    def test_fill_null_removes_all_nulls(self, values):
+        column = Column.from_values(values)
+        assert column.fill_null(0.0).null_count() == 0
+
+    @_SETTINGS
+    @given(int_lists)
+    def test_sort_indices_orders_valid_values(self, values):
+        column = Column.from_values(values)
+        ordered = column.take(column.sort_indices())
+        valid = [v for v in ordered.to_list() if v is not None]
+        assert valid == sorted(valid)
+        assert len(ordered) == len(column)
+
+    @_SETTINGS
+    @given(int_lists)
+    def test_sentinel_roundtrip_is_lossless(self, values):
+        column = Column.from_values(values, "int64")
+        restored = Column.from_sentinel(column.to_sentinel(), "int64")
+        assert restored.to_list() == column.to_list()
+
+    @_SETTINGS
+    @given(numeric_lists)
+    def test_normalize_minmax_bounded(self, values):
+        column = Column.from_values(values)
+        normalized = column.normalize("minmax")
+        valid = [v for v in normalized.to_list() if v is not None]
+        assert all(-1e-9 <= v <= 1 + 1e-9 for v in valid)
+
+    @_SETTINGS
+    @given(string_lists)
+    def test_cast_to_string_preserves_null_positions(self, values):
+        column = Column.from_values(values, "string")
+        assert column.cast("categorical").null_count() == column.null_count()
+
+
+class TestFrameProperties:
+    @_SETTINGS
+    @given(frames())
+    def test_filter_never_grows(self, frame):
+        mask = frame["value"].gt(0.0)
+        filtered = frame.filter(mask)
+        assert filtered.num_rows <= frame.num_rows
+        assert filtered.columns == frame.columns
+
+    @_SETTINGS
+    @given(frames())
+    def test_groupby_count_preserves_total(self, frame):
+        grouped = frame.groupby("key").size()
+        assert sum(grouped["count"].to_list()) == frame.num_rows
+
+    @_SETTINGS
+    @given(frames())
+    def test_drop_duplicates_idempotent(self, frame):
+        once = frame.drop_duplicates(subset=["key", "flag"])
+        twice = once.drop_duplicates(subset=["key", "flag"])
+        assert once.equals(twice)
+
+    @_SETTINGS
+    @given(frames())
+    def test_sort_preserves_multiset_of_values(self, frame):
+        out = frame.sort_values(["key", "value"])
+        assert sorted(map(str, out["value"].to_list())) == sorted(map(str, frame["value"].to_list()))
+
+    @_SETTINGS
+    @given(frames())
+    def test_rparquet_roundtrip(self, frame):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "frame.rpq"
+            write_rparquet(frame, path)
+            assert read_rparquet(path).equals(frame)
+
+    @_SETTINGS
+    @given(frames())
+    def test_optimizer_never_changes_results(self, frame):
+        lazy = (LazyFrame.from_frame(frame)
+                .with_column("doubled", col("value") * 2)
+                .filter(col("flag") < 3)
+                .group_agg("key", {"doubled": "sum", "value": "count"}))
+        assert lazy.collect().equals(lazy.collect(optimize_plan=False))
+        assert lazy.collect(OptimizerSettings.all_disabled()).equals(lazy.collect())
+
+
+class TestSimulationProperties:
+    @_SETTINGS
+    @given(st.integers(min_value=1, max_value=2 * 10 ** 7), st.integers(min_value=1, max_value=30))
+    def test_cost_is_positive_and_monotone_in_rows(self, rows, cols):
+        model = CostModel(PAPER_SERVER)
+        profile = get_profile("polars")
+        small = model.estimate(profile, "groupby", rows, cols)
+        large = model.estimate(profile, "groupby", rows * 2, cols)
+        assert small.seconds > 0
+        assert large.seconds >= small.seconds * 0.9  # jitter-tolerant monotonicity
+
+    @_SETTINGS
+    @given(st.lists(st.floats(min_value=0.001, max_value=1000, allow_nan=False), min_size=1,
+                    max_size=30))
+    def test_trimmed_mean_within_range(self, values):
+        mean = trimmed_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @_SETTINGS
+    @given(st.floats(min_value=0.001, max_value=1e5), st.floats(min_value=0.001, max_value=1e5))
+    def test_speedup_antisymmetry(self, a, b):
+        assert speedup(a, b) == pytest.approx(1.0 / speedup(b, a), rel=1e-6)
+
+    @_SETTINGS
+    @given(st.dictionaries(st.sampled_from(["p1", "p2", "p3", "p4"]),
+                           st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                           min_size=1, max_size=4))
+    def test_impact_percentages_sum_to_100(self, timings):
+        impact = impact_percentages(timings)
+        total = sum(impact.values())
+        assert total == pytest.approx(100.0) or total == 0.0

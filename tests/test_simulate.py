@@ -1,0 +1,207 @@
+"""Tests for the simulation layer: hardware, profiles, cost and memory models."""
+
+import pytest
+
+from repro.simulate import (
+    BASE_CELL_COST_NS,
+    CostModel,
+    ENGINE_ORDER,
+    ENGINE_PROFILES,
+    GB,
+    LAPTOP,
+    MACHINE_CONFIGS,
+    MemoryModel,
+    PAPER_SERVER,
+    SERVER,
+    SimulatedOOMError,
+    VirtualClock,
+    WORKSTATION,
+    average_runs,
+    get_machine,
+    get_profile,
+    trimmed_mean,
+)
+
+
+class TestHardware:
+    def test_table4_configurations(self):
+        assert LAPTOP.cpu_threads == 8 and LAPTOP.ram_gb == 16
+        assert WORKSTATION.cpu_threads == 16 and WORKSTATION.ram_gb == 64
+        assert SERVER.cpu_threads == 24 and SERVER.ram_gb == 128
+
+    def test_paper_server_has_gpu(self):
+        assert PAPER_SERVER.has_gpu
+        assert PAPER_SERVER.gpu.memory_gb == 40
+
+    def test_smaller_machines_have_no_gpu(self):
+        assert not LAPTOP.has_gpu and not SERVER.has_gpu
+
+    def test_lookup(self):
+        assert get_machine("laptop") is LAPTOP
+        with pytest.raises(KeyError):
+            get_machine("mainframe")
+        assert set(MACHINE_CONFIGS) >= {"laptop", "workstation", "server"}
+
+    def test_usable_ram_below_total(self):
+        assert LAPTOP.usable_ram_bytes < LAPTOP.ram_bytes
+
+    def test_describe_row(self):
+        row = LAPTOP.describe()
+        assert row["machine"] == "laptop" and row["cpus"] == 8
+
+
+class TestProfiles:
+    def test_every_engine_has_a_profile(self):
+        for name in ENGINE_ORDER:
+            assert name in ENGINE_PROFILES
+
+    def test_feature_matrix_matches_table1(self):
+        assert not get_profile("pandas").multithreading
+        assert get_profile("cudf").gpu_acceleration
+        assert get_profile("polars").lazy_evaluation
+        assert get_profile("sparksql").cluster_deploy
+        assert not get_profile("datatable").supports_parquet
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            get_profile("arrowframe")
+
+    def test_multiplier_defaults_to_one(self):
+        assert get_profile("pandas").multiplier("sort") == 1.0
+        assert get_profile("polars").multiplier("isna") < 0.1
+
+
+class TestCostModel:
+    def test_more_rows_cost_more(self):
+        model = CostModel(PAPER_SERVER)
+        small = model.estimate(get_profile("pandas"), "groupby", 1_000_000, 4)
+        large = model.estimate(get_profile("pandas"), "groupby", 50_000_000, 4)
+        assert large.seconds > small.seconds
+
+    def test_parallel_engine_faster_than_pandas_on_large_input(self):
+        model = CostModel(PAPER_SERVER)
+        pandas = model.estimate(get_profile("pandas"), "sort", 50_000_000, 3)
+        polars = model.estimate(get_profile("polars"), "sort", 50_000_000, 3)
+        assert polars.seconds < pandas.seconds
+
+    def test_gpu_engine_fast_on_paper_server(self):
+        model = CostModel(PAPER_SERVER)
+        cudf = model.estimate(get_profile("cudf"), "join", 50_000_000, 3)
+        pandas = model.estimate(get_profile("pandas"), "join", 50_000_000, 3)
+        assert cudf.seconds < pandas.seconds / 10
+
+    def test_spark_overhead_dominates_small_inputs(self):
+        model = CostModel(PAPER_SERVER)
+        spark = model.estimate(get_profile("sparksql"), "metadata", 1000, 1)
+        pandas = model.estimate(get_profile("pandas"), "metadata", 1000, 1)
+        assert spark.seconds > pandas.seconds
+
+    def test_lazy_overhead_smaller_than_eager(self):
+        model = CostModel(PAPER_SERVER)
+        eager = model.estimate(get_profile("sparksql"), "filter", 10_000_000, 2, lazy=False)
+        lazy = model.estimate(get_profile("sparksql"), "filter", 10_000_000, 2, lazy=True)
+        assert lazy.seconds < eager.seconds
+
+    def test_io_priced_by_bytes(self):
+        model = CostModel(PAPER_SERVER)
+        small = model.estimate(get_profile("pandas"), "read_csv", 1000, 5, bytes_in=10 * GB // 10)
+        large = model.estimate(get_profile("pandas"), "read_csv", 1000, 5, bytes_in=10 * GB)
+        assert large.seconds > small.seconds
+
+    def test_jitter_is_deterministic(self):
+        model = CostModel(PAPER_SERVER)
+        a = model.estimate(get_profile("polars"), "sort", 1_000_000, 2, run_index=1)
+        b = model.estimate(get_profile("polars"), "sort", 1_000_000, 2, run_index=1)
+        c = model.estimate(get_profile("polars"), "sort", 1_000_000, 2, run_index=2)
+        assert a.seconds == b.seconds
+        assert a.seconds != c.seconds
+
+    def test_spill_penalty_charged(self):
+        model = CostModel(LAPTOP)
+        cost = model.estimate(get_profile("sparksql"), "sort", 200_000_000, 10,
+                              bytes_in=40 * GB, dataset_bytes=40 * GB)
+        assert cost.spilled and cost.seconds > 1.0
+
+    def test_every_op_class_has_base_cost(self):
+        for op in ("isna", "sort", "groupby", "join", "pivot", "dedup", "stats"):
+            assert op in BASE_CELL_COST_NS
+
+
+class TestMemoryModel:
+    def test_fits_small_dataset(self):
+        model = MemoryModel(LAPTOP)
+        assessment = model.assess(get_profile("pandas"), "groupby", 10 * 1024 ** 2,
+                                  dataset_bytes=100 * 1024 ** 2)
+        assert assessment.peak_bytes > 0 and not assessment.spilled
+
+    def test_pandas_oom_on_laptop_for_huge_dataset(self):
+        model = MemoryModel(LAPTOP)
+        with pytest.raises(SimulatedOOMError):
+            model.assess(get_profile("pandas"), "pivot", 4 * GB, dataset_bytes=13 * GB,
+                         pipeline_scope=True)
+
+    def test_sparksql_spills_instead_of_oom(self):
+        model = MemoryModel(LAPTOP)
+        assessment = model.assess(get_profile("sparksql"), "pivot", 4 * GB,
+                                  dataset_bytes=13 * GB, pipeline_scope=True)
+        assert assessment.spilled
+
+    def test_vaex_streams_columnwise_ops(self):
+        model = MemoryModel(LAPTOP)
+        assessment = model.assess(get_profile("vaex"), "filter", 8 * GB, dataset_bytes=13 * GB)
+        assert assessment.streamed
+
+    def test_cudf_limited_by_gpu_memory(self):
+        model = MemoryModel(PAPER_SERVER)
+        with pytest.raises(SimulatedOOMError) as err:
+            model.assess(get_profile("cudf"), "join", 30 * GB, dataset_bytes=30 * GB)
+        assert err.value.device == "GPU"
+
+    def test_cudf_unavailable_without_gpu(self):
+        model = MemoryModel(LAPTOP)
+        with pytest.raises(SimulatedOOMError):
+            model.assess(get_profile("cudf"), "join", 1 * GB, dataset_bytes=1 * GB)
+
+    def test_sparksql_only_laptop_finisher_for_full_taxi(self):
+        """Table 5 headline: SparkSQL alone completes the full Taxi pipeline on a laptop."""
+        taxi_bytes = int(13 * GB)
+        model = MemoryModel(LAPTOP)
+        finishers = [name for name in ENGINE_ORDER if name != "cudf"
+                     and model.fits_pipeline(get_profile(name), taxi_bytes)]
+        assert finishers == ["sparksql"]
+
+    def test_pandas_cannot_finish_taxi_even_on_server(self):
+        taxi_bytes = int(13 * GB)
+        model = MemoryModel(SERVER)
+        assert not model.fits_pipeline(get_profile("pandas"), taxi_bytes)
+        assert model.fits_pipeline(get_profile("sparksql"), taxi_bytes)
+
+    def test_modin_ray_scales_further_than_dask(self):
+        taxi_bytes = int(13 * GB)
+        model = MemoryModel(WORKSTATION)
+        ray_ok = model.fits_pipeline(get_profile("modin_ray"), taxi_bytes)
+        dask_ok = model.fits_pipeline(get_profile("modin_dask"), taxi_bytes)
+        assert ray_ok and not dask_ok
+
+
+class TestClock:
+    def test_trimmed_mean_removes_extremes(self):
+        values = [1.0] * 8 + [100.0, 0.0001]
+        assert trimmed_mean(values) == pytest.approx(1.0)
+
+    def test_trimmed_mean_small_samples(self):
+        assert trimmed_mean([2.0, 4.0]) == pytest.approx(3.0)
+        assert trimmed_mean([]) == 0.0
+
+    def test_average_runs_alias(self):
+        assert average_runs([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_virtual_clock(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.elapsed_seconds == pytest.approx(2.0)
+        clock.reset()
+        assert clock.elapsed_seconds == 0.0
+        with pytest.raises(ValueError):
+            clock.advance(-1)

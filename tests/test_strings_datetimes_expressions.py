@@ -1,0 +1,162 @@
+"""Tests for string kernels, datetime helpers and the expression AST."""
+
+import pytest
+
+from repro.frame import Column, DataFrame, col, lit
+from repro.frame import strings as string_ops
+from repro.frame.datetimes import (
+    NS_PER_DAY,
+    date_to_ns,
+    extract_component,
+    format_datetime_column,
+    ns_to_datetime,
+    parse_datetime_column,
+    parse_datetime_scalar,
+)
+from repro.frame.errors import DTypeError, ExpressionError
+from repro.frame.expressions import ensure_boolean
+
+
+class TestStringKernels:
+    def test_contains_regex(self):
+        out = string_ops.contains(Column.from_values(["apple", "banana", None]), "an")
+        assert out.to_list() == [False, True, None]
+
+    def test_contains_literal_case_insensitive(self):
+        out = string_ops.contains(Column.from_values(["Apple"]), "APP", regex=False, case=False)
+        assert out.to_list() == [True]
+
+    def test_match_like(self):
+        out = string_ops.match_like(Column.from_values(["PROMO BRUSHED", "STANDARD"]), "PROMO%")
+        assert out.to_list() == [True, False]
+
+    def test_startswith_endswith(self):
+        col_ = Column.from_values(["abc", "xbc"])
+        assert string_ops.startswith(col_, "a").to_list() == [True, False]
+        assert string_ops.endswith(col_, "bc").to_list() == [True, True]
+
+    def test_set_case_modes(self):
+        col_ = Column.from_values(["Hello World"])
+        assert string_ops.set_case(col_, "upper").to_list() == ["HELLO WORLD"]
+        assert string_ops.set_case(col_, "lower").to_list() == ["hello world"]
+        assert string_ops.set_case(col_, "title").to_list() == ["Hello World"]
+
+    def test_set_case_unknown_mode(self):
+        with pytest.raises(ValueError):
+            string_ops.set_case(Column.from_values(["a"]), "shouty")
+
+    def test_strip_and_replace_substring(self):
+        col_ = Column.from_values(["  pad  ", "a-b"])
+        assert string_ops.strip(col_).to_list()[0] == "pad"
+        assert string_ops.replace_substring(col_, "-", "_").to_list()[1] == "a_b"
+
+    def test_str_length(self):
+        assert string_ops.str_length(Column.from_values(["ab", None])).to_list() == [2, None]
+
+    def test_extract_regex(self):
+        out = string_ops.extract_regex(Column.from_values(["x=12", "y=?"]), r"\d+")
+        assert out.to_list() == ["12", None]
+
+    def test_concat_strings(self):
+        out = string_ops.concat_strings(Column.from_values(["a", None]),
+                                        Column.from_values(["b", "c"]), separator="-")
+        assert out.to_list() == ["a-b", None]
+
+    def test_requires_string_column(self):
+        with pytest.raises(DTypeError):
+            string_ops.contains(Column.from_values([1, 2]), "x")
+
+
+class TestDatetimes:
+    def test_parse_scalar_formats(self):
+        assert parse_datetime_scalar("2015-03-01") == date_to_ns(2015, 3, 1)
+        assert parse_datetime_scalar("2015-03-01 12:00:00") is not None
+        assert parse_datetime_scalar("03/01/2015") is not None
+        assert parse_datetime_scalar("not a date") is None
+
+    def test_roundtrip_ns(self):
+        ns = date_to_ns(2016, 7, 4, 13, 30)
+        assert ns_to_datetime(ns).year == 2016
+
+    def test_parse_column_marks_bad_values_null(self):
+        out = parse_datetime_column(Column.from_values(["2015-01-01", "garbage", None]))
+        assert out.null_count() == 2
+
+    def test_format_column(self):
+        parsed = parse_datetime_column(Column.from_values(["2015-01-31"]))
+        assert format_datetime_column(parsed, "%d/%m/%Y").to_list() == ["31/01/2015"]
+
+    def test_extract_components(self):
+        parsed = parse_datetime_column(Column.from_values(["2015-06-15"]))
+        assert extract_component(parsed, "year").to_list() == [2015]
+        assert extract_component(parsed, "month").to_list() == [6]
+        assert extract_component(parsed, "day").to_list() == [15]
+
+    def test_extract_unknown_component(self):
+        with pytest.raises(ValueError):
+            extract_component(Column.from_values(["2015-06-15"]), "fortnight")
+
+    def test_ns_per_day_consistency(self):
+        assert date_to_ns(2015, 1, 2) - date_to_ns(2015, 1, 1) == NS_PER_DAY
+
+
+class TestExpressions:
+    @pytest.fixture
+    def frame(self):
+        return DataFrame({"a": [1, 2, 3, 4], "b": [10.0, 20.0, 30.0, None],
+                          "s": ["foo", "bar", "foobar", None],
+                          "d": ["2015-01-01", "2016-01-01", "2017-06-01", "2018-01-01"]})
+
+    def test_arithmetic(self, frame):
+        out = (col("a") * 2 + col("b")).evaluate(frame)
+        assert out.to_list() == [12.0, 24.0, 36.0, None]
+
+    def test_comparison_and_boolean(self, frame):
+        expr = (col("a") > 1) & (col("b") < 30.0)
+        assert expr.evaluate(frame).to_list() == [False, True, False, False]
+
+    def test_or_and_not(self, frame):
+        expr = (col("a") == 1) | ~(col("a") < 4)
+        assert expr.evaluate(frame).to_list() == [True, False, False, True]
+
+    def test_null_checks(self, frame):
+        assert col("b").is_null().evaluate(frame).to_list() == [False, False, False, True]
+        assert col("b").not_null().evaluate(frame).to_list() == [True, True, True, False]
+
+    def test_is_in_and_between(self, frame):
+        assert col("a").is_in([2, 4]).evaluate(frame).to_list() == [False, True, False, True]
+        assert col("a").between(2, 3).evaluate(frame).to_list() == [False, True, True, False]
+
+    def test_string_predicates(self, frame):
+        assert col("s").str_contains("^foo").evaluate(frame).to_list() == [True, False, True, None]
+        assert col("s").str_startswith("foo").evaluate(frame).to_list() == [True, False, True, None]
+        assert col("s").str_like("%bar").evaluate(frame).to_list() == [False, True, True, None]
+
+    def test_date_component(self, frame):
+        out = col("d").dt_component("year").evaluate(frame)
+        assert out.to_list() == [2015, 2016, 2017, 2018]
+
+    def test_apply_and_alias(self, frame):
+        expr = col("a").apply(lambda v: v * 100).alias("scaled")
+        assert expr.name == "scaled"
+        assert expr.evaluate(frame).to_list() == [100, 200, 300, 400]
+
+    def test_columns_tracking(self):
+        expr = (col("x") + col("y")) > lit(3)
+        assert expr.columns() == {"x", "y"}
+
+    def test_describe_renders(self):
+        assert "col(x)" in ((col("x") > 3).describe())
+
+    def test_literal_broadcast(self, frame):
+        assert lit(7).evaluate(frame).to_list() == [7, 7, 7, 7]
+
+    def test_ensure_boolean_rejects_numeric(self, frame):
+        with pytest.raises(ExpressionError):
+            ensure_boolean((col("a") + 1).evaluate(frame))
+
+    def test_unknown_operator_rejected(self):
+        from repro.frame.expressions import BinaryOp
+
+        with pytest.raises(ExpressionError):
+            BinaryOp("%%", col("a"), lit(1))

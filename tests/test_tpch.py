@@ -1,0 +1,143 @@
+"""Tests for the TPC-H substrate: data generator, queries and runner."""
+
+import pytest
+
+from repro.engines import create_engine, create_engines
+from repro.simulate import PAPER_SERVER
+from repro.tpch import (
+    QUERIES,
+    TABLE_NAMES,
+    TPCHRunner,
+    generate_tpch,
+    get_query,
+    query_names,
+    rows_at_scale,
+)
+
+
+class TestSchema:
+    def test_eight_tables(self):
+        assert len(TABLE_NAMES) == 8
+
+    def test_rows_at_scale(self):
+        assert rows_at_scale("lineitem", 1.0) == 6_000_000
+        assert rows_at_scale("nation", 100.0) == 25
+        with pytest.raises(KeyError):
+            rows_at_scale("warehouse", 1.0)
+
+
+class TestDatagen:
+    def test_table_cardinality_ratios(self, tpch_data):
+        tables = tpch_data.tables
+        assert set(tables) == set(TABLE_NAMES)
+        assert tables["nation"].num_rows == 25
+        assert tables["region"].num_rows == 5
+        assert tables["lineitem"].num_rows > tables["orders"].num_rows
+
+    def test_foreign_keys_are_valid(self, tpch_data):
+        orders = tpch_data["orders"]
+        customers = set(tpch_data["customer"]["c_custkey"].to_list())
+        assert set(orders["o_custkey"].to_list()) <= customers
+        lineitem = tpch_data["lineitem"]
+        order_keys = set(orders["o_orderkey"].to_list())
+        assert set(lineitem["l_orderkey"].to_list()) <= order_keys
+        nation_keys = set(tpch_data["nation"]["n_nationkey"].to_list())
+        assert set(tpch_data["supplier"]["s_nationkey"].to_list()) <= nation_keys
+
+    def test_value_domains(self, tpch_data):
+        lineitem = tpch_data["lineitem"]
+        assert lineitem["l_discount"].min() >= 0.0
+        assert lineitem["l_discount"].max() <= 0.11
+        assert lineitem["l_quantity"].min() >= 1
+        assert tpch_data["lineitem"].null_fraction() == 0.0
+
+    def test_dates_ordered(self, tpch_data):
+        lineitem = tpch_data["lineitem"]
+        ship = lineitem["l_shipdate"].to_list()
+        receipt = lineitem["l_receiptdate"].to_list()
+        assert all(r > s for s, r in zip(ship, receipt))
+
+    def test_determinism(self):
+        a = generate_tpch(0.001, seed=3)
+        b = generate_tpch(0.001, seed=3)
+        assert a["orders"].equals(b["orders"])
+
+    def test_row_scale_and_memory(self, tpch_data):
+        assert tpch_data.row_scale == pytest.approx(10.0 / 0.001)
+        assert tpch_data.nominal_memory_bytes() > 10 * 1024 ** 3
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_tpch(0.0)
+
+
+class TestQueries:
+    def test_22_queries_registered(self):
+        assert len(QUERIES) == 22
+        assert query_names()[0] == "q01" and query_names()[-1] == "q22"
+
+    def test_unknown_query(self):
+        with pytest.raises(KeyError):
+            get_query("q99")
+
+    @pytest.mark.parametrize("name", query_names())
+    def test_query_executes_and_optimization_preserves_result(self, tpch_data, name):
+        plan = get_query(name)(tpch_data)
+        optimized = plan.collect()
+        baseline = get_query(name)(tpch_data).collect(optimize_plan=False)
+        assert optimized.equals(baseline)
+        assert optimized.num_columns > 0
+
+    def test_q01_aggregates_by_flag_and_status(self, tpch_data):
+        out = get_query("q01")(tpch_data).collect()
+        assert {"l_returnflag", "l_linestatus"} <= set(out.columns)
+        assert out.num_rows <= 6
+
+    def test_q06_is_highly_selective(self, tpch_data):
+        out = get_query("q06")(tpch_data).collect()
+        assert out.num_rows == 1
+        assert out["revenue"].to_list()[0] >= 0
+
+    def test_q03_limits_to_ten_rows(self, tpch_data):
+        assert get_query("q03")(tpch_data).collect().num_rows <= 10
+
+    def test_q10_revenue_sorted_descending(self, tpch_data):
+        out = get_query("q10")(tpch_data).collect()
+        revenue = out["revenue"].to_list()
+        assert revenue == sorted(revenue, reverse=True)
+
+
+class TestRunner:
+    def test_single_query_result(self, tpch_data):
+        runner = TPCHRunner(tpch_data, runs=1)
+        outcome = runner.run_query(create_engine("polars"), "q01", keep_frame=True)
+        assert not outcome.failed and outcome.seconds > 0
+        assert outcome.frame is not None
+
+    def test_engines_agree_on_results(self, tpch_data):
+        runner = TPCHRunner(tpch_data, runs=1)
+        engines = create_engines(["pandas", "polars", "sparksql", "cudf", "duckdb"],
+                                 PAPER_SERVER)
+        frames = {}
+        for name, engine in engines.items():
+            outcome = runner.run_query(engine, "q05", keep_frame=True)
+            frames[name] = outcome.frame
+        reference = frames.pop("pandas")
+        for name, frame in frames.items():
+            assert frame.equals(reference), f"{name} result differs on q05"
+
+    def test_matrix_shape(self, tpch_data):
+        runner = TPCHRunner(tpch_data, runs=1)
+        engines = create_engines(["polars", "cudf"], PAPER_SERVER)
+        matrix = runner.run_matrix(engines, queries=["q01", "q06"])
+        assert set(matrix) == {"polars", "cudf"}
+        assert set(matrix["polars"]) == {"q01", "q06"}
+
+    def test_cudf_fastest_on_q01(self, tpch_data):
+        runner = TPCHRunner(tpch_data, runs=1)
+        engines = create_engines(["pandas", "polars", "cudf", "vaex"], PAPER_SERVER)
+        times = {name: runner.run_query(engine, "q01").seconds
+                 for name, engine in engines.items()}
+        assert times["cudf"] == min(times.values())
+        assert times["polars"] < times["pandas"]
+        assert times["vaex"] > times["polars"]
