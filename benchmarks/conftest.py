@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import ExperimentConfig, prepare
+from repro import ExperimentConfig, Session
 
 
 #: Scale/engines used by every benchmark: all engines, modest physical samples.
@@ -23,6 +23,9 @@ def bench_config() -> ExperimentConfig:
 
 
 @pytest.fixture(scope="session")
-def bench_setup():
-    """Datasets, pipelines and engines shared across pipeline benchmarks."""
-    return prepare(BENCH_CONFIG)
+def bench_setup() -> Session:
+    """The shared session, warmed so generation stays out of timed regions."""
+    session = Session(BENCH_CONFIG)
+    session.datasets
+    session.engines
+    return session

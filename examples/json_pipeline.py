@@ -3,7 +3,7 @@
 Bento's original workflow is configuration-driven: a JSON file names the
 dataset and the sequence of preparators, and the framework deploys it on every
 library.  This example loads ``examples/custom_pipeline.json``, runs it on a
-few engines and prints per-stage timings.
+few engines through a :class:`repro.Session` and prints per-stage timings.
 
 Run with::
 
@@ -12,8 +12,7 @@ Run with::
 
 from pathlib import Path
 
-from repro import BentoRunner, PAPER_SERVER, Pipeline, create_engines
-from repro.datasets import generate_dataset
+from repro import ExperimentConfig, Pipeline, Session
 
 
 def main() -> None:
@@ -23,16 +22,13 @@ def main() -> None:
           f"({len(pipeline)} steps)")
     print("call counts:", pipeline.call_counts())
 
-    dataset = generate_dataset(pipeline.dataset, scale=0.4)
-    sim = dataset.simulation_context(PAPER_SERVER, runs=2)
-    runner = BentoRunner(runs=2)
-    engines = create_engines(["pandas", "polars", "sparksql", "cudf"], PAPER_SERVER)
+    session = Session(ExperimentConfig(scale=0.4, runs=2, datasets=[pipeline.dataset]))
+    results = session.run(mode="stage", pipelines=pipeline,
+                          engines=["pandas", "polars", "sparksql", "cudf"])
 
-    for name, engine in engines.items():
-        stages = runner.run_all_stages(engine, dataset.frame, pipeline, sim)
-        rendered = ", ".join(f"{stage}={timing.seconds:.2f}s"
-                             for stage, timing in stages.items())
-        print(f"  {name:<10} {rendered}")
+    for engine, per_engine in results.group_by("engine").items():
+        rendered = ", ".join(f"{m.stage}={m.seconds:.2f}s" for m in per_engine)
+        print(f"  {engine:<10} {rendered}")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ Run with::
     python examples/kaggle_pipelines.py
 """
 
-from repro.experiments import ExperimentConfig, prepare
+from repro import ExperimentConfig, Session
 from repro.experiments import fig1_stage_speedup, fig2_preparator_speedup
 
 
@@ -22,7 +22,7 @@ def main() -> None:
         engines=["pandas", "sparkpd", "sparksql", "modin_ray", "polars", "cudf",
                  "vaex", "datatable"],
     )
-    setup = prepare(config)
+    setup = Session(config)
 
     stage_result = fig1_stage_speedup.run(setup=setup)
     print(stage_result.format())

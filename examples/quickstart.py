@@ -2,19 +2,20 @@
 
 This is the 5-minute tour of the library:
 
-1. generate a synthetic dataset (a small sample of the paper's Taxi dataset);
+1. open a :class:`repro.Session` — the single entry point to the whole
+   engine × dataset × pipeline matrix (datasets and engines build lazily);
 2. declare a data-preparation pipeline with Bento preparators;
-3. run it on the simulated engines on the paper's evaluation server;
-4. print the simulated runtimes and the speedup over Pandas.
+3. run it end to end on every engine available on the paper's server;
+4. inspect the returned :class:`repro.ResultSet` — simulated runtimes,
+   speedups over Pandas, OOM failures — and save it to JSON.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import BentoRunner, PAPER_SERVER, Pipeline, create_engines
-from repro.core.metrics import format_speedup, speedup
-from repro.datasets import generate_dataset
+from repro import ExperimentConfig, Pipeline, Session
+from repro.core.metrics import format_speedup
 
 
 def build_pipeline() -> Pipeline:
@@ -36,9 +37,9 @@ def build_pipeline() -> Pipeline:
 
 
 def main() -> None:
-    # 1. a physically small sample priced at the paper's nominal 77M rows
-    dataset = generate_dataset("taxi", scale=0.3)
-    sim = dataset.simulation_context(PAPER_SERVER, runs=3)
+    # 1. a session over a physically small Taxi sample priced at 77M rows
+    session = Session(ExperimentConfig(scale=0.3, runs=3, datasets=["taxi"]))
+    dataset = session.dataset("taxi")
     print(f"dataset: {dataset.name}, physical rows={dataset.physical_rows}, "
           f"nominal rows={dataset.nominal_rows}")
 
@@ -46,21 +47,21 @@ def main() -> None:
     pipeline = build_pipeline()
     print(f"pipeline: {len(pipeline)} steps, stages={[s.value for s in pipeline.stages()]}")
 
-    # 3. run it on every engine available on the evaluation server
-    runner = BentoRunner(runs=3)
-    engines = create_engines(machine=PAPER_SERVER)
-    timings = {name: runner.run_full(engine, dataset.frame, pipeline, sim)
-               for name, engine in engines.items()}
+    # 3. one call sweeps the matrix slice: every engine, this pipeline
+    results = session.run(mode="full", pipelines=pipeline)
 
-    # 4. report
-    baseline = timings["pandas"].seconds
+    # 4. report straight from the ResultSet
+    speedups = results.speedup_vs("pandas", by="dataset")["taxi"]
     print(f"\n{'engine':<12}{'simulated time':>16}{'speedup vs Pandas':>20}")
-    for name, timing in sorted(timings.items(), key=lambda kv: kv[1].seconds):
-        if timing.failed:
-            print(f"{name:<12}{'OOM':>16}{'-':>20}")
+    for m in sorted(results, key=lambda m: m.seconds):
+        if m.failed:
+            print(f"{m.engine:<12}{'OOM':>16}{'-':>20}")
             continue
-        print(f"{name:<12}{timing.seconds:>14.2f}s"
-              f"{format_speedup(speedup(baseline, timing.seconds)):>20}")
+        print(f"{m.engine:<12}{m.seconds:>14.2f}s"
+              f"{format_speedup(speedups[m.engine]):>20}")
+
+    results.to_json("quickstart_results.json")
+    print(f"\nwrote {len(results)} measurements to quickstart_results.json")
 
 
 if __name__ == "__main__":

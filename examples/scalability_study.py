@@ -10,7 +10,7 @@ Run with::
     python examples/scalability_study.py
 """
 
-from repro.experiments import ExperimentConfig
+from repro import ExperimentConfig
 from repro.experiments import fig6_scalability, table5_min_config
 
 

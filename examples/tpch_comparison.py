@@ -1,49 +1,42 @@
 """Scenario: compare the engines on the TPC-H benchmark (Figure 7).
 
 Generates a small physical TPC-H database, runs all 22 queries on every
-engine (including DuckDB, the SQL reference point), and prints per-query
-simulated runtimes at the nominal scale factor 10 together with the per-engine
-geometric means.
+engine (including DuckDB, the SQL reference point) through
+:meth:`repro.Session.run_tpch`, and prints per-query simulated runtimes at the
+nominal scale factor 10 together with the per-engine geometric means.
 
 Run with::
 
     python examples/tpch_comparison.py
 """
 
-from repro import PAPER_SERVER, create_engines
-from repro.engines import TPCH_ENGINES
-from repro.tpch import TPCHRunner, generate_tpch, query_names
+from repro import ExperimentConfig, Session
+from repro.core.metrics import geometric_mean_speedup
 
 
 def main() -> None:
-    data = generate_tpch(physical_scale_factor=0.002)
-    print("TPC-H physical sample:",
-          {name: table.num_rows for name, table in data.tables.items()})
-    print(f"nominal scale factor: {data.nominal_scale_factor:g} "
-          f"({data.nominal_memory_bytes() / 1024 ** 3:.1f} GiB in memory)\n")
+    session = Session(ExperimentConfig(runs=2))
+    results = session.run_tpch(physical_scale_factor=0.002)
+    engines = results.engines()
+    queries = results.pipelines()
+    print(f"TPC-H: {len(queries)} queries × {len(engines)} engines "
+          f"({len(results)} measurements)\n")
 
-    runner = TPCHRunner(data, runs=2)
-    engines = create_engines(list(TPCH_ENGINES), machine=PAPER_SERVER)
-    matrix = runner.run_matrix(engines)
-
-    names = query_names()
     header = "query  " + "".join(f"{name:>11}" for name in engines)
     print(header)
     print("-" * len(header))
-    for query in names:
-        cells = []
-        for engine_name in engines:
-            outcome = matrix[engine_name][query]
-            cells.append("OOM".rjust(11) if outcome.failed else f"{outcome.seconds:>10.2f}s")
+    table = results.pivot(rows="pipeline", cols="engine", value="seconds")
+    failed = {(m.engine, m.pipeline) for m in results.failures()}
+    for query in queries:
+        cells = ["OOM".rjust(11) if (engine, query) in failed
+                 else f"{table[query][engine]:>10.2f}s" for engine in engines]
         print(f"{query:<7}" + "".join(cells))
 
     print("\ngeometric mean (seconds):")
-    import math
-    for engine_name in engines:
-        values = [matrix[engine_name][q].seconds for q in names
-                  if not matrix[engine_name][q].failed]
-        mean = math.exp(sum(math.log(v) for v in values) / len(values)) if values else float("inf")
-        print(f"  {engine_name:<11} {mean:.3f}")
+    for engine in engines:
+        values = [m.seconds for m in results.ok().filter(engine=engine)]
+        mean = geometric_mean_speedup(values) if values else float("inf")
+        print(f"  {engine:<11} {mean:.3f}")
 
 
 if __name__ == "__main__":

@@ -10,17 +10,26 @@ The package is organized in layers:
 * :mod:`repro.engines`     — the simulated dataframe libraries;
 * :mod:`repro.core`        — Bento: preparators, pipelines, runner, metrics;
 * :mod:`repro.datasets`    — synthetic Athlete/Loan/Patrol/Taxi + pipelines;
+* :mod:`repro.results`     — unified Measurement records and ResultSet;
+* :mod:`repro.session`     — the Session facade over the whole matrix;
 * :mod:`repro.tpch`        — TPC-H generator, 22 queries and runner;
 * :mod:`repro.experiments` — one driver per table/figure of the paper.
+
+The front door is :class:`Session`: ``Session(config).run(mode=..., ...)``
+sweeps any slice of the engine × dataset × pipeline matrix and returns a
+:class:`~repro.results.ResultSet` of unified measurements.
 """
 
-from .core import BentoRunner, Pipeline, PipelineStep, Stage
+from .config import ExperimentConfig
+from .core import BentoRunner, MatrixRunner, Pipeline, PipelineStep, Stage
 from .engines import SimulationContext, create_engine, create_engines
 from .frame import Column, DataFrame, col, lit
 from .plan import LazyFrame
+from .results import Measurement, ResultSet
+from .session import Session
 from .simulate import LAPTOP, PAPER_SERVER, SERVER, WORKSTATION, MachineConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -32,6 +41,11 @@ __all__ = [
     "Pipeline",
     "PipelineStep",
     "Stage",
+    "Session",
+    "ExperimentConfig",
+    "Measurement",
+    "ResultSet",
+    "MatrixRunner",
     "BentoRunner",
     "SimulationContext",
     "create_engine",

@@ -1,0 +1,173 @@
+"""``python -m repro`` — run a slice of the evaluation matrix from the shell.
+
+Examples::
+
+    # full-pipeline timings for two engines on one dataset
+    python -m repro --mode full --engines pandas,polars --datasets taxi \
+        --scale 0.2 --runs 1 --out results.json
+
+    # the Figure 3 I/O read matrix, written as CSV
+    python -m repro --mode read --datasets athlete,taxi --csv io.csv
+
+    # a TPC-H subset
+    python -m repro --mode tpch --queries q01,q06 --engines pandas,polars,duckdb
+
+The selected slice is executed through :class:`repro.Session`; the collected
+:class:`~repro.results.ResultSet` is printed as a seconds table (plus the
+speedup over Pandas when the baseline took part) and can be saved with
+``--out`` (JSON) and/or ``--csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .config import ExperimentConfig
+from .experiments.tables import format_table
+from .results import ResultSet
+from .session import Session
+from .simulate.hardware import LAPTOP, PAPER_SERVER, SERVER, WORKSTATION
+
+__all__ = ["main"]
+
+_MACHINES = {
+    "laptop": LAPTOP,
+    "workstation": WORKSTATION,
+    "server": SERVER,
+    "paper-server": PAPER_SERVER,
+}
+
+
+def _csv_list(text: str) -> list[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a slice of the engine × dataset × pipeline matrix")
+    parser.add_argument("--mode", default="full",
+                        choices=["full", "stage", "core", "read", "write", "tpch"],
+                        help="measurement mode (default: full)")
+    parser.add_argument("--engines", type=_csv_list, default=None, metavar="A,B,...",
+                        help="engines to run (default: the paper's engine set)")
+    parser.add_argument("--datasets", type=_csv_list, default=None, metavar="A,B,...",
+                        help="datasets to run (default: all four)")
+    parser.add_argument("--queries", type=_csv_list, default=None, metavar="q01,...",
+                        help="TPC-H queries (mode=tpch only; default: all 22)")
+    parser.add_argument("--lazy", default="auto",
+                        choices=["auto", "eager", "lazy", "both"],
+                        help="evaluation strategy for lazy-capable engines")
+    parser.add_argument("--machine", default="paper-server", choices=sorted(_MACHINES),
+                        help="machine configuration (default: paper-server)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="physical sample scale (default: 0.25)")
+    parser.add_argument("--runs", type=int, default=2,
+                        help="simulated measurement repetitions (default: 2)")
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument("--out", default=None, metavar="results.json",
+                        help="write the ResultSet as JSON")
+    parser.add_argument("--csv", default=None, metavar="results.csv",
+                        help="write the ResultSet as CSV")
+    return parser
+
+
+def _render(results: ResultSet, mode: str) -> str:
+    if not results:
+        return "(no measurements)"
+    if mode in ("core", "read", "write"):
+        rows_key = ("dataset", "stage", "step")
+    elif mode == "stage":
+        rows_key = ("dataset", "pipeline", "stage")
+    else:  # full, tpch
+        rows_key = ("dataset", "pipeline")
+    # when some engine was measured both ways (--lazy both), keep them apart
+    flags_by_engine: dict[str, set[bool]] = {}
+    for m in results.ok():
+        flags_by_engine.setdefault(m.engine, set()).add(m.lazy)
+    mixed_lazy = any(len(flags) > 1 for flags in flags_by_engine.values())
+    if mixed_lazy:
+        rows_key = rows_key + ("lazy",)
+    table = results.ok().pivot(rows=rows_key, cols="engine", value="seconds", agg="mean")
+    engine_order = results.engines()
+    rendered = []
+    for row_key, per_engine in table.items():
+        row = dict(zip(rows_key, row_key if isinstance(row_key, tuple) else (row_key,)))
+        if "lazy" in row:
+            row["strategy"] = "lazy" if row.pop("lazy") else "eager"
+        row = {k: v for k, v in row.items() if v != ""}
+        for engine in engine_order:
+            value = per_engine.get(engine)
+            row[engine] = "-" if value is None else f"{value:.3f}"
+        rendered.append(row)
+    sections = [format_table(rendered, f"Simulated seconds ({mode} mode, lower is better)")]
+
+    if mixed_lazy:
+        # both strategies are compared against the eager Pandas baseline
+        base_table = results.ok().filter(lazy=False).pivot(rows="dataset", cols="engine")
+        speedups = {}
+        for strategy, flag in (("eager", False), ("lazy", True)):
+            strategy_table = results.ok().filter(lazy=flag).pivot(rows="dataset",
+                                                                  cols="engine")
+            for dataset, per_engine in strategy_table.items():
+                base = base_table.get(dataset, {}).get("pandas")
+                if not base or base <= 0:
+                    continue
+                speedups[(dataset, strategy)] = {engine: base / seconds
+                                                 for engine, seconds in per_engine.items()
+                                                 if seconds > 0}
+    else:
+        speedups = results.speedup_vs("pandas", by="dataset")
+    if speedups and (mixed_lazy or any("pandas" in per for per in speedups.values())):
+        rows = []
+        for group, per_engine in speedups.items():
+            if mixed_lazy:
+                row = {"dataset": group[0], "strategy": group[1]}
+            else:
+                row = {"dataset": group}
+            for engine in engine_order:
+                value = per_engine.get(engine)
+                row[engine] = "-" if value is None else f"{value:.2f}x"
+            rows.append(row)
+        sections.append(format_table(rows, "Speedup over Pandas (higher is better)"))
+
+    failures = results.failures()
+    if failures:
+        lines = ["Failures:"]
+        for m in failures:
+            where = "/".join(p for p in (m.dataset, m.pipeline, m.stage, m.step) if p)
+            lines.append(f"  {m.engine:<12} {where}: {m.failure_reason}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(scale=args.scale, runs=args.runs, seed=args.seed,
+                              machine=_MACHINES[args.machine])
+    if args.datasets:
+        config = config.but(datasets=args.datasets)
+    session = Session(config)
+
+    try:
+        if args.mode == "tpch":
+            results = session.run_tpch(engines=args.engines, queries=args.queries)
+        else:
+            lazy = {"auto": None, "eager": False, "lazy": True, "both": "both"}[args.lazy]
+            results = session.run(mode=args.mode, engines=args.engines, lazy=lazy)
+    except KeyError as err:
+        print(f"error: {err.args[0] if err.args else err}")
+        return 2
+
+    print(_render(results, args.mode))
+    if args.out:
+        results.to_json(args.out)
+        print(f"\nwrote {len(results)} measurements to {args.out}")
+    if args.csv:
+        results.to_csv(args.csv)
+        print(f"wrote {len(results)} measurements to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Shared configuration for sessions, experiment drivers and benchmarks.
+
+A single :class:`ExperimentConfig` controls the physical scale of the
+generated data, the number of simulated runs, the machine and the engines and
+datasets involved, so the same code serves quick tests (tiny scale, one run)
+and the full benchmark harness (default scale, trimmed average of several
+runs).  It is the configuration object accepted by :class:`repro.Session`;
+``repro.experiments.context`` re-exports it for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Sequence
+
+from .engines.registry import DEFAULT_ENGINES, TPCH_ENGINES
+from .simulate.hardware import PAPER_SERVER, MachineConfig
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by the session facade and all experiment drivers."""
+
+    #: Physical sample scale (1.0 = the datasets' default physical sizes).
+    scale: float = 1.0
+    #: Simulated measurement repetitions (the paper uses 10).
+    runs: int = 3
+    #: Machine configuration the experiment is priced on.
+    machine: MachineConfig = PAPER_SERVER
+    #: Engines taking part in the data-preparation experiments.
+    engines: Sequence[str] = field(default_factory=lambda: list(DEFAULT_ENGINES))
+    #: Engines taking part in the TPC-H experiment.
+    tpch_engines: Sequence[str] = field(default_factory=lambda: list(TPCH_ENGINES))
+    #: Datasets to include (defaults to all four).
+    datasets: Sequence[str] = field(default_factory=lambda: ["athlete", "loan", "patrol", "taxi"])
+    #: Random seed used by every generator.
+    seed: int = 7
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A configuration small enough for unit tests."""
+        return cls(scale=0.1, runs=1, datasets=["athlete", "taxi"],
+                   engines=["pandas", "polars", "cudf", "sparksql", "vaex"])
+
+    def but(self, **overrides: Any) -> "ExperimentConfig":
+        """A copy with some fields replaced (machine/engine sweeps)."""
+        return replace(self, **overrides)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from ..results import read_path_or_content
 from .preparators import Preparator, get_preparator
 from .stages import Stage
 
@@ -148,16 +149,13 @@ class Pipeline:
 
     @classmethod
     def from_json(cls, source: "str | Path") -> "Pipeline":
-        """Load a pipeline from a JSON file path or a JSON string."""
-        text = source
-        try:
-            path = Path(str(source))
-            if path.exists():
-                text = path.read_text(encoding="utf-8")
-        except OSError:
-            # Raw JSON strings can exceed the filesystem's path-length limit.
-            pass
-        return cls.from_dict(json.loads(str(text)))
+        """Load a pipeline from a JSON file path or a JSON string.
+
+        Strings starting with ``{`` are parsed as JSON directly; anything else
+        is treated as a path and must exist, so a mistyped file name raises a
+        clear :class:`FileNotFoundError` instead of an opaque JSON error.
+        """
+        return cls.from_dict(json.loads(read_path_or_content(source, kind="pipeline JSON")))
 
     @classmethod
     def from_steps(cls, name: str, dataset: str,

@@ -12,78 +12,43 @@ Section 3 defines how every number in the evaluation is produced:
 Every measurement is repeated ``runs`` times and averaged with the 20th-80th
 percentile trimming protocol; failures raised by the memory model are recorded
 as OOM outcomes (the ✕ entries of Table 5 and the OOM markers of Figure 6).
+
+:class:`MatrixRunner` is the canonical implementation: every mode emits
+unified :class:`~repro.results.Measurement` records, which the
+:class:`~repro.session.Session` facade collects into
+:class:`~repro.results.ResultSet` objects.  :class:`BentoRunner` and the three
+mode-specific timing dataclasses are retained as thin deprecation shims that
+convert those records back to the historical shapes.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from ..frame.frame import DataFrame
+from ..results import Measurement
 from ..simulate.clock import RunReport, trimmed_mean
 from ..simulate.memory import SimulatedOOMError
 from .pipeline import Pipeline, PipelineStep
+from .preparators import get_preparator
 from .stages import Stage
 
 if TYPE_CHECKING:  # imported only for type checking to avoid a circular import
     from ..engines.base import BaseEngine, SimulationContext
 
-__all__ = ["PreparatorTiming", "StageTiming", "PipelineTiming", "BentoRunner"]
+__all__ = ["MatrixRunner", "BentoRunner",
+           "PreparatorTiming", "StageTiming", "PipelineTiming"]
 
 
-@dataclass
-class PreparatorTiming:
-    """Function-core result: average seconds per preparator call."""
+class MatrixRunner:
+    """Runs pipelines on engines under the three measurement modes.
 
-    engine: str
-    dataset: str
-    pipeline: str
-    seconds_by_call: list[tuple[str, float]] = field(default_factory=list)
-    failed: bool = False
-    failure_reason: str = ""
-
-    def seconds_by_preparator(self) -> dict[str, float]:
-        """Average seconds per preparator (averaging over its calls)."""
-        sums: dict[str, list[float]] = {}
-        for name, seconds in self.seconds_by_call:
-            sums.setdefault(name, []).append(seconds)
-        return {name: sum(values) / len(values) for name, values in sums.items()}
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(seconds for _, seconds in self.seconds_by_call)
-
-
-@dataclass
-class StageTiming:
-    """Pipeline-stage result: average seconds for one stage."""
-
-    engine: str
-    dataset: str
-    pipeline: str
-    stage: str
-    seconds: float
-    lazy: bool = False
-    failed: bool = False
-    failure_reason: str = ""
-
-
-@dataclass
-class PipelineTiming:
-    """Pipeline-full result."""
-
-    engine: str
-    dataset: str
-    pipeline: str
-    seconds: float
-    lazy: bool = False
-    peak_bytes: int = 0
-    failed: bool = False
-    failure_reason: str = ""
-
-
-class BentoRunner:
-    """Runs pipelines on engines under the three measurement modes."""
+    Every ``measure_*`` method returns unified
+    :class:`~repro.results.Measurement` records carrying the full matrix
+    coordinates (engine, dataset, pipeline, mode, stage, step, machine).
+    """
 
     def __init__(self, runs: int = 3):
         if runs < 1:
@@ -111,13 +76,23 @@ class BentoRunner:
                                       run_index=run_index)
         return frame, record.seconds
 
+    def _base_measurement(self, engine: BaseEngine, sim: SimulationContext,
+                          pipeline: Pipeline, mode: str, **extra) -> Measurement:
+        return Measurement(engine=engine.name, dataset=sim.dataset_name,
+                           pipeline=pipeline.name, mode=mode,
+                           machine=sim.machine.name, **extra)
+
     # ------------------------------------------------------------------ #
     # function-core mode
     # ------------------------------------------------------------------ #
-    def run_function_core(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
-                          sim: SimulationContext) -> PreparatorTiming:
-        """Execute and price every preparator call in isolation."""
-        result = PreparatorTiming(engine.name, sim.dataset_name, pipeline.name)
+    def measure_function_core(self, engine: BaseEngine, frame: DataFrame,
+                              pipeline: Pipeline, sim: SimulationContext
+                              ) -> list[Measurement]:
+        """Execute and price every preparator call in isolation.
+
+        One measurement per pipeline position; a single failed measurement
+        when the memory model kills the run.
+        """
         try:
             per_call: dict[int, list[float]] = {}
             for run_index in range(self.runs):
@@ -133,21 +108,21 @@ class BentoRunner:
                         if outcome.chained:
                             current = outcome.frame
                     per_call.setdefault(position, []).append(seconds)
-            for position, step in enumerate(pipeline.steps):
-                result.seconds_by_call.append(
-                    (step.preparator, self._average(per_call[position]))
-                )
         except SimulatedOOMError as oom:
-            result.failed = True
-            result.failure_reason = str(oom)
-        return result
+            return [self._base_measurement(engine, sim, pipeline, "core",
+                                           failed=True, failure_reason=str(oom))]
+        return [self._base_measurement(engine, sim, pipeline, "core",
+                                       stage=step.stage.value, step=step.preparator,
+                                       step_index=position,
+                                       seconds=self._average(per_call[position]))
+                for position, step in enumerate(pipeline.steps)]
 
     # ------------------------------------------------------------------ #
     # pipeline-stage mode
     # ------------------------------------------------------------------ #
-    def run_stage(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
-                  stage: "Stage | str", sim: SimulationContext,
-                  lazy: bool | None = None) -> StageTiming:
+    def measure_stage(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                      stage: "Stage | str", sim: SimulationContext,
+                      lazy: bool | None = None) -> Measurement:
         """Execute one stage of the pipeline as a unit.
 
         The whole pipeline runs in order (later steps may depend on columns
@@ -158,10 +133,10 @@ class BentoRunner:
         """
         stage = Stage.parse(stage)
         use_lazy = engine.supports_lazy if lazy is None else (lazy and engine.supports_lazy)
-        timing = StageTiming(engine.name, sim.dataset_name, pipeline.name, stage.value,
-                             seconds=0.0, lazy=use_lazy)
+        measurement = self._base_measurement(engine, sim, pipeline, "stage",
+                                             stage=stage.value, lazy=use_lazy)
         if not pipeline.steps_for_stage(stage):
-            return timing
+            return measurement
         try:
             per_run: list[float] = []
             for run_index in range(self.runs):
@@ -184,11 +159,11 @@ class BentoRunner:
                     if in_stage:
                         total += report.total_seconds
                 per_run.append(total)
-            timing.seconds = self._average(per_run)
+            measurement.seconds = self._average(per_run)
         except SimulatedOOMError as oom:
-            timing.failed = True
-            timing.failure_reason = str(oom)
-        return timing
+            measurement.failed = True
+            measurement.failure_reason = str(oom)
+        return measurement
 
     @staticmethod
     def _stage_blocks(pipeline: Pipeline, stage: Stage) -> list[tuple[bool, list[PipelineStep]]]:
@@ -202,21 +177,23 @@ class BentoRunner:
                 blocks.append((in_stage, [step]))
         return blocks
 
-    def run_all_stages(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
-                       sim: SimulationContext, lazy: bool | None = None) -> dict[str, StageTiming]:
-        """Stage timings for every stage present in the pipeline."""
-        return {stage.value: self.run_stage(engine, frame, pipeline, stage, sim, lazy)
-                for stage in pipeline.stages()}
+    def measure_stages(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                       sim: SimulationContext, lazy: bool | None = None,
+                       stages: "Iterable[Stage | str] | None" = None) -> list[Measurement]:
+        """Stage measurements for the requested stages present in the pipeline."""
+        wanted = [Stage.parse(s) for s in stages] if stages is not None else pipeline.stages()
+        present = set(pipeline.stages())
+        return [self.measure_stage(engine, frame, pipeline, stage, sim, lazy)
+                for stage in wanted if stage in present]
 
     # ------------------------------------------------------------------ #
     # pipeline-full mode
     # ------------------------------------------------------------------ #
-    def run_full(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
-                 sim: SimulationContext, lazy: bool | None = None) -> PipelineTiming:
+    def measure_full(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                     sim: SimulationContext, lazy: bool | None = None) -> Measurement:
         """Execute the entire pipeline end to end."""
         use_lazy = engine.supports_lazy if lazy is None else (lazy and engine.supports_lazy)
-        timing = PipelineTiming(engine.name, sim.dataset_name, pipeline.name,
-                                seconds=0.0, lazy=use_lazy)
+        measurement = self._base_measurement(engine, sim, pipeline, "full", lazy=use_lazy)
         try:
             per_run: list[float] = []
             peak = 0
@@ -244,19 +221,167 @@ class BentoRunner:
                 total += report.total_seconds
                 peak = max(peak, report.peak_bytes)
                 per_run.append(total)
-            timing.seconds = self._average(per_run)
-            timing.peak_bytes = peak
+            measurement.seconds = self._average(per_run)
+            measurement.peak_bytes = peak
         except SimulatedOOMError as oom:
-            timing.failed = True
-            timing.failure_reason = str(oom)
+            measurement.failed = True
+            measurement.failure_reason = str(oom)
+        return measurement
+
+
+# --------------------------------------------------------------------------- #
+# Deprecated shims: the historical per-mode result shapes.
+# --------------------------------------------------------------------------- #
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(f"{old} is deprecated; use {new} instead",
+                  DeprecationWarning, stacklevel=3)
+
+
+@dataclass
+class PreparatorTiming:
+    """Function-core result (deprecated; superseded by ``Measurement``)."""
+
+    engine: str
+    dataset: str
+    pipeline: str
+    seconds_by_call: list[tuple[str, float]] = field(default_factory=list)
+    failed: bool = False
+    failure_reason: str = ""
+
+    def seconds_by_preparator(self) -> dict[str, float]:
+        """Average seconds per preparator (averaging over its calls)."""
+        sums: dict[str, list[float]] = {}
+        for name, seconds in self.seconds_by_call:
+            sums.setdefault(name, []).append(seconds)
+        return {name: sum(values) / len(values) for name, values in sums.items()}
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(seconds for _, seconds in self.seconds_by_call)
+
+    @classmethod
+    def from_measurements(cls, measurements: Iterable[Measurement]) -> "PreparatorTiming":
+        records = list(measurements)
+        if not records:
+            raise ValueError("no measurements to convert")
+        first = records[0]
+        timing = cls(first.engine, first.dataset, first.pipeline)
+        for record in records:
+            if record.failed:
+                timing.failed = True
+                timing.failure_reason = record.failure_reason
+                return timing
+        for record in sorted(records, key=lambda m: m.step_index):
+            timing.seconds_by_call.append((record.step, record.seconds))
         return timing
 
-    # ------------------------------------------------------------------ #
-    # convenience: run many engines
-    # ------------------------------------------------------------------ #
+    def to_measurements(self) -> list[Measurement]:
+        if self.failed:
+            return [Measurement(engine=self.engine, dataset=self.dataset,
+                                pipeline=self.pipeline, mode="core", failed=True,
+                                failure_reason=self.failure_reason)]
+        return [Measurement(engine=self.engine, dataset=self.dataset,
+                            pipeline=self.pipeline, mode="core",
+                            stage=get_preparator(name).stage.value, step=name,
+                            step_index=position, seconds=seconds)
+                for position, (name, seconds) in enumerate(self.seconds_by_call)]
+
+
+@dataclass
+class StageTiming:
+    """Pipeline-stage result (deprecated; superseded by ``Measurement``)."""
+
+    engine: str
+    dataset: str
+    pipeline: str
+    stage: str
+    seconds: float
+    lazy: bool = False
+    failed: bool = False
+    failure_reason: str = ""
+
+    @classmethod
+    def from_measurement(cls, m: Measurement) -> "StageTiming":
+        return cls(m.engine, m.dataset, m.pipeline, m.stage, m.seconds,
+                   lazy=m.lazy, failed=m.failed, failure_reason=m.failure_reason)
+
+    def to_measurement(self) -> Measurement:
+        return Measurement(engine=self.engine, dataset=self.dataset,
+                           pipeline=self.pipeline, mode="stage", stage=self.stage,
+                           seconds=self.seconds, lazy=self.lazy, failed=self.failed,
+                           failure_reason=self.failure_reason)
+
+
+@dataclass
+class PipelineTiming:
+    """Pipeline-full result (deprecated; superseded by ``Measurement``)."""
+
+    engine: str
+    dataset: str
+    pipeline: str
+    seconds: float
+    lazy: bool = False
+    peak_bytes: int = 0
+    failed: bool = False
+    failure_reason: str = ""
+
+    @classmethod
+    def from_measurement(cls, m: Measurement) -> "PipelineTiming":
+        return cls(m.engine, m.dataset, m.pipeline, m.seconds, lazy=m.lazy,
+                   peak_bytes=m.peak_bytes, failed=m.failed,
+                   failure_reason=m.failure_reason)
+
+    def to_measurement(self) -> Measurement:
+        return Measurement(engine=self.engine, dataset=self.dataset,
+                           pipeline=self.pipeline, mode="full", seconds=self.seconds,
+                           peak_bytes=self.peak_bytes, lazy=self.lazy,
+                           failed=self.failed, failure_reason=self.failure_reason)
+
+
+class BentoRunner(MatrixRunner):
+    """Deprecated facade returning the historical per-mode dataclasses.
+
+    Existing call sites keep working; new code should go through
+    :class:`repro.Session` (or :class:`MatrixRunner` directly), which produce
+    unified :class:`~repro.results.Measurement` records.
+    """
+
+    def run_function_core(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                          sim: SimulationContext) -> PreparatorTiming:
+        """Execute and price every preparator call in isolation."""
+        _warn_deprecated("BentoRunner.run_function_core", "Session.run(mode='core')")
+        measurements = self.measure_function_core(engine, frame, pipeline, sim)
+        if not measurements:  # a pipeline with no steps
+            return PreparatorTiming(engine.name, sim.dataset_name, pipeline.name)
+        return PreparatorTiming.from_measurements(measurements)
+
+    def run_stage(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                  stage: "Stage | str", sim: SimulationContext,
+                  lazy: bool | None = None) -> StageTiming:
+        """Execute one stage of the pipeline as a unit."""
+        _warn_deprecated("BentoRunner.run_stage", "Session.run(mode='stage')")
+        return StageTiming.from_measurement(
+            self.measure_stage(engine, frame, pipeline, stage, sim, lazy))
+
+    def run_all_stages(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                       sim: SimulationContext, lazy: bool | None = None) -> dict[str, StageTiming]:
+        """Stage timings for every stage present in the pipeline."""
+        _warn_deprecated("BentoRunner.run_all_stages", "Session.run(mode='stage')")
+        return {m.stage: StageTiming.from_measurement(m)
+                for m in self.measure_stages(engine, frame, pipeline, sim, lazy)}
+
+    def run_full(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
+                 sim: SimulationContext, lazy: bool | None = None) -> PipelineTiming:
+        """Execute the entire pipeline end to end."""
+        _warn_deprecated("BentoRunner.run_full", "Session.run(mode='full')")
+        return PipelineTiming.from_measurement(
+            self.measure_full(engine, frame, pipeline, sim, lazy))
+
     def run_full_matrix(self, engines: Mapping[str, BaseEngine], frame: DataFrame,
                         pipeline: Pipeline, sim: SimulationContext,
                         lazy: bool | None = None) -> dict[str, PipelineTiming]:
         """Pipeline-full timings for a dict of engines."""
-        return {name: self.run_full(engine, frame, pipeline, sim, lazy)
+        _warn_deprecated("BentoRunner.run_full_matrix", "Session.run(mode='full')")
+        return {name: PipelineTiming.from_measurement(
+                    self.measure_full(engine, frame, pipeline, sim, lazy))
                 for name, engine in engines.items()}

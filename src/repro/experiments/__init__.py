@@ -10,6 +10,10 @@
 * Table 5:    :mod:`repro.experiments.table5_min_config`
 * Figure 7:   :mod:`repro.experiments.fig7_tpch`
 * Everything: :mod:`repro.experiments.report`
+
+Every driver runs its matrix slice through :class:`repro.Session` and
+aggregates the returned :class:`~repro.results.ResultSet`; pass an existing
+session as ``setup=`` to share generated datasets and engines across drivers.
 """
 
 from .context import ExperimentConfig

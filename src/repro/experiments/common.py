@@ -1,58 +1,22 @@
-"""Shared plumbing for the figure drivers: dataset/engine/runner setup."""
+"""Shared plumbing for the figure drivers, now backed by the Session facade.
+
+The historical :class:`ExperimentSetup` (datasets, pipelines, engines and
+runner wired by hand) has been replaced by :class:`repro.Session`, which
+exposes a superset of its attributes; the name is kept as an alias so existing
+call sites keep working.
+"""
 
 from __future__ import annotations
 
-from typing import Mapping
-
-from ..core.runner import BentoRunner
-from ..datasets.base import GeneratedDataset
-from ..datasets.pipelines import get_pipelines
-from ..datasets.registry import generate_dataset
-from ..engines.base import BaseEngine, SimulationContext
-from ..engines.registry import create_engines
-from ..core.pipeline import Pipeline
-from .context import ExperimentConfig
+from ..config import ExperimentConfig
+from ..session import Session
 
 __all__ = ["ExperimentSetup", "prepare"]
 
-
-class ExperimentSetup:
-    """Datasets, pipelines, engines and runner for one experiment run."""
-
-    def __init__(self, config: ExperimentConfig):
-        self.config = config
-        self.datasets: dict[str, GeneratedDataset] = {
-            name: generate_dataset(name, scale=config.scale, seed=config.seed)
-            for name in config.datasets
-        }
-        self.pipelines: dict[str, list[Pipeline]] = {
-            name: get_pipelines(name) for name in config.datasets
-        }
-        self.engines: dict[str, BaseEngine] = create_engines(
-            list(config.engines), machine=config.machine, skip_unavailable=True,
-        )
-        self.runner = BentoRunner(runs=config.runs)
-
-    # ------------------------------------------------------------------ #
-    def context_for(self, dataset: "str | GeneratedDataset") -> SimulationContext:
-        generated = self.datasets[dataset] if isinstance(dataset, str) else dataset
-        return generated.simulation_context(self.config.machine, runs=self.config.runs)
-
-    def pipelines_for(self, dataset: str) -> list[Pipeline]:
-        return self.pipelines[dataset]
-
-    @property
-    def engine_names(self) -> list[str]:
-        return list(self.engines)
-
-    def baseline(self) -> BaseEngine:
-        """The Pandas baseline engine (created on demand if not selected)."""
-        if "pandas" in self.engines:
-            return self.engines["pandas"]
-        extra: Mapping[str, BaseEngine] = create_engines(["pandas"], self.config.machine)
-        return extra["pandas"]
+#: Deprecated alias: the Session facade supersedes the hand-wired setup.
+ExperimentSetup = Session
 
 
-def prepare(config: ExperimentConfig | None = None) -> ExperimentSetup:
-    """Create the setup for a configuration (default: full paper settings)."""
-    return ExperimentSetup(config or ExperimentConfig())
+def prepare(config: ExperimentConfig | None = None) -> Session:
+    """Create the session for a configuration (default: full paper settings)."""
+    return Session(config or ExperimentConfig())

@@ -1,43 +1,12 @@
-"""Shared configuration for the experiment drivers.
+"""Backwards-compatible re-export of the shared configuration.
 
-Every driver accepts an :class:`ExperimentConfig` controlling the physical
-scale of the generated data, the number of simulated runs and the engines
-involved, so the same code serves quick tests (tiny scale, one run) and the
-full benchmark harness (default scale, trimmed average of several runs).
+:class:`~repro.config.ExperimentConfig` moved to :mod:`repro.config` so the
+top-level :class:`repro.Session` facade can use it without importing the
+experiment drivers; this module keeps the historical import path working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
-
-from ..engines.registry import DEFAULT_ENGINES, TPCH_ENGINES
-from ..simulate.hardware import PAPER_SERVER, MachineConfig
+from ..config import ExperimentConfig
 
 __all__ = ["ExperimentConfig"]
-
-
-@dataclass
-class ExperimentConfig:
-    """Knobs shared by all experiment drivers."""
-
-    #: Physical sample scale (1.0 = the datasets' default physical sizes).
-    scale: float = 1.0
-    #: Simulated measurement repetitions (the paper uses 10).
-    runs: int = 3
-    #: Machine configuration the experiment is priced on.
-    machine: MachineConfig = PAPER_SERVER
-    #: Engines taking part in the data-preparation experiments.
-    engines: Sequence[str] = field(default_factory=lambda: list(DEFAULT_ENGINES))
-    #: Engines taking part in the TPC-H experiment.
-    tpch_engines: Sequence[str] = field(default_factory=lambda: list(TPCH_ENGINES))
-    #: Datasets to include (defaults to all four).
-    datasets: Sequence[str] = field(default_factory=lambda: ["athlete", "loan", "patrol", "taxi"])
-    #: Random seed used by every generator.
-    seed: int = 7
-
-    @classmethod
-    def quick(cls) -> "ExperimentConfig":
-        """A configuration small enough for unit tests."""
-        return cls(scale=0.1, runs=1, datasets=["athlete", "taxi"],
-                   engines=["pandas", "polars", "cudf", "sparksql", "vaex"])

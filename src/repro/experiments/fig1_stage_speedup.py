@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..config import ExperimentConfig
 from ..core.metrics import speedup
 from ..core.stages import Stage
-from .common import ExperimentSetup, prepare
-from .context import ExperimentConfig
+from ..session import Session
 
 __all__ = ["StageSpeedupResult", "run"]
 
@@ -46,34 +46,22 @@ class StageSpeedupResult:
 
 
 def run(config: ExperimentConfig | None = None,
-        setup: ExperimentSetup | None = None) -> StageSpeedupResult:
+        setup: Session | None = None) -> StageSpeedupResult:
     """Execute the Figure 1 experiment."""
-    setup = setup or prepare(config)
+    session = setup or Session(config)
     result = StageSpeedupResult()
-    baseline = setup.baseline()
+    measurements = session.run(mode="stage", stages=_STAGES)
 
-    for dataset_name, generated in setup.datasets.items():
-        sim = setup.context_for(dataset_name)
-        pipelines = setup.pipelines_for(dataset_name)
+    for dataset_name in session.datasets:
         result.speedups[dataset_name] = {}
         result.seconds[dataset_name] = {}
+        per_dataset = measurements.filter(dataset=dataset_name)
         for stage in _STAGES:
-            stage_seconds: dict[str, list[float]] = {}
-            for pipeline in pipelines:
-                if not pipeline.steps_for_stage(stage):
-                    continue
-                baseline_timing = setup.runner.run_stage(baseline, generated.frame, pipeline,
-                                                         stage, sim)
-                for engine_name, engine in setup.engines.items():
-                    timing = (baseline_timing if engine_name == "pandas"
-                              else setup.runner.run_stage(engine, generated.frame, pipeline,
-                                                          stage, sim))
-                    if timing.failed:
-                        result.failures.append((dataset_name, engine_name, stage.value))
-                        continue
-                    stage_seconds.setdefault(engine_name, []).append(timing.seconds)
-            averaged = {name: sum(values) / len(values)
-                        for name, values in stage_seconds.items() if values}
+            per_stage = per_dataset.filter(stage=stage.value)
+            for m in per_stage.failures():
+                result.failures.append((dataset_name, m.engine, m.stage))
+            # average each engine's stage runtime over the pipelines it completed
+            averaged = per_stage.ok().pivot(rows="stage", cols="engine").get(stage.value, {})
             if "pandas" not in averaged:
                 continue
             pandas_seconds = averaged["pandas"]

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..config import ExperimentConfig
 from ..core.metrics import impact_percentages, speedup
 from ..core.preparators import get_preparator
 from ..datasets.pipelines import pipeline_call_counts
-from .common import ExperimentSetup, prepare
-from .context import ExperimentConfig
+from ..session import Session
 
 __all__ = ["PreparatorSpeedupResult", "run"]
 
@@ -50,29 +50,31 @@ class PreparatorSpeedupResult:
 
 
 def run(config: ExperimentConfig | None = None,
-        setup: ExperimentSetup | None = None) -> PreparatorSpeedupResult:
+        setup: Session | None = None) -> PreparatorSpeedupResult:
     """Execute the Figure 2 experiment."""
-    setup = setup or prepare(config)
+    session = setup or Session(config)
     result = PreparatorSpeedupResult()
-    baseline = setup.baseline()
+    # the Pandas baseline always takes part, even when not selected
+    engine_order = ["pandas"] + [n for n in session.engine_names if n != "pandas"]
+    measurements = session.run(mode="core", engines=engine_order)
 
-    for dataset_name, generated in setup.datasets.items():
-        sim = setup.context_for(dataset_name)
-        pipelines = setup.pipelines_for(dataset_name)
+    for dataset_name in session.datasets:
         result.call_counts[dataset_name] = pipeline_call_counts(dataset_name)
 
-        # seconds[engine][preparator] -> list of per-call averaged seconds
+        # seconds[engine][preparator] -> list of per-pipeline averaged seconds
         seconds: dict[str, dict[str, list[float]]] = {}
-        for pipeline in pipelines:
-            for engine_name, engine in {**{"pandas": baseline}, **setup.engines}.items():
-                timing = setup.runner.run_function_core(engine, generated.frame, pipeline, sim)
-                if timing.failed:
+        per_dataset = measurements.filter(dataset=dataset_name)
+        for per_pipeline in per_dataset.group_by("pipeline").values():
+            for engine_name, per_engine in per_pipeline.group_by("engine").items():
+                if per_engine.failures():
                     result.failures.append((dataset_name, engine_name))
                     continue
-                per_prep = timing.seconds_by_preparator()
+                per_prep: dict[str, list[float]] = {}
+                for m in per_engine:
+                    per_prep.setdefault(m.step, []).append(m.seconds)
                 bucket = seconds.setdefault(engine_name, {})
-                for preparator, value in per_prep.items():
-                    bucket.setdefault(preparator, []).append(value)
+                for preparator, values in per_prep.items():
+                    bucket.setdefault(preparator, []).append(sum(values) / len(values))
 
         pandas_seconds = {prep: sum(v) / len(v)
                           for prep, v in seconds.get("pandas", {}).items()}

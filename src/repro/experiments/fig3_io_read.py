@@ -9,11 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..engines.base import EngineUnavailableError
-from ..simulate.memory import SimulatedOOMError
-from ..simulate.clock import trimmed_mean
-from .common import ExperimentSetup, prepare
-from .context import ExperimentConfig
+from ..config import ExperimentConfig
+from ..session import Session
 
 __all__ = ["IOReadResult", "run"]
 
@@ -43,33 +40,18 @@ class IOReadResult:
 
 
 def run(config: ExperimentConfig | None = None,
-        setup: ExperimentSetup | None = None,
+        setup: Session | None = None,
         operation: str = "read") -> IOReadResult:
     """Execute the Figure 3 (read) or Figure 4 (write) experiment."""
-    setup = setup or prepare(config)
+    session = setup or Session(config)
     result = IOReadResult()
-    for dataset_name, generated in setup.datasets.items():
-        sim = setup.context_for(dataset_name)
+    measurements = session.run(mode=operation, formats=FORMATS)
+    for dataset_name in session.datasets:
         result.seconds[dataset_name] = {}
         for file_format in FORMATS:
-            per_engine: dict[str, float] = {}
-            for engine_name, engine in setup.engines.items():
-                try:
-                    per_run = []
-                    for run_index in range(setup.config.runs):
-                        if operation == "read":
-                            _, record = engine.read_dataset(generated.frame, sim,
-                                                            file_format=file_format,
-                                                            run_index=run_index)
-                        else:
-                            record = engine.write_dataset(generated.frame, sim,
-                                                          file_format=file_format,
-                                                          run_index=run_index)
-                        per_run.append(record.seconds)
-                    per_engine[engine_name] = trimmed_mean(per_run)
-                except EngineUnavailableError:
-                    result.unsupported.append((dataset_name, file_format, engine_name))
-                except SimulatedOOMError:
-                    result.unsupported.append((dataset_name, file_format, engine_name))
-            result.seconds[dataset_name][file_format] = per_engine
+            rows = measurements.filter(dataset=dataset_name, step=file_format)
+            result.seconds[dataset_name][file_format] = {m.engine: m.seconds
+                                                         for m in rows.ok()}
+            for m in rows.failures():
+                result.unsupported.append((dataset_name, file_format, m.engine))
     return result

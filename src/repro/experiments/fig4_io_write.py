@@ -6,8 +6,8 @@ direction of the I/O differs.
 
 from __future__ import annotations
 
-from .common import ExperimentSetup
-from .context import ExperimentConfig
+from ..config import ExperimentConfig
+from ..session import Session
 from .fig3_io_read import IOReadResult, run as _run_io
 
 __all__ = ["IOWriteResult", "run"]
@@ -17,6 +17,6 @@ IOWriteResult = IOReadResult
 
 
 def run(config: ExperimentConfig | None = None,
-        setup: ExperimentSetup | None = None) -> IOWriteResult:
+        setup: Session | None = None) -> IOWriteResult:
     """Execute the Figure 4 experiment (write CSV / Parquet)."""
     return _run_io(config, setup, operation="write")

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..config import ExperimentConfig
 from ..core.metrics import speedup
-from .common import ExperimentSetup, prepare
-from .context import ExperimentConfig
+from ..session import Session
 
 __all__ = ["PipelineSpeedupResult", "run"]
 
@@ -58,37 +58,29 @@ class PipelineSpeedupResult:
 
 
 def run(config: ExperimentConfig | None = None,
-        setup: ExperimentSetup | None = None) -> PipelineSpeedupResult:
+        setup: Session | None = None) -> PipelineSpeedupResult:
     """Execute the Figure 5 experiment."""
-    setup = setup or prepare(config)
+    session = setup or Session(config)
     result = PipelineSpeedupResult()
-    baseline = setup.baseline()
+    # the Pandas baseline always takes part, even when not selected
+    engine_order = ["pandas"] + [n for n in session.engine_names if n != "pandas"]
+    measurements = session.run(mode="full", engines=engine_order, lazy="both")
 
-    for dataset_name, generated in setup.datasets.items():
-        sim = setup.context_for(dataset_name)
-        pipelines = setup.pipelines_for(dataset_name)
+    for dataset_name in session.datasets:
+        per_dataset = measurements.filter(dataset=dataset_name)
+        # pipelines whose Pandas baseline hit OOM are dropped entirely
+        skipped = {m.pipeline for m in per_dataset.filter(engine="pandas", failed=True)}
         per_engine_mode: dict[str, dict[str, list[float]]] = {}
-
-        for pipeline in pipelines:
-            baseline_timing = setup.runner.run_full(baseline, generated.frame, pipeline, sim,
-                                                    lazy=False)
-            if baseline_timing.failed:
-                result.failures.append((dataset_name, "pandas", pipeline.name))
+        for m in per_dataset:
+            if m.pipeline in skipped:
+                if m.engine == "pandas":
+                    result.failures.append((dataset_name, "pandas", m.pipeline))
                 continue
-            per_engine_mode.setdefault("pandas", {}).setdefault("eager", []).append(
-                baseline_timing.seconds)
-            for engine_name, engine in setup.engines.items():
-                if engine_name == "pandas":
-                    continue
-                modes = ["eager", "lazy"] if engine.supports_lazy else ["eager"]
-                for mode in modes:
-                    timing = setup.runner.run_full(engine, generated.frame, pipeline, sim,
-                                                   lazy=(mode == "lazy"))
-                    if timing.failed:
-                        result.failures.append((dataset_name, engine_name, pipeline.name))
-                        continue
-                    per_engine_mode.setdefault(engine_name, {}).setdefault(mode, []).append(
-                        timing.seconds)
+            if m.failed:
+                result.failures.append((dataset_name, m.engine, m.pipeline))
+                continue
+            mode = "lazy" if m.lazy else "eager"
+            per_engine_mode.setdefault(m.engine, {}).setdefault(mode, []).append(m.seconds)
 
         pandas_values = per_engine_mode.get("pandas", {}).get("eager", [])
         if not pandas_values:

@@ -12,12 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.runner import BentoRunner
-from ..datasets.registry import generate_dataset
-from ..engines.registry import create_engines
-from ..simulate.hardware import LAPTOP, SERVER, WORKSTATION, MachineConfig
+from ..config import ExperimentConfig
 from ..datasets.pipelines import get_pipeline
-from .context import ExperimentConfig
+from ..datasets.registry import generate_dataset
+from ..session import Session
+from ..simulate.hardware import LAPTOP, SERVER, WORKSTATION, MachineConfig
 
 __all__ = ["ScalabilityResult", "run", "DEFAULT_FRACTIONS"]
 
@@ -64,19 +63,17 @@ def run(config: ExperimentConfig | None = None, dataset: str = "taxi",
     config = config or ExperimentConfig()
     base = generate_dataset(dataset, scale=config.scale, seed=config.seed)
     pipeline = get_pipeline(dataset, 0)
-    runner = BentoRunner(runs=config.runs)
-    engine_names = [name for name in config.engines if name != "cudf"]
+    engine_names = tuple(name for name in config.engines if name != "cudf")
     result = ScalabilityResult(dataset=dataset, fractions=tuple(fractions))
 
     for machine in machines:
-        engines = create_engines(engine_names, machine=machine, skip_unavailable=True)
         result.seconds[machine.name] = {}
         for fraction in fractions:
             sample = base.sample(fraction) if fraction < 1.0 else base
-            sim = sample.simulation_context(machine, runs=config.runs)
-            per_engine: dict[str, float | None] = {}
-            for engine_name, engine in engines.items():
-                timing = runner.run_full(engine, sample.frame, pipeline, sim)
-                per_engine[engine_name] = None if timing.failed else timing.seconds
-            result.seconds[machine.name][fraction] = per_engine
+            session = Session(config.but(machine=machine, engines=engine_names),
+                              datasets={dataset: sample})
+            measurements = session.run(mode="full", pipelines=pipeline)
+            result.seconds[machine.name][fraction] = {
+                m.engine: (None if m.failed else m.seconds) for m in measurements
+            }
     return result

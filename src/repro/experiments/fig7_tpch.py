@@ -9,11 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..engines.registry import create_engines
-from ..tpch.datagen import generate_tpch
-from ..tpch.queries import query_names
-from ..tpch.runner import TPCHRunner
-from .context import ExperimentConfig
+from ..config import ExperimentConfig
+from ..session import Session
 
 __all__ = ["TPCHResult", "run"]
 
@@ -58,16 +55,11 @@ class TPCHResult:
 def run(config: ExperimentConfig | None = None, physical_scale_factor: float = 0.002,
         queries: list[str] | None = None) -> TPCHResult:
     """Execute the Figure 7 experiment."""
-    config = config or ExperimentConfig()
-    data = generate_tpch(physical_scale_factor, seed=config.seed)
-    runner = TPCHRunner(data, runs=config.runs)
-    engines = create_engines(list(config.tpch_engines), machine=config.machine,
-                             skip_unavailable=True)
-    matrix = runner.run_matrix(engines, queries or query_names())
-
+    session = Session(config)
+    measurements = session.run_tpch(queries=queries,
+                                    physical_scale_factor=physical_scale_factor)
     result = TPCHResult()
-    for engine_name, per_query in matrix.items():
-        for query_name, outcome in per_query.items():
-            result.seconds.setdefault(query_name, {})[engine_name] = outcome.seconds
-            result.rows.setdefault(query_name, {})[engine_name] = outcome.rows
+    for m in measurements:
+        result.seconds.setdefault(m.pipeline, {})[m.engine] = m.seconds
+        result.rows.setdefault(m.pipeline, {})[m.engine] = m.rows
     return result

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import argparse
 
+from ..config import ExperimentConfig
+from ..session import Session
 from . import (
     fig1_stage_speedup,
     fig2_preparator_speedup,
@@ -19,8 +21,6 @@ from . import (
     fig7_tpch,
     table5_min_config,
 )
-from .common import prepare
-from .context import ExperimentConfig
 from .tables import (
     format_table,
     table1_features,
@@ -36,7 +36,7 @@ def full_report(config: ExperimentConfig | None = None, include_tpch: bool = Tru
                 include_scalability: bool = True) -> str:
     """Regenerate every artifact and return the formatted report."""
     config = config or ExperimentConfig()
-    setup = prepare(config)
+    setup = Session(config)
     sections: list[str] = []
 
     sections.append(format_table(table1_features(), "Table 1 — library features"))

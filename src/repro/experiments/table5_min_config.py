@@ -10,12 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.runner import BentoRunner
+from ..config import ExperimentConfig
 from ..datasets.pipelines import get_pipeline
 from ..datasets.registry import generate_dataset
-from ..engines.registry import create_engines
+from ..session import Session
 from ..simulate.hardware import LAPTOP, SERVER, WORKSTATION
-from .context import ExperimentConfig
 from .fig6_scalability import DEFAULT_FRACTIONS
 
 __all__ = ["MinConfigResult", "run"]
@@ -46,7 +45,6 @@ def run(config: ExperimentConfig | None = None,
         fractions: tuple[float, ...] = DEFAULT_FRACTIONS) -> MinConfigResult:
     """Execute the Table 5 experiment."""
     config = config or ExperimentConfig()
-    runner = BentoRunner(runs=1)
     engine_names = [name for name in config.engines if name != "cudf"]
     result = MinConfigResult(fractions=tuple(fractions))
 
@@ -60,13 +58,13 @@ def run(config: ExperimentConfig | None = None,
             for engine_name in engine_names:
                 label = "OOM"
                 for machine in _ORDERED_MACHINES:
-                    engines = create_engines([engine_name], machine=machine,
-                                             skip_unavailable=True)
-                    if engine_name not in engines:
+                    session = Session(config.but(machine=machine, runs=1,
+                                                 engines=(engine_name,)),
+                                      datasets={dataset_name: sample})
+                    measurements = session.run(mode="full", pipelines=pipeline)
+                    if not measurements:  # engine unavailable on this machine
                         continue
-                    sim = sample.simulation_context(machine, runs=1)
-                    timing = runner.run_full(engines[engine_name], sample.frame, pipeline, sim)
-                    if not timing.failed:
+                    if not measurements[0].failed:
                         label = _MACHINE_LABELS[machine.name]
                         break
                 per_engine[engine_name] = label

@@ -1,0 +1,325 @@
+"""Unified measurement records for the whole engine × dataset × pipeline matrix.
+
+Every number the framework produces — function-core, pipeline-stage and
+pipeline-full timings, I/O read/write times, TPC-H query runtimes — is emitted
+as a single :class:`Measurement` record and collected into a
+:class:`ResultSet`.  A ``ResultSet`` can be filtered, grouped, pivoted,
+compared against a baseline engine and serialized losslessly to JSON or CSV,
+so experiment drivers, the CLI and downstream analysis all speak one format
+instead of the three mode-specific timing dataclasses of the original runner.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Measurement", "ResultSet", "read_path_or_content"]
+
+
+@dataclass
+class Measurement:
+    """One cell of the evaluation matrix.
+
+    The meaning of ``stage``/``step`` depends on ``mode``:
+
+    * ``core``  — one record per preparator call; ``step`` is the preparator
+      name, ``step_index`` its position in the pipeline, ``stage`` its stage;
+    * ``stage`` — one record per pipeline stage; ``stage`` holds the stage;
+    * ``full``  — one record per end-to-end pipeline run;
+    * ``read``/``write`` — one record per I/O operation; ``step`` is the file
+      format (``csv``/``parquet``);
+    * ``tpch``  — one record per query; ``pipeline``/``step`` hold the query.
+    """
+
+    engine: str
+    dataset: str = ""
+    pipeline: str = ""
+    mode: str = "full"
+    stage: str = ""
+    step: str = ""
+    step_index: int = -1
+    seconds: float = 0.0
+    peak_bytes: int = 0
+    rows: int = 0
+    lazy: bool = False
+    failed: bool = False
+    failure_reason: str = ""
+    machine: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Measurement":
+        if "engine" not in data:
+            raise ValueError(f"measurement record is missing the 'engine' key: {dict(data)}")
+        known = {f.name: f.type for f in fields(cls)}
+        kwargs: dict[str, Any] = {}
+        for name, value in data.items():
+            if name in known:
+                kwargs[name] = _coerce(known[name], value)
+        return cls(**kwargs)
+
+
+def _coerce(type_name: str, value: Any) -> Any:
+    """Coerce a JSON/CSV cell back to the declared Measurement field type."""
+    if type_name == "bool":
+        if isinstance(value, str):
+            return value.strip().lower() in ("true", "1", "yes")
+        return bool(value)
+    if type_name == "int":
+        return int(float(value)) if value not in ("", None) else 0
+    if type_name == "float":
+        return float(value) if value not in ("", None) else 0.0
+    return "" if value is None else str(value)
+
+
+class ResultSet:
+    """An ordered collection of :class:`Measurement` records."""
+
+    __slots__ = ("measurements",)
+
+    def __init__(self, measurements: Iterable[Measurement] = ()):
+        self.measurements: list[Measurement] = list(measurements)
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.measurements)
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self.measurements)
+
+    def __bool__(self) -> bool:
+        return bool(self.measurements)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ResultSet(self.measurements[index])
+        return self.measurements[index]
+
+    def __add__(self, other: "ResultSet") -> "ResultSet":
+        return ResultSet(self.measurements + list(other))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.measurements == other.measurements
+
+    def __repr__(self) -> str:
+        engines = self.values("engine")
+        modes = self.values("mode")
+        return (f"ResultSet({len(self)} measurements, engines={engines}, "
+                f"modes={modes}, failures={len(self.failures())})")
+
+    def append(self, measurement: Measurement) -> None:
+        self.measurements.append(measurement)
+
+    def extend(self, measurements: Iterable[Measurement]) -> None:
+        self.measurements.extend(measurements)
+
+    # ------------------------------------------------------------------ #
+    # selection
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Callable[[Measurement], bool] | None = None,
+               **where: Any) -> "ResultSet":
+        """Rows matching a predicate and/or field conditions.
+
+        A condition value may be a scalar (equality), a list/tuple/set/frozenset
+        (membership) or a callable (applied to the field value).
+        """
+        def matches(m: Measurement) -> bool:
+            if predicate is not None and not predicate(m):
+                return False
+            for name, wanted in where.items():
+                value = getattr(m, name)
+                if callable(wanted):
+                    if not wanted(value):
+                        return False
+                elif isinstance(wanted, (list, tuple, set, frozenset)):
+                    if value not in wanted:
+                        return False
+                elif value != wanted:
+                    return False
+            return True
+
+        return ResultSet(m for m in self.measurements if matches(m))
+
+    def ok(self) -> "ResultSet":
+        """Rows that completed (no OOM, no unsupported operation)."""
+        return self.filter(failed=False)
+
+    def failures(self) -> "ResultSet":
+        """Rows that failed (the ✕/OOM entries of the paper's artifacts)."""
+        return self.filter(failed=True)
+
+    def group_by(self, *field_names: str) -> dict:
+        """Split into sub-ResultSets keyed by the given fields.
+
+        Keys are scalars for one field and tuples for several; insertion order
+        follows first occurrence.
+        """
+        if not field_names:
+            raise ValueError("group_by needs at least one field name")
+        groups: dict[Any, ResultSet] = {}
+        for m in self.measurements:
+            key = tuple(getattr(m, f) for f in field_names)
+            if len(field_names) == 1:
+                key = key[0]
+            groups.setdefault(key, ResultSet()).append(m)
+        return groups
+
+    def values(self, field_name: str) -> list:
+        """Distinct values of a field, in first-occurrence order."""
+        seen: dict[Any, None] = {}
+        for m in self.measurements:
+            seen.setdefault(getattr(m, field_name), None)
+        return list(seen)
+
+    def engines(self) -> list[str]:
+        return self.values("engine")
+
+    def datasets(self) -> list[str]:
+        return self.values("dataset")
+
+    def pipelines(self) -> list[str]:
+        return self.values("pipeline")
+
+    # ------------------------------------------------------------------ #
+    # aggregation
+    # ------------------------------------------------------------------ #
+    def mean(self, value: str = "seconds") -> float:
+        """Plain mean of a numeric field over every row in the set."""
+        if not self.measurements:
+            raise ValueError("cannot aggregate an empty ResultSet")
+        return sum(getattr(m, value) for m in self.measurements) / len(self.measurements)
+
+    def total(self, value: str = "seconds") -> float:
+        return sum(getattr(m, value) for m in self.measurements)
+
+    def pivot(self, rows: "str | Sequence[str]" = "dataset", cols: str = "engine",
+              value: str = "seconds", agg: str = "mean") -> dict:
+        """Nested dict ``{row_key: {col_key: aggregated value}}``.
+
+        ``agg`` is one of ``mean``, ``sum``, ``min``, ``max``, ``count``.
+        Row keys are scalars for one row field, tuples for several.
+        """
+        row_fields = (rows,) if isinstance(rows, str) else tuple(rows)
+        aggregate = {
+            "mean": lambda v: sum(v) / len(v),
+            "sum": sum,
+            "min": min,
+            "max": max,
+            "count": len,
+        }[agg]
+        cells: dict[Any, dict[Any, list]] = {}
+        for m in self.measurements:
+            row_key = tuple(getattr(m, f) for f in row_fields)
+            if len(row_fields) == 1:
+                row_key = row_key[0]
+            cells.setdefault(row_key, {}).setdefault(getattr(m, cols), []).append(
+                getattr(m, value))
+        return {row: {col: aggregate(vals) for col, vals in per_col.items()}
+                for row, per_col in cells.items()}
+
+    def speedup_vs(self, baseline: str = "pandas",
+                   by: "str | Sequence[str]" = "dataset",
+                   value: str = "seconds") -> dict:
+        """Speedup of every engine over a baseline engine, per group.
+
+        Failed rows are excluded.  For every group (default: per dataset) the
+        baseline's mean is divided by each engine's mean, so values above 1
+        mean the engine outperforms the baseline.  Groups without baseline
+        rows are dropped.
+        """
+        table = self.ok().pivot(rows=by, cols="engine", value=value, agg="mean")
+        out: dict[Any, dict[str, float]] = {}
+        for row, per_engine in table.items():
+            base = per_engine.get(baseline)
+            if base is None or base <= 0:
+                continue
+            out[row] = {engine: (float("inf") if seconds <= 0 else base / seconds)
+                        for engine, seconds in per_engine.items()}
+        return out
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+    # ------------------------------------------------------------------ #
+    def to_records(self) -> list[dict[str, Any]]:
+        return [m.to_dict() for m in self.measurements]
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]]) -> "ResultSet":
+        return cls(Measurement.from_dict(r) for r in records)
+
+    def to_json(self, path: "str | Path | None" = None, indent: int = 2) -> str:
+        text = json.dumps({"version": 1, "measurements": self.to_records()}, indent=indent)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: "str | Path") -> "ResultSet":
+        """Load from a JSON file path or a JSON string.
+
+        A path-like string pointing at a missing file raises a clear
+        :class:`FileNotFoundError` instead of an opaque JSON error.
+        """
+        text = read_path_or_content(source, kind="result-set JSON")
+        payload = json.loads(text)
+        records = payload["measurements"] if isinstance(payload, Mapping) else payload
+        return cls.from_records(records)
+
+    def to_csv(self, path: "str | Path | None" = None) -> str:
+        names = [f.name for f in fields(Measurement)]
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=names, lineterminator="\n")
+        writer.writeheader()
+        for m in self.measurements:
+            row = m.to_dict()
+            row["lazy"] = "true" if row["lazy"] else "false"
+            row["failed"] = "true" if row["failed"] else "false"
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_csv(cls, source: "str | Path") -> "ResultSet":
+        """Load from a CSV file path or CSV text (as written by :meth:`to_csv`)."""
+        text = read_path_or_content(source, kind="result-set CSV")
+        return cls.from_records(csv.DictReader(io.StringIO(text)))
+
+
+def read_path_or_content(source: "str | Path", kind: str = "input") -> str:
+    """Resolve a file path / literal-content argument to its text.
+
+    Strings that look like serialized content (JSON objects or arrays, or
+    multi-line CSV) are returned as-is; everything else is treated as a path
+    and must exist.
+    """
+    if isinstance(source, Path):
+        if not source.exists():
+            raise FileNotFoundError(f"{kind} file not found: {source}")
+        return source.read_text(encoding="utf-8")
+    text = str(source)
+    stripped = text.lstrip()
+    if stripped.startswith("{") or stripped.startswith("[") or "\n" in text:
+        return text
+    path = Path(text)
+    try:
+        exists = path.exists()
+    except OSError:
+        exists = False
+    if not exists:
+        raise FileNotFoundError(
+            f"{kind} file not found: {text!r} (pass the path to an existing file, "
+            f"or the serialized content itself)")
+    return path.read_text(encoding="utf-8")

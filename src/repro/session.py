@@ -1,0 +1,331 @@
+"""The ``Session`` facade: one entry point for the whole evaluation matrix.
+
+A :class:`Session` owns lazily-built datasets, engines, simulation contexts
+and a runner, and sweeps any slice of the paper's engine × dataset × pipeline
+× mode × laziness matrix with one call::
+
+    from repro import Session, ExperimentConfig
+
+    session = Session(ExperimentConfig(scale=0.2, runs=2))
+    results = session.run(mode="full", engines=["pandas", "polars"],
+                          datasets=["taxi"], lazy="both")
+    print(results.speedup_vs("pandas"))
+
+Every measurement is emitted as a unified
+:class:`~repro.results.Measurement` record collected into a
+:class:`~repro.results.ResultSet`; the experiment drivers
+(:mod:`repro.experiments`), the examples, the benchmarks and the
+``python -m repro`` CLI are all built on top of this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .config import ExperimentConfig
+from .core.pipeline import Pipeline
+from .core.runner import BentoRunner, MatrixRunner
+from .core.stages import Stage
+from .datasets.base import GeneratedDataset
+from .datasets.pipelines import get_pipelines
+from .datasets.registry import generate_dataset
+from .engines.base import BaseEngine, EngineUnavailableError, SimulationContext
+from .engines.registry import create_engine, create_engines
+from .frame.frame import DataFrame
+from .results import Measurement, ResultSet
+from .simulate.clock import trimmed_mean
+from .simulate.memory import SimulatedOOMError
+
+__all__ = ["Session"]
+
+#: Accepted spellings for the measurement modes.
+_MODE_ALIASES = {
+    "core": "core", "function-core": "core", "function_core": "core",
+    "stage": "stage", "pipeline-stage": "stage", "pipeline_stage": "stage",
+    "full": "full", "pipeline-full": "full", "pipeline_full": "full",
+    "read": "read", "write": "write", "tpch": "tpch",
+}
+
+_IO_FORMATS = ("csv", "parquet")
+
+
+class Session:
+    """Datasets, engines, contexts and a runner behind one ``run()`` method.
+
+    Everything is built lazily and cached: constructing a ``Session`` is free,
+    and repeated ``run()`` calls share generated datasets, engine instances
+    and simulation contexts.  Keyword overrides are applied on top of the
+    configuration, so ``Session(scale=0.1, runs=1)`` is shorthand for
+    ``Session(ExperimentConfig(scale=0.1, runs=1))``.
+
+    ``datasets`` may inject pre-built :class:`GeneratedDataset` objects (e.g.
+    the incremental samples of Figure 6 / Table 5); when given, the mapping
+    fully defines the dataset axis of the matrix.
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None, *,
+                 datasets: Mapping[str, GeneratedDataset] | None = None,
+                 **overrides):
+        config = config or ExperimentConfig()
+        self.config = config.but(**overrides) if overrides else config
+        self._injected_datasets = dict(datasets) if datasets else None
+        self._datasets: dict[str, GeneratedDataset] = dict(self._injected_datasets or {})
+        self._pipelines: dict[str, list[Pipeline]] = {}
+        self._contexts: dict[str, SimulationContext] = {}
+        self._engines: dict[str, BaseEngine] | None = None
+        self._extra_engines: dict[str, BaseEngine] = {}
+        self._runner: BentoRunner | None = None
+        self._tpch_data: dict[float, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # lazily-built components
+    # ------------------------------------------------------------------ #
+    @property
+    def datasets(self) -> dict[str, GeneratedDataset]:
+        """The dataset axis of the matrix (generated on first access)."""
+        if self._injected_datasets is not None:
+            return dict(self._injected_datasets)
+        for name in self.config.datasets:
+            self.dataset(name)
+        return {name: self._datasets[name] for name in self.config.datasets}
+
+    def dataset(self, name: str) -> GeneratedDataset:
+        """One generated dataset by name (cached)."""
+        if name not in self._datasets:
+            self._datasets[name] = generate_dataset(name, scale=self.config.scale,
+                                                    seed=self.config.seed)
+        return self._datasets[name]
+
+    @property
+    def engines(self) -> dict[str, BaseEngine]:
+        """The engine axis: configured engines available on the machine."""
+        if self._engines is None:
+            self._engines = create_engines(list(self.config.engines),
+                                           machine=self.config.machine,
+                                           skip_unavailable=True)
+        return self._engines
+
+    @property
+    def engine_names(self) -> list[str]:
+        return list(self.engines)
+
+    @property
+    def pipelines(self) -> dict[str, list[Pipeline]]:
+        """Registered pipelines per configured dataset."""
+        return {name: self.pipelines_for(name) for name in self.datasets}
+
+    @property
+    def runner(self) -> BentoRunner:
+        if self._runner is None:
+            self._runner = BentoRunner(runs=self.config.runs)
+        return self._runner
+
+    # ------------------------------------------------------------------ #
+    # per-dataset helpers
+    # ------------------------------------------------------------------ #
+    def context_for(self, dataset: "str | GeneratedDataset") -> SimulationContext:
+        """Simulation context for a dataset of the matrix (cached per name)."""
+        if isinstance(dataset, GeneratedDataset):
+            return dataset.simulation_context(self.config.machine, runs=self.config.runs)
+        if dataset not in self._contexts:
+            self._contexts[dataset] = self.dataset(dataset).simulation_context(
+                self.config.machine, runs=self.config.runs)
+        return self._contexts[dataset]
+
+    def pipelines_for(self, dataset: str) -> list[Pipeline]:
+        """Registered pipelines of a dataset (empty for ad-hoc datasets)."""
+        if dataset not in self._pipelines:
+            try:
+                self._pipelines[dataset] = get_pipelines(dataset)
+            except KeyError:
+                self._pipelines[dataset] = []
+        return self._pipelines[dataset]
+
+    def baseline(self) -> BaseEngine:
+        """The Pandas baseline engine (created on demand if not selected)."""
+        return self._engine("pandas")
+
+    def _engine(self, name: str) -> BaseEngine:
+        if name in self.engines:
+            return self.engines[name]
+        if name not in self._extra_engines:
+            self._extra_engines[name] = create_engine(name, self.config.machine)
+        return self._extra_engines[name]
+
+    # ------------------------------------------------------------------ #
+    # selection of matrix slices
+    # ------------------------------------------------------------------ #
+    def _select_engines(self, names: Sequence[str] | None) -> dict[str, BaseEngine]:
+        if names is None:
+            return dict(self.engines)
+        selected: dict[str, BaseEngine] = {}
+        for name in names:
+            try:
+                selected[name] = self._engine(name)
+            except EngineUnavailableError:
+                continue
+        return selected
+
+    def _select_datasets(self, names: Sequence[str] | None) -> dict[str, GeneratedDataset]:
+        if names is None:
+            return self.datasets
+        return {name: self.dataset(name) for name in names}
+
+    def _select_pipelines(self, dataset: str,
+                          pipelines: "Sequence[Pipeline | str | int] | Pipeline | None"
+                          ) -> list[Pipeline]:
+        if pipelines is None:
+            return self.pipelines_for(dataset)
+        if isinstance(pipelines, Pipeline):
+            pipelines = [pipelines]
+        selected: list[Pipeline] = []
+        for item in pipelines:
+            if isinstance(item, Pipeline):
+                selected.append(item)
+            elif isinstance(item, int):
+                selected.append(self.pipelines_for(dataset)[item])
+            else:
+                registered = self.pipelines_for(dataset)
+                match = next((p for p in registered if p.name == item), None)
+                if match is None:
+                    raise KeyError(f"unknown pipeline {item!r} for dataset {dataset!r}; "
+                                   f"registered: {[p.name for p in registered]}")
+                selected.append(match)
+        return selected
+
+    @staticmethod
+    def _lazy_variants(engine: BaseEngine, lazy: "bool | str | None",
+                       mode: str) -> list[bool | None]:
+        if mode == "core":  # function-core always forces materialization
+            return [False]
+        if lazy == "both":
+            variants: list[bool | None] = [False]
+            if engine.supports_lazy:
+                variants.append(True)
+            return variants
+        return [lazy]
+
+    # ------------------------------------------------------------------ #
+    # the front door
+    # ------------------------------------------------------------------ #
+    def run(self, mode: str = "full", *,
+            engines: Sequence[str] | None = None,
+            datasets: Sequence[str] | None = None,
+            pipelines: "Sequence[Pipeline | str | int] | Pipeline | None" = None,
+            lazy: "bool | str | None" = None,
+            stages: "Iterable[Stage | str] | None" = None,
+            formats: Sequence[str] = _IO_FORMATS) -> ResultSet:
+        """Sweep a slice of the matrix and return the collected measurements.
+
+        ``mode`` is one of ``full``/``stage``/``core`` (the paper's three
+        measurement modes, aliases like ``pipeline-full`` accepted),
+        ``read``/``write`` (the Figure 3/4 I/O matrix) or ``tpch``.  ``lazy``
+        may be ``None`` (each engine's default), ``True``/``False``, or
+        ``"both"`` to measure eager and, where supported, lazy evaluation.
+        ``stages`` restricts stage mode to specific stages; ``formats``
+        restricts the I/O modes.
+        """
+        try:
+            mode = _MODE_ALIASES[mode]
+        except KeyError:
+            raise ValueError(f"unknown mode {mode!r}; "
+                             f"expected one of {sorted(set(_MODE_ALIASES))}") from None
+        if mode == "tpch":
+            return self.run_tpch(engines=engines)
+        selected_engines = self._select_engines(engines)
+        selected_datasets = self._select_datasets(datasets)
+        results = ResultSet()
+        runner = self.runner
+
+        if mode in ("read", "write"):
+            for dataset_name, generated in selected_datasets.items():
+                sim = self.context_for(dataset_name)
+                for file_format in formats:
+                    for engine in selected_engines.values():
+                        results.append(self._measure_io(engine, generated.frame, sim,
+                                                        mode, file_format))
+            return results
+
+        for dataset_name, generated in selected_datasets.items():
+            sim = self.context_for(dataset_name)
+            for pipeline in self._select_pipelines(dataset_name, pipelines):
+                for engine in selected_engines.values():
+                    if mode == "core":
+                        results.extend(runner.measure_function_core(
+                            engine, generated.frame, pipeline, sim))
+                        continue
+                    for lazy_flag in self._lazy_variants(engine, lazy, mode):
+                        if mode == "full":
+                            results.append(runner.measure_full(
+                                engine, generated.frame, pipeline, sim, lazy=lazy_flag))
+                        else:
+                            results.extend(runner.measure_stages(
+                                engine, generated.frame, pipeline, sim,
+                                lazy=lazy_flag, stages=stages))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # I/O measurements (the Figure 3 / Figure 4 matrix)
+    # ------------------------------------------------------------------ #
+    def _measure_io(self, engine: BaseEngine, frame: DataFrame, sim: SimulationContext,
+                    operation: str, file_format: str) -> Measurement:
+        measurement = Measurement(engine=engine.name, dataset=sim.dataset_name,
+                                  mode=operation, stage=Stage.IO.value,
+                                  step=file_format, machine=sim.machine.name)
+        try:
+            per_run: list[float] = []
+            for run_index in range(self.config.runs):
+                if operation == "read":
+                    _, record = engine.read_dataset(frame, sim, file_format=file_format,
+                                                    run_index=run_index)
+                else:
+                    record = engine.write_dataset(frame, sim, file_format=file_format,
+                                                  run_index=run_index)
+                per_run.append(record.seconds)
+            measurement.seconds = trimmed_mean(per_run)
+        except EngineUnavailableError as err:
+            measurement.failed = True
+            measurement.failure_reason = f"unsupported: {err}"
+        except SimulatedOOMError as oom:
+            measurement.failed = True
+            measurement.failure_reason = str(oom)
+        return measurement
+
+    # ------------------------------------------------------------------ #
+    # TPC-H (the Figure 7 matrix)
+    # ------------------------------------------------------------------ #
+    def run_tpch(self, *, engines: Sequence[str] | None = None,
+                 queries: Sequence[str] | None = None,
+                 physical_scale_factor: float = 0.002) -> ResultSet:
+        """Run TPC-H queries on the TPC-H engine set and collect measurements."""
+        from .tpch.datagen import generate_tpch
+        from .tpch.queries import query_names
+        from .tpch.runner import TPCHRunner
+
+        if physical_scale_factor not in self._tpch_data:
+            self._tpch_data[physical_scale_factor] = generate_tpch(
+                physical_scale_factor, seed=self.config.seed)
+        data = self._tpch_data[physical_scale_factor]
+        runner = TPCHRunner(data, runs=self.config.runs)
+        names = list(engines) if engines is not None else list(self.config.tpch_engines)
+        engine_map = create_engines(names, machine=self.config.machine,
+                                    skip_unavailable=True)
+        dataset_name = f"tpch-sf{data.nominal_scale_factor:g}"
+        results = ResultSet()
+        for engine_name, engine in engine_map.items():
+            for query in (list(queries) if queries is not None else query_names()):
+                outcome = runner.run_query(engine, query)
+                results.append(Measurement(
+                    engine=engine_name, dataset=dataset_name, pipeline=query,
+                    mode="tpch", step=query, seconds=outcome.seconds,
+                    rows=outcome.rows, lazy=engine.supports_lazy,
+                    failed=outcome.failed, failure_reason=outcome.failure_reason,
+                    machine=self.config.machine.name))
+        return results
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Session(scale={self.config.scale}, runs={self.config.runs}, "
+                f"machine={self.config.machine.name!r}, "
+                f"engines={list(self.config.engines)}, "
+                f"datasets={list(self.config.datasets)})")

@@ -231,6 +231,13 @@ class TestPipeline:
         text = json.dumps(self._pipeline().to_dict())
         assert len(Pipeline.from_json(text)) == 6
 
+    def test_from_json_missing_file_raises_clearly(self, tmp_path):
+        missing = tmp_path / "no_such_pipeline.json"
+        with pytest.raises(FileNotFoundError, match="no_such_pipeline.json"):
+            Pipeline.from_json(str(missing))
+        with pytest.raises(FileNotFoundError, match="pipeline JSON file not found"):
+            Pipeline.from_json(missing)
+
     def test_append_fluent(self):
         pipeline = Pipeline("x", "taxi").append("read").append("sort", by=["a"])
         assert len(pipeline) == 2

@@ -1,0 +1,150 @@
+"""Tests for the unified Measurement / ResultSet subsystem."""
+
+import pytest
+
+from repro.results import Measurement, ResultSet
+
+
+def _sample_set() -> ResultSet:
+    """A small hand-built matrix: 2 datasets × 2-3 engines, one OOM row."""
+    return ResultSet([
+        Measurement(engine="pandas", dataset="taxi", pipeline="taxi-1", mode="full",
+                    seconds=8.0, peak_bytes=100, machine="server"),
+        Measurement(engine="pandas", dataset="taxi", pipeline="taxi-2", mode="full",
+                    seconds=4.0, machine="server"),
+        Measurement(engine="polars", dataset="taxi", pipeline="taxi-1", mode="full",
+                    seconds=2.0, lazy=True, machine="server"),
+        Measurement(engine="polars", dataset="taxi", pipeline="taxi-2", mode="full",
+                    seconds=1.0, lazy=True, machine="server"),
+        Measurement(engine="vaex", dataset="taxi", pipeline="taxi-1", mode="full",
+                    failed=True, failure_reason="simulated OOM: needs 12 GiB",
+                    machine="server"),
+        Measurement(engine="pandas", dataset="athlete", pipeline="athlete-1",
+                    mode="full", seconds=3.0, machine="server"),
+        Measurement(engine="polars", dataset="athlete", pipeline="athlete-1",
+                    mode="full", seconds=1.5, machine="server"),
+    ])
+
+
+class TestContainer:
+    def test_len_iter_index_slice(self):
+        rs = _sample_set()
+        assert len(rs) == 7
+        assert rs[0].engine == "pandas"
+        assert isinstance(rs[:2], ResultSet) and len(rs[:2]) == 2
+        assert [m.engine for m in rs][:2] == ["pandas", "pandas"]
+
+    def test_add_merges_in_order(self):
+        rs = _sample_set()
+        merged = rs[:2] + rs[2:]
+        assert merged == rs
+
+    def test_repr_mentions_engines_and_failures(self):
+        text = repr(_sample_set())
+        assert "pandas" in text and "failures=1" in text
+
+
+class TestFilter:
+    def test_filter_by_field(self):
+        rs = _sample_set()
+        assert len(rs.filter(engine="polars")) == 3
+        assert len(rs.filter(dataset="taxi", engine="pandas")) == 2
+
+    def test_filter_by_membership_and_callable(self):
+        rs = _sample_set()
+        assert len(rs.filter(engine=["pandas", "vaex"])) == 4
+        assert len(rs.filter(seconds=lambda s: s > 2.5)) == 3
+
+    def test_filter_by_predicate(self):
+        rs = _sample_set()
+        lazy_rows = rs.filter(lambda m: m.lazy)
+        assert {m.engine for m in lazy_rows} == {"polars"}
+
+    def test_ok_and_failures_partition_oom_rows(self):
+        rs = _sample_set()
+        assert len(rs.ok()) == 6
+        failures = rs.failures()
+        assert len(failures) == 1
+        assert failures[0].engine == "vaex"
+        assert "OOM" in failures[0].failure_reason
+        assert len(rs.ok()) + len(rs.failures()) == len(rs)
+
+    def test_group_by_single_and_multiple(self):
+        rs = _sample_set()
+        by_engine = rs.group_by("engine")
+        assert list(by_engine) == ["pandas", "polars", "vaex"]
+        assert len(by_engine["polars"]) == 3
+        by_pair = rs.group_by("dataset", "engine")
+        assert ("taxi", "pandas") in by_pair
+
+    def test_values_and_shorthands(self):
+        rs = _sample_set()
+        assert rs.engines() == ["pandas", "polars", "vaex"]
+        assert rs.datasets() == ["taxi", "athlete"]
+        assert rs.pipelines() == ["taxi-1", "taxi-2", "athlete-1"]
+
+
+class TestAggregation:
+    def test_mean_and_total(self):
+        rs = _sample_set().filter(engine="pandas", dataset="taxi")
+        assert rs.mean() == pytest.approx(6.0)
+        assert rs.total() == pytest.approx(12.0)
+        with pytest.raises(ValueError):
+            ResultSet().mean()
+
+    def test_pivot(self):
+        table = _sample_set().ok().pivot(rows="dataset", cols="engine")
+        assert table["taxi"]["pandas"] == pytest.approx(6.0)
+        assert table["taxi"]["polars"] == pytest.approx(1.5)
+        assert table["athlete"]["polars"] == pytest.approx(1.5)
+        counts = _sample_set().pivot(rows="dataset", cols="engine", agg="count")
+        assert counts["taxi"]["vaex"] == 1
+
+    def test_speedup_vs_hand_computed(self):
+        speedups = _sample_set().speedup_vs("pandas")
+        # taxi: pandas mean = (8+4)/2 = 6s, polars mean = (2+1)/2 = 1.5s
+        assert speedups["taxi"]["polars"] == pytest.approx(4.0)
+        assert speedups["taxi"]["pandas"] == pytest.approx(1.0)
+        # athlete: 3.0 / 1.5
+        assert speedups["athlete"]["polars"] == pytest.approx(2.0)
+        # the failed vaex row is excluded rather than treated as 0 seconds
+        assert "vaex" not in speedups["taxi"]
+
+    def test_speedup_vs_drops_groups_without_baseline(self):
+        rs = _sample_set().filter(engine="polars")
+        assert rs.speedup_vs("pandas") == {}
+
+
+class TestSerialization:
+    def test_json_roundtrip_is_lossless(self, tmp_path):
+        rs = _sample_set()
+        path = tmp_path / "results.json"
+        rs.to_json(path)
+        assert ResultSet.from_json(path) == rs
+        # and from a JSON string
+        assert ResultSet.from_json(rs.to_json()) == rs
+
+    def test_csv_roundtrip_is_lossless(self, tmp_path):
+        rs = _sample_set()
+        path = tmp_path / "results.csv"
+        rs.to_csv(path)
+        loaded = ResultSet.from_csv(path)
+        assert loaded == rs
+        assert ResultSet.from_csv(rs.to_csv()) == rs
+
+    def test_roundtrip_preserves_failure_rows(self, tmp_path):
+        rs = _sample_set()
+        loaded = ResultSet.from_json(rs.to_json())
+        assert len(loaded.failures()) == 1
+        assert loaded.failures()[0].failure_reason == "simulated OOM: needs 12 GiB"
+        assert loaded.filter(lazy=True).engines() == ["polars"]
+
+    def test_from_json_missing_file_raises_clearly(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no/such/results.json"):
+            ResultSet.from_json(str(tmp_path / "no/such/results.json"))
+        with pytest.raises(FileNotFoundError):
+            ResultSet.from_csv(tmp_path / "missing.csv")
+
+    def test_from_records_rejects_engineless_rows(self):
+        with pytest.raises(ValueError):
+            ResultSet.from_records([{"dataset": "taxi"}])
