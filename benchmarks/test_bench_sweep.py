@@ -1,0 +1,68 @@
+"""Benchmark of the sweep scheduler: sequential vs parallel vs warm cache.
+
+Runs the same small full-pipeline slice three ways — ``workers=1``,
+``workers=4`` and a warm-cache replay — asserts the three ``ResultSet``s are
+identical, and writes the wall-clock numbers to ``BENCH_sweep.json`` at the
+repository root so the performance trajectory of the scheduler is tracked
+across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import ExperimentConfig, Session, SweepCache
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+_SLICE = dict(mode="full", lazy="both")
+
+
+def test_bench_sweep_scheduler(tmp_path, bench_config):
+    config = bench_config.but(datasets=["athlete", "taxi"])
+    session = Session(config)
+    session.datasets  # keep generation out of every timed region
+    session.engines
+
+    start = time.perf_counter()
+    sequential = session.run(**_SLICE, workers=1)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = session.run(**_SLICE, workers=4)
+    parallel_s = time.perf_counter() - start
+    assert parallel == sequential
+
+    start = time.perf_counter()
+    processes = session.run(**_SLICE, workers=4, executor="process")
+    process_s = time.perf_counter() - start
+    assert processes == sequential
+
+    cache = SweepCache(tmp_path / "cache")
+    session.run(**_SLICE, workers=4, cache=cache)
+    start = time.perf_counter()
+    cached = session.run(**_SLICE, workers=4, cache=cache)
+    cached_s = time.perf_counter() - start
+    assert cached == sequential
+    assert session.last_sweep.executed == 0
+
+    payload = {
+        "slice": {"mode": "full", "lazy": "both", "scale": config.scale,
+                  "runs": config.runs, "datasets": list(config.datasets),
+                  "engines": list(config.engines)},
+        "cells": session.last_sweep.total,
+        "measurements": len(sequential),
+        "sequential_seconds": round(sequential_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "process_seconds": round(process_s, 4),
+        "parallel_workers": 4,
+        "warm_cache_seconds": round(cached_s, 4),
+        "parallel_speedup": round(sequential_s / parallel_s, 2) if parallel_s else None,
+        "process_speedup": round(sequential_s / process_s, 2) if process_s else None,
+        "cache_speedup": round(sequential_s / cached_s, 2) if cached_s else None,
+    }
+    _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nsweep bench: sequential={sequential_s:.3f}s thread(4)={parallel_s:.3f}s "
+          f"process(4)={process_s:.3f}s warm-cache={cached_s:.3f}s -> {_BENCH_PATH.name}")
+    assert _BENCH_PATH.exists()

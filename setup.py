@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Evaluation of Dataframe Libraries for Data Preparation "
         "on a Single Machine' (EDBT 2025)"

@@ -11,6 +11,7 @@ The package is organized in layers:
 * :mod:`repro.core`        — Bento: preparators, pipelines, runner, metrics;
 * :mod:`repro.datasets`    — synthetic Athlete/Loan/Patrol/Taxi + pipelines;
 * :mod:`repro.results`     — unified Measurement records and ResultSet;
+* :mod:`repro.sweep`       — sweep scheduler: cells, result cache, worker pools;
 * :mod:`repro.session`     — the Session facade over the whole matrix;
 * :mod:`repro.tpch`        — TPC-H generator, 22 queries and runner;
 * :mod:`repro.experiments` — one driver per table/figure of the paper.
@@ -28,8 +29,9 @@ from .plan import LazyFrame
 from .results import Measurement, ResultSet
 from .session import Session
 from .simulate import LAPTOP, PAPER_SERVER, SERVER, WORKSTATION, MachineConfig
+from .sweep import Cell, SweepCache, SweepScheduler, SweepStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -47,6 +49,10 @@ __all__ = [
     "ResultSet",
     "MatrixRunner",
     "BentoRunner",
+    "Cell",
+    "SweepCache",
+    "SweepScheduler",
+    "SweepStats",
     "SimulationContext",
     "create_engine",
     "create_engines",

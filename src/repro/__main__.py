@@ -12,6 +12,10 @@ Examples::
     # a TPC-H subset
     python -m repro --mode tpch --queries q01,q06 --engines pandas,polars,duckdb
 
+    # parallel sweep over 4 workers, resumable through the persistent cache
+    python -m repro --scale 0.05 --jobs 4 --cache-dir .repro-cache
+    python -m repro --scale 0.05 --jobs 4 --cache-dir .repro-cache --resume
+
 The selected slice is executed through :class:`repro.Session`; the collected
 :class:`~repro.results.ResultSet` is printed as a seconds table (plus the
 speedup over Pandas when the baseline took part) and can be saved with
@@ -27,6 +31,7 @@ from .experiments.tables import format_table
 from .results import ResultSet
 from .session import Session
 from .simulate.hardware import LAPTOP, PAPER_SERVER, SERVER, WORKSTATION
+from .sweep import SweepCache
 
 __all__ = ["main"]
 
@@ -65,6 +70,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--runs", type=int, default=2,
                         help="simulated measurement repetitions (default: 2)")
     parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker-pool size for the sweep scheduler; results "
+                             "are identical for any value (default: 1)")
+    parser.add_argument("--executor", default="thread", choices=["thread", "process"],
+                        help="worker-pool flavour (default: thread)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result-cache location (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from the cache "
+                             "(resuming is automatic whenever the cache is "
+                             "enabled; this flag makes the intent explicit and "
+                             "refuses to combine with --no-cache)")
     parser.add_argument("--out", default=None, metavar="results.json",
                         help="write the ResultSet as JSON")
     parser.add_argument("--csv", default=None, metavar="results.csv",
@@ -142,24 +162,36 @@ def _render(results: ResultSet, mode: str) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the result cache; drop --no-cache")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
     config = ExperimentConfig(scale=args.scale, runs=args.runs, seed=args.seed,
                               machine=_MACHINES[args.machine])
     if args.datasets:
         config = config.but(datasets=args.datasets)
     session = Session(config)
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
 
     try:
         if args.mode == "tpch":
-            results = session.run_tpch(engines=args.engines, queries=args.queries)
+            results = session.run_tpch(engines=args.engines, queries=args.queries,
+                                       workers=args.jobs, cache=cache,
+                                       executor=args.executor)
         else:
             lazy = {"auto": None, "eager": False, "lazy": True, "both": "both"}[args.lazy]
-            results = session.run(mode=args.mode, engines=args.engines, lazy=lazy)
+            results = session.run(mode=args.mode, engines=args.engines, lazy=lazy,
+                                  workers=args.jobs, cache=cache,
+                                  executor=args.executor)
     except KeyError as err:
         print(f"error: {err.args[0] if err.args else err}")
         return 2
 
     print(_render(results, args.mode))
+    if cache is not None and session.last_sweep is not None:
+        print(f"\n[sweep] {session.last_sweep.summary()} — cache at {cache.root}")
     if args.out:
         results.to_json(args.out)
         print(f"\nwrote {len(results)} measurements to {args.out}")

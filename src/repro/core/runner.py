@@ -132,7 +132,7 @@ class MatrixRunner:
         optimization of Figure 1.
         """
         stage = Stage.parse(stage)
-        use_lazy = engine.supports_lazy if lazy is None else (lazy and engine.supports_lazy)
+        use_lazy = engine.effective_lazy(lazy)
         measurement = self._base_measurement(engine, sim, pipeline, "stage",
                                              stage=stage.value, lazy=use_lazy)
         if not pipeline.steps_for_stage(stage):
@@ -187,12 +187,47 @@ class MatrixRunner:
                 for stage in wanted if stage in present]
 
     # ------------------------------------------------------------------ #
+    # I/O read/write modes (the Figure 3 / Figure 4 matrix)
+    # ------------------------------------------------------------------ #
+    def measure_io(self, engine: BaseEngine, frame: DataFrame, sim: SimulationContext,
+                   operation: str, file_format: str) -> Measurement:
+        """Price reading or writing the dataset in one file format.
+
+        ``operation`` is ``"read"`` or ``"write"``; formats the engine does
+        not support are recorded as failed measurements (the ✕ entries of
+        Figures 3 and 4), exactly like OOM outcomes.
+        """
+        from ..engines.base import EngineUnavailableError  # avoids an import cycle
+
+        measurement = Measurement(engine=engine.name, dataset=sim.dataset_name,
+                                  mode=operation, stage=Stage.IO.value,
+                                  step=file_format, machine=sim.machine.name)
+        try:
+            per_run: list[float] = []
+            for run_index in range(self.runs):
+                if operation == "read":
+                    _, record = engine.read_dataset(frame, sim, file_format=file_format,
+                                                    run_index=run_index)
+                else:
+                    record = engine.write_dataset(frame, sim, file_format=file_format,
+                                                  run_index=run_index)
+                per_run.append(record.seconds)
+            measurement.seconds = self._average(per_run)
+        except EngineUnavailableError as err:
+            measurement.failed = True
+            measurement.failure_reason = f"unsupported: {err}"
+        except SimulatedOOMError as oom:
+            measurement.failed = True
+            measurement.failure_reason = str(oom)
+        return measurement
+
+    # ------------------------------------------------------------------ #
     # pipeline-full mode
     # ------------------------------------------------------------------ #
     def measure_full(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
                      sim: SimulationContext, lazy: bool | None = None) -> Measurement:
         """Execute the entire pipeline end to end."""
-        use_lazy = engine.supports_lazy if lazy is None else (lazy and engine.supports_lazy)
+        use_lazy = engine.effective_lazy(lazy)
         measurement = self._base_measurement(engine, sim, pipeline, "full", lazy=use_lazy)
         try:
             per_run: list[float] = []

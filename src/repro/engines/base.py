@@ -159,6 +159,15 @@ class BaseEngine:
     def supports_lazy(self) -> bool:
         return self.profile.lazy
 
+    def effective_lazy(self, lazy: "bool | None") -> bool:
+        """Resolve a laziness request against this engine's capabilities.
+
+        ``None`` means the engine's default (lazy where supported); ``True``
+        is honoured only by lazy-capable engines.  This single rule is shared
+        by the runner's measurements and the sweep planner's cell coordinates.
+        """
+        return self.supports_lazy if lazy is None else bool(lazy and self.supports_lazy)
+
     @property
     def supports_parquet(self) -> bool:
         return self.profile.supports_parquet

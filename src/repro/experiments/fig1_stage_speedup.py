@@ -46,11 +46,13 @@ class StageSpeedupResult:
 
 
 def run(config: ExperimentConfig | None = None,
-        setup: Session | None = None) -> StageSpeedupResult:
-    """Execute the Figure 1 experiment."""
+        setup: Session | None = None,
+        workers: int = 1, cache=None) -> StageSpeedupResult:
+    """Execute the Figure 1 experiment (``workers``/``cache`` as in ``Session.run``)."""
     session = setup or Session(config)
     result = StageSpeedupResult()
-    measurements = session.run(mode="stage", stages=_STAGES)
+    measurements = session.run(mode="stage", stages=_STAGES,
+                               workers=workers, cache=cache)
 
     for dataset_name in session.datasets:
         result.speedups[dataset_name] = {}

@@ -50,13 +50,15 @@ class PreparatorSpeedupResult:
 
 
 def run(config: ExperimentConfig | None = None,
-        setup: Session | None = None) -> PreparatorSpeedupResult:
-    """Execute the Figure 2 experiment."""
+        setup: Session | None = None,
+        workers: int = 1, cache=None) -> PreparatorSpeedupResult:
+    """Execute the Figure 2 experiment (``workers``/``cache`` as in ``Session.run``)."""
     session = setup or Session(config)
     result = PreparatorSpeedupResult()
     # the Pandas baseline always takes part, even when not selected
     engine_order = ["pandas"] + [n for n in session.engine_names if n != "pandas"]
-    measurements = session.run(mode="core", engines=engine_order)
+    measurements = session.run(mode="core", engines=engine_order,
+                               workers=workers, cache=cache)
 
     for dataset_name in session.datasets:
         result.call_counts[dataset_name] = pipeline_call_counts(dataset_name)

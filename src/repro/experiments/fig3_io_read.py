@@ -41,11 +41,13 @@ class IOReadResult:
 
 def run(config: ExperimentConfig | None = None,
         setup: Session | None = None,
-        operation: str = "read") -> IOReadResult:
+        operation: str = "read",
+        workers: int = 1, cache=None) -> IOReadResult:
     """Execute the Figure 3 (read) or Figure 4 (write) experiment."""
     session = setup or Session(config)
     result = IOReadResult()
-    measurements = session.run(mode=operation, formats=FORMATS)
+    measurements = session.run(mode=operation, formats=FORMATS,
+                               workers=workers, cache=cache)
     for dataset_name in session.datasets:
         result.seconds[dataset_name] = {}
         for file_format in FORMATS:

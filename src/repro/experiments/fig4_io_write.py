@@ -17,6 +17,7 @@ IOWriteResult = IOReadResult
 
 
 def run(config: ExperimentConfig | None = None,
-        setup: Session | None = None) -> IOWriteResult:
+        setup: Session | None = None,
+        workers: int = 1, cache=None) -> IOWriteResult:
     """Execute the Figure 4 experiment (write CSV / Parquet)."""
-    return _run_io(config, setup, operation="write")
+    return _run_io(config, setup, operation="write", workers=workers, cache=cache)

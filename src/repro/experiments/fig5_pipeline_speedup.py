@@ -58,13 +58,15 @@ class PipelineSpeedupResult:
 
 
 def run(config: ExperimentConfig | None = None,
-        setup: Session | None = None) -> PipelineSpeedupResult:
-    """Execute the Figure 5 experiment."""
+        setup: Session | None = None,
+        workers: int = 1, cache=None) -> PipelineSpeedupResult:
+    """Execute the Figure 5 experiment (``workers``/``cache`` as in ``Session.run``)."""
     session = setup or Session(config)
     result = PipelineSpeedupResult()
     # the Pandas baseline always takes part, even when not selected
     engine_order = ["pandas"] + [n for n in session.engine_names if n != "pandas"]
-    measurements = session.run(mode="full", engines=engine_order, lazy="both")
+    measurements = session.run(mode="full", engines=engine_order, lazy="both",
+                               workers=workers, cache=cache)
 
     for dataset_name in session.datasets:
         per_dataset = measurements.filter(dataset=dataset_name)

@@ -58,8 +58,9 @@ class ScalabilityResult:
 
 def run(config: ExperimentConfig | None = None, dataset: str = "taxi",
         fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
-        machines: tuple[MachineConfig, ...] = _MACHINES) -> ScalabilityResult:
-    """Execute the Figure 6 experiment."""
+        machines: tuple[MachineConfig, ...] = _MACHINES,
+        workers: int = 1, cache=None) -> ScalabilityResult:
+    """Execute the Figure 6 experiment (``workers``/``cache`` as in ``Session.run``)."""
     config = config or ExperimentConfig()
     base = generate_dataset(dataset, scale=config.scale, seed=config.seed)
     pipeline = get_pipeline(dataset, 0)
@@ -72,7 +73,8 @@ def run(config: ExperimentConfig | None = None, dataset: str = "taxi",
             sample = base.sample(fraction) if fraction < 1.0 else base
             session = Session(config.but(machine=machine, engines=engine_names),
                               datasets={dataset: sample})
-            measurements = session.run(mode="full", pipelines=pipeline)
+            measurements = session.run(mode="full", pipelines=pipeline,
+                                       workers=workers, cache=cache)
             result.seconds[machine.name][fraction] = {
                 m.engine: (None if m.failed else m.seconds) for m in measurements
             }

@@ -53,11 +53,13 @@ class TPCHResult:
 
 
 def run(config: ExperimentConfig | None = None, physical_scale_factor: float = 0.002,
-        queries: list[str] | None = None) -> TPCHResult:
-    """Execute the Figure 7 experiment."""
+        queries: list[str] | None = None,
+        workers: int = 1, cache=None) -> TPCHResult:
+    """Execute the Figure 7 experiment (``workers``/``cache`` as in ``Session.run``)."""
     session = Session(config)
     measurements = session.run_tpch(queries=queries,
-                                    physical_scale_factor=physical_scale_factor)
+                                    physical_scale_factor=physical_scale_factor,
+                                    workers=workers, cache=cache)
     result = TPCHResult()
     for m in measurements:
         result.seconds.setdefault(m.pipeline, {})[m.engine] = m.seconds

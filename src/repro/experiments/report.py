@@ -33,8 +33,14 @@ __all__ = ["full_report", "main"]
 
 
 def full_report(config: ExperimentConfig | None = None, include_tpch: bool = True,
-                include_scalability: bool = True) -> str:
-    """Regenerate every artifact and return the formatted report."""
+                include_scalability: bool = True,
+                workers: int = 1, cache=None) -> str:
+    """Regenerate every artifact and return the formatted report.
+
+    ``workers`` and ``cache`` are handed to every experiment driver, so the
+    whole report can run on a worker pool and resume from the persistent
+    result cache after an interruption.
+    """
     config = config or ExperimentConfig()
     setup = Session(config)
     sections: list[str] = []
@@ -45,18 +51,18 @@ def full_report(config: ExperimentConfig | None = None, include_tpch: bool = Tru
     sections.append(format_table(table3_compatibility(), "Table 3 — Pandas API compatibility"))
     sections.append(format_table(table4_machines(), "Table 4 — machine configurations"))
 
-    sections.append(fig1_stage_speedup.run(setup=setup).format())
-    fig2 = fig2_preparator_speedup.run(setup=setup)
+    sections.append(fig1_stage_speedup.run(setup=setup, workers=workers, cache=cache).format())
+    fig2 = fig2_preparator_speedup.run(setup=setup, workers=workers, cache=cache)
     for dataset in config.datasets:
         sections.append(fig2.format(dataset))
-    sections.append(fig3_io_read.run(setup=setup).format())
-    sections.append(fig4_io_write.run(setup=setup).format())
-    sections.append(fig5_pipeline_speedup.run(setup=setup).format())
+    sections.append(fig3_io_read.run(setup=setup, workers=workers, cache=cache).format())
+    sections.append(fig4_io_write.run(setup=setup, workers=workers, cache=cache).format())
+    sections.append(fig5_pipeline_speedup.run(setup=setup, workers=workers, cache=cache).format())
     if include_scalability:
-        sections.append(fig6_scalability.run(config).format())
-        sections.append(table5_min_config.run(config).format())
+        sections.append(fig6_scalability.run(config, workers=workers, cache=cache).format())
+        sections.append(table5_min_config.run(config, workers=workers, cache=cache).format())
     if include_tpch:
-        sections.append(fig7_tpch.run(config).format())
+        sections.append(fig7_tpch.run(config, workers=workers, cache=cache).format())
     return "\n\n".join(sections)
 
 
@@ -68,10 +74,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-tpch", action="store_true", help="skip the TPC-H experiment")
     parser.add_argument("--skip-scalability", action="store_true",
                         help="skip Figure 6 / Table 5")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker-pool size for every sweep (default: 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result-cache location (default: disabled)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
     config = ExperimentConfig(scale=args.scale, runs=args.runs)
+    from ..sweep import SweepCache
+
+    cache = SweepCache(args.cache_dir) if args.cache_dir else None
     print(full_report(config, include_tpch=not args.skip_tpch,
-                      include_scalability=not args.skip_scalability))
+                      include_scalability=not args.skip_scalability,
+                      workers=args.jobs, cache=cache))
     return 0
 
 

@@ -42,8 +42,9 @@ class MinConfigResult:
 
 def run(config: ExperimentConfig | None = None,
         datasets: tuple[str, ...] = ("patrol", "taxi"),
-        fractions: tuple[float, ...] = DEFAULT_FRACTIONS) -> MinConfigResult:
-    """Execute the Table 5 experiment."""
+        fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+        workers: int = 1, cache=None) -> MinConfigResult:
+    """Execute the Table 5 experiment (``workers``/``cache`` as in ``Session.run``)."""
     config = config or ExperimentConfig()
     engine_names = [name for name in config.engines if name != "cudf"]
     result = MinConfigResult(fractions=tuple(fractions))
@@ -61,7 +62,8 @@ def run(config: ExperimentConfig | None = None,
                     session = Session(config.but(machine=machine, runs=1,
                                                  engines=(engine_name,)),
                                       datasets={dataset_name: sample})
-                    measurements = session.run(mode="full", pipelines=pipeline)
+                    measurements = session.run(mode="full", pipelines=pipeline,
+                                               workers=workers, cache=cache)
                     if not measurements:  # engine unavailable on this machine
                         continue
                     if not measurements[0].failed:

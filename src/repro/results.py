@@ -249,6 +249,67 @@ class ResultSet:
         return out
 
     # ------------------------------------------------------------------ #
+    # terminal-friendly rendering (no pandas required)
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """Multi-line overview of a sweep, for eyeballing in the terminal."""
+        if not self.measurements:
+            return "ResultSet: empty"
+        failures = self.failures()
+        lines = [f"ResultSet: {len(self)} measurements"
+                 + (f" ({len(failures)} failed)" if failures else "")]
+        mode_counts = ", ".join(f"{mode} ({len(group)})"
+                                for mode, group in self.group_by("mode").items())
+        lines.append(f"  modes:    {mode_counts}")
+        lines.append(f"  engines:  {', '.join(self.engines())}")
+        datasets = [d for d in self.datasets() if d]
+        if datasets:
+            lines.append(f"  datasets: {', '.join(datasets)}")
+        machines = [m for m in self.values('machine') if m]
+        if machines:
+            lines.append(f"  machines: {', '.join(machines)}")
+        ok = self.ok()
+        if ok:
+            lines.append(f"  simulated seconds (ok rows): "
+                         f"total {ok.total():.3f}, mean {ok.mean():.3f}")
+        for m in failures:
+            where = "/".join(p for p in (m.dataset, m.pipeline, m.stage, m.step) if p)
+            lines.append(f"  FAILED {m.engine} {where}: {m.failure_reason}")
+        return "\n".join(lines)
+
+    def to_markdown(self, rows: "str | Sequence[str]" = "dataset",
+                    cols: str = "engine", value: str = "seconds",
+                    agg: str = "mean", fmt: str = "{:.3f}") -> str:
+        """The :meth:`pivot` table rendered as a GitHub-flavoured table.
+
+        Failed rows are excluded (they would skew aggregates); missing cells
+        render as ``-``.
+        """
+        ok = self.ok()
+        if not ok:
+            return "(no successful measurements)"
+        row_fields = (rows,) if isinstance(rows, str) else tuple(rows)
+        table = ok.pivot(rows=row_fields, cols=cols, value=value, agg=agg)
+        col_keys = ok.values(cols)
+        header = [*row_fields, *(str(c) for c in col_keys)]
+        body: list[list[str]] = []
+        for row_key, per_col in table.items():
+            key = row_key if isinstance(row_key, tuple) else (row_key,)
+            rendered = [str(k) for k in key]
+            for col in col_keys:
+                cell = per_col.get(col)
+                rendered.append("-" if cell is None else fmt.format(cell))
+            body.append(rendered)
+        widths = [max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+                  for i in range(len(header))]
+        def line(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+        out = [line(header),
+               "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+        out.extend(line(r) for r in body)
+        return "\n".join(out)
+
+    # ------------------------------------------------------------------ #
     # (de)serialization
     # ------------------------------------------------------------------ #
     def to_records(self) -> list[dict[str, Any]]:

@@ -20,6 +20,7 @@ Every measurement is emitted as a unified
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Mapping, Sequence
 
 from .config import ExperimentConfig
@@ -31,10 +32,18 @@ from .datasets.pipelines import get_pipelines
 from .datasets.registry import generate_dataset
 from .engines.base import BaseEngine, EngineUnavailableError, SimulationContext
 from .engines.registry import create_engine, create_engines
-from .frame.frame import DataFrame
-from .results import Measurement, ResultSet
-from .simulate.clock import trimmed_mean
-from .simulate.memory import SimulatedOOMError
+from .results import ResultSet
+from .sweep import (
+    Cell,
+    PlannedCell,
+    SweepScheduler,
+    SweepStats,
+    context_fingerprint,
+    dataset_fingerprint,
+    execute_cell,
+    pipeline_fingerprint,
+    resolve_cache,
+)
 
 __all__ = ["Session"]
 
@@ -74,8 +83,11 @@ class Session:
         self._contexts: dict[str, SimulationContext] = {}
         self._engines: dict[str, BaseEngine] | None = None
         self._extra_engines: dict[str, BaseEngine] = {}
-        self._runner: BentoRunner | None = None
+        self._runner: MatrixRunner | None = None
+        self._legacy_runner: BentoRunner | None = None
         self._tpch_data: dict[float, object] = {}
+        #: Statistics of the most recent scheduled sweep (cache hits, workers).
+        self.last_sweep: SweepStats | None = None
 
     # ------------------------------------------------------------------ #
     # lazily-built components
@@ -115,10 +127,21 @@ class Session:
         return {name: self.pipelines_for(name) for name in self.datasets}
 
     @property
-    def runner(self) -> BentoRunner:
+    def matrix_runner(self) -> MatrixRunner:
+        """The measurement core executing every cell of the matrix."""
         if self._runner is None:
-            self._runner = BentoRunner(runs=self.config.runs)
+            self._runner = MatrixRunner(runs=self.config.runs)
         return self._runner
+
+    @property
+    def runner(self) -> BentoRunner:
+        """Deprecated: the legacy shim runner.  Use :attr:`matrix_runner`."""
+        warnings.warn("Session.runner is deprecated; use Session.matrix_runner "
+                      "(which emits unified Measurement records)",
+                      DeprecationWarning, stacklevel=2)
+        if self._legacy_runner is None:
+            self._legacy_runner = BentoRunner(runs=self.config.runs)
+        return self._legacy_runner
 
     # ------------------------------------------------------------------ #
     # per-dataset helpers
@@ -206,6 +229,103 @@ class Session:
         return [lazy]
 
     # ------------------------------------------------------------------ #
+    # sweep planning: the matrix slice as independent work units
+    # ------------------------------------------------------------------ #
+    def plan(self, mode: str = "full", *,
+             engines: Sequence[str] | None = None,
+             datasets: Sequence[str] | None = None,
+             pipelines: "Sequence[Pipeline | str | int] | Pipeline | None" = None,
+             lazy: "bool | str | None" = None,
+             stages: "Iterable[Stage | str] | None" = None,
+             formats: Sequence[str] = _IO_FORMATS) -> list[PlannedCell]:
+        """Enumerate the requested matrix slice as independent sweep cells.
+
+        Cells are emitted in exactly the nested-loop order of the historical
+        sequential sweep (dataset → [pipeline →] engine → laziness), which is
+        the order the scheduler reassembles results in — so any worker count
+        yields the same :class:`~repro.results.ResultSet`.
+        """
+        try:
+            mode = _MODE_ALIASES[mode]
+        except KeyError:
+            raise ValueError(f"unknown mode {mode!r}; "
+                             f"expected one of {sorted(set(_MODE_ALIASES))}") from None
+        if mode == "tpch":
+            raise ValueError("TPC-H sweeps are planned by run_tpch()")
+        selected_engines = self._select_engines(engines)
+        selected_datasets = self._select_datasets(datasets)
+        runner = self.matrix_runner
+        machine = self.config.machine
+        stage_names = (tuple(Stage.parse(s).value for s in stages)
+                       if stages is not None else ())
+        if mode == "stage" and stages is not None and not stage_names:
+            return []  # an explicitly empty stage selection measures nothing
+        plan: list[PlannedCell] = []
+
+        def add(cell: Cell, execute, generated: GeneratedDataset,
+                sim: SimulationContext, pipeline: Pipeline | None,
+                engine: BaseEngine) -> None:
+            payload = {"cell": cell, "machine": machine,
+                       "optimizer": engine.optimizer_settings,
+                       "frame": generated.frame, "sim": sim, "pipeline": pipeline}
+            plan.append(PlannedCell(cell=cell, execute=execute, payload=payload))
+
+        if mode in ("read", "write"):
+            for dataset_name, generated in selected_datasets.items():
+                sim = self.context_for(dataset_name)
+                dataset_fp = dataset_fingerprint(generated)
+                for file_format in formats:
+                    for engine in selected_engines.values():
+                        cell = Cell(
+                            mode=mode, engine=engine.name, dataset=sim.dataset_name,
+                            file_format=file_format, machine=machine.name,
+                            runs=self.config.runs, seed=self.config.seed,
+                            scale=self.config.scale,
+                            fingerprint=context_fingerprint(
+                                machine, engine.optimizer_settings, dataset_fp))
+                        add(cell, self._cell_thunk(cell, runner, engine, generated, sim, None),
+                            generated, sim, None, engine)
+            return plan
+
+        for dataset_name, generated in selected_datasets.items():
+            sim = self.context_for(dataset_name)
+            dataset_fp = dataset_fingerprint(generated)
+            for pipeline in self._select_pipelines(dataset_name, pipelines):
+                pipeline_fp = pipeline_fingerprint(pipeline)
+                for engine in selected_engines.values():
+                    fingerprint = context_fingerprint(
+                        machine, engine.optimizer_settings, dataset_fp, pipeline_fp)
+                    if mode == "core":
+                        cell = Cell(
+                            mode="core", engine=engine.name, dataset=sim.dataset_name,
+                            pipeline=pipeline.name, machine=machine.name,
+                            runs=self.config.runs, seed=self.config.seed,
+                            scale=self.config.scale, fingerprint=fingerprint)
+                        add(cell, self._cell_thunk(cell, runner, engine, generated,
+                                                   sim, pipeline),
+                            generated, sim, pipeline, engine)
+                        continue
+                    for lazy_flag in self._lazy_variants(engine, lazy, mode):
+                        effective = engine.effective_lazy(lazy_flag)
+                        cell = Cell(
+                            mode=mode, engine=engine.name, dataset=sim.dataset_name,
+                            pipeline=pipeline.name, lazy=effective, stages=stage_names,
+                            machine=machine.name, runs=self.config.runs,
+                            seed=self.config.seed, scale=self.config.scale,
+                            fingerprint=fingerprint)
+                        add(cell, self._cell_thunk(cell, runner, engine, generated,
+                                                   sim, pipeline),
+                            generated, sim, pipeline, engine)
+        return plan
+
+    @staticmethod
+    def _cell_thunk(cell, runner, engine, generated, sim, pipeline):
+        """Thread-pool thunk: :func:`~repro.sweep.execute_cell` over the
+        session's shared components (the process pool rebuilds them instead)."""
+        return lambda: execute_cell(cell, engine, runner=runner,
+                                    frame=generated.frame, sim=sim, pipeline=pipeline)
+
+    # ------------------------------------------------------------------ #
     # the front door
     # ------------------------------------------------------------------ #
     def run(self, mode: str = "full", *,
@@ -214,7 +334,10 @@ class Session:
             pipelines: "Sequence[Pipeline | str | int] | Pipeline | None" = None,
             lazy: "bool | str | None" = None,
             stages: "Iterable[Stage | str] | None" = None,
-            formats: Sequence[str] = _IO_FORMATS) -> ResultSet:
+            formats: Sequence[str] = _IO_FORMATS,
+            workers: int = 1,
+            cache: "bool | str | object | None" = None,
+            executor: str = "thread") -> ResultSet:
         """Sweep a slice of the matrix and return the collected measurements.
 
         ``mode`` is one of ``full``/``stage``/``core`` (the paper's three
@@ -224,80 +347,54 @@ class Session:
         ``"both"`` to measure eager and, where supported, lazy evaluation.
         ``stages`` restricts stage mode to specific stages; ``formats``
         restricts the I/O modes.
+
+        The sweep is executed by the :mod:`repro.sweep` scheduler:
+        ``workers`` sets the worker-pool size (results are identical for any
+        value), ``cache`` enables the persistent result cache (``True`` for
+        the default ``~/.cache/repro``, or a directory path, or a
+        :class:`~repro.sweep.SweepCache`) so repeated or interrupted sweeps
+        skip completed cells, and ``executor`` selects ``"thread"`` (shared
+        components, default) or ``"process"`` (per-cell isolation) pools.
+        Statistics of the last sweep are exposed as :attr:`last_sweep`.
         """
         try:
-            mode = _MODE_ALIASES[mode]
+            resolved_mode = _MODE_ALIASES[mode]
         except KeyError:
             raise ValueError(f"unknown mode {mode!r}; "
                              f"expected one of {sorted(set(_MODE_ALIASES))}") from None
-        if mode == "tpch":
-            return self.run_tpch(engines=engines)
-        selected_engines = self._select_engines(engines)
-        selected_datasets = self._select_datasets(datasets)
-        results = ResultSet()
-        runner = self.runner
+        if resolved_mode == "tpch":
+            return self.run_tpch(engines=engines, workers=workers, cache=cache,
+                                 executor=executor)
+        plan = self.plan(resolved_mode, engines=engines, datasets=datasets,
+                         pipelines=pipelines, lazy=lazy, stages=stages,
+                         formats=formats)
+        return self._run_plan(plan, workers=workers, cache=cache, executor=executor)
 
-        if mode in ("read", "write"):
-            for dataset_name, generated in selected_datasets.items():
-                sim = self.context_for(dataset_name)
-                for file_format in formats:
-                    for engine in selected_engines.values():
-                        results.append(self._measure_io(engine, generated.frame, sim,
-                                                        mode, file_format))
-            return results
-
-        for dataset_name, generated in selected_datasets.items():
-            sim = self.context_for(dataset_name)
-            for pipeline in self._select_pipelines(dataset_name, pipelines):
-                for engine in selected_engines.values():
-                    if mode == "core":
-                        results.extend(runner.measure_function_core(
-                            engine, generated.frame, pipeline, sim))
-                        continue
-                    for lazy_flag in self._lazy_variants(engine, lazy, mode):
-                        if mode == "full":
-                            results.append(runner.measure_full(
-                                engine, generated.frame, pipeline, sim, lazy=lazy_flag))
-                        else:
-                            results.extend(runner.measure_stages(
-                                engine, generated.frame, pipeline, sim,
-                                lazy=lazy_flag, stages=stages))
-        return results
-
-    # ------------------------------------------------------------------ #
-    # I/O measurements (the Figure 3 / Figure 4 matrix)
-    # ------------------------------------------------------------------ #
-    def _measure_io(self, engine: BaseEngine, frame: DataFrame, sim: SimulationContext,
-                    operation: str, file_format: str) -> Measurement:
-        measurement = Measurement(engine=engine.name, dataset=sim.dataset_name,
-                                  mode=operation, stage=Stage.IO.value,
-                                  step=file_format, machine=sim.machine.name)
+    def _run_plan(self, plan: list[PlannedCell], *, workers: int,
+                  cache: "bool | str | object | None", executor: str) -> ResultSet:
+        scheduler = SweepScheduler(workers=workers, cache=resolve_cache(cache),
+                                   executor=executor)
         try:
-            per_run: list[float] = []
-            for run_index in range(self.config.runs):
-                if operation == "read":
-                    _, record = engine.read_dataset(frame, sim, file_format=file_format,
-                                                    run_index=run_index)
-                else:
-                    record = engine.write_dataset(frame, sim, file_format=file_format,
-                                                  run_index=run_index)
-                per_run.append(record.seconds)
-            measurement.seconds = trimmed_mean(per_run)
-        except EngineUnavailableError as err:
-            measurement.failed = True
-            measurement.failure_reason = f"unsupported: {err}"
-        except SimulatedOOMError as oom:
-            measurement.failed = True
-            measurement.failure_reason = str(oom)
-        return measurement
+            return scheduler.run(plan)
+        finally:
+            # also on failure/interruption, so callers can inspect how far
+            # the sweep got before resuming it
+            self.last_sweep = scheduler.last_stats
 
     # ------------------------------------------------------------------ #
     # TPC-H (the Figure 7 matrix)
     # ------------------------------------------------------------------ #
     def run_tpch(self, *, engines: Sequence[str] | None = None,
                  queries: Sequence[str] | None = None,
-                 physical_scale_factor: float = 0.002) -> ResultSet:
-        """Run TPC-H queries on the TPC-H engine set and collect measurements."""
+                 physical_scale_factor: float = 0.002,
+                 workers: int = 1,
+                 cache: "bool | str | object | None" = None,
+                 executor: str = "thread") -> ResultSet:
+        """Run TPC-H queries on the TPC-H engine set and collect measurements.
+
+        Like :meth:`run`, the engine × query matrix goes through the sweep
+        scheduler: ``workers``/``cache``/``executor`` behave identically.
+        """
         from .tpch.datagen import generate_tpch
         from .tpch.queries import query_names
         from .tpch.runner import TPCHRunner
@@ -311,17 +408,37 @@ class Session:
         engine_map = create_engines(names, machine=self.config.machine,
                                     skip_unavailable=True)
         dataset_name = f"tpch-sf{data.nominal_scale_factor:g}"
-        results = ResultSet()
+        machine = self.config.machine
+        dataset_fp = {"name": dataset_name,
+                      "physical_rows": data.total_physical_rows(),
+                      "physical_scale_factor": physical_scale_factor,
+                      "seed": self.config.seed}
+        plan: list[PlannedCell] = []
         for engine_name, engine in engine_map.items():
             for query in (list(queries) if queries is not None else query_names()):
-                outcome = runner.run_query(engine, query)
-                results.append(Measurement(
-                    engine=engine_name, dataset=dataset_name, pipeline=query,
-                    mode="tpch", step=query, seconds=outcome.seconds,
-                    rows=outcome.rows, lazy=engine.supports_lazy,
-                    failed=outcome.failed, failure_reason=outcome.failure_reason,
-                    machine=self.config.machine.name))
-        return results
+                cell = Cell(
+                    mode="tpch", engine=engine_name, dataset=dataset_name,
+                    pipeline=query, lazy=engine.supports_lazy, machine=machine.name,
+                    runs=self.config.runs, seed=self.config.seed,
+                    scale=physical_scale_factor,
+                    fingerprint=context_fingerprint(
+                        machine, engine.optimizer_settings, dataset_fp,
+                        {"query": query}))
+                # workers regenerate the (deterministic) TPC-H data instead of
+                # unpickling the whole database once per cell
+                payload = {"cell": cell, "machine": machine,
+                           "optimizer": engine.optimizer_settings,
+                           "tpch_scale_factor": physical_scale_factor,
+                           "tpch_seed": self.config.seed}
+                plan.append(PlannedCell(
+                    cell=cell,
+                    execute=self._tpch_thunk(cell, engine, runner),
+                    payload=payload))
+        return self._run_plan(plan, workers=workers, cache=cache, executor=executor)
+
+    @staticmethod
+    def _tpch_thunk(cell, engine, tpch_runner):
+        return lambda: execute_cell(cell, engine, tpch_runner=tpch_runner)
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover

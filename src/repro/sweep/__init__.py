@@ -1,0 +1,37 @@
+"""The sweep scheduler subsystem: cells, persistent cache, worker pools.
+
+``repro.sweep`` turns a matrix slice into independent, hashable
+:class:`~repro.sweep.cells.Cell` work units, dispatches them across a worker
+pool with deterministic result ordering, and backs them with a
+content-addressed on-disk cache so repeated or interrupted sweeps skip the
+cells that already completed.  :meth:`repro.session.Session.run` and the
+``python -m repro`` CLI (``--jobs``/``--cache-dir``/``--resume``) are built on
+top of it.
+"""
+
+from .cache import CACHE_VERSION, SweepCache, default_cache_dir
+from .cells import Cell, context_fingerprint, dataset_fingerprint, pipeline_fingerprint
+from .scheduler import (
+    PlannedCell,
+    SweepScheduler,
+    SweepStats,
+    execute_cell,
+    execute_payload,
+    resolve_cache,
+)
+
+__all__ = [
+    "Cell",
+    "PlannedCell",
+    "SweepCache",
+    "SweepScheduler",
+    "SweepStats",
+    "CACHE_VERSION",
+    "context_fingerprint",
+    "dataset_fingerprint",
+    "pipeline_fingerprint",
+    "default_cache_dir",
+    "execute_cell",
+    "execute_payload",
+    "resolve_cache",
+]

@@ -1,0 +1,145 @@
+"""Persistent, content-addressed cache of completed sweep cells.
+
+Every completed :class:`~repro.sweep.cells.Cell` is written as one small JSON
+file keyed by the cell's content hash, so a repeated or interrupted sweep
+skips the cells that already ran: an identical configuration is served from
+disk, while *any* change to the coordinates that shape a result — engine,
+dataset, pipeline steps, mode, laziness, machine configuration, run count,
+seed, scale, optimizer settings — produces a different hash and therefore a
+miss.  The default location is ``~/.cache/repro`` (overridable with the
+``REPRO_CACHE_DIR`` environment variable or an explicit directory).
+
+Entries are written atomically (temp file + ``os.replace``) so a sweep killed
+mid-write never leaves a truncated entry behind; unreadable or mismatching
+entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+from ..results import Measurement
+from .cells import Cell
+
+__all__ = ["SweepCache", "default_cache_dir", "CACHE_VERSION"]
+
+#: Bump when the on-disk entry layout changes; old entries become misses.
+CACHE_VERSION = 1
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _cache_namespace() -> str:
+    """Per-version cache namespace.
+
+    Simulated numbers depend on the code (cost model constants, engine
+    profiles), not only on the experiment coordinates, so entries written by
+    one package version must never be served to another.  Mid-development
+    edits within one version still share a namespace — clear the directory or
+    pass ``--no-cache`` while changing result-shaping code.
+    """
+    from .. import __version__  # deferred: repro.__init__ imports this package
+
+    return f"v{CACHE_VERSION}-{__version__}"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class SweepCache:
+    """On-disk store of per-cell measurement lists."""
+
+    def __init__(self, root: "str | Path | None" = None):
+        self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, cell: Cell) -> Path:
+        """Cache file of a cell: readable prefix plus the content hash."""
+        prefix = _SAFE.sub("_", cell.label())[:80]
+        return self.root / _cache_namespace() / cell.mode / f"{prefix}-{cell.cell_id}.json"
+
+    def load(self, cell: Cell) -> "list[Measurement] | None":
+        """The cell's measurements, or ``None`` on a miss."""
+        path = self.path_for(cell)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != CACHE_VERSION
+                or payload.get("cell") != cell.to_dict()):
+            self.misses += 1
+            return None
+        try:
+            measurements = [Measurement.from_dict(r) for r in payload["measurements"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return measurements
+
+    def store(self, cell: Cell, measurements: "list[Measurement]") -> Path:
+        """Atomically persist a completed cell."""
+        path = self.path_for(cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "cell": cell.to_dict(),
+            "measurements": [m.to_dict() for m in measurements],
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> Iterator[Path]:
+        """Entries of the current version namespace, in stable order."""
+        namespace = self.root / _cache_namespace()
+        if not namespace.exists():
+            return iter(())
+        return iter(sorted(namespace.glob("*/*.json")))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SweepCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")

@@ -1,0 +1,129 @@
+"""Hashable work units of the sweep scheduler.
+
+A :class:`Cell` is one independent unit of the evaluation matrix — one
+``measure_*`` call of the :class:`~repro.core.runner.MatrixRunner` (or one
+TPC-H query) with every coordinate that influences its result: measurement
+mode, engine, dataset, pipeline, laziness, stage selection, file format,
+machine, run count, seed and scale.  Cells are pure data: frozen, hashable,
+serializable, and content-addressed through :attr:`Cell.cell_id`, which is
+what keys the persistent :class:`~repro.sweep.cache.SweepCache`.
+
+Coordinates that live in richer objects — the machine configuration, the
+engine's optimizer settings, the generated dataset and the pipeline steps —
+are folded into the :attr:`Cell.fingerprint` so that changing any of them
+(e.g. toggling an optimizer rule or resampling a dataset) invalidates the
+cached result even though the textual names stay the same.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping
+
+from ..core.pipeline import Pipeline
+from ..datasets.base import GeneratedDataset
+from ..plan.optimizer import OptimizerSettings
+from ..simulate.hardware import MachineConfig
+
+__all__ = [
+    "Cell",
+    "context_fingerprint",
+    "dataset_fingerprint",
+    "pipeline_fingerprint",
+]
+
+
+def _digest(payload: Any, length: int = 16) -> str:
+    """Stable hex digest of a JSON-serializable payload."""
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
+
+
+def dataset_fingerprint(dataset: GeneratedDataset) -> dict[str, Any]:
+    """Identity of a generated dataset as far as measurements are concerned.
+
+    Physical and nominal row counts capture both the ``scale`` knob and the
+    Figure 6 / Table 5 fractional samples; the seed covers content changes at
+    identical shape.
+    """
+    return {
+        "name": dataset.name,
+        "physical_rows": dataset.physical_rows,
+        "nominal_rows": dataset.nominal_rows,
+        "columns": list(dataset.frame.columns),
+        "seed": dataset.seed,
+    }
+
+
+def pipeline_fingerprint(pipeline: Pipeline) -> dict[str, Any]:
+    """Identity of a pipeline: its full step list, not just its name."""
+    return {"name": pipeline.name, "dataset": pipeline.dataset,
+            "steps": [s.to_dict() for s in pipeline.steps]}
+
+
+def context_fingerprint(machine: MachineConfig,
+                        optimizer: OptimizerSettings | None,
+                        dataset: Mapping[str, Any] | None = None,
+                        pipeline: Mapping[str, Any] | None = None) -> str:
+    """Hash of every result-shaping input that is not a plain Cell field."""
+    return _digest({
+        "machine": asdict(machine),
+        "optimizer": asdict(optimizer) if optimizer is not None else None,
+        "dataset": dict(dataset) if dataset is not None else None,
+        "pipeline": dict(pipeline) if pipeline is not None else None,
+    })
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent, hashable work unit of a sweep."""
+
+    mode: str
+    engine: str
+    dataset: str
+    pipeline: str = ""
+    #: Effective laziness flag (resolved against the engine's capabilities at
+    #: planning time, so ``None``/``"both"`` requests become concrete cells).
+    lazy: bool = False
+    #: Stage restriction of stage mode (empty tuple = every present stage).
+    stages: tuple[str, ...] = ()
+    #: File format of the read/write modes.
+    file_format: str = ""
+    machine: str = ""
+    runs: int = 1
+    seed: int = 7
+    scale: float = 1.0
+    #: Content hash of the machine config, optimizer settings, dataset sample
+    #: and pipeline steps backing this cell (see :func:`context_fingerprint`).
+    fingerprint: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out["stages"] = list(self.stages)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Cell":
+        known = {f.name for f in fields(cls)}
+        kwargs = {name: value for name, value in data.items() if name in known}
+        if "stages" in kwargs:
+            kwargs["stages"] = tuple(kwargs["stages"])
+        return cls(**kwargs)
+
+    @property
+    def cell_id(self) -> str:
+        """Content address of this cell (keys the on-disk cache)."""
+        return _digest(self.to_dict(), length=24)
+
+    def label(self) -> str:
+        """Short human-readable tag used in cache file names and logs."""
+        parts = [self.mode, self.engine, self.dataset]
+        if self.pipeline:
+            parts.append(self.pipeline)
+        if self.file_format:
+            parts.append(self.file_format)
+        if self.lazy:
+            parts.append("lazy")
+        return "-".join(parts)

@@ -1,0 +1,254 @@
+"""Parallel, cache-aware execution of a planned sweep.
+
+The scheduler takes an ordered plan of :class:`PlannedCell` work units (built
+by :meth:`repro.session.Session.plan`), serves already-completed cells from
+the :class:`~repro.sweep.cache.SweepCache`, dispatches the rest across a
+``concurrent.futures`` worker pool, and reassembles the collected
+:class:`~repro.results.Measurement` records **in plan order** — so the
+returned :class:`~repro.results.ResultSet` is bit-identical to a sequential
+run regardless of completion order, worker count or cache state.
+
+Two pool flavours are supported:
+
+* ``executor="thread"`` (default) — workers share the session's engines,
+  frames and simulation contexts.  Execution is pure computation over
+  read-only inputs, so this is safe and has zero serialization cost;
+* ``executor="process"`` — each cell ships a self-contained picklable payload
+  and is re-executed from scratch in a worker process (engines are rebuilt by
+  name), sidestepping the GIL for CPU-heavy slices.
+
+Completed cells are written to the cache *as they finish*, which is what
+makes interrupted sweeps resumable: rerunning the same sweep skips every cell
+that completed before the interruption.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..results import Measurement, ResultSet
+from .cache import SweepCache
+from .cells import Cell
+
+__all__ = ["PlannedCell", "SweepStats", "SweepScheduler", "resolve_cache"]
+
+_EXECUTORS = ("thread", "process")
+
+
+@dataclass
+class PlannedCell:
+    """One cell plus the two ways of executing it.
+
+    ``execute`` runs the cell in-process against the session's shared
+    components; ``payload`` is a self-contained picklable description used by
+    the process pool (``None`` disables process dispatch for this cell).
+    """
+
+    cell: Cell
+    execute: Callable[[], "list[Measurement]"]
+    payload: "dict[str, Any] | None" = None
+
+
+@dataclass
+class SweepStats:
+    """What one scheduler run did (exposed as ``Session.last_sweep``)."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    workers: int = 1
+    executor: str = "thread"
+    wall_seconds: float = 0.0
+    cells: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"{self.total} cells: {self.cached} from cache, "
+                f"{self.executed} executed ({self.workers} worker(s), "
+                f"{self.executor}), {self.wall_seconds:.2f}s")
+
+
+def resolve_cache(cache: "bool | str | Any | None") -> "SweepCache | None":
+    """Normalize the user-facing ``cache=`` argument.
+
+    ``None``/``False`` disable caching, ``True`` uses the default directory,
+    a string/path selects a directory, and a :class:`SweepCache` is used
+    as-is.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return SweepCache()
+    if isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(cache)
+
+
+class SweepScheduler:
+    """Dispatches planned cells across a worker pool, deterministically."""
+
+    def __init__(self, workers: int = 1, cache: "SweepCache | None" = None,
+                 executor: str = "thread"):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if executor not in _EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; expected one of {_EXECUTORS}")
+        self.workers = workers
+        self.cache = cache
+        self.executor = executor
+        self.last_stats: "SweepStats | None" = None
+
+    # ------------------------------------------------------------------ #
+    def run(self, plan: Sequence[PlannedCell]) -> ResultSet:
+        """Execute a plan and return its measurements in plan order."""
+        start = time.perf_counter()
+        stats = SweepStats(total=len(plan), workers=self.workers, executor=self.executor)
+        self.last_stats = stats
+        slots: "list[list[Measurement] | None]" = [None] * len(plan)
+
+        pending: list[int] = []
+        for index, planned in enumerate(plan):
+            hit = self.cache.load(planned.cell) if self.cache is not None else None
+            if hit is not None:
+                slots[index] = hit
+                stats.cached += 1
+            else:
+                pending.append(index)
+        stats.cells = [planned.cell.cell_id for planned in plan]
+
+        try:
+            if self.workers == 1 or len(pending) <= 1:
+                for index in pending:
+                    slots[index] = self._complete(plan[index])
+                    stats.executed += 1
+            else:
+                self._run_pool(plan, pending, slots, stats)
+        finally:
+            stats.wall_seconds = time.perf_counter() - start
+
+        results = ResultSet()
+        for slot in slots:
+            results.extend(slot or ())
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _complete(self, planned: PlannedCell) -> "list[Measurement]":
+        measurements = planned.execute()
+        if self.cache is not None:
+            self.cache.store(planned.cell, measurements)
+        return measurements
+
+    def _run_pool(self, plan: Sequence[PlannedCell], pending: "list[int]",
+                  slots: "list[list[Measurement] | None]", stats: SweepStats) -> None:
+        pool_cls = ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+        errors: "list[BaseException]" = []
+        with pool_cls(max_workers=min(self.workers, len(pending))) as pool:
+            futures: "dict[Future, int]" = {}
+            for index in pending:
+                planned = plan[index]
+                if self.executor == "process":
+                    if planned.payload is None:
+                        raise ValueError(
+                            f"cell {planned.cell.label()} has no picklable payload; "
+                            f"use executor='thread'")
+                    futures[pool.submit(execute_payload, planned.payload)] = index
+                else:
+                    futures[pool.submit(planned.execute)] = index
+            # Results are committed to the cache as each cell completes, so a
+            # sweep killed at any point resumes from the cells that finished.
+            # The first failing cell cancels the cells that have not started,
+            # but everything already running is still collected and cached.
+            try:
+                for future in as_completed(futures):
+                    if future.cancelled():
+                        continue
+                    error = future.exception()
+                    if error is not None:
+                        errors.append(error)
+                        for queued in futures:
+                            if not queued.done():
+                                queued.cancel()
+                        continue
+                    index = futures[future]
+                    measurements = future.result()
+                    slots[index] = measurements
+                    stats.executed += 1
+                    if self.cache is not None:
+                        self.cache.store(plan[index].cell, measurements)
+            except BaseException:  # e.g. Ctrl-C in the main thread
+                for queued in futures:
+                    queued.cancel()
+                raise
+        if errors:
+            stats.failed = len(errors)
+            raise errors[0]
+
+
+# --------------------------------------------------------------------------- #
+# cell execution: one implementation shared by the thread and process paths
+# --------------------------------------------------------------------------- #
+def execute_cell(cell: Cell, engine, *, runner=None, frame=None, sim=None,
+                 pipeline=None, tpch_runner=None) -> "list[Measurement]":
+    """Run one cell against resolved components and return its measurements.
+
+    This is the *single* place a cell's coordinates are turned into
+    ``measure_*`` calls: the session's thread-pool thunks call it with shared
+    components, and :func:`execute_payload` calls it with components rebuilt
+    inside a worker process — so both executors produce identical records by
+    construction.
+    """
+    if cell.mode == "tpch":
+        outcome = tpch_runner.run_query(engine, cell.pipeline)
+        return [Measurement(
+            engine=cell.engine, dataset=cell.dataset, pipeline=cell.pipeline,
+            mode="tpch", step=cell.pipeline, seconds=outcome.seconds,
+            rows=outcome.rows, lazy=engine.supports_lazy, failed=outcome.failed,
+            failure_reason=outcome.failure_reason, machine=cell.machine)]
+    if cell.mode in ("read", "write"):
+        return [runner.measure_io(engine, frame, sim, cell.mode, cell.file_format)]
+    if cell.mode == "core":
+        return runner.measure_function_core(engine, frame, pipeline, sim)
+    if cell.mode == "stage":
+        return runner.measure_stages(engine, frame, pipeline, sim, lazy=cell.lazy,
+                                     stages=list(cell.stages) or None)
+    if cell.mode == "full":
+        return [runner.measure_full(engine, frame, pipeline, sim, lazy=cell.lazy)]
+    raise ValueError(f"unknown cell mode {cell.mode!r}")
+
+
+@functools.lru_cache(maxsize=2)
+def _tpch_data_cached(physical_scale_factor: float, seed: int):
+    """Per-worker-process TPC-H data (regeneration is deterministic, so this
+    matches the parent's data without pickling the whole database per cell)."""
+    from ..tpch.datagen import generate_tpch
+
+    return generate_tpch(physical_scale_factor, seed=seed)
+
+
+def execute_payload(payload: "dict[str, Any]") -> "list[Measurement]":
+    """Re-execute one cell from a self-contained payload in a worker process.
+
+    The payload carries the cell plus everything its measurement needs: the
+    machine configuration and optimizer settings (the engine is rebuilt by
+    name), the physical frame, the simulation context and the pipeline — or
+    the TPC-H scale factor and seed for ``mode="tpch"`` cells.
+    """
+    from ..core.runner import MatrixRunner
+    from ..engines.registry import create_engine
+
+    cell: Cell = payload["cell"]
+    engine = create_engine(cell.engine, payload["machine"],
+                           optimizer_settings=payload.get("optimizer"))
+    runner = MatrixRunner(runs=cell.runs)
+    if cell.mode == "tpch":
+        from ..tpch.runner import TPCHRunner
+
+        data = _tpch_data_cached(payload["tpch_scale_factor"], payload["tpch_seed"])
+        return execute_cell(cell, engine,
+                            tpch_runner=TPCHRunner(data, runs=cell.runs))
+    return execute_cell(cell, engine, runner=runner, frame=payload["frame"],
+                        sim=payload["sim"], pipeline=payload["pipeline"])

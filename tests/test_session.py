@@ -276,7 +276,7 @@ class TestCLI:
         out = tmp_path / "results.json"
         code = cli_main(["--mode", "full", "--engines", "pandas,polars",
                          "--datasets", "athlete", "--scale", "0.1", "--runs", "1",
-                         "--out", str(out)])
+                         "--no-cache", "--out", str(out)])
         assert code == 0
         printed = capsys.readouterr().out
         assert "Simulated seconds" in printed and "Speedup over Pandas" in printed
@@ -289,7 +289,8 @@ class TestCLI:
     def test_cli_tpch_slice(self, tmp_path, capsys):
         out = tmp_path / "tpch.csv"
         code = cli_main(["--mode", "tpch", "--engines", "pandas,polars",
-                         "--queries", "q01,q06", "--runs", "1", "--csv", str(out)])
+                         "--queries", "q01,q06", "--runs", "1", "--no-cache",
+                         "--csv", str(out)])
         assert code == 0
         loaded = ResultSet.from_csv(out)
         assert len(loaded) == 4
