@@ -16,6 +16,10 @@ Examples::
     python -m repro --scale 0.05 --jobs 4 --cache-dir .repro-cache
     python -m repro --scale 0.05 --jobs 4 --cache-dir .repro-cache --resume
 
+    # the out-of-core scenario: 2 GiB of RAM — eager engines OOM, streaming
+    # engines finish by spilling breaker partitions to disk
+    python -m repro --scale 0.05 --memory-limit 2 --streaming both
+
 The selected slice is executed through :class:`repro.Session`; the collected
 :class:`~repro.results.ResultSet` is printed as a seconds table (plus the
 speedup over Pandas when the baseline took part) and can be saved with
@@ -27,6 +31,7 @@ from __future__ import annotations
 import argparse
 
 from .config import ExperimentConfig
+from .experiments.fig8_out_of_core import constrained_machine
 from .experiments.tables import format_table
 from .results import ResultSet
 from .session import Session
@@ -63,8 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lazy", default="auto",
                         choices=["auto", "eager", "lazy", "both"],
                         help="evaluation strategy for lazy-capable engines")
+    parser.add_argument("--streaming", nargs="?", const="on", default=None,
+                        choices=["on", "both"],
+                        help="morsel-driven streaming execution: bare flag (or "
+                             "'on') streams on streaming-capable engines, "
+                             "'both' measures a streaming variant next to the "
+                             "eager/lazy cells")
     parser.add_argument("--machine", default="paper-server", choices=sorted(_MACHINES),
                         help="machine configuration (default: paper-server)")
+    parser.add_argument("--memory-limit", type=float, default=None, metavar="GB",
+                        help="cap the machine's RAM at this many GiB (the fig8 "
+                             "out-of-core scenario: eager engines OOM, "
+                             "streaming engines spill)")
     parser.add_argument("--scale", type=float, default=0.25,
                         help="physical sample scale (default: 0.25)")
     parser.add_argument("--runs", type=int, default=2,
@@ -101,20 +116,19 @@ def _render(results: ResultSet, mode: str) -> str:
         rows_key = ("dataset", "pipeline", "stage")
     else:  # full, tpch
         rows_key = ("dataset", "pipeline")
-    # when some engine was measured both ways (--lazy both), keep them apart
-    flags_by_engine: dict[str, set[bool]] = {}
+    # when some engine was measured under several strategies (--lazy both /
+    # --streaming both), keep eager, lazy and streaming rows apart
+    strategies_by_engine: dict[str, set[str]] = {}
     for m in results.ok():
-        flags_by_engine.setdefault(m.engine, set()).add(m.lazy)
-    mixed_lazy = any(len(flags) > 1 for flags in flags_by_engine.values())
-    if mixed_lazy:
-        rows_key = rows_key + ("lazy",)
+        strategies_by_engine.setdefault(m.engine, set()).add(m.strategy)
+    mixed = any(len(flags) > 1 for flags in strategies_by_engine.values())
+    if mixed:
+        rows_key = rows_key + ("strategy",)
     table = results.ok().pivot(rows=rows_key, cols="engine", value="seconds", agg="mean")
     engine_order = results.engines()
     rendered = []
     for row_key, per_engine in table.items():
         row = dict(zip(rows_key, row_key if isinstance(row_key, tuple) else (row_key,)))
-        if "lazy" in row:
-            row["strategy"] = "lazy" if row.pop("lazy") else "eager"
         row = {k: v for k, v in row.items() if v != ""}
         for engine in engine_order:
             value = per_engine.get(engine)
@@ -122,13 +136,14 @@ def _render(results: ResultSet, mode: str) -> str:
         rendered.append(row)
     sections = [format_table(rendered, f"Simulated seconds ({mode} mode, lower is better)")]
 
-    if mixed_lazy:
-        # both strategies are compared against the eager Pandas baseline
-        base_table = results.ok().filter(lazy=False).pivot(rows="dataset", cols="engine")
+    if mixed:
+        # every strategy is compared against the eager Pandas baseline
+        base_table = results.ok().filter(strategy="eager").pivot(rows="dataset",
+                                                                 cols="engine")
         speedups = {}
-        for strategy, flag in (("eager", False), ("lazy", True)):
-            strategy_table = results.ok().filter(lazy=flag).pivot(rows="dataset",
-                                                                  cols="engine")
+        for strategy in ("eager", "lazy", "streaming"):
+            strategy_table = results.ok().filter(strategy=strategy).pivot(rows="dataset",
+                                                                          cols="engine")
             for dataset, per_engine in strategy_table.items():
                 base = base_table.get(dataset, {}).get("pandas")
                 if not base or base <= 0:
@@ -138,10 +153,10 @@ def _render(results: ResultSet, mode: str) -> str:
                                                  if seconds > 0}
     else:
         speedups = results.speedup_vs("pandas", by="dataset")
-    if speedups and (mixed_lazy or any("pandas" in per for per in speedups.values())):
+    if speedups and (mixed or any("pandas" in per for per in speedups.values())):
         rows = []
         for group, per_engine in speedups.items():
-            if mixed_lazy:
+            if mixed:
                 row = {"dataset": group[0], "strategy": group[1]}
             else:
                 row = {"dataset": group}
@@ -168,8 +183,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--resume needs the result cache; drop --no-cache")
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.streaming is not None and args.mode in ("tpch", "read", "write"):
+        parser.error(f"--streaming is not supported in {args.mode} mode "
+                     "(use full, stage or core)")
+    machine = _MACHINES[args.machine]
+    if args.memory_limit is not None:
+        if args.memory_limit <= 0:
+            parser.error("--memory-limit must be positive")
+        machine = constrained_machine(machine, args.memory_limit)
     config = ExperimentConfig(scale=args.scale, runs=args.runs, seed=args.seed,
-                              machine=_MACHINES[args.machine])
+                              machine=machine)
     if args.datasets:
         config = config.but(datasets=args.datasets)
     session = Session(config)
@@ -182,7 +205,9 @@ def main(argv: list[str] | None = None) -> int:
                                        executor=args.executor)
         else:
             lazy = {"auto": None, "eager": False, "lazy": True, "both": "both"}[args.lazy]
+            streaming = {None: None, "on": True, "both": "both"}[args.streaming]
             results = session.run(mode=args.mode, engines=args.engines, lazy=lazy,
+                                  streaming=streaming,
                                   workers=args.jobs, cache=cache,
                                   executor=args.executor)
     except KeyError as err:

@@ -66,14 +66,15 @@ class MatrixRunner:
         return step.preparator in ("read", "write")
 
     def _run_io_step(self, engine: BaseEngine, frame: DataFrame, step: PipelineStep,
-                     sim: SimulationContext, run_index: int) -> tuple[DataFrame, float]:
+                     sim: SimulationContext, run_index: int,
+                     streaming: bool = False) -> tuple[DataFrame, float]:
         file_format = str(step.params.get("format", "csv"))
         if step.preparator == "read":
             loaded, record = engine.read_dataset(frame, sim, file_format=file_format,
-                                                 run_index=run_index)
+                                                 run_index=run_index, streaming=streaming)
             return loaded, record.seconds
         record = engine.write_dataset(frame, sim, file_format=file_format,
-                                      run_index=run_index)
+                                      run_index=run_index, streaming=streaming)
         return frame, record.seconds
 
     def _base_measurement(self, engine: BaseEngine, sim: SimulationContext,
@@ -122,23 +123,28 @@ class MatrixRunner:
     # ------------------------------------------------------------------ #
     def measure_stage(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
                       stage: "Stage | str", sim: SimulationContext,
-                      lazy: bool | None = None) -> Measurement:
+                      lazy: bool | None = None,
+                      streaming: bool | None = None) -> Measurement:
         """Execute one stage of the pipeline as a unit.
 
         The whole pipeline runs in order (later steps may depend on columns
         produced by earlier ones), but only the steps belonging to the target
         stage contribute to the reported time.  Lazy engines may defer within
         each contiguous block of target-stage steps — the stage-granularity
-        optimization of Figure 1.
+        optimization of Figure 1.  ``streaming=True`` runs the target blocks
+        through the morsel-driven executor on streaming-capable engines.
         """
         stage = Stage.parse(stage)
         use_lazy = engine.effective_lazy(lazy)
+        use_streaming = engine.effective_streaming(streaming)
         measurement = self._base_measurement(engine, sim, pipeline, "stage",
-                                             stage=stage.value, lazy=use_lazy)
+                                             stage=stage.value, lazy=use_lazy,
+                                             streaming=use_streaming)
         if not pipeline.steps_for_stage(stage):
             return measurement
         try:
             per_run: list[float] = []
+            spilled = False
             for run_index in range(self.runs):
                 current = frame
                 total = 0.0
@@ -146,7 +152,9 @@ class MatrixRunner:
                     io_steps = [s for s in block if self._is_io_step(s)]
                     other = [s for s in block if not self._is_io_step(s)]
                     for step in io_steps:
-                        current, seconds = self._run_io_step(engine, current, step, sim, run_index)
+                        current, seconds = self._run_io_step(
+                            engine, current, step, sim, run_index,
+                            streaming=use_streaming if in_stage else False)
                         if in_stage:
                             total += seconds
                     if not other:
@@ -155,11 +163,14 @@ class MatrixRunner:
                                        label=f"{pipeline.name}:{stage.value}")
                     current, report = engine.execute_steps(
                         current, other, sim, lazy=use_lazy if in_stage else False,
-                        run_index=run_index, report=report, pipeline_scope=False)
+                        run_index=run_index, report=report, pipeline_scope=False,
+                        streaming=use_streaming if in_stage else False)
                     if in_stage:
                         total += report.total_seconds
+                        spilled = spilled or any(r.spilled for r in report.records)
                 per_run.append(total)
             measurement.seconds = self._average(per_run)
+            measurement.spilled = spilled
         except SimulatedOOMError as oom:
             measurement.failed = True
             measurement.failure_reason = str(oom)
@@ -179,11 +190,13 @@ class MatrixRunner:
 
     def measure_stages(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
                        sim: SimulationContext, lazy: bool | None = None,
-                       stages: "Iterable[Stage | str] | None" = None) -> list[Measurement]:
+                       stages: "Iterable[Stage | str] | None" = None,
+                       streaming: bool | None = None) -> list[Measurement]:
         """Stage measurements for the requested stages present in the pipeline."""
         wanted = [Stage.parse(s) for s in stages] if stages is not None else pipeline.stages()
         present = set(pipeline.stages())
-        return [self.measure_stage(engine, frame, pipeline, stage, sim, lazy)
+        return [self.measure_stage(engine, frame, pipeline, stage, sim, lazy,
+                                   streaming=streaming)
                 for stage in wanted if stage in present]
 
     # ------------------------------------------------------------------ #
@@ -225,13 +238,22 @@ class MatrixRunner:
     # pipeline-full mode
     # ------------------------------------------------------------------ #
     def measure_full(self, engine: BaseEngine, frame: DataFrame, pipeline: Pipeline,
-                     sim: SimulationContext, lazy: bool | None = None) -> Measurement:
-        """Execute the entire pipeline end to end."""
+                     sim: SimulationContext, lazy: bool | None = None,
+                     streaming: bool | None = None) -> Measurement:
+        """Execute the entire pipeline end to end.
+
+        ``streaming=True`` selects the morsel-driven streaming executor on
+        engines that support it (bit-identical results; the memory model
+        prices bounded batch windows and records spill instead of OOM).
+        """
         use_lazy = engine.effective_lazy(lazy)
-        measurement = self._base_measurement(engine, sim, pipeline, "full", lazy=use_lazy)
+        use_streaming = engine.effective_streaming(streaming)
+        measurement = self._base_measurement(engine, sim, pipeline, "full",
+                                             lazy=use_lazy, streaming=use_streaming)
         try:
             per_run: list[float] = []
             peak = 0
+            spilled = False
             for run_index in range(self.runs):
                 current = frame
                 total = 0.0
@@ -243,21 +265,27 @@ class MatrixRunner:
                         if non_io:
                             current, report = engine.execute_steps(
                                 current, non_io, sim, lazy=use_lazy, run_index=run_index,
-                                report=report, pipeline_scope=True)
+                                report=report, pipeline_scope=True,
+                                streaming=use_streaming)
                             non_io = []
-                        current, seconds = self._run_io_step(engine, current, step, sim, run_index)
+                        current, seconds = self._run_io_step(engine, current, step, sim,
+                                                             run_index,
+                                                             streaming=use_streaming)
                         total += seconds
                     else:
                         non_io.append(step)
                 if non_io:
                     current, report = engine.execute_steps(current, non_io, sim,
                                                            lazy=use_lazy, run_index=run_index,
-                                                           report=report, pipeline_scope=True)
+                                                           report=report, pipeline_scope=True,
+                                                           streaming=use_streaming)
                 total += report.total_seconds
                 peak = max(peak, report.peak_bytes)
+                spilled = spilled or any(r.spilled for r in report.records)
                 per_run.append(total)
             measurement.seconds = self._average(per_run)
             measurement.peak_bytes = peak
+            measurement.spilled = spilled
         except SimulatedOOMError as oom:
             measurement.failed = True
             measurement.failure_reason = str(oom)

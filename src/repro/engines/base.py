@@ -32,6 +32,7 @@ from ..io import read_any, write_any
 from ..plan.builder import LazyFrame
 from ..plan.executor import ExecutionStats
 from ..plan.optimizer import OptimizerSettings
+from ..plan.streaming import DEFAULT_BATCH_ROWS, stream_preparator
 from ..simulate.clock import OperationRecord, RunReport
 from ..simulate.costmodel import CostModel, SimulatedCost
 from ..simulate.hardware import PAPER_SERVER, MachineConfig
@@ -169,6 +170,21 @@ class BaseEngine:
         return self.supports_lazy if lazy is None else bool(lazy and self.supports_lazy)
 
     @property
+    def supports_streaming(self) -> bool:
+        """Whether the library can run pipelines as a morsel-driven stream."""
+        return self.profile.streaming_execution
+
+    def effective_streaming(self, streaming: "bool | None") -> bool:
+        """Resolve a streaming request against this engine's capabilities.
+
+        ``None``/``False`` mean eager-or-lazy execution; ``True`` is honoured
+        only by engines whose profile declares ``streaming_execution``.  The
+        runner's measurements and the sweep planner's cell coordinates share
+        this single rule, mirroring :meth:`effective_lazy`.
+        """
+        return bool(streaming and self.supports_streaming)
+
+    @property
     def supports_parquet(self) -> bool:
         return self.profile.supports_parquet
 
@@ -188,7 +204,7 @@ class BaseEngine:
     def _price(self, op_class: str, physical_rows: int, columns: Sequence[str],
                sim: SimulationContext, *, bytes_in: int | None = None,
                lazy: bool = False, run_index: int = 0,
-               pipeline_scope: bool = False) -> SimulatedCost:
+               pipeline_scope: bool = False, streaming: bool = False) -> SimulatedCost:
         nominal_rows = sim.nominal_row_count(physical_rows)
         if bytes_in is None:
             bytes_in = sim.bytes_for_columns(columns, physical_rows)
@@ -196,6 +212,7 @@ class BaseEngine:
             self.profile, op_class, nominal_rows, max(1, len(columns)),
             bytes_in=bytes_in, dataset_bytes=sim.dataset_bytes,
             lazy=lazy, run_index=run_index, pipeline_scope=pipeline_scope,
+            streaming=streaming,
         )
 
     def _record(self, step_name: str, op_class: str, stage: Stage, cost: SimulatedCost,
@@ -211,6 +228,7 @@ class BaseEngine:
             columns=max(1, len(columns)),
             peak_bytes=cost.peak_bytes,
             spilled=cost.spilled,
+            spilled_bytes=cost.spilled_bytes,
             streamed=cost.streamed,
             lazy=lazy,
         )
@@ -218,8 +236,19 @@ class BaseEngine:
     # ------------------------------------------------------------------ #
     # physical execution hooks (overridden by engines with special paths)
     # ------------------------------------------------------------------ #
+
+    #: Row-local preparators the engine evaluates as chunked streaming passes
+    #: over row batches (Vaex's virtual columns, DataTable's memory-mapped
+    #: kernels).  Empty for whole-frame engines.
+    streamable_preparators: frozenset[str] = frozenset()
+    #: Rows per chunk of the per-preparator streaming path.
+    stream_chunk_rows: int = DEFAULT_BATCH_ROWS
+
     def _execute_preparator(self, preparator: Preparator, frame: DataFrame,
                             params: Mapping[str, Any]) -> PreparatorResult:
+        if (preparator.name in self.streamable_preparators
+                and frame.num_rows > self.stream_chunk_rows):
+            return stream_preparator(preparator, frame, params, self.stream_chunk_rows)
         return preparator.apply(frame, params)
 
     # ------------------------------------------------------------------ #
@@ -228,11 +257,14 @@ class BaseEngine:
     def execute_step(self, frame: DataFrame, step: "PipelineStep | str",
                      sim: SimulationContext, params: Mapping[str, Any] | None = None,
                      run_index: int = 0, lazy: bool = False,
-                     pipeline_scope: bool = False) -> tuple[PreparatorResult, OperationRecord]:
+                     pipeline_scope: bool = False,
+                     streaming: bool = False) -> tuple[PreparatorResult, OperationRecord]:
         """Run one preparator eagerly and price it.
 
-        Raises :class:`~repro.simulate.memory.SimulatedOOMError` when the
-        memory model rejects the operation on this machine.
+        ``streaming=True`` prices the step as part of a morsel-driven pipeline
+        (bounded windows, breakers spill instead of OOM).  Raises
+        :class:`~repro.simulate.memory.SimulatedOOMError` when the memory
+        model rejects the operation on this machine.
         """
         if isinstance(step, PipelineStep):
             name, call_params = step.preparator, step.params
@@ -241,7 +273,8 @@ class BaseEngine:
         preparator = get_preparator(name)
         touched = preparator.touched_columns(frame, call_params)
         cost = self._price(preparator.op_class, frame.num_rows, touched, sim,
-                           lazy=lazy, run_index=run_index, pipeline_scope=pipeline_scope)
+                           lazy=lazy, run_index=run_index, pipeline_scope=pipeline_scope,
+                           streaming=streaming)
         if self.compatibility_for(name) is Compatibility.MISSING:
             cost.seconds *= self._fallback_penalty(preparator)
         result = self._execute_preparator(preparator, frame, call_params)
@@ -257,14 +290,15 @@ class BaseEngine:
     # ------------------------------------------------------------------ #
     def read_dataset(self, frame: DataFrame, sim: SimulationContext,
                      file_format: str = "csv", path: "str | Path | None" = None,
-                     run_index: int = 0) -> tuple[DataFrame, OperationRecord]:
+                     run_index: int = 0,
+                     streaming: bool = False) -> tuple[DataFrame, OperationRecord]:
         """Price (and optionally physically perform) loading the dataset."""
         if file_format in ("parquet", "rparquet") and not self.supports_parquet:
             raise EngineUnavailableError(f"{self.display_name} does not support Parquet")
         op_class = "read_csv" if file_format == "csv" else "read_parquet"
         bytes_in = sim.csv_bytes if op_class == "read_csv" else sim.parquet_bytes
         cost = self._price(op_class, sim.physical_rows, list(sim.column_bytes) or ["*"], sim,
-                           bytes_in=bytes_in, run_index=run_index)
+                           bytes_in=bytes_in, run_index=run_index, streaming=streaming)
         loaded = read_any(path, "csv" if file_format == "csv" else "rparquet") if path else frame
         record = self._record("read", op_class, Stage.IO, cost, sim.physical_rows,
                               loaded.columns, sim)
@@ -272,14 +306,14 @@ class BaseEngine:
 
     def write_dataset(self, frame: DataFrame, sim: SimulationContext,
                       file_format: str = "csv", path: "str | Path | None" = None,
-                      run_index: int = 0) -> OperationRecord:
+                      run_index: int = 0, streaming: bool = False) -> OperationRecord:
         """Price (and optionally physically perform) writing the frame."""
         if file_format in ("parquet", "rparquet") and not self.supports_parquet:
             raise EngineUnavailableError(f"{self.display_name} does not support Parquet")
         op_class = "write_csv" if file_format == "csv" else "write_parquet"
         bytes_out = sim.csv_bytes if op_class == "write_csv" else sim.parquet_bytes
         cost = self._price(op_class, frame.num_rows, frame.columns, sim,
-                           bytes_in=bytes_out, run_index=run_index)
+                           bytes_in=bytes_out, run_index=run_index, streaming=streaming)
         if path is not None:
             write_any(frame, path, "csv" if file_format == "csv" else "rparquet")
         return self._record("write", op_class, Stage.IO, cost, frame.num_rows,
@@ -291,18 +325,28 @@ class BaseEngine:
     def execute_steps(self, frame: DataFrame, steps: Sequence[PipelineStep],
                       sim: SimulationContext, *, lazy: bool = False, run_index: int = 0,
                       report: RunReport | None = None,
-                      pipeline_scope: bool = True) -> tuple[DataFrame, RunReport]:
-        """Run a sequence of steps, eagerly or lazily.
+                      pipeline_scope: bool = True,
+                      streaming: bool = False) -> tuple[DataFrame, RunReport]:
+        """Run a sequence of steps eagerly, lazily or as a morsel stream.
 
         Lazy execution (only for engines whose library supports it) batches
         consecutive *chainable, lazily expressible* steps into one logical
         plan, optimizes it and prices the operators that actually ran —
-        reproducing the Section 4.2 comparison.
+        reproducing the Section 4.2 comparison.  Streaming execution (only
+        for engines whose profile declares ``streaming_execution``) runs the
+        same plans through the morsel-driven
+        :class:`~repro.plan.streaming.StreamingExecutor`: results are
+        bit-identical, but the memory model prices bounded batch windows and
+        degrades breaker overflow to simulated spill instead of OOM.
         """
         report = report or RunReport(engine=self.name, label="steps")
+        if streaming and self.supports_streaming:
+            frame = self._execute_steps_plan(frame, steps, sim, run_index, report,
+                                             pipeline_scope, streaming=True)
+            return frame, report
         if lazy and self.supports_lazy:
-            frame = self._execute_steps_lazy(frame, steps, sim, run_index, report,
-                                             pipeline_scope)
+            frame = self._execute_steps_plan(frame, steps, sim, run_index, report,
+                                             pipeline_scope, streaming=False)
             return frame, report
         current = frame
         for step in steps:
@@ -313,10 +357,10 @@ class BaseEngine:
                 current = result.frame
         return current, report
 
-    # -- lazy path ------------------------------------------------------- #
-    def _execute_steps_lazy(self, frame: DataFrame, steps: Sequence[PipelineStep],
+    # -- plan-based paths (lazy and streaming) --------------------------- #
+    def _execute_steps_plan(self, frame: DataFrame, steps: Sequence[PipelineStep],
                             sim: SimulationContext, run_index: int, report: RunReport,
-                            pipeline_scope: bool) -> DataFrame:
+                            pipeline_scope: bool, streaming: bool) -> DataFrame:
         current = frame
         pending: LazyFrame | None = None
 
@@ -324,8 +368,13 @@ class BaseEngine:
             nonlocal current
             if lazy_frame is None:
                 return
-            collected, stats = lazy_frame.collect_with_stats(self.optimizer_settings)
-            self._price_plan_stats(stats, sim, run_index, report, pipeline_scope)
+            if streaming:
+                collected, stats = lazy_frame.collect_streaming(
+                    self.optimizer_settings, batch_rows=self.stream_chunk_rows)
+            else:
+                collected, stats = lazy_frame.collect_with_stats(self.optimizer_settings)
+            self._price_plan_stats(stats, sim, run_index, report, pipeline_scope,
+                                   streaming=streaming)
             current = collected
 
         for step in steps:
@@ -340,31 +389,52 @@ class BaseEngine:
             flush(pending)
             pending = None
             result, record = self.execute_step(current, step, sim, run_index=run_index,
-                                               lazy=True, pipeline_scope=pipeline_scope)
+                                               lazy=True, pipeline_scope=pipeline_scope,
+                                               streaming=streaming)
             report.add(record)
             if result.chained:
                 current = result.frame
         flush(pending)
         return current
 
+    def _plan_op_bytes(self, op, sim: SimulationContext) -> int:
+        """Nominal bytes one plan operator touches.
+
+        Reads are priced on the file footprint: a CSV scan parses the whole
+        file regardless of projection, while a Parquet scan skips the column
+        chunks the optimizer projected away.  Every other operator uses the
+        real per-column byte widths of the columns it recorded.
+        """
+        if op.operator == "read":
+            if op.file_format in ("parquet", "rparquet"):
+                width = max(1, op.source_columns, op.columns)
+                return sim.parquet_bytes * max(1, op.columns) // width
+            return sim.csv_bytes
+        columns = op.column_names or ("*",) * max(1, op.columns)
+        return sim.bytes_for_columns(columns, op.rows_in)
+
     def _price_plan_stats(self, stats: ExecutionStats, sim: SimulationContext,
-                          run_index: int, report: RunReport, pipeline_scope: bool) -> None:
+                          run_index: int, report: RunReport, pipeline_scope: bool,
+                          streaming: bool = False) -> None:
         for op in stats.operators:
             op_class = _PLAN_OP_TO_COST_CLASS.get(op.operator, "elementwise")
             if op_class is None:
                 continue
-            columns = ["*"] * max(1, op.columns)
-            bytes_in = sim.nominal_row_count(op.rows_in) * max(1, op.columns) * 16
+            if op_class == "read_csv" and op.file_format in ("parquet", "rparquet"):
+                op_class = "read_parquet"
             cost = self.cost_model.estimate(
                 self.profile, op_class, sim.nominal_row_count(op.rows_in),
-                max(1, op.columns), bytes_in=bytes_in, dataset_bytes=sim.dataset_bytes,
+                max(1, op.columns), bytes_in=self._plan_op_bytes(op, sim),
+                dataset_bytes=sim.dataset_bytes,
                 lazy=True, run_index=run_index, pipeline_scope=pipeline_scope,
+                streaming=streaming,
             )
             report.add(OperationRecord(
                 engine=self.name, operation=f"plan:{op.operator}", op_class=op_class,
                 stage="plan", seconds=cost.seconds, rows=sim.nominal_row_count(op.rows_in),
                 columns=max(1, op.columns), peak_bytes=cost.peak_bytes,
-                spilled=cost.spilled, streamed=cost.streamed, lazy=True,
+                spilled=cost.spilled, spilled_bytes=cost.spilled_bytes,
+                streamed=cost.streamed or op.streamed, lazy=True,
             ))
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -27,8 +27,10 @@ from .base import BaseEngine
 __all__ = ["ModinDaskEngine", "ModinRayEngine"]
 
 #: Preparators that are embarrassingly row-parallel and therefore executed
-#: per-partition (same result, genuinely partitioned code path).
-_ROW_PARALLEL = {"fillna", "calccol", "setcase", "norm", "replace", "edit", "isna", "query"}
+#: per-partition (same result, genuinely partitioned code path).  ``norm`` is
+#: excluded: its min-max/z-score statistics are global, so a per-partition
+#: pass would change results (real Modin computes them frame-wide too).
+_ROW_PARALLEL = {"fillna", "calccol", "setcase", "replace", "edit", "isna", "query"}
 
 #: Cost penalty of the default-to-Pandas round trip (partition merge, single
 #: threaded execution, re-partitioning).

@@ -7,27 +7,19 @@ extremely cheap and memory-frugal — but group-bys, joins and pivots, whose
 outputs are held entirely in memory, are its weak spot (the paper measures it
 as by far the slowest engine on TPC-H for this reason).
 
-The physical execution below genuinely streams the chunk-friendly preparators
-(filter, calccol, fillna, dropna, setcase, norm, edit) over row windows of the
-substrate frame and concatenates the results, matching Vaex's execution model;
-everything else falls back to whole-frame execution.
+The chunked physical execution lives in the shared
+:func:`repro.plan.streaming.stream_preparator` path of
+:class:`~repro.engines.base.BaseEngine`; this subclass only declares *which*
+preparators stream (the row-local, chunk-friendly ones) and Vaex's chunk
+size.  Whole-pipeline morsel-driven execution comes from the profile's
+``streaming_execution`` flag, shared with the other streaming engines.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping
-
-from ..core.preparators import Preparator, PreparatorResult
-from ..frame.frame import DataFrame, concat_rows
 from .base import BaseEngine
 
 __all__ = ["VaexEngine"]
-
-#: Preparators evaluated as streaming passes over row chunks.
-_STREAMABLE = {"query", "calccol", "fillna", "dropna", "setcase", "norm", "edit", "replace"}
-
-#: Number of rows per streamed chunk on the physical sample.
-_CHUNK_ROWS = 2048
 
 
 class VaexEngine(BaseEngine):
@@ -35,23 +27,11 @@ class VaexEngine(BaseEngine):
 
     profile_name = "vaex"
 
-    def _execute_preparator(self, preparator: Preparator, frame: DataFrame,
-                            params: Mapping[str, Any]) -> PreparatorResult:
-        if preparator.name in _STREAMABLE and frame.num_rows > _CHUNK_ROWS:
-            return self._execute_streaming(preparator, frame, params)
-        return preparator.apply(frame, params)
+    #: Row-local preparators evaluated as streaming passes over row chunks.
+    #: ``norm`` (min-max scaling) is deliberately absent: its statistics are
+    #: global, so a per-chunk pass would change results.
+    streamable_preparators = frozenset(
+        {"query", "calccol", "fillna", "dropna", "setcase", "edit", "replace"})
 
-    def _execute_streaming(self, preparator: Preparator, frame: DataFrame,
-                           params: Mapping[str, Any]) -> PreparatorResult:
-        pieces: list[DataFrame] = []
-        chained = True
-        for start in range(0, frame.num_rows, _CHUNK_ROWS):
-            chunk = frame.slice(start, _CHUNK_ROWS)
-            result = preparator.apply(chunk, params)
-            chained = result.chained
-            if not chained:
-                break
-            pieces.append(result.frame)
-        if not chained:
-            return preparator.apply(frame, params)
-        return PreparatorResult(concat_rows(pieces))
+    #: Rows per streamed chunk on the physical sample.
+    stream_chunk_rows = 2048

@@ -9,6 +9,8 @@
 * Figure 6:   :mod:`repro.experiments.fig6_scalability`
 * Table 5:    :mod:`repro.experiments.table5_min_config`
 * Figure 7:   :mod:`repro.experiments.fig7_tpch`
+* Figure 8:   :mod:`repro.experiments.fig8_out_of_core` (extension: eager vs
+  streaming execution on a memory-constrained machine)
 * Everything: :mod:`repro.experiments.report`
 
 Every driver runs its matrix slice through :class:`repro.Session` and

@@ -1,0 +1,146 @@
+"""Figure 8 (extension): out-of-core execution on a memory-constrained machine.
+
+The paper's scalability study (Figure 6, Table 5) stops at the OOM boundary:
+once a library's working set outgrows RAM, its cell becomes a ✕.  This
+experiment goes past that boundary.  The full-pipeline matrix runs on a
+machine whose RAM is deliberately too small for the nominal datasets, once
+eagerly/lazily and once through the morsel-driven streaming executor
+(:mod:`repro.plan.streaming`), and every engine × pipeline cell is classified:
+
+* ``ok``    — completed within RAM;
+* ``spill`` — completed, but pipeline-breaker partitions (or a spill-to-disk
+  engine's overflow) went to disk;
+* ``oom``   — raised :class:`~repro.simulate.memory.SimulatedOOMError`.
+
+The headline result mirrors what Polars' streaming engine and Spark deliver in
+practice: cells that OOM under eager execution complete under streaming, at
+the price of disk-bandwidth time for the spilled volume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..config import ExperimentConfig
+from ..results import Measurement
+from ..session import Session
+from ..simulate.hardware import LAPTOP, MachineConfig
+
+__all__ = ["OutOfCoreResult", "constrained_machine", "run", "DEFAULT_MEMORY_GB"]
+
+#: RAM cap (GiB) of the default fig8 machine: far below the nominal Taxi
+#: footprint, so every eager in-memory engine OOMs.
+DEFAULT_MEMORY_GB = 8.0
+
+
+def constrained_machine(base: MachineConfig = LAPTOP,
+                        memory_gb: float = DEFAULT_MEMORY_GB) -> MachineConfig:
+    """A copy of ``base`` with its RAM capped at ``memory_gb`` GiB."""
+    return dataclasses.replace(base, name=f"{base.name}-{memory_gb:g}gb",
+                               ram_gb=memory_gb)
+
+
+def _classify(measurement: Measurement) -> str:
+    if measurement.failed:
+        return "oom"
+    return "spill" if measurement.spilled else "ok"
+
+
+@dataclass
+class OutOfCoreResult:
+    """outcome[(engine, pipeline, strategy)] -> 'ok' | 'spill' | 'oom'."""
+
+    dataset: str
+    machine: str
+    memory_gb: float
+    outcomes: dict[tuple[str, str, str], str] = field(default_factory=dict)
+    seconds: dict[tuple[str, str, str], float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def engines(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for engine, _, _ in self.outcomes:
+            seen.setdefault(engine, None)
+        return list(seen)
+
+    def pipelines(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for _, pipeline, _ in self.outcomes:
+            seen.setdefault(pipeline, None)
+        return list(seen)
+
+    def outcome(self, engine: str, pipeline: str, strategy: str) -> str | None:
+        return self.outcomes.get((engine, pipeline, strategy))
+
+    def rescued_cells(self) -> list[tuple[str, str]]:
+        """(engine, pipeline) cells that OOM eagerly but complete streaming."""
+        rescued = []
+        for pipeline in self.pipelines():
+            for engine in self.engines():
+                eager = self.outcomes.get((engine, pipeline, "eager"),
+                                          self.outcomes.get((engine, pipeline, "lazy")))
+                streamed = self.outcomes.get((engine, pipeline, "streaming"))
+                if eager == "oom" and streamed in ("ok", "spill"):
+                    rescued.append((engine, pipeline))
+        return rescued
+
+    def counts(self, strategy: str) -> dict[str, int]:
+        out = {"ok": 0, "spill": 0, "oom": 0}
+        for (engine, pipeline, cell_strategy), outcome in self.outcomes.items():
+            if cell_strategy == strategy:
+                out[outcome] += 1
+        return out
+
+    # ------------------------------------------------------------------ #
+    def format(self) -> str:
+        marks = {"ok": "ok", "spill": "spill", "oom": "OOM", None: "-"}
+        lines = [f"Figure 8 — out-of-core execution of {self.dataset} pipelines "
+                 f"on {self.machine} ({self.memory_gb:g} GiB RAM)"]
+        for pipeline in self.pipelines():
+            lines.append(f"  [{pipeline}]")
+            for strategy in ("eager", "lazy", "streaming"):
+                cells = []
+                for engine in self.engines():
+                    outcome = self.outcomes.get((engine, pipeline, strategy))
+                    if outcome is None and strategy != "streaming":
+                        continue
+                    rendered = marks[outcome]
+                    if outcome in ("ok", "spill"):
+                        rendered += f" {self.seconds[(engine, pipeline, strategy)]:.0f}s"
+                    cells.append(f"{engine}={rendered}")
+                if cells:
+                    lines.append(f"    {strategy:>9}  " + ", ".join(cells))
+        rescued = self.rescued_cells()
+        if rescued:
+            lines.append("  rescued by streaming (eager OOM -> streamed completion): "
+                         + ", ".join(f"{e}/{p}" for e, p in rescued))
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig | None = None, dataset: str = "taxi",
+        memory_gb: float = DEFAULT_MEMORY_GB,
+        base_machine: MachineConfig = LAPTOP,
+        workers: int = 1, cache=None) -> OutOfCoreResult:
+    """Execute the out-of-core experiment.
+
+    The configured engines (minus CuDF — the constrained machine has no GPU)
+    run every registered pipeline of ``dataset`` on a ``memory_gb``-GiB
+    machine under all three strategies (``streaming="both"``); each cell is
+    classified as ok / spill / oom.
+    """
+    config = config or ExperimentConfig()
+    machine = constrained_machine(base_machine, memory_gb)
+    engine_names = tuple(name for name in config.engines if name != "cudf")
+    session = Session(config.but(machine=machine, engines=engine_names,
+                                 datasets=[dataset]))
+    measurements = session.run(mode="full", lazy=False, streaming="both",
+                               workers=workers, cache=cache)
+    result = OutOfCoreResult(dataset=dataset, machine=base_machine.name,
+                             memory_gb=memory_gb)
+    for m in measurements:
+        key = (m.engine, m.pipeline, m.strategy)
+        result.outcomes[key] = _classify(m)
+        if not m.failed:
+            result.seconds[key] = m.seconds
+    return result

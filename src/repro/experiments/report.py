@@ -19,6 +19,7 @@ from . import (
     fig5_pipeline_speedup,
     fig6_scalability,
     fig7_tpch,
+    fig8_out_of_core,
     table5_min_config,
 )
 from .tables import (
@@ -61,6 +62,7 @@ def full_report(config: ExperimentConfig | None = None, include_tpch: bool = Tru
     if include_scalability:
         sections.append(fig6_scalability.run(config, workers=workers, cache=cache).format())
         sections.append(table5_min_config.run(config, workers=workers, cache=cache).format())
+        sections.append(fig8_out_of_core.run(config, workers=workers, cache=cache).format())
     if include_tpch:
         sections.append(fig7_tpch.run(config, workers=workers, cache=cache).format())
     return "\n\n".join(sections)

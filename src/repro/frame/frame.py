@@ -22,7 +22,7 @@ import numpy as np
 from . import strings as string_ops
 from .column import Column
 from .datetimes import extract_component, format_datetime_column, parse_datetime_column
-from .dtypes import BOOL, CATEGORICAL, DType, FLOAT64, INT64, STRING, parse_dtype
+from .dtypes import BOOL, CATEGORICAL, DType, FLOAT64, INT64, parse_dtype
 from .errors import (
     ColumnNotFoundError,
     DuplicateColumnError,
@@ -530,5 +530,7 @@ def concat_rows(frames: Iterable[DataFrame]) -> DataFrame:
         merged_values: list[Any] = []
         for piece in pieces:
             merged_values.extend(piece.to_list())
-        data[name] = Column.from_values(merged_values, dtype if dtype is not CATEGORICAL else STRING)
+        # Categorical columns are re-encoded from their merged string values,
+        # so chunked execution keeps the dtype a whole-frame pass would have.
+        data[name] = Column.from_values(merged_values, dtype)
     return DataFrame(data)

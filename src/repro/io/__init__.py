@@ -6,6 +6,7 @@ from .schema import Schema, infer_schema, infer_value_dtype
 
 __all__ = [
     "read_csv",
+    "scan_columns",
     "write_csv",
     "scan_csv_chunks",
     "csv_row_count",
@@ -16,6 +17,23 @@ __all__ = [
     "infer_schema",
     "infer_value_dtype",
 ]
+
+
+def scan_columns(path, file_format: str = "csv") -> list[str]:
+    """Column names present in a file, read from its header/schema alone.
+
+    Used by plan executors to record the pre-projection width of a FileScan
+    (the read-side saving of projection pushdown) without paying for a full
+    read.
+    """
+    if file_format in ("csv", "CSV"):
+        import csv as _csv
+
+        with open(path, newline="") as handle:
+            return next(_csv.reader(handle), [])
+    if file_format in ("rparquet", "parquet"):
+        return read_rparquet_schema(path).names
+    raise ValueError(f"unknown file format {file_format!r}")
 
 
 def read_any(path, file_format: str = "csv", columns=None):

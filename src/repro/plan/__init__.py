@@ -26,6 +26,13 @@ from .logical import (
     explain,
 )
 from .optimizer import Optimizer, OptimizerSettings, optimize
+from .streaming import (
+    DEFAULT_BATCH_ROWS,
+    SpillAccumulator,
+    StreamingExecutor,
+    execute_streaming,
+    stream_preparator,
+)
 
 __all__ = [
     "LazyFrame",
@@ -33,6 +40,11 @@ __all__ = [
     "ExecutionStats",
     "OperatorStat",
     "execute",
+    "StreamingExecutor",
+    "SpillAccumulator",
+    "execute_streaming",
+    "stream_preparator",
+    "DEFAULT_BATCH_ROWS",
     "Optimizer",
     "OptimizerSettings",
     "optimize",

@@ -138,5 +138,24 @@ class LazyFrame:
         executor = Executor(settings, optimize_plan, file_reader)
         return executor.execute(self._plan)
 
+    def collect_streaming(self, settings: OptimizerSettings | None = None,
+                          optimize_plan: bool = True, file_reader=None,
+                          batch_rows: int | None = None,
+                          spill_budget_rows: int | None = None
+                          ) -> tuple[DataFrame, ExecutionStats]:
+        """Execute the plan with the morsel-driven streaming executor.
+
+        Results are bit-identical to :meth:`collect`; the returned stats
+        additionally carry batch and spill counters (see
+        :mod:`repro.plan.streaming`).
+        """
+        from .streaming import DEFAULT_BATCH_ROWS, StreamingExecutor
+
+        executor = StreamingExecutor(
+            settings, optimize_plan, file_reader,
+            batch_rows=batch_rows if batch_rows is not None else DEFAULT_BATCH_ROWS,
+            spill_budget_rows=spill_budget_rows)
+        return executor.execute(self._plan)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"LazyFrame(\n{self.explain()}\n)"

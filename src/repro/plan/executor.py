@@ -34,17 +34,51 @@ from .logical import (
 )
 from .optimizer import Optimizer, OptimizerSettings
 
-__all__ = ["ExecutionStats", "OperatorStat", "Executor", "execute"]
+__all__ = ["ExecutionStats", "OperatorStat", "Executor", "execute", "file_source_columns"]
+
+
+def file_source_columns(node: FileScan, frame: DataFrame) -> int:
+    """Pre-projection column count of a FileScan (best effort).
+
+    When the scan was projected, the file header/schema is consulted so the
+    recorded stat shows the read-side saving of projection pushdown; when the
+    peek fails (synthetic paths in tests, custom readers) the projected width
+    is reported, which is what an eager read would have seen anyway.
+    """
+    if node.projected is None:
+        return frame.num_columns
+    try:
+        from ..io import scan_columns
+
+        return max(frame.num_columns, len(scan_columns(node.path, node.file_format)))
+    except Exception:
+        return frame.num_columns
 
 
 @dataclass
 class OperatorStat:
-    """Work done by one physical operator invocation."""
+    """Work done by one physical operator invocation.
+
+    ``columns`` is the operator's output/touched width; reads additionally
+    carry ``source_columns`` (the pre-projection width of the file or frame,
+    so projection-pushdown ablations can see the read-side saving),
+    ``file_format`` (so the cost model prices ``read_parquet`` vs
+    ``read_csv``) and ``column_names`` (so pricing can use real per-column
+    byte widths instead of a flat per-cell guess).  Streamed execution fills
+    ``batches`` (morsels processed) and ``streamed``/``spilled_rows``
+    (pipeline-breaker accumulation).
+    """
 
     operator: str
     rows_in: int
     rows_out: int
     columns: int
+    source_columns: int = 0
+    file_format: str = ""
+    column_names: tuple[str, ...] = ()
+    batches: int = 1
+    streamed: bool = False
+    spilled_rows: int = 0
 
     @property
     def cells_in(self) -> int:
@@ -54,6 +88,12 @@ class OperatorStat:
     def cells_out(self) -> int:
         return self.rows_out * max(1, self.columns)
 
+    @property
+    def cells_scanned(self) -> int:
+        """Input cells at pre-projection width (equals ``cells_in`` unless a
+        read recorded a wider source schema)."""
+        return self.rows_in * max(1, self.source_columns, self.columns)
+
 
 @dataclass
 class ExecutionStats:
@@ -61,8 +101,9 @@ class ExecutionStats:
 
     operators: list[OperatorStat] = field(default_factory=list)
 
-    def record(self, operator: str, rows_in: int, rows_out: int, columns: int) -> None:
-        self.operators.append(OperatorStat(operator, rows_in, rows_out, columns))
+    def record(self, operator: str, rows_in: int, rows_out: int, columns: int,
+               **extra) -> None:
+        self.operators.append(OperatorStat(operator, rows_in, rows_out, columns, **extra))
 
     @property
     def total_cells(self) -> int:
@@ -71,6 +112,20 @@ class ExecutionStats:
     @property
     def total_rows(self) -> int:
         return sum(op.rows_in for op in self.operators)
+
+    @property
+    def total_batches(self) -> int:
+        """Morsels processed across all operators (1 per op when eager)."""
+        return sum(op.batches for op in self.operators)
+
+    @property
+    def spilled_rows(self) -> int:
+        """Rows accumulated beyond the in-memory budget by pipeline breakers."""
+        return sum(op.spilled_rows for op in self.operators)
+
+    @property
+    def streamed_operators(self) -> int:
+        return sum(1 for op in self.operators if op.streamed)
 
     def by_operator(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -115,20 +170,26 @@ class Executor:
             if node.projected is not None:
                 keep = [c for c in frame.columns if c in set(node.projected)]
                 frame = frame.select(keep)
-            stats.record("scan", frame.num_rows, frame.num_rows, frame.num_columns)
+            stats.record("scan", frame.num_rows, frame.num_rows, frame.num_columns,
+                         source_columns=node.frame.num_columns,
+                         column_names=tuple(frame.columns))
             return frame
 
         if isinstance(node, FileScan):
             if self._file_reader is None:
                 raise PlanError("plan contains a FileScan but no file_reader was provided")
             frame = self._file_reader(node.path, node.file_format, node.projected)
-            stats.record("read", frame.num_rows, frame.num_rows, frame.num_columns)
+            stats.record("read", frame.num_rows, frame.num_rows, frame.num_columns,
+                         source_columns=file_source_columns(node, frame),
+                         file_format=node.file_format,
+                         column_names=tuple(frame.columns))
             return frame
 
         if isinstance(node, Project):
             child = self._run(node.child, stats)
             out = child.select(list(node.columns))
-            stats.record("project", child.num_rows, out.num_rows, len(node.columns))
+            stats.record("project", child.num_rows, out.num_rows, len(node.columns),
+                         column_names=tuple(node.columns))
             return out
 
         if isinstance(node, Filter):
@@ -136,27 +197,31 @@ class Executor:
             mask = ensure_boolean(node.predicate.evaluate(child))
             out = child.filter(mask)
             stats.record("filter", child.num_rows, out.num_rows,
-                         max(1, len(node.predicate.columns())))
+                         max(1, len(node.predicate.columns())),
+                         column_names=tuple(sorted(node.predicate.columns())))
             return out
 
         if isinstance(node, WithColumn):
             child = self._run(node.child, stats)
             out = child.with_column(node.name, node.expression.evaluate(child))
             stats.record("with_column", child.num_rows, out.num_rows,
-                         max(1, len(node.expression.columns())))
+                         max(1, len(node.expression.columns())),
+                         column_names=tuple(sorted(node.expression.columns())))
             return out
 
         if isinstance(node, Sort):
             child = self._run(node.child, stats)
             out = child.sort_values(list(node.by), list(node.ascending))
-            stats.record("sort", child.num_rows, out.num_rows, len(node.by))
+            stats.record("sort", child.num_rows, out.num_rows, len(node.by),
+                         column_names=tuple(node.by))
             return out
 
         if isinstance(node, Aggregate):
             child = self._run(node.child, stats)
             out = child.group_agg(list(node.keys), dict(node.aggregations))
             stats.record("groupby", child.num_rows, out.num_rows,
-                         len(node.keys) + len(node.aggregations))
+                         len(node.keys) + len(node.aggregations),
+                         column_names=tuple(node.keys) + tuple(node.aggregations))
             return out
 
         if isinstance(node, Join):
@@ -165,21 +230,25 @@ class Executor:
             out = left.join(right, left_on=list(node.left_on), right_on=list(node.right_on),
                             how=node.how, suffix=node.suffix)
             stats.record("join", left.num_rows + right.num_rows, out.num_rows,
-                         len(node.left_on))
+                         len(node.left_on), column_names=tuple(node.left_on))
             return out
 
         if isinstance(node, Distinct):
             child = self._run(node.child, stats)
             out = child.drop_duplicates(subset=list(node.subset) if node.subset else None)
             stats.record("dedup", child.num_rows, out.num_rows,
-                         len(node.subset) if node.subset else child.num_columns)
+                         len(node.subset) if node.subset else child.num_columns,
+                         column_names=tuple(node.subset) if node.subset
+                         else tuple(child.columns))
             return out
 
         if isinstance(node, DropNulls):
             child = self._run(node.child, stats)
             out = child.dropna(subset=list(node.subset) if node.subset else None, how=node.how)
             stats.record("dropna", child.num_rows, out.num_rows,
-                         len(node.subset) if node.subset else child.num_columns)
+                         len(node.subset) if node.subset else child.num_columns,
+                         column_names=tuple(node.subset) if node.subset
+                         else tuple(child.columns))
             return out
 
         if isinstance(node, FillNulls):
@@ -191,7 +260,9 @@ class Executor:
                 value = {k: v for k, v in value.items() if k in child.columns}
             out = child.fillna(value) if value != {} else child
             touched = len(value) if isinstance(value, Mapping) else child.num_columns
-            stats.record("fillna", child.num_rows, out.num_rows, touched)
+            stats.record("fillna", child.num_rows, out.num_rows, touched,
+                         column_names=tuple(value) if isinstance(value, Mapping)
+                         else tuple(child.columns))
             return out
 
         if isinstance(node, Limit):

@@ -47,9 +47,21 @@ class Measurement:
     peak_bytes: int = 0
     rows: int = 0
     lazy: bool = False
+    #: Whether the cell ran through the morsel-driven streaming executor.
+    streaming: bool = False
+    #: Whether the simulated run went out-of-core (breaker partitions or
+    #: spill-to-disk engines writing overflow to disk instead of OOMing).
+    spilled: bool = False
     failed: bool = False
     failure_reason: str = ""
     machine: str = ""
+
+    @property
+    def strategy(self) -> str:
+        """Physical execution strategy of the cell: eager, lazy or streaming."""
+        if self.streaming:
+            return "streaming"
+        return "lazy" if self.lazy else "eager"
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

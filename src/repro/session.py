@@ -228,6 +228,27 @@ class Session:
             return variants
         return [lazy]
 
+    def _strategy_variants(self, engine: BaseEngine, lazy: "bool | str | None",
+                           streaming: "bool | str | None",
+                           mode: str) -> list[tuple[bool | None, bool]]:
+        """Concrete (lazy, streaming) execution strategies for one engine.
+
+        ``streaming=True`` selects morsel-driven execution where the engine
+        supports it (other engines fall back to the requested laziness);
+        ``"both"`` adds a streaming variant next to the eager/lazy ones, so a
+        single sweep compares all three physical strategies.
+        """
+        if mode == "core":  # function-core always forces materialization
+            return [(False, False)]
+        if streaming is True:
+            if engine.supports_streaming:
+                return [(True, True)]
+            return [(flag, False) for flag in self._lazy_variants(engine, lazy, mode)]
+        variants = [(flag, False) for flag in self._lazy_variants(engine, lazy, mode)]
+        if streaming == "both" and engine.supports_streaming:
+            variants.append((True, True))
+        return variants
+
     # ------------------------------------------------------------------ #
     # sweep planning: the matrix slice as independent work units
     # ------------------------------------------------------------------ #
@@ -236,14 +257,18 @@ class Session:
              datasets: Sequence[str] | None = None,
              pipelines: "Sequence[Pipeline | str | int] | Pipeline | None" = None,
              lazy: "bool | str | None" = None,
+             streaming: "bool | str | None" = None,
              stages: "Iterable[Stage | str] | None" = None,
              formats: Sequence[str] = _IO_FORMATS) -> list[PlannedCell]:
         """Enumerate the requested matrix slice as independent sweep cells.
 
         Cells are emitted in exactly the nested-loop order of the historical
-        sequential sweep (dataset → [pipeline →] engine → laziness), which is
+        sequential sweep (dataset → [pipeline →] engine → strategy), which is
         the order the scheduler reassembles results in — so any worker count
-        yields the same :class:`~repro.results.ResultSet`.
+        yields the same :class:`~repro.results.ResultSet`.  ``streaming``
+        follows the ``lazy`` convention: ``True`` selects morsel-driven
+        execution on streaming-capable engines, ``"both"`` adds streaming
+        cells next to the eager/lazy ones.
         """
         try:
             mode = _MODE_ALIASES[mode]
@@ -305,11 +330,14 @@ class Session:
                                                    sim, pipeline),
                             generated, sim, pipeline, engine)
                         continue
-                    for lazy_flag in self._lazy_variants(engine, lazy, mode):
-                        effective = engine.effective_lazy(lazy_flag)
+                    for lazy_flag, streaming_flag in self._strategy_variants(
+                            engine, lazy, streaming, mode):
                         cell = Cell(
                             mode=mode, engine=engine.name, dataset=sim.dataset_name,
-                            pipeline=pipeline.name, lazy=effective, stages=stage_names,
+                            pipeline=pipeline.name,
+                            lazy=engine.effective_lazy(lazy_flag),
+                            streaming=engine.effective_streaming(streaming_flag),
+                            stages=stage_names,
                             machine=machine.name, runs=self.config.runs,
                             seed=self.config.seed, scale=self.config.scale,
                             fingerprint=fingerprint)
@@ -333,6 +361,7 @@ class Session:
             datasets: Sequence[str] | None = None,
             pipelines: "Sequence[Pipeline | str | int] | Pipeline | None" = None,
             lazy: "bool | str | None" = None,
+            streaming: "bool | str | None" = None,
             stages: "Iterable[Stage | str] | None" = None,
             formats: Sequence[str] = _IO_FORMATS,
             workers: int = 1,
@@ -345,8 +374,10 @@ class Session:
         ``read``/``write`` (the Figure 3/4 I/O matrix) or ``tpch``.  ``lazy``
         may be ``None`` (each engine's default), ``True``/``False``, or
         ``"both"`` to measure eager and, where supported, lazy evaluation.
-        ``stages`` restricts stage mode to specific stages; ``formats``
-        restricts the I/O modes.
+        ``streaming`` selects the morsel-driven executor the same way:
+        ``True`` streams on streaming-capable engines, ``"both"`` measures a
+        streaming variant next to the eager/lazy ones.  ``stages`` restricts
+        stage mode to specific stages; ``formats`` restricts the I/O modes.
 
         The sweep is executed by the :mod:`repro.sweep` scheduler:
         ``workers`` sets the worker-pool size (results are identical for any
@@ -366,8 +397,8 @@ class Session:
             return self.run_tpch(engines=engines, workers=workers, cache=cache,
                                  executor=executor)
         plan = self.plan(resolved_mode, engines=engines, datasets=datasets,
-                         pipelines=pipelines, lazy=lazy, stages=stages,
-                         formats=formats)
+                         pipelines=pipelines, lazy=lazy, streaming=streaming,
+                         stages=stages, formats=formats)
         return self._run_plan(plan, workers=workers, cache=cache, executor=executor)
 
     def _run_plan(self, plan: list[PlannedCell], *, workers: int,

@@ -21,7 +21,13 @@ from .hardware import (
     MachineConfig,
     get_machine,
 )
-from .memory import MemoryAssessment, MemoryModel, OPERATOR_PEAK_FACTORS, SimulatedOOMError
+from .memory import (
+    MemoryAssessment,
+    MemoryModel,
+    OPERATOR_PEAK_FACTORS,
+    STREAM_PIPELINE_BREAKERS,
+    SimulatedOOMError,
+)
 from .profiles import ENGINE_ORDER, ENGINE_PROFILES, EngineProfile, get_profile
 
 __all__ = [
@@ -46,6 +52,7 @@ __all__ = [
     "MemoryAssessment",
     "SimulatedOOMError",
     "OPERATOR_PEAK_FACTORS",
+    "STREAM_PIPELINE_BREAKERS",
     "VirtualClock",
     "RunReport",
     "OperationRecord",

@@ -52,6 +52,8 @@ class OperationRecord:
     columns: int
     peak_bytes: int = 0
     spilled: bool = False
+    #: Simulated bytes written out-of-core (0 when the operation fit in RAM).
+    spilled_bytes: int = 0
     streamed: bool = False
     lazy: bool = False
 
@@ -76,6 +78,15 @@ class RunReport:
     @property
     def peak_bytes(self) -> int:
         return max((r.peak_bytes for r in self.records), default=0)
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Total simulated bytes the run wrote out-of-core."""
+        return sum(r.spilled_bytes for r in self.records)
+
+    @property
+    def spilled(self) -> bool:
+        return any(r.spilled for r in self.records)
 
     def seconds_by_stage(self) -> dict[str, float]:
         out: dict[str, float] = {}

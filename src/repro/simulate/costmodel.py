@@ -122,6 +122,7 @@ class CostModel:
         lazy: bool = False,
         run_index: int = 0,
         pipeline_scope: bool = False,
+        streaming: bool = False,
     ) -> SimulatedCost:
         """Simulated cost of one operator execution.
 
@@ -130,7 +131,9 @@ class CostModel:
         for memory accounting when provided; ``dataset_bytes`` is the full
         in-memory dataset size driving the residency term of the memory model.
         ``lazy=True`` applies the engine's reduced per-operation overhead (one
-        planned query instead of a forced materialization per call).  Raises
+        planned query instead of a forced materialization per call);
+        ``streaming=True`` prices the operator inside a morsel-driven pipeline
+        (bounded batch windows, breakers spill instead of OOM).  Raises
         :class:`~repro.simulate.memory.SimulatedOOMError` when the operation
         cannot fit.
         """
@@ -140,7 +143,7 @@ class CostModel:
 
         assessment: MemoryAssessment = self.memory.assess(
             engine, op_class, bytes_in, dataset_bytes=dataset_bytes,
-            pipeline_scope=pipeline_scope,
+            pipeline_scope=pipeline_scope, streaming=streaming,
         )
 
         if op_class in BASE_BYTE_COST_NS:

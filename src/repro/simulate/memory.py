@@ -31,7 +31,13 @@ from dataclasses import dataclass
 from .hardware import MachineConfig
 from .profiles import EngineProfile
 
-__all__ = ["SimulatedOOMError", "MemoryAssessment", "MemoryModel", "OPERATOR_PEAK_FACTORS"]
+__all__ = [
+    "SimulatedOOMError",
+    "MemoryAssessment",
+    "MemoryModel",
+    "OPERATOR_PEAK_FACTORS",
+    "STREAM_PIPELINE_BREAKERS",
+]
 
 
 class SimulatedOOMError(RuntimeError):
@@ -90,6 +96,12 @@ OPERATOR_PEAK_FACTORS: dict[str, float] = {
     "pipeline": 1.2,
 }
 
+#: Operator classes that break a morsel-driven pipeline: their input must be
+#: accumulated (sorted runs, hash tables, join build sides, distinct sets)
+#: before any output batch can be produced.  In streaming execution these are
+#: the operators whose partitions go out-of-core when they outgrow RAM.
+STREAM_PIPELINE_BREAKERS = frozenset({"sort", "groupby", "join", "dedup", "pivot"})
+
 
 class MemoryModel:
     """Evaluates whether an operation fits on a machine for a given engine."""
@@ -105,6 +117,7 @@ class MemoryModel:
         op_bytes: int,
         dataset_bytes: int | None = None,
         pipeline_scope: bool = False,
+        streaming: bool = False,
     ) -> MemoryAssessment:
         """Return the memory outcome of an operation or raise :class:`SimulatedOOMError`.
 
@@ -112,18 +125,31 @@ class MemoryModel:
         ``dataset_bytes`` the full in-memory dataset size, which drives the
         residency term (defaults to ``op_bytes``).  ``pipeline_scope=True``
         accounts for the accumulated intermediates of a whole pipeline run.
+
+        ``streaming=True`` prices the operator inside a morsel-driven pipeline
+        (:class:`repro.plan.streaming.StreamingExecutor`): only a bounded batch
+        window stays resident, so non-breaker operators shrink to the engine's
+        streaming window, pipeline breakers accumulate spillable partitions,
+        and CPU engines never OOM — overflow is charged as spill instead.
         """
         if dataset_bytes is None:
             dataset_bytes = op_bytes
         factor = OPERATOR_PEAK_FACTORS.get(op_class, 1.0)
 
         residency = dataset_bytes * engine.resident_fraction
-        if pipeline_scope:
+        if streaming:
+            # A streamed pipeline holds a bounded window of the dataset, not
+            # the accumulated intermediates of every eager materialization.
+            residency *= engine.streaming_memory_fraction
+        elif pipeline_scope:
             residency *= engine.pipeline_residency_multiplier
 
         working_set = op_bytes * engine.memory_multiplier * factor
         streamed = False
-        if op_class in engine.streaming_ops:
+        if streaming and op_class not in STREAM_PIPELINE_BREAKERS:
+            working_set *= engine.streaming_memory_fraction
+            streamed = True
+        elif not streaming and op_class in engine.streaming_ops:
             working_set *= engine.streaming_memory_fraction
             streamed = True
 
@@ -143,7 +169,10 @@ class MemoryModel:
         if peak <= budget:
             return MemoryAssessment(peak_bytes=peak, streamed=streamed)
 
-        if engine.spill_to_disk:
+        if engine.spill_to_disk or streaming:
+            # Streaming pipelines write overflowing breaker partitions (and
+            # backed-up batches) to disk instead of dying: the out-of-core
+            # degradation the new fig8 scenario measures.
             spilled = peak - budget
             return MemoryAssessment(peak_bytes=budget, spilled_bytes=spilled, streamed=streamed)
 
@@ -151,10 +180,12 @@ class MemoryModel:
 
     # ------------------------------------------------------------------ #
     def fits_operation(self, engine: EngineProfile, op_class: str, op_bytes: int,
-                       dataset_bytes: int | None = None, pipeline_scope: bool = False) -> bool:
+                       dataset_bytes: int | None = None, pipeline_scope: bool = False,
+                       streaming: bool = False) -> bool:
         """Boolean convenience wrapper around :meth:`assess`."""
         try:
-            self.assess(engine, op_class, op_bytes, dataset_bytes, pipeline_scope)
+            self.assess(engine, op_class, op_bytes, dataset_bytes, pipeline_scope,
+                        streaming=streaming)
             return True
         except SimulatedOOMError:
             return False

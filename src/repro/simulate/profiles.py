@@ -60,6 +60,13 @@ class EngineProfile:
     spill_to_disk: bool = False
     streaming_ops: frozenset[str] = frozenset()
     streaming_memory_fraction: float = 0.25
+    #: Whether the library can execute whole pipelines as a morsel-driven
+    #: stream of bounded row batches (Polars' streaming collect, Spark's
+    #: pipelined stages, Vaex/DataTable chunked evaluation).  Engines with
+    #: this flag run the :class:`repro.plan.streaming.StreamingExecutor`
+    #: instead of materializing every intermediate, and their memory model
+    #: degrades to simulated spill instead of OOM.
+    streaming_execution: bool = False
     requires_gpu_memory: bool = False
     # --- feature matrix (Table 1) --------------------------------------- #
     multithreading: bool = False
@@ -153,6 +160,7 @@ ENGINE_PROFILES: dict[str, EngineProfile] = {
         resident_fraction=1.3,                # JVM copy + Arrow conversion buffers
         pipeline_residency_multiplier=2.5,
         memory_multiplier=2.5,
+        streaming_execution=True,             # Spark pipelines stages over row batches
         multithreading=True,
         resource_optimization=True,
         lazy_evaluation=True,
@@ -193,6 +201,7 @@ ENGINE_PROFILES: dict[str, EngineProfile] = {
         pipeline_residency_multiplier=1.0,
         memory_multiplier=1.5,
         spill_to_disk=True,
+        streaming_execution=True,             # whole-stage pipelining over batches
         multithreading=True,
         resource_optimization=True,
         lazy_evaluation=True,
@@ -299,6 +308,7 @@ ENGINE_PROFILES: dict[str, EngineProfile] = {
         resident_fraction=1.0,                # strict in-memory execution model
         pipeline_residency_multiplier=8.0,
         memory_multiplier=2.0,
+        streaming_execution=True,             # lazy collect(streaming=True)
         multithreading=True,
         resource_optimization=True,
         lazy_evaluation=True,
@@ -385,6 +395,7 @@ ENGINE_PROFILES: dict[str, EngineProfile] = {
         memory_multiplier=6.0,                # groupby/pivot outputs held fully in memory
         streaming_ops=_COLUMNWISE_OPS,
         streaming_memory_fraction=0.15,
+        streaming_execution=True,             # chunked evaluation is the native mode
         multithreading=True,
         resource_optimization=True,
     ),
@@ -425,6 +436,7 @@ ENGINE_PROFILES: dict[str, EngineProfile] = {
         memory_multiplier=5.0,                # pivot/join/apply need full in-memory copies
         streaming_ops=_COLUMNWISE_OPS,
         streaming_memory_fraction=0.2,
+        streaming_execution=True,             # memory-mapped chunk-wise kernels
         multithreading=True,
         resource_optimization=True,
         supports_parquet=False,
@@ -458,6 +470,7 @@ ENGINE_PROFILES: dict[str, EngineProfile] = {
         pipeline_residency_multiplier=1.0,
         memory_multiplier=1.5,
         spill_to_disk=True,
+        streaming_execution=True,             # vector-at-a-time pipelines
         multithreading=True,
         resource_optimization=True,
         lazy_evaluation=True,

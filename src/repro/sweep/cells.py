@@ -87,6 +87,9 @@ class Cell:
     #: Effective laziness flag (resolved against the engine's capabilities at
     #: planning time, so ``None``/``"both"`` requests become concrete cells).
     lazy: bool = False
+    #: Effective streaming flag (resolved like ``lazy``).  Part of the cell's
+    #: content address, so cached eager/lazy results never alias streamed ones.
+    streaming: bool = False
     #: Stage restriction of stage mode (empty tuple = every present stage).
     stages: tuple[str, ...] = ()
     #: File format of the read/write modes.
@@ -124,6 +127,8 @@ class Cell:
             parts.append(self.pipeline)
         if self.file_format:
             parts.append(self.file_format)
-        if self.lazy:
+        if self.streaming:
+            parts.append("streaming")
+        elif self.lazy:
             parts.append("lazy")
         return "-".join(parts)

@@ -214,9 +214,11 @@ def execute_cell(cell: Cell, engine, *, runner=None, frame=None, sim=None,
         return runner.measure_function_core(engine, frame, pipeline, sim)
     if cell.mode == "stage":
         return runner.measure_stages(engine, frame, pipeline, sim, lazy=cell.lazy,
-                                     stages=list(cell.stages) or None)
+                                     stages=list(cell.stages) or None,
+                                     streaming=cell.streaming)
     if cell.mode == "full":
-        return [runner.measure_full(engine, frame, pipeline, sim, lazy=cell.lazy)]
+        return [runner.measure_full(engine, frame, pipeline, sim, lazy=cell.lazy,
+                                    streaming=cell.streaming)]
     raise ValueError(f"unknown cell mode {cell.mode!r}")
 
 

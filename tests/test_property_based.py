@@ -33,6 +33,44 @@ def frames(draw):
     return DataFrame({"key": keys, "value": values, "flag": flags})
 
 
+@st.composite
+def random_plans(draw):
+    """A random logical plan over a random frame: filters, projections,
+    with-columns, sorts, distincts, group-bys and joins in random order."""
+    lazy = LazyFrame.from_frame(draw(frames()))
+    derived = 0
+    joins = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        op = draw(st.sampled_from(
+            ["filter", "with_column", "select", "sort", "distinct", "join", "agg"]))
+        if op == "filter":
+            threshold = draw(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False))
+            lazy = lazy.filter(col("value") > threshold)
+        elif op == "with_column":
+            factor = draw(st.floats(min_value=-4, max_value=4, allow_nan=False))
+            derived += 1
+            lazy = lazy.with_column(f"derived{derived}", col("value") * factor)
+        elif op == "select":
+            lazy = lazy.select(["key", "value", "flag"])
+            derived = 0
+        elif op == "sort":
+            lazy = lazy.sort(draw(st.sampled_from(["key", "value", "flag"])),
+                             ascending=draw(st.booleans()))
+        elif op == "distinct":
+            lazy = lazy.distinct(["key", "flag"])
+        elif op == "join":
+            # unique payload column per join so repeated joins never clash
+            joins += 1
+            right = DataFrame({"key": list("abcd"),
+                               f"bonus{joins}": [1.0, 2.0, 3.0, 4.0]})
+            how = draw(st.sampled_from(["inner", "left", "semi", "anti", "outer"]))
+            lazy = lazy.join(LazyFrame.from_frame(right), on="key", how=how)
+        elif op == "agg":
+            lazy = lazy.group_agg("key", {"value": "sum", "flag": "count"})
+            return lazy  # aggregation collapses the schema; stop here
+    return lazy
+
+
 class TestColumnProperties:
     @_SETTINGS
     @given(numeric_lists)
@@ -119,6 +157,20 @@ class TestFrameProperties:
                 .group_agg("key", {"doubled": "sum", "value": "count"}))
         assert lazy.collect().equals(lazy.collect(optimize_plan=False))
         assert lazy.collect(OptimizerSettings.all_disabled()).equals(lazy.collect())
+
+    @_SETTINGS
+    @given(random_plans(), st.integers(min_value=1, max_value=50))
+    def test_streaming_equals_eager_equals_unoptimized(self, lazy, batch_rows):
+        """Optimized ≡ unoptimized ≡ streamed results, for any random plan."""
+        optimized = lazy.collect()
+        unoptimized = lazy.collect(optimize_plan=False)
+        streamed, stats = lazy.collect_streaming(batch_rows=batch_rows)
+        streamed_unopt, _ = lazy.collect_streaming(batch_rows=batch_rows,
+                                                   optimize_plan=False)
+        assert optimized.equals(unoptimized)
+        assert streamed.equals(optimized)
+        assert streamed_unopt.equals(optimized)
+        assert stats.total_batches >= len(stats.operators)
 
 
 class TestSimulationProperties:

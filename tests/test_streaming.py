@@ -1,0 +1,420 @@
+"""Tests of the morsel-driven streaming execution layer.
+
+Covers the :class:`~repro.plan.streaming.StreamingExecutor` (bit-identical
+results, batch/spill counters, file scans), the streaming-aware memory model
+(breakers spill instead of OOM), the engine wiring (``execute_steps`` /
+``measure_full`` with ``streaming=``), the sweep-cell coordinate, the CLI
+flags and the fig8 out-of-core scenario.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ExperimentConfig, LazyFrame, Session
+from repro.__main__ import main as cli_main
+from repro.core.runner import MatrixRunner
+from repro.datasets import generate_dataset
+from repro.datasets.pipelines import get_pipelines
+from repro.engines import create_engine, create_engines
+from repro.engines.base import SimulationContext
+from repro.frame import DataFrame, col
+from repro.io import scan_columns, write_csv, write_rparquet
+from repro.plan import (
+    DEFAULT_BATCH_ROWS,
+    ExecutionStats,
+    SpillAccumulator,
+    execute_streaming,
+)
+from repro.simulate import LAPTOP, PAPER_SERVER, MemoryModel, get_profile
+from repro.simulate.memory import STREAM_PIPELINE_BREAKERS, SimulatedOOMError
+from repro.sweep import Cell
+
+GB = 1024 ** 3
+
+
+def _wide_frame(rows: int = 500) -> DataFrame:
+    return DataFrame({
+        "key": [("abcd")[i % 4] for i in range(rows)],
+        "value": [float(i % 97) - 41.5 for i in range(rows)],
+        "flag": [i % 5 for i in range(rows)],
+        "label": [f"row-{i % 13}" for i in range(rows)],
+    })
+
+
+def _reference_plan(frame: DataFrame) -> LazyFrame:
+    right = DataFrame({"key": list("abcd"), "bonus": [1.0, 2.0, 3.0, 4.0]})
+    return (LazyFrame.from_frame(frame)
+            .with_column("scaled", col("value") * 0.5)
+            .filter(col("flag") < 4)
+            .join(LazyFrame.from_frame(right), on="key")
+            .sort(["key", "value", "flag"])
+            .distinct(["key", "flag", "label"])
+            .group_agg(["key", "label"], {"scaled": "sum", "value": "count"}))
+
+
+class TestStreamingExecutor:
+    @pytest.mark.parametrize("batch_rows", [3, 17, 64, DEFAULT_BATCH_ROWS])
+    def test_bit_identical_to_eager(self, batch_rows):
+        frame = _wide_frame()
+        lazy = _reference_plan(frame)
+        eager = lazy.collect()
+        streamed, stats = lazy.collect_streaming(batch_rows=batch_rows)
+        assert streamed.equals(eager)
+        assert stats.total_batches >= len(stats.operators)
+
+    @pytest.mark.parametrize("how", ["inner", "left", "semi", "anti", "outer", "right"])
+    def test_join_types_identical(self, how):
+        frame = _wide_frame(200)
+        right = DataFrame({"key": list("abx"), "bonus": [1.0, 2.0, 3.0]})
+        lazy = LazyFrame.from_frame(frame).join(LazyFrame.from_frame(right),
+                                                on="key", how=how)
+        eager = lazy.collect()
+        streamed, _ = lazy.collect_streaming(batch_rows=7)
+        assert streamed.equals(eager)
+
+    def test_limit_streams_and_matches(self):
+        frame = _wide_frame(300)
+        lazy = LazyFrame.from_frame(frame).filter(col("flag") > 0).limit(42)
+        eager = lazy.collect()
+        streamed, stats = lazy.collect_streaming(batch_rows=10)
+        assert streamed.equals(eager)
+        limit_op = next(op for op in stats.operators if op.operator == "limit")
+        assert limit_op.rows_out == 42
+
+    def test_barrier_map_runs_whole_frame(self):
+        frame = _wide_frame(100)
+        seen_rows = []
+        lazy = LazyFrame.from_frame(frame).map_frame(
+            lambda f: (seen_rows.append(f.num_rows), f)[1], label="probe")
+        streamed, _ = lazy.collect_streaming(batch_rows=8)
+        assert seen_rows == [frame.num_rows]  # barrier: exactly one whole-frame call
+        assert streamed.equals(frame)
+
+    def test_empty_result_keeps_schema(self):
+        frame = _wide_frame(50)
+        lazy = LazyFrame.from_frame(frame).filter(col("flag") > 99)
+        eager = lazy.collect()
+        streamed, _ = lazy.collect_streaming(batch_rows=5)
+        assert streamed.columns == eager.columns
+        assert streamed.num_rows == 0
+
+    def test_spill_accumulator_counts_overflow(self):
+        store = SpillAccumulator(budget_rows=10)
+        frame = _wide_frame(40)
+        for start in range(0, 40, 8):
+            store.add(frame.slice(start, 8))
+        assert store.rows == 40
+        assert store.spilled_rows == 30
+        assert store.spilled_partitions >= 1
+        assert store.merge().num_rows == 40
+
+    def test_breaker_records_spilled_rows(self):
+        frame = _wide_frame(120)
+        lazy = LazyFrame.from_frame(frame).sort("value")
+        _, stats = lazy.collect_streaming(batch_rows=10, spill_budget_rows=30)
+        sort_op = next(op for op in stats.operators if op.operator == "sort")
+        assert sort_op.spilled_rows > 0
+        assert not sort_op.streamed
+        assert stats.spilled_rows == sort_op.spilled_rows
+
+    def test_one_shot_helper(self):
+        frame = _wide_frame(60)
+        lazy = _reference_plan(frame)
+        streamed, stats = execute_streaming(lazy.plan, batch_rows=9)
+        assert streamed.equals(lazy.collect())
+        assert stats.streamed_operators > 0
+
+
+class TestFileScanStats:
+    @pytest.fixture
+    def files(self, tmp_path):
+        frame = _wide_frame(90)
+        csv_path = tmp_path / "frame.csv"
+        rpq_path = tmp_path / "frame.rpq"
+        write_csv(frame, csv_path)
+        write_rparquet(frame, rpq_path)
+        return frame, str(csv_path), str(rpq_path)
+
+    @staticmethod
+    def _reader(path, file_format, projected):
+        from repro.io import read_any
+
+        return read_any(path, file_format, columns=list(projected) if projected else None)
+
+    def test_scan_columns_reads_header_only(self, files):
+        frame, csv_path, rpq_path = files
+        assert scan_columns(csv_path, "csv") == frame.columns
+        assert scan_columns(rpq_path, "rparquet") == frame.columns
+
+    @pytest.mark.parametrize("file_format", ["csv", "rparquet"])
+    def test_projected_read_records_source_width(self, files, file_format):
+        frame, csv_path, rpq_path = files
+        path = csv_path if file_format == "csv" else rpq_path
+        lazy = LazyFrame.from_file(path, file_format).select(["key", "value"])
+        for collect in (lambda l: l.collect_with_stats(file_reader=self._reader),
+                        lambda l: l.collect_streaming(file_reader=self._reader,
+                                                      batch_rows=16)):
+            collected, stats = collect(lazy)
+            assert collected.columns == ["key", "value"]
+            read_op = next(op for op in stats.operators if op.operator == "read")
+            assert read_op.file_format == file_format
+            assert read_op.columns == 2
+            assert read_op.source_columns == frame.num_columns
+            assert read_op.cells_scanned > read_op.cells_in
+
+    def test_plan_read_priced_by_format(self):
+        """The satellite fix: parquet FileScans price read_parquet, not read_csv."""
+        engine = create_engine("polars")
+        sim = SimulationContext.for_frame(_wide_frame(100), PAPER_SERVER,
+                                          nominal_rows=1_000_000)
+        from repro.simulate.clock import RunReport
+
+        stats = ExecutionStats()
+        stats.record("read", 100, 100, 2, source_columns=4, file_format="rparquet",
+                     column_names=("key", "value"))
+        report = RunReport(engine=engine.name, label="test")
+        engine._price_plan_stats(stats, sim, 0, report, pipeline_scope=False)
+        assert report.records[0].op_class == "read_parquet"
+
+        stats_csv = ExecutionStats()
+        stats_csv.record("read", 100, 100, 4, file_format="csv")
+        report_csv = RunReport(engine=engine.name, label="test")
+        engine._price_plan_stats(stats_csv, sim, 0, report_csv, pipeline_scope=False)
+        assert report_csv.records[0].op_class == "read_csv"
+
+    def test_plan_bytes_use_column_widths(self):
+        """The satellite fix: pricing uses real per-column bytes, not cols*16."""
+        frame = DataFrame({
+            "narrow": [1] * 64,
+            "wide": ["x" * 400] * 64,
+        })
+        engine = create_engine("pandas")
+        sim = SimulationContext.for_frame(frame, PAPER_SERVER, nominal_rows=64)
+        narrow = engine._plan_op_bytes(
+            type("Op", (), {"operator": "filter", "column_names": ("narrow",),
+                            "columns": 1, "rows_in": 64})(), sim)
+        wide = engine._plan_op_bytes(
+            type("Op", (), {"operator": "filter", "column_names": ("wide",),
+                            "columns": 1, "rows_in": 64})(), sim)
+        assert wide > narrow * 10
+
+
+class TestStreamingMemoryModel:
+    def test_breaker_spills_instead_of_oom(self):
+        model = MemoryModel(LAPTOP)
+        polars = get_profile("polars")
+        big = 30 * GB
+        with pytest.raises(SimulatedOOMError):
+            model.assess(polars, "groupby", big, dataset_bytes=big, pipeline_scope=True)
+        assessment = model.assess(polars, "groupby", big, dataset_bytes=big,
+                                  pipeline_scope=True, streaming=True)
+        assert assessment.spilled
+        assert assessment.peak_bytes <= LAPTOP.usable_ram_bytes
+
+    def test_streamable_op_gets_bounded_window(self):
+        model = MemoryModel(LAPTOP)
+        polars = get_profile("polars")
+        mid = 4 * GB
+        eager = model.assess(polars, "filter", mid, dataset_bytes=mid)
+        streamed = model.assess(polars, "filter", mid, dataset_bytes=mid, streaming=True)
+        assert streamed.streamed
+        assert streamed.peak_bytes < eager.peak_bytes
+
+    def test_streaming_never_ooms_on_cpu(self):
+        model = MemoryModel(LAPTOP)
+        pandas = get_profile("pandas")
+        huge = 200 * GB
+        for op_class in sorted(STREAM_PIPELINE_BREAKERS) + ["filter", "read_csv"]:
+            assessment = model.assess(pandas, op_class, huge, dataset_bytes=huge,
+                                      pipeline_scope=True, streaming=True)
+            assert assessment.peak_bytes <= LAPTOP.usable_ram_bytes
+
+    def test_gpu_engines_still_oom(self):
+        model = MemoryModel(PAPER_SERVER)
+        cudf = get_profile("cudf")
+        with pytest.raises(SimulatedOOMError):
+            model.assess(cudf, "join", 60 * GB, dataset_bytes=60 * GB, streaming=True)
+
+
+#: (dataset, scale) samples small enough that the whole engine × pipeline
+#: identity matrix stays fast.
+_IDENTITY_DATASETS = (("athlete", 0.1), ("loan", 0.1), ("taxi", 0.1), ("patrol", 0.1))
+
+
+class TestEngineStreaming:
+    @pytest.fixture(scope="class")
+    def server_engines(self):
+        return create_engines(machine=PAPER_SERVER)
+
+    @pytest.mark.parametrize("dataset_name,scale", _IDENTITY_DATASETS)
+    def test_streaming_bit_identical_for_every_engine_and_pipeline(
+            self, dataset_name, scale, server_engines):
+        """Acceptance: streaming ≡ eager for every registered pipeline/engine."""
+        dataset = generate_dataset(dataset_name, scale=scale, seed=5)
+        sim = dataset.simulation_context(PAPER_SERVER, runs=1)
+        for pipeline in get_pipelines(dataset_name):
+            steps = [s for s in pipeline.steps if s.preparator not in ("read", "write")]
+            reference = None
+            for name, engine in server_engines.items():
+                eager_frame, _ = engine.execute_steps(dataset.frame, steps, sim,
+                                                      lazy=False)
+                streamed_frame, _ = engine.execute_steps(dataset.frame, steps, sim,
+                                                         streaming=True)
+                assert streamed_frame.equals(eager_frame), (
+                    f"{name} streaming diverged on {pipeline.name}")
+                if reference is None:
+                    reference = eager_frame
+                else:
+                    assert eager_frame.equals(reference), (
+                        f"{name} eager diverged on {pipeline.name}")
+
+    def test_streaming_capability_follows_profile(self):
+        assert create_engine("polars").supports_streaming
+        assert create_engine("vaex").supports_streaming
+        assert not create_engine("pandas").supports_streaming
+        engine = create_engine("pandas")
+        assert engine.effective_streaming(True) is False
+        assert create_engine("polars").effective_streaming(True) is True
+        assert create_engine("polars").effective_streaming(None) is False
+
+    def test_streaming_records_streamed_operations(self, taxi_dataset):
+        engine = create_engine("polars")
+        sim = taxi_dataset.simulation_context(PAPER_SERVER, runs=1)
+        pipeline = get_pipelines("taxi")[0]
+        steps = [s for s in pipeline.steps if s.preparator not in ("read", "write")]
+        _, report = engine.execute_steps(taxi_dataset.frame, steps, sim, streaming=True)
+        assert any(r.streamed for r in report.records)
+
+    def test_oom_cell_completes_via_streaming_with_spill(self):
+        """Acceptance: an eager-OOM cell completes streaming with spilled=True."""
+        dataset = generate_dataset("taxi", scale=0.05, seed=5)
+        sim = dataset.simulation_context(LAPTOP, runs=1)
+        engine = create_engine("vaex", LAPTOP)
+        pipeline = get_pipelines("taxi")[0]
+        steps = [s for s in pipeline.steps if s.preparator not in ("read", "write")]
+        with pytest.raises(SimulatedOOMError):
+            engine.execute_steps(dataset.frame, steps, sim, lazy=False,
+                                 pipeline_scope=True)
+        _, report = engine.execute_steps(dataset.frame, steps, sim, streaming=True,
+                                         pipeline_scope=True)
+        assert any(r.spilled for r in report.records)
+
+        runner = MatrixRunner(runs=1)
+        eager = runner.measure_full(engine, dataset.frame, pipeline, sim, lazy=False)
+        streamed = runner.measure_full(engine, dataset.frame, pipeline, sim,
+                                       streaming=True)
+        assert eager.failed and "GiB" in eager.failure_reason
+        assert not streamed.failed
+        assert streamed.streaming and streamed.spilled
+        assert streamed.strategy == "streaming"
+
+    def test_vaex_chunked_preparators_share_base_path(self):
+        """VaexEngine's chunk streaming now lives in the shared BaseEngine hook."""
+        vaex = create_engine("vaex")
+        assert "calccol" in vaex.streamable_preparators
+        assert "norm" not in vaex.streamable_preparators  # global statistics
+        assert vaex.stream_chunk_rows == 2048
+        pandas_engine = create_engine("pandas")
+        assert pandas_engine.streamable_preparators == frozenset()
+
+
+class TestSessionStreaming:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return Session(ExperimentConfig(scale=0.05, runs=1, datasets=["taxi"],
+                                        engines=["pandas", "polars", "vaex"]))
+
+    def test_plan_adds_streaming_cells_for_capable_engines(self, session):
+        plan = session.plan("full", pipelines=[0], streaming="both", lazy=False)
+        by_engine: dict[str, list[Cell]] = {}
+        for planned in plan:
+            by_engine.setdefault(planned.cell.engine, []).append(planned.cell)
+        assert [c.streaming for c in by_engine["pandas"]] == [False]
+        assert [c.streaming for c in by_engine["polars"]] == [False, True]
+        assert [c.streaming for c in by_engine["vaex"]] == [False, True]
+
+    def test_streaming_true_prefers_streaming_where_supported(self, session):
+        plan = session.plan("full", pipelines=[0], streaming=True)
+        cells = {p.cell.engine: p.cell for p in plan}
+        assert cells["polars"].streaming and not cells["pandas"].streaming
+        assert cells["polars"].label().endswith("streaming")
+
+    def test_streaming_cells_have_distinct_ids(self, session):
+        plan = session.plan("full", pipelines=[0], streaming="both", lazy=True)
+        polars = [p.cell for p in plan if p.cell.engine == "polars"]
+        assert len({c.cell_id for c in polars}) == len(polars)
+        roundtripped = Cell.from_dict(polars[-1].to_dict())
+        assert roundtripped == polars[-1]
+        assert roundtripped.streaming
+
+    def test_run_streaming_results_cache_roundtrip(self, session, tmp_path):
+        from repro.sweep import SweepCache
+
+        cache = SweepCache(tmp_path / "cache")
+        first = session.run("full", pipelines=[0], streaming="both", lazy=False,
+                            cache=cache)
+        again = session.run("full", pipelines=[0], streaming="both", lazy=False,
+                            cache=cache)
+        assert session.last_sweep.executed == 0
+        assert again == first
+        streamed = [m for m in again if m.streaming]
+        assert streamed and all(m.strategy == "streaming" for m in streamed)
+
+    def test_core_mode_ignores_streaming(self, session):
+        plan = session.plan("core", pipelines=[0], streaming="both")
+        assert all(not p.cell.streaming for p in plan)
+
+
+class TestCLIStreaming:
+    def test_streaming_flag_and_memory_limit(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        code = cli_main(["--mode", "full", "--engines", "pandas,polars,vaex",
+                         "--datasets", "taxi", "--scale", "0.05", "--runs", "1",
+                         "--machine", "laptop", "--memory-limit", "8",
+                         "--streaming", "both", "--no-cache", "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        records = payload if isinstance(payload, list) else payload["measurements"]
+        streamed = [r for r in records if r.get("streaming")]
+        eager_failures = [r for r in records if not r.get("streaming") and r.get("failed")]
+        assert streamed and all(not r["failed"] for r in streamed)
+        assert eager_failures  # the eager cells OOM on the constrained machine
+        assert all(r["machine"] == "laptop-8gb" for r in records)
+        rendered = capsys.readouterr().out
+        assert "streaming" in rendered
+
+    def test_memory_limit_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            cli_main(["--memory-limit", "0", "--no-cache"])
+
+    @pytest.mark.parametrize("mode", ["tpch", "read", "write"])
+    def test_streaming_rejected_for_unsupported_modes(self, mode):
+        with pytest.raises(SystemExit):
+            cli_main(["--mode", mode, "--streaming", "--no-cache"])
+
+    def test_memory_limit_machine_matches_fig8_helper(self):
+        from repro.experiments.fig8_out_of_core import constrained_machine
+        from repro.simulate import LAPTOP as laptop
+
+        machine = constrained_machine(laptop, 8.0)
+        assert machine.name == "laptop-8gb"
+        assert machine.ram_gb == 8.0
+
+
+class TestFig8OutOfCore:
+    def test_streaming_rescues_oom_cells(self):
+        from repro.experiments import fig8_out_of_core
+
+        config = ExperimentConfig(scale=0.05, runs=1,
+                                  engines=["pandas", "polars", "sparksql", "vaex"])
+        result = fig8_out_of_core.run(config)
+        assert result.counts("streaming")["oom"] == 0
+        rescued = result.rescued_cells()
+        assert rescued, "expected at least one eager-OOM cell to complete streaming"
+        assert any(result.outcome(e, p, "streaming") == "spill" for e, p in rescued)
+        rendered = result.format()
+        assert "rescued by streaming" in rendered
+        assert "OOM" in rendered

@@ -209,10 +209,10 @@ class TestResume:
 
         real = MatrixRunner.measure_full
 
-        def dies_on_polars(self, engine, frame, pipe, sim, lazy=None):
+        def dies_on_polars(self, engine, frame, pipe, sim, lazy=None, **kwargs):
             if engine.name == "polars":
                 raise KeyboardInterrupt("killed mid-sweep")
-            return real(self, engine, frame, pipe, sim, lazy)
+            return real(self, engine, frame, pipe, sim, lazy, **kwargs)
 
         monkeypatch.setattr(MatrixRunner, "measure_full", dies_on_polars)
         with pytest.raises(KeyboardInterrupt):
@@ -231,10 +231,10 @@ class TestResume:
         cache = SweepCache(tmp_path)
         real = MatrixRunner.measure_full
 
-        def dies_on_vaex(self, engine, frame, pipe, sim, lazy=None):
+        def dies_on_vaex(self, engine, frame, pipe, sim, lazy=None, **kwargs):
             if engine.name == "vaex":
                 raise RuntimeError("boom")
-            return real(self, engine, frame, pipe, sim, lazy)
+            return real(self, engine, frame, pipe, sim, lazy, **kwargs)
 
         monkeypatch.setattr(MatrixRunner, "measure_full", dies_on_vaex)
         interrupted = Session(config)
