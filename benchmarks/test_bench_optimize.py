@@ -1,0 +1,91 @@
+"""Benchmark of the cost-based optimizer: overhead and plan-quality wins.
+
+Optimizes every TPC-H query plan under three settings — rules disabled,
+rule-based (``cost_based=False``) and cost-based — and records:
+
+* **overhead**: wall-clock seconds spent inside ``Optimizer.optimize`` per
+  setting (the price of consulting the statistics layer and pricing
+  candidate plans);
+* **plan quality**: the estimated runtime of each optimized plan, and the
+  per-query estimated-cost reduction the cost-based rules (join build-side
+  reordering, cost-arbitrated filter placement, common-subplan elimination)
+  deliver over the rule-based optimizer;
+* **advisor latency**: wall-clock seconds for a full ``Session.advise()``
+  pass over the pipeline matrix (the zero-execution path).
+
+Everything lands in ``BENCH_optimize.json`` at the repository root so the
+optimizer-overhead / plan-quality trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro import ExperimentConfig, Session
+from repro.plan.optimizer import Optimizer, OptimizerSettings
+from repro.tpch.datagen import generate_tpch
+from repro.tpch.queries import get_query, query_names
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_optimize.json"
+
+_SETTINGS = {
+    "disabled": OptimizerSettings.all_disabled(),
+    "rule_based": dataclasses.replace(OptimizerSettings(), cost_based=False),
+    "cost_based": OptimizerSettings(),
+}
+
+
+def test_bench_optimizer(bench_config):
+    data = generate_tpch(0.002, seed=bench_config.seed)
+    plans = {query: get_query(query)(data).plan for query in query_names()}
+    pricer = Optimizer()  # one shared pricing context for comparability
+
+    optimize_wall_s: dict[str, float] = {}
+    estimated: dict[str, dict[str, float]] = {}
+    for label, settings in _SETTINGS.items():
+        optimizer = Optimizer(settings)
+        start = time.perf_counter()
+        optimized = {query: optimizer.optimize(plan) for query, plan in plans.items()}
+        optimize_wall_s[label] = round(time.perf_counter() - start, 4)
+        estimated[label] = {query: pricer.plan_seconds(plan)
+                            for query, plan in optimized.items()}
+
+    # the cost-based rules must never price above the rule-based plans, and
+    # must strictly win somewhere (join reordering on the multi-join queries)
+    reductions = {
+        query: round(estimated["rule_based"][query] - estimated["cost_based"][query], 6)
+        for query in plans
+    }
+    eps = 1e-9
+    assert all(r >= -eps for r in reductions.values()), reductions
+    wins = {q: r for q, r in reductions.items() if r > eps}
+    assert wins, "expected the cost-based optimizer to win on at least one query"
+
+    session = Session(ExperimentConfig(scale=bench_config.scale, runs=1))
+    session.datasets
+    session.engines
+    start = time.perf_counter()
+    reports = session.advise()
+    advise_wall_s = time.perf_counter() - start
+    assert reports and all(r.best is not None for r in reports)
+
+    payload = {
+        "queries": len(plans),
+        "optimize_wall_seconds": optimize_wall_s,
+        "estimated_seconds_total": {
+            label: round(sum(per_query.values()), 4)
+            for label, per_query in estimated.items()
+        },
+        "cost_based_reduction_seconds": reductions,
+        "cost_based_win_queries": sorted(wins),
+        "advise_cells": len(reports),
+        "advise_wall_seconds": round(advise_wall_s, 4),
+    }
+    _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\noptimize bench: optimize={optimize_wall_s} "
+          f"wins={sorted(wins)} advise={advise_wall_s:.3f}s "
+          f"-> {_BENCH_PATH.name}")
+    assert _BENCH_PATH.exists()

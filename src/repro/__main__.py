@@ -20,6 +20,11 @@ Examples::
     # engines finish by spilling breaker partitions to disk
     python -m repro --scale 0.05 --memory-limit 2 --streaming both
 
+    # the advisor: predicted-fastest engine × strategy per pipeline, from the
+    # statistics layer and the cost model alone — nothing is executed
+    python -m repro advise --scale 0.05
+    python -m repro advise --tpch --queries q03,q06 --explain
+
 The selected slice is executed through :class:`repro.Session`; the collected
 :class:`~repro.results.ResultSet` is printed as a seconds table (plus the
 speedup over Pandas when the baseline took part) and can be saved with
@@ -176,7 +181,94 @@ def _render(results: ResultSet, mode: str) -> str:
     return "\n\n".join(sections)
 
 
+def build_advise_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro advise",
+        description="Predict the fastest engine × strategy per pipeline "
+                    "(cost-model estimation only; nothing is executed)")
+    parser.add_argument("--engines", type=_csv_list, default=None, metavar="A,B,...",
+                        help="candidate engines (default: the paper's engine set)")
+    parser.add_argument("--datasets", type=_csv_list, default=None, metavar="A,B,...",
+                        help="datasets to advise on (default: all four)")
+    parser.add_argument("--tpch", action="store_true",
+                        help="advise on the TPC-H query plans instead of the "
+                             "dataset pipelines")
+    parser.add_argument("--queries", type=_csv_list, default=None, metavar="q01,...",
+                        help="TPC-H queries (with --tpch; default: all 22)")
+    parser.add_argument("--machine", default="paper-server", choices=sorted(_MACHINES),
+                        help="machine configuration (default: paper-server)")
+    parser.add_argument("--memory-limit", type=float, default=None, metavar="GB",
+                        help="cap the machine's RAM at this many GiB (candidates "
+                             "the memory model rejects rank as infeasible)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="physical sample scale (default: 0.25)")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="simulated repetitions (default: 1)")
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument("--top", type=int, default=None, metavar="N",
+                        help="show only the N fastest candidates per cell")
+    parser.add_argument("--explain", action="store_true",
+                        help="also print each cell's logical plan before and "
+                             "after optimization, annotated with estimated "
+                             "rows/bytes/cost per node")
+    return parser
+
+
+def _advise(argv: list[str]) -> int:
+    parser = build_advise_parser()
+    args = parser.parse_args(argv)
+    machine = _MACHINES[args.machine]
+    if args.memory_limit is not None:
+        if args.memory_limit <= 0:
+            parser.error("--memory-limit must be positive")
+        machine = constrained_machine(machine, args.memory_limit)
+    if args.queries and not args.tpch:
+        parser.error("--queries needs --tpch")
+    config = ExperimentConfig(scale=args.scale, runs=args.runs, seed=args.seed,
+                              machine=machine)
+    if args.datasets:
+        config = config.but(datasets=args.datasets)
+    session = Session(config)
+
+    try:
+        if args.tpch:
+            reports = session.advise_tpch(engines=args.engines, queries=args.queries)
+        else:
+            # the session config already carries any --datasets narrowing
+            reports = session.advise(engines=args.engines)
+    except KeyError as err:
+        print(f"error: {err.args[0] if err.args else err}")
+        return 2
+
+    sections = []
+    for report in reports:
+        section = report.format(top=args.top)
+        if args.explain and report.plan is not None:
+            section += "\n" + _explain_block(report.plan, report.row_scale)
+        sections.append(section)
+    print("\n\n".join(sections) if sections else "(nothing to advise on)")
+    return 0
+
+
+def _explain_block(lazy, row_scale: float) -> str:
+    """Pre/post-optimization rendering of one report's logical plan."""
+    before = lazy.explain(stats=True, row_scale=row_scale)
+    after = lazy.explain(optimized=True, stats=True, row_scale=row_scale)
+    return ("  plan (unoptimized):\n" + _indent(before)
+            + "\n  plan (optimized):\n" + _indent(after))
+
+
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    if argv and argv[0] == "advise":
+        return _advise(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.resume and args.no_cache:

@@ -34,7 +34,7 @@ from ..plan.executor import ExecutionStats
 from ..plan.optimizer import OptimizerSettings
 from ..plan.streaming import DEFAULT_BATCH_ROWS, stream_preparator
 from ..simulate.clock import OperationRecord, RunReport
-from ..simulate.costmodel import CostModel, SimulatedCost
+from ..simulate.costmodel import CostModel, PlanCost, SimulatedCost
 from ..simulate.hardware import PAPER_SERVER, MachineConfig
 from ..simulate.memory import SimulatedOOMError
 from ..simulate.profiles import EngineProfile, get_profile
@@ -370,9 +370,12 @@ class BaseEngine:
                 return
             if streaming:
                 collected, stats = lazy_frame.collect_streaming(
-                    self.optimizer_settings, batch_rows=self.stream_chunk_rows)
+                    self.optimizer_settings, batch_rows=self.stream_chunk_rows,
+                    cost_model=self.cost_model, profile=self.profile)
             else:
-                collected, stats = lazy_frame.collect_with_stats(self.optimizer_settings)
+                collected, stats = lazy_frame.collect_with_stats(
+                    self.optimizer_settings,
+                    cost_model=self.cost_model, profile=self.profile)
             self._price_plan_stats(stats, sim, run_index, report, pipeline_scope,
                                    streaming=streaming)
             current = collected
@@ -422,8 +425,16 @@ class BaseEngine:
                 continue
             if op_class == "read_csv" and op.file_format in ("parquet", "rparquet"):
                 op_class = "read_parquet"
+            priced_rows = op.rows_in
+            if op.operator == "join" and op.build_rows:
+                # Hash-build weight: building costs ~2x probing per row, so the
+                # recorded build side counts twice (rows_in already holds
+                # probe + build once).  Join reordering's "build on the
+                # smaller side" decision becomes a measured win through this
+                # term, mirroring plan-level estimation.
+                priced_rows += op.build_rows
             cost = self.cost_model.estimate(
-                self.profile, op_class, sim.nominal_row_count(op.rows_in),
+                self.profile, op_class, sim.nominal_row_count(priced_rows),
                 max(1, op.columns), bytes_in=self._plan_op_bytes(op, sim),
                 dataset_bytes=sim.dataset_bytes,
                 lazy=True, run_index=run_index, pipeline_scope=pipeline_scope,
@@ -437,5 +448,194 @@ class BaseEngine:
                 streamed=cost.streamed or op.streamed, lazy=True,
             ))
 
+    # ------------------------------------------------------------------ #
+    # cost estimation (the advisor path: nothing is executed)
+    # ------------------------------------------------------------------ #
+    def plan_cost(self, plan, sim: SimulationContext | None = None, *,
+                  lazy: bool = True, streaming: bool = False, catalog=None,
+                  scan_stats=None, pipeline_scope: bool = False,
+                  run_index: int = 0) -> PlanCost:
+        """Estimated cost of a logical plan under this engine's pricing.
+
+        Thin entry point over
+        :meth:`~repro.simulate.costmodel.CostModel.estimate_plan` that
+        supplies the engine's profile and, when a simulation context is
+        given, the nominal row scale and dataset footprint.
+        """
+        return self.cost_model.estimate_plan(
+            self.profile, plan, catalog=catalog, scan_stats=scan_stats,
+            row_scale=sim.row_scale if sim is not None else 1.0,
+            dataset_bytes=sim.dataset_bytes if sim is not None else None,
+            lazy=lazy, streaming=streaming, pipeline_scope=pipeline_scope,
+            run_index=run_index)
+
+    def estimate_steps(self, frame: DataFrame, steps: Sequence[PipelineStep],
+                       sim: SimulationContext, *, lazy: bool = False,
+                       streaming: bool = False, run_index: int = 0) -> PlanCost:
+        """Estimated cost of running a pipeline — without executing anything.
+
+        Mirrors the pricing structure of :meth:`execute_steps`: under the
+        lazy/streaming strategies, chainable steps are compiled into logical
+        plan segments (via each preparator's ``lazy_builder``), optimized
+        with the engine's settings and priced by
+        :meth:`~repro.simulate.costmodel.CostModel.estimate_plan`; everything
+        else — and every step under the eager strategy — is priced per
+        operator on the statistics layer's estimated row counts.  Estimated
+        table statistics are threaded through the whole pipeline, so a
+        filter's selectivity shrinks every downstream operator.  A
+        memory-model rejection flags the estimate ``oom`` (the candidate is
+        predicted infeasible) instead of raising.  Raises
+        :class:`EngineUnavailableError` for file formats the engine cannot
+        read or write.
+        """
+        from ..plan.optimizer import Optimizer
+        from ..plan.stats import stats_from_context
+
+        use_lazy = lazy and self.supports_lazy
+        use_streaming = streaming and self.supports_streaming
+        plan_based = use_lazy or use_streaming
+        table = stats_from_context(sim, frame)
+        total = PlanCost(out_stats=table)
+        pending: LazyFrame | None = None
+
+        def flush() -> None:
+            nonlocal pending, table
+            if pending is None:
+                return
+            optimizer = Optimizer(self.optimizer_settings,
+                                  cost_model=self.cost_model, profile=self.profile)
+            segment = self.cost_model.estimate_plan(
+                self.profile, optimizer.optimize(pending.plan), scan_stats=table,
+                dataset_bytes=sim.dataset_bytes, lazy=True,
+                streaming=use_streaming, pipeline_scope=True, run_index=run_index)
+            total.add(segment)
+            if segment.out_stats is not None:
+                table = segment.out_stats
+            pending = None
+
+        for step in steps:
+            if total.oom:
+                break
+            if step.preparator in ("read", "write"):
+                flush()
+                try:
+                    total.add(self._estimate_io(step, sim, run_index, use_streaming))
+                except SimulatedOOMError:
+                    total.oom = True
+                continue
+            preparator = step.spec
+            if plan_based and preparator.supports_lazy:
+                base = pending if pending is not None else LazyFrame.from_frame(frame)
+                extended = preparator.lazy_builder(base, step.params)
+                if extended is not None:
+                    pending = extended
+                    continue
+            flush()
+            touched = preparator.touched_columns(frame, step.params)
+            try:
+                cost = self.cost_model.estimate(
+                    self.profile, preparator.op_class, int(table.rows),
+                    max(1, len(touched)), bytes_in=table.bytes_for(touched),
+                    dataset_bytes=sim.dataset_bytes, lazy=plan_based,
+                    run_index=run_index, pipeline_scope=True,
+                    streaming=use_streaming)
+            except SimulatedOOMError:
+                total.oom = True
+                break
+            seconds = cost.seconds
+            if self.compatibility_for(preparator.name) is Compatibility.MISSING:
+                seconds *= self._fallback_penalty(preparator)
+            total.seconds += seconds
+            total.peak_bytes = max(total.peak_bytes, cost.peak_bytes)
+            total.spilled_bytes += cost.spilled_bytes
+            total.per_node.append((step.preparator, seconds))
+            table = _apply_step_stats(table, step)
+        if not total.oom:
+            flush()
+        total.out_stats = table
+        return total
+
+    def _estimate_io(self, step: PipelineStep, sim: SimulationContext,
+                     run_index: int, streaming: bool) -> PlanCost:
+        """Estimated cost of a read/write pipeline step (no file touched)."""
+        file_format = str(step.params.get("format", "csv"))
+        if file_format in ("parquet", "rparquet") and not self.supports_parquet:
+            raise EngineUnavailableError(f"{self.display_name} does not support Parquet")
+        if step.preparator == "read":
+            op_class = "read_csv" if file_format == "csv" else "read_parquet"
+        else:
+            op_class = "write_csv" if file_format == "csv" else "write_parquet"
+        bytes_io = sim.csv_bytes if file_format == "csv" else sim.parquet_bytes
+        cost = self._price(op_class, sim.physical_rows, list(sim.column_bytes) or ["*"],
+                           sim, bytes_in=bytes_io, run_index=run_index,
+                           streaming=streaming)
+        return PlanCost(seconds=cost.seconds, peak_bytes=cost.peak_bytes,
+                        spilled_bytes=cost.spilled_bytes,
+                        per_node=[(f"{step.preparator}:{file_format}", cost.seconds)])
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}(machine={self.machine.name})"
+
+
+#: Row-count effects of preparators with no plan node, used while threading
+#: estimated statistics through a pipeline (see ``_apply_step_stats``).
+def _apply_step_stats(table, step: PipelineStep):
+    """Propagate a non-deferrable step's estimated effect on table statistics.
+
+    The null/distinct math lives on :class:`~repro.plan.stats.TableStats`
+    (shared with :class:`~repro.plan.stats.StatsEstimator`); this function
+    only translates pipeline-step parameter shapes into those helpers.
+    """
+    from ..plan.stats import (
+        DEFAULT_PREDICATE_SELECTIVITY,
+        ColumnStats,
+        TableStats,
+        predicate_selectivity,
+    )
+
+    params = step.params
+    name = step.preparator
+    if name == "query":
+        try:
+            from ..core.expr_spec import parse_expression
+
+            expression = parse_expression(params.get("predicate")
+                                          or params.get("expression"))
+        except Exception:
+            return table.with_rows(table.rows * DEFAULT_PREDICATE_SELECTIVITY)
+        selectivity = min(1.0, max(0.0, predicate_selectivity(expression, table)))
+        return table.with_rows(table.rows * selectivity)
+    if name == "dropna":
+        subset = params.get("subset") or list(table.columns)
+        subset = [subset] if isinstance(subset, str) else list(subset)
+        return table.drop_nulls(subset, str(params.get("how", "any")))
+    if name == "fillna":
+        value = params.get("value")
+        touched = set(value) if isinstance(value, Mapping) else set(table.columns)
+        return table.fill_nulls(touched)
+    if name == "dedup":
+        subset = params.get("subset") or list(table.columns)
+        subset = [subset] if isinstance(subset, str) else list(subset)
+        return table.with_rows(table.distinct_count(subset))
+    if name == "group":
+        from dataclasses import replace as _replace
+
+        keys = params.get("by") or list(table.columns)[:1]
+        keys = [keys] if isinstance(keys, str) else list(keys)
+        rows = table.distinct_count(keys)
+        # key columns become unique in the output, as in the plan estimator
+        columns = {key: _replace(table.column(key), distinct_fraction=1.0)
+                   for key in keys}
+        for out_name in dict(params.get("agg", {})):
+            columns[out_name] = ColumnStats()
+        return TableStats(rows, columns or dict(table.columns))
+    if name == "pivot":
+        index = params.get("index")
+        rows = table.distinct_count([index]) if index else table.rows
+        return table.with_rows(rows)
+    if name == "drop":
+        dropped = params.get("columns")
+        dropped = {dropped} if isinstance(dropped, str) else set(dropped or ())
+        return TableStats(table.rows, {n: c for n, c in table.columns.items()
+                                       if n not in dropped})
+    return table

@@ -11,6 +11,8 @@
 * Figure 7:   :mod:`repro.experiments.fig7_tpch`
 * Figure 8:   :mod:`repro.experiments.fig8_out_of_core` (extension: eager vs
   streaming execution on a memory-constrained machine)
+* Figure 9:   :mod:`repro.experiments.fig9_advisor` (extension: advisor
+  accuracy — predicted-fastest configuration vs the measured winner)
 * Everything: :mod:`repro.experiments.report`
 
 Every driver runs its matrix slice through :class:`repro.Session` and

@@ -1,0 +1,215 @@
+"""Figure 9 (extension): how accurate is the adaptive engine advisor?
+
+Table 5 asks "what is the minimal configuration that runs this pipeline?"
+by measuring the whole matrix.  The advisor (:mod:`repro.plan.advisor`)
+answers the same question from the statistics layer and the cost model alone
+— nothing is executed.  This experiment quantifies how much trust that
+shortcut deserves: the fig5 full-pipeline matrix (every engine ×
+eager/lazy/streaming) and the fig7 TPC-H matrix are *measured*, the advisor
+*predicts* the fastest configuration for every (dataset, pipeline) cell, and
+each prediction is scored:
+
+* **hit** — the predicted configuration is the measured winner, or its
+  measured runtime is within ``tolerance`` (default 10%) of the winner's;
+* **regret** — measured seconds of the predicted configuration minus the
+  measured winner's, i.e. how much a practitioner following the advisor
+  would lose versus the oracle.
+
+The headline number is the hit rate; the supporting one is total regret in
+seconds across the matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from ..config import ExperimentConfig
+from ..results import ResultSet
+from ..session import Session
+
+__all__ = ["AdvisorCell", "AdvisorAccuracyResult", "run", "DEFAULT_TOLERANCE"]
+
+#: A prediction counts as a hit when its measured runtime is within this
+#: fraction of the measured winner's (matching the acceptance criterion).
+DEFAULT_TOLERANCE = 0.10
+
+
+@dataclass
+class AdvisorCell:
+    """One (dataset, pipeline) cell: the prediction versus the measurement."""
+
+    dataset: str
+    pipeline: str
+    predicted: tuple[str, str]          # (engine, strategy)
+    winner: tuple[str, str]
+    winner_seconds: float
+    predicted_seconds: float            # measured seconds of the prediction
+    hit: bool
+
+    @property
+    def measured(self) -> bool:
+        """Whether the predicted configuration has a measured runtime.
+
+        A prediction can go unmeasured when its cell failed (e.g. OOMed) or
+        was not part of the sweep; such cells are misses but contribute no
+        regret — there is no measured runtime to charge.
+        """
+        return self.predicted_seconds != float("inf")
+
+    @property
+    def regret_seconds(self) -> float:
+        if not self.measured:
+            return 0.0
+        return max(0.0, self.predicted_seconds - self.winner_seconds)
+
+    def describe(self) -> str:
+        where = f"{self.dataset}/{self.pipeline}"
+        pred = "/".join(self.predicted)
+        if self.predicted == self.winner:
+            return f"{where}: {pred} (exact, {self.winner_seconds:.3f}s)"
+        win = "/".join(self.winner)
+        mark = "hit" if self.hit else "MISS"
+        if not self.measured:
+            return (f"{where}: predicted {pred} (unmeasured — cell failed) "
+                    f"vs winner {win} ({self.winner_seconds:.3f}s) — {mark}")
+        return (f"{where}: predicted {pred} ({self.predicted_seconds:.3f}s) "
+                f"vs winner {win} ({self.winner_seconds:.3f}s) — "
+                f"{mark}, regret {self.regret_seconds:.3f}s")
+
+
+@dataclass
+class AdvisorAccuracyResult:
+    """Predicted-vs-measured winners over the fig5 (+fig7) matrices."""
+
+    machine: str
+    scale: float
+    tolerance: float = DEFAULT_TOLERANCE
+    cells: list[AdvisorCell] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.hit)
+
+    @property
+    def exact(self) -> int:
+        return sum(1 for cell in self.cells if cell.predicted == cell.winner)
+
+    @property
+    def accuracy(self) -> float:
+        return self.hits / len(self.cells) if self.cells else 0.0
+
+    @property
+    def total_regret_seconds(self) -> float:
+        return sum(cell.regret_seconds for cell in self.cells)
+
+    @property
+    def max_regret_seconds(self) -> float:
+        return max((cell.regret_seconds for cell in self.cells), default=0.0)
+
+    def misses(self) -> list[AdvisorCell]:
+        return [cell for cell in self.cells if not cell.hit]
+
+    # ------------------------------------------------------------------ #
+    def format(self) -> str:
+        lines = [f"Figure 9 — advisor accuracy on {self.machine} "
+                 f"(scale {self.scale:g}, tolerance {self.tolerance:.0%})"]
+        for cell in self.cells:
+            lines.append("  " + cell.describe())
+        if self.cells:
+            lines.append(f"  => {self.hits}/{len(self.cells)} hits "
+                         f"({self.accuracy:.0%}, {self.exact} exact), "
+                         f"total regret {self.total_regret_seconds:.3f}s, "
+                         f"max {self.max_regret_seconds:.3f}s")
+        return "\n".join(lines)
+
+
+def _measured_means(results: ResultSet) -> dict[tuple[str, str, str, str], float]:
+    """Mean measured seconds per (dataset, pipeline, engine, strategy)."""
+    sums: dict[tuple[str, str, str, str], list[float]] = {}
+    for m in results.ok():
+        sums.setdefault((m.dataset, m.pipeline, m.engine, m.strategy), []).append(m.seconds)
+    return {key: sum(vals) / len(vals) for key, vals in sums.items()}
+
+
+def _score(result: AdvisorAccuracyResult, reports, results: ResultSet) -> None:
+    """Append one scored cell per advisor report that was also measured."""
+    winners = results.winners(by=("dataset", "pipeline"))
+    measured = _measured_means(results)
+    for report in reports:
+        winner = winners.get((report.dataset, report.pipeline))
+        best = report.best
+        if winner is None or best is None:
+            continue
+        predicted = (best.engine, best.strategy)
+        winner_key = (winner.engine, winner.strategy)
+        predicted_seconds = measured.get(
+            (report.dataset, report.pipeline) + predicted, float("inf"))
+        hit = (predicted == winner_key
+               or predicted_seconds <= winner.seconds * (1.0 + result.tolerance))
+        result.cells.append(AdvisorCell(
+            dataset=report.dataset, pipeline=report.pipeline,
+            predicted=predicted, winner=winner_key,
+            winner_seconds=winner.seconds, predicted_seconds=predicted_seconds,
+            hit=hit))
+
+
+def run(config: ExperimentConfig | None = None, *, include_tpch: bool = True,
+        queries: list[str] | None = None, tolerance: float = DEFAULT_TOLERANCE,
+        workers: int = 1, cache=None) -> AdvisorAccuracyResult:
+    """Execute the advisor-accuracy experiment.
+
+    The fig5 full-pipeline matrix is measured under all three strategies
+    (``lazy="both"``, ``streaming="both"``), TPC-H under the Figure 7
+    protocol; the advisor then predicts each cell from statistics alone and
+    every prediction is scored against the measured winner.
+    """
+    config = config or ExperimentConfig()
+    session = Session(config)
+    result = AdvisorAccuracyResult(machine=config.machine.name,
+                                   scale=config.scale, tolerance=tolerance)
+
+    pipeline_results = session.run(mode="full", lazy="both", streaming="both",
+                                   workers=workers, cache=cache)
+    _score(result, session.advise(), pipeline_results)
+
+    if include_tpch:
+        tpch_results = session.run_tpch(queries=queries, workers=workers,
+                                        cache=cache)
+        _score(result, session.advise_tpch(queries=queries), tpch_results)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Figure 9: advisor accuracy (predicted vs measured winner)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="physical sample scale (default: 0.25)")
+    parser.add_argument("--runs", type=int, default=2,
+                        help="simulated measurement repetitions (default: 2)")
+    parser.add_argument("--queries", default=None,
+                        help="comma-separated TPC-H subset (default: all 22)")
+    parser.add_argument("--skip-tpch", action="store_true",
+                        help="score only the full-pipeline matrix")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="regret fraction still counted as a hit (default: 0.10)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker-pool size for the measured sweeps")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result-cache location (default: disabled)")
+    args = parser.parse_args(argv)
+    from ..sweep import SweepCache
+
+    cache = SweepCache(args.cache_dir) if args.cache_dir else None
+    queries = ([q.strip() for q in args.queries.split(",") if q.strip()]
+               if args.queries else None)
+    result = run(ExperimentConfig(scale=args.scale, runs=args.runs),
+                 include_tpch=not args.skip_tpch, queries=queries,
+                 tolerance=args.tolerance, workers=args.jobs, cache=cache)
+    print(result.format())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

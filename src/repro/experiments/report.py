@@ -20,6 +20,7 @@ from . import (
     fig6_scalability,
     fig7_tpch,
     fig8_out_of_core,
+    fig9_advisor,
     table5_min_config,
 )
 from .tables import (
@@ -65,6 +66,8 @@ def full_report(config: ExperimentConfig | None = None, include_tpch: bool = Tru
         sections.append(fig8_out_of_core.run(config, workers=workers, cache=cache).format())
     if include_tpch:
         sections.append(fig7_tpch.run(config, workers=workers, cache=cache).format())
+    sections.append(fig9_advisor.run(config, include_tpch=include_tpch,
+                                     workers=workers, cache=cache).format())
     return "\n\n".join(sections)
 
 

@@ -38,7 +38,10 @@ __all__ = ["DataFrame", "concat_rows"]
 class DataFrame:
     """Two-dimensional, column-oriented table with typed, nullable columns."""
 
-    __slots__ = ("_data",)
+    # _plan_stats_cache holds the statistics layer's harvested TableStats
+    # (see repro.plan.stats.harvest_frame); plans reference the same frame
+    # many times during optimization, so harvesting must be one-shot.
+    __slots__ = ("_data", "_plan_stats_cache")
 
     def __init__(self, data: Mapping[str, "Column | Sequence[Any]"] | None = None):
         self._data: dict[str, Column] = {}

@@ -7,7 +7,16 @@ the dataframe substrate while recording how much work was actually done.
 """
 
 from .builder import LazyFrame
-from .executor import ExecutionStats, Executor, OperatorStat, execute
+from .executor import ExecutionStats, Executor, OperatorStat, execute, shared_subplans
+from .stats import (
+    ColumnStats,
+    StatsEstimator,
+    TableStats,
+    harvest_frame,
+    plan_key,
+    predicate_selectivity,
+    stats_from_context,
+)
 from .logical import (
     Aggregate,
     Distinct,
@@ -40,6 +49,14 @@ __all__ = [
     "ExecutionStats",
     "OperatorStat",
     "execute",
+    "shared_subplans",
+    "ColumnStats",
+    "TableStats",
+    "StatsEstimator",
+    "harvest_frame",
+    "stats_from_context",
+    "predicate_selectivity",
+    "plan_key",
     "StreamingExecutor",
     "SpillAccumulator",
     "execute_streaming",

@@ -1,0 +1,232 @@
+"""Adaptive engine advisor: predict the fastest configuration for a pipeline.
+
+Table 5 of the paper answers "what is the minimal machine configuration that
+runs this pipeline?" by sweeping the whole matrix.  The advisor answers the
+practitioner's next question — *which engine and execution strategy should I
+pick?* — without sweeping anything: every engine × eager/lazy/streaming
+candidate is priced through the statistics layer
+(:mod:`repro.plan.stats`) and the cost model
+(:meth:`~repro.simulate.costmodel.CostModel.estimate_plan` /
+:meth:`~repro.engines.base.BaseEngine.estimate_steps`), and the candidates
+are ranked by estimated runtime.  Candidates the memory model predicts to
+OOM, and formats an engine cannot read, are reported as infeasible rather
+than ranked.
+
+Entry points: :meth:`Advisor.advise` for a (frame, pipeline, context) triple,
+:meth:`Advisor.advise_tpch` for TPC-H query plans, ``Session.advise()`` and
+the ``python -m repro advise`` CLI.  Figure 9
+(:mod:`repro.experiments.fig9_advisor`) measures how often the predicted
+winner matches the measured one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..simulate.hardware import PAPER_SERVER, MachineConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.pipeline import Pipeline
+    from ..engines.base import BaseEngine, SimulationContext
+    from ..frame.frame import DataFrame
+
+__all__ = ["CandidateEstimate", "AdvisorReport", "Advisor", "pipeline_plan"]
+
+
+def pipeline_plan(frame: "DataFrame", pipeline: "Pipeline"):
+    """The logical plan of a pipeline's deferrable steps, for ``explain()``.
+
+    Deferrable steps are appended through their ``lazy_builder`` exactly as
+    the engines compile them; non-deferrable steps (and I/O) appear as
+    identity ``map[<name>]`` barrier nodes, so the rendered plan keeps the
+    pipeline's segment structure.  Returns a
+    :class:`~repro.plan.builder.LazyFrame` (never executed by the CLI).
+    """
+    from ..plan.builder import LazyFrame
+
+    lazy = LazyFrame.from_frame(frame)
+    for step in pipeline.steps:
+        extended = None
+        if step.preparator not in ("read", "write") and step.spec.supports_lazy:
+            extended = step.spec.lazy_builder(lazy, step.params)
+        if extended is not None:
+            lazy = extended
+        else:
+            lazy = lazy.map_frame(lambda f: f, label=step.preparator, barrier=True)
+    return lazy
+
+
+@dataclass
+class CandidateEstimate:
+    """One engine × strategy candidate with its estimated runtime."""
+
+    engine: str
+    lazy: bool = False
+    streaming: bool = False
+    seconds: float = float("inf")
+    feasible: bool = True
+    reason: str = ""
+
+    @property
+    def strategy(self) -> str:
+        if self.streaming:
+            return "streaming"
+        return "lazy" if self.lazy else "eager"
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.engine, self.strategy)
+
+    def describe(self) -> str:
+        label = f"{self.engine}/{self.strategy}"
+        if not self.feasible:
+            return f"{label}: infeasible ({self.reason})"
+        return f"{label}: ~{self.seconds:.3f}s"
+
+
+@dataclass
+class AdvisorReport:
+    """Ranked candidates for one pipeline (or TPC-H query) on one machine.
+
+    ``plan`` carries the cell's logical plan (a
+    :class:`~repro.plan.builder.LazyFrame`, never executed) and ``row_scale``
+    the sample→nominal lift, so callers — the CLI's ``--explain`` — can
+    render annotated plans without re-deriving which plan belongs to which
+    report.
+    """
+
+    dataset: str
+    pipeline: str
+    machine: str
+    candidates: list[CandidateEstimate] = field(default_factory=list)
+    plan: object | None = None
+    row_scale: float = 1.0
+
+    @property
+    def best(self) -> CandidateEstimate | None:
+        """The predicted-fastest feasible configuration."""
+        feasible = [c for c in self.candidates if c.feasible]
+        return feasible[0] if feasible else None
+
+    def ranked(self) -> list[CandidateEstimate]:
+        return list(self.candidates)
+
+    def candidate(self, engine: str, strategy: str) -> CandidateEstimate | None:
+        return next((c for c in self.candidates if c.key == (engine, strategy)), None)
+
+    def sort(self) -> None:
+        self.candidates.sort(key=lambda c: (not c.feasible, c.seconds))
+
+    def format(self, top: int | None = None) -> str:
+        where = "/".join(p for p in (self.dataset, self.pipeline) if p)
+        lines = [f"[{where}] on {self.machine} — predicted-fastest configuration"]
+        shown = self.candidates if top is None else self.candidates[:top]
+        for rank, candidate in enumerate(shown, start=1):
+            marker = "»" if candidate is self.best else " "
+            lines.append(f"  {marker}{rank:>2}. {candidate.describe()}")
+        return "\n".join(lines)
+
+
+class Advisor:
+    """Ranks engine × strategy candidates by estimated cost.
+
+    ``engines`` may be engine names (instantiated on the machine, skipping
+    unavailable ones — e.g. CuDF without a GPU) or pre-built
+    :class:`~repro.engines.base.BaseEngine` instances.
+    """
+
+    def __init__(self, machine: MachineConfig = PAPER_SERVER,
+                 engines: "Sequence[str] | Mapping[str, BaseEngine] | None" = None):
+        from ..config import ExperimentConfig
+        from ..engines.registry import create_engines
+
+        self.machine = machine
+        if engines is None:
+            engines = list(ExperimentConfig().engines)
+        if isinstance(engines, Mapping):
+            self.engines: dict[str, BaseEngine] = dict(engines)
+        else:
+            self.engines = create_engines(list(engines), machine=machine,
+                                          skip_unavailable=True)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def strategies(engine: "BaseEngine") -> list[tuple[bool, bool]]:
+        """(lazy, streaming) candidates supported by one engine."""
+        variants: list[tuple[bool, bool]] = [(False, False)]
+        if engine.supports_lazy:
+            variants.append((True, False))
+        if engine.supports_streaming:
+            variants.append((True, True))
+        return variants
+
+    # ------------------------------------------------------------------ #
+    def advise(self, frame: "DataFrame", pipeline: "Pipeline",
+               sim: "SimulationContext", dataset: str = "") -> AdvisorReport:
+        """Rank every engine × strategy candidate for one pipeline."""
+        from ..engines.base import EngineUnavailableError
+
+        report = AdvisorReport(dataset=dataset or sim.dataset_name,
+                               pipeline=pipeline.name, machine=self.machine.name,
+                               plan=pipeline_plan(frame, pipeline),
+                               row_scale=sim.row_scale)
+        for engine in self.engines.values():
+            for lazy, streaming in self.strategies(engine):
+                candidate = CandidateEstimate(engine=engine.name, lazy=lazy,
+                                              streaming=streaming)
+                try:
+                    estimate = engine.estimate_steps(frame, pipeline.steps, sim,
+                                                     lazy=lazy, streaming=streaming)
+                except EngineUnavailableError as err:
+                    candidate.feasible = False
+                    candidate.reason = f"unsupported: {err}"
+                else:
+                    if estimate.oom:
+                        candidate.feasible = False
+                        candidate.reason = "predicted OOM"
+                    else:
+                        candidate.seconds = estimate.seconds
+                report.candidates.append(candidate)
+        report.sort()
+        return report
+
+    # ------------------------------------------------------------------ #
+    def advise_tpch(self, data, query: str) -> AdvisorReport:
+        """Rank the TPC-H engine set for one query plan.
+
+        Mirrors the Figure 7 execution model: lazy-capable engines price the
+        optimized plan, eager engines the raw one — both estimated, nothing
+        executed.
+        """
+        from ..plan.optimizer import Optimizer, OptimizerSettings
+        from ..tpch.queries import get_query
+        from ..tpch.runner import TPCHRunner
+
+        builder = get_query(query)
+        lazy = builder(data)
+        plan = lazy.plan
+        report = AdvisorReport(dataset=f"tpch-sf{data.nominal_scale_factor:g}",
+                               pipeline=query, machine=self.machine.name,
+                               plan=lazy, row_scale=data.row_scale)
+        for engine in self.engines.values():
+            is_lazy = engine.supports_lazy
+            sim = TPCHRunner(data, runs=1).simulation_context(engine)
+            candidate = CandidateEstimate(engine=engine.name, lazy=is_lazy)
+            if is_lazy:
+                optimizer = Optimizer(engine.optimizer_settings,
+                                      cost_model=engine.cost_model,
+                                      profile=engine.profile)
+                priced_plan = optimizer.optimize(plan)
+            else:
+                priced_plan = plan
+            estimate = engine.plan_cost(priced_plan, sim, lazy=True,
+                                        pipeline_scope=False)
+            if estimate.oom:
+                candidate.feasible = False
+                candidate.reason = "predicted OOM"
+            else:
+                candidate.seconds = estimate.seconds
+            report.candidates.append(candidate)
+        report.sort()
+        return report

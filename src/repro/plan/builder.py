@@ -57,14 +57,49 @@ class LazyFrame:
         return self._plan
 
     def explain(self, optimized: bool = False,
-                settings: OptimizerSettings | None = None) -> str:
-        """Textual plan, optionally after optimization."""
+                settings: OptimizerSettings | None = None, *,
+                stats: bool = False, catalog=None,
+                cost_model=None, profile=None, row_scale: float = 1.0) -> str:
+        """Textual plan, optionally after optimization.
+
+        ``stats=True`` annotates every node with the statistics layer's
+        estimated rows/bytes and (when pricing is available — a default
+        machine-neutral cost model is used otherwise) the estimated operator
+        cost in seconds.  ``catalog`` supplies
+        :class:`~repro.plan.stats.TableStats` for ``FileScan`` paths and
+        ``row_scale`` lifts physical sample counts to nominal scale, exactly
+        as in :meth:`~repro.simulate.costmodel.CostModel.estimate_plan`.
+        """
         plan = self._plan
         if optimized:
             from .optimizer import Optimizer
 
-            plan = Optimizer(settings).optimize(plan)
-        return explain(plan)
+            plan = Optimizer(settings, cost_model=cost_model, profile=profile,
+                             catalog=catalog).optimize(plan)
+        annotate = None
+        if stats:
+            from ..simulate.costmodel import CostModel
+            from ..simulate.hardware import PAPER_SERVER
+            from ..simulate.profiles import get_profile
+            from .stats import StatsEstimator, annotate_with, node_cost_inputs
+
+            estimator = StatsEstimator(catalog=catalog, row_scale=row_scale)
+            pricing = cost_model or CostModel(PAPER_SERVER)
+            engine_profile = profile or get_profile("pandas")
+
+            def node_seconds(node):
+                op_class, rows, cols, bytes_in = node_cost_inputs(node, estimator)
+                if op_class is None:
+                    return None
+                try:
+                    return pricing.estimate(engine_profile, op_class, rows,
+                                            max(1, cols), bytes_in=bytes_in,
+                                            lazy=True).seconds
+                except Exception:
+                    return None
+
+            annotate = annotate_with(estimator, node_seconds)
+        return explain(plan, annotate=annotate)
 
     # ------------------------------------------------------------------ #
     # plan-building API
@@ -128,20 +163,26 @@ class LazyFrame:
     # execution
     # ------------------------------------------------------------------ #
     def collect(self, settings: OptimizerSettings | None = None, optimize_plan: bool = True,
-                file_reader=None) -> DataFrame:
-        frame, _ = self.collect_with_stats(settings, optimize_plan, file_reader)
+                file_reader=None, cost_model=None, profile=None) -> DataFrame:
+        frame, _ = self.collect_with_stats(settings, optimize_plan, file_reader,
+                                           cost_model=cost_model, profile=profile)
         return frame
 
     def collect_with_stats(self, settings: OptimizerSettings | None = None,
                            optimize_plan: bool = True,
-                           file_reader=None) -> tuple[DataFrame, ExecutionStats]:
-        executor = Executor(settings, optimize_plan, file_reader)
+                           file_reader=None, cost_model=None,
+                           profile=None) -> tuple[DataFrame, ExecutionStats]:
+        """Optimize (cost-based when ``cost_model``/``profile`` are given —
+        the engines inject theirs) and execute the plan."""
+        executor = Executor(settings, optimize_plan, file_reader,
+                            cost_model=cost_model, profile=profile)
         return executor.execute(self._plan)
 
     def collect_streaming(self, settings: OptimizerSettings | None = None,
                           optimize_plan: bool = True, file_reader=None,
                           batch_rows: int | None = None,
-                          spill_budget_rows: int | None = None
+                          spill_budget_rows: int | None = None,
+                          cost_model=None, profile=None
                           ) -> tuple[DataFrame, ExecutionStats]:
         """Execute the plan with the morsel-driven streaming executor.
 
@@ -154,7 +195,8 @@ class LazyFrame:
         executor = StreamingExecutor(
             settings, optimize_plan, file_reader,
             batch_rows=batch_rows if batch_rows is not None else DEFAULT_BATCH_ROWS,
-            spill_budget_rows=spill_budget_rows)
+            spill_budget_rows=spill_budget_rows,
+            cost_model=cost_model, profile=profile)
         return executor.execute(self._plan)
 
     def __repr__(self) -> str:  # pragma: no cover

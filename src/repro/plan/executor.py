@@ -34,7 +34,28 @@ from .logical import (
 )
 from .optimizer import Optimizer, OptimizerSettings
 
-__all__ = ["ExecutionStats", "OperatorStat", "Executor", "execute", "file_source_columns"]
+__all__ = ["ExecutionStats", "OperatorStat", "Executor", "execute",
+           "file_source_columns", "shared_subplans"]
+
+
+def shared_subplans(plan: PlanNode) -> frozenset[int]:
+    """Object ids of nodes referenced more than once in the plan tree.
+
+    The optimizer's common-subplan elimination aliases identical subtrees to
+    one object; executors memoize exactly these nodes so each shared subplan
+    is computed (and its stats recorded) once.
+    """
+    counts: dict[int, int] = {}
+
+    def visit(node: PlanNode) -> None:
+        key = id(node)
+        counts[key] = counts.get(key, 0) + 1
+        if counts[key] == 1:
+            for child in node.children():
+                visit(child)
+
+    visit(plan)
+    return frozenset(key for key, count in counts.items() if count > 1)
 
 
 def file_source_columns(node: FileScan, frame: DataFrame) -> int:
@@ -79,6 +100,9 @@ class OperatorStat:
     batches: int = 1
     streamed: bool = False
     spilled_rows: int = 0
+    #: Hash-join build-side input rows (joins only; the optimizer's
+    #: join-reordering rule annotates which side the build is priced on).
+    build_rows: int = 0
 
     @property
     def cells_in(self) -> int:
@@ -151,20 +175,38 @@ class Executor:
         settings: OptimizerSettings | None = None,
         optimize_plan: bool = True,
         file_reader: Callable[[str, str, tuple[str, ...] | None], DataFrame] | None = None,
+        cost_model=None,
+        profile=None,
     ):
-        self._optimizer = Optimizer(settings) if optimize_plan else None
+        self._optimizer = (Optimizer(settings, cost_model=cost_model, profile=profile)
+                           if optimize_plan else None)
+        self._cse = optimize_plan and (settings or OptimizerSettings()).common_subplan_elimination
         self._file_reader = file_reader
+        self._shared: frozenset[int] = frozenset()
+        self._shared_results: dict[int, DataFrame] = {}
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanNode) -> tuple[DataFrame, ExecutionStats]:
         if self._optimizer is not None:
             plan = self._optimizer.optimize(plan)
         stats = ExecutionStats()
+        self._shared = shared_subplans(plan) if self._cse else frozenset()
+        self._shared_results = {}
         frame = self._run(plan, stats)
         return frame, stats
 
     # ------------------------------------------------------------------ #
     def _run(self, node: PlanNode, stats: ExecutionStats) -> DataFrame:
+        if id(node) in self._shared:
+            # common subplan: computed once, reused for every reference
+            cached = self._shared_results.get(id(node))
+            if cached is None:
+                cached = self._run_node(node, stats)
+                self._shared_results[id(node)] = cached
+            return cached
+        return self._run_node(node, stats)
+
+    def _run_node(self, node: PlanNode, stats: ExecutionStats) -> DataFrame:
         if isinstance(node, Scan):
             frame = node.frame
             if node.projected is not None:
@@ -229,8 +271,10 @@ class Executor:
             right = self._run(node.right, stats)
             out = left.join(right, left_on=list(node.left_on), right_on=list(node.right_on),
                             how=node.how, suffix=node.suffix)
+            build = left.num_rows if node.build_side == "left" else right.num_rows
             stats.record("join", left.num_rows + right.num_rows, out.num_rows,
-                         len(node.left_on), column_names=tuple(node.left_on))
+                         len(node.left_on), column_names=tuple(node.left_on),
+                         build_rows=build)
             return out
 
         if isinstance(node, Distinct):
@@ -281,6 +325,8 @@ class Executor:
 
 
 def execute(plan: PlanNode, settings: OptimizerSettings | None = None,
-            optimize_plan: bool = True, file_reader=None) -> tuple[DataFrame, ExecutionStats]:
+            optimize_plan: bool = True, file_reader=None,
+            cost_model=None, profile=None) -> tuple[DataFrame, ExecutionStats]:
     """One-shot helper: optimize (optionally) and execute a plan."""
-    return Executor(settings, optimize_plan, file_reader).execute(plan)
+    return Executor(settings, optimize_plan, file_reader,
+                    cost_model=cost_model, profile=profile).execute(plan)

@@ -215,7 +215,15 @@ class Aggregate(PlanNode):
 
 @dataclass
 class Join(PlanNode):
-    """Equi-join of two child plans."""
+    """Equi-join of two child plans.
+
+    ``build_side`` is a physical annotation set by the cost-based optimizer's
+    join-reordering rule: the side whose hash table is built (``"right"`` by
+    default, ``"left"`` when statistics say the left input is smaller).  It
+    never changes the logical result — executors produce identical output for
+    either value — but the cost and memory models price the build on the
+    annotated side.
+    """
 
     left: PlanNode
     right: PlanNode
@@ -223,18 +231,23 @@ class Join(PlanNode):
     right_on: tuple[str, ...]
     how: str = "inner"
     suffix: str = "_right"
+    build_side: str = "right"
 
     def children(self) -> list[PlanNode]:
         return [self.left, self.right]
 
     def with_children(self, children: Sequence[PlanNode]) -> PlanNode:
-        return Join(children[0], children[1], self.left_on, self.right_on, self.how, self.suffix)
+        return Join(children[0], children[1], self.left_on, self.right_on, self.how,
+                    self.suffix, self.build_side)
 
     def required_columns(self) -> set[str]:
         return set(self.left_on) | set(self.right_on)
 
     def describe(self) -> str:
-        return f"{self.how} join on {list(self.left_on)} = {list(self.right_on)}"
+        rendered = f"{self.how} join on {list(self.left_on)} = {list(self.right_on)}"
+        if self.build_side != "right":
+            rendered += f" (build: {self.build_side})"
+        return rendered
 
 
 @dataclass
@@ -346,9 +359,15 @@ class MapFrame(PlanNode):
         return f"map[{self.label}]"
 
 
-def explain(node: PlanNode, indent: int = 0) -> str:
-    """Readable multi-line rendering of a plan tree."""
-    lines = ["  " * indent + node.describe()]
+def explain(node: PlanNode, indent: int = 0, annotate=None) -> str:
+    """Readable multi-line rendering of a plan tree.
+
+    ``annotate`` is an optional ``node -> str`` callback appended to each
+    line; the stats layer uses it to render estimated rows/bytes/cost
+    (see :func:`repro.plan.stats.annotate_with`).
+    """
+    suffix = annotate(node) if annotate is not None else ""
+    lines = ["  " * indent + node.describe() + suffix]
     for child in node.children():
-        lines.append(explain(child, indent + 1))
+        lines.append(explain(child, indent + 1, annotate))
     return "\n".join(lines)

@@ -1,0 +1,669 @@
+"""Plan statistics: cardinality and byte-size estimation for logical plans.
+
+This module is the foundation of cost-based optimization.  It harvests
+:class:`TableStats` — row counts plus per-column distinct/null fractions and
+byte widths — from in-memory frames (``Scan`` leaves) or from a caller-provided
+catalog (``FileScan`` leaves, dataset schemas), and propagates them through
+every :class:`~repro.plan.logical.PlanNode` with textbook selectivity
+estimates:
+
+* filters multiply the row count by a predicate selectivity derived from the
+  expression shape (equality → ``1/distinct``, range → 1/3, conjunction →
+  product, ``is_null`` → the column's null fraction, ...);
+* joins estimate output cardinality as ``|L|·|R| / max(d(L.key), d(R.key))``;
+* aggregations and distincts cap the output at the estimated number of
+  distinct key combinations;
+* ``drop_nulls`` applies the harvested null fractions.
+
+The estimates feed three consumers: the cost-based
+:class:`~repro.plan.optimizer.Optimizer` (join build-side selection,
+filter-before-vs-after-join decisions, common-subplan elimination), the
+``explain()`` rendering (estimated rows/bytes/cost per node), and the
+:mod:`~repro.plan.advisor` (per-pipeline engine/strategy recommendations).
+Estimation never executes anything: harvesting reads a bounded sample of a
+frame and is cached on the frame object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from ..frame.expressions import (
+    Aliased,
+    Apply,
+    BinaryOp,
+    ColumnRef,
+    DateComponent,
+    Expression,
+    IsIn,
+    Literal,
+    StringPredicate,
+    UnaryOp,
+)
+from ..frame.frame import DataFrame
+from .logical import (
+    Aggregate,
+    Distinct,
+    DropNulls,
+    FileScan,
+    FillNulls,
+    Filter,
+    Join,
+    Limit,
+    MapFrame,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    WithColumn,
+)
+
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "StatsEstimator",
+    "harvest_frame",
+    "stats_from_context",
+    "predicate_selectivity",
+    "expression_key",
+    "plan_key",
+    "node_cost_inputs",
+    "PLAN_NODE_COST_CLASS",
+    "DEFAULT_DISTINCT_FRACTION",
+    "DEFAULT_PREDICATE_SELECTIVITY",
+    "RANGE_SELECTIVITY",
+    "JOIN_BUILD_COST_WEIGHT",
+    "KEYLIKE_DISTINCT_FRACTION",
+]
+
+#: Distinct fraction assumed for columns with no harvested statistics.
+DEFAULT_DISTINCT_FRACTION = 0.1
+#: Selectivity of a range comparison (``<``, ``<=``, ``>``, ``>=``) — the
+#: classic System R third.
+RANGE_SELECTIVITY = 1.0 / 3.0
+#: Selectivity assumed for string pattern predicates.
+_STRING_SELECTIVITY = {"contains": 0.10, "like": 0.10,
+                       "startswith": 0.05, "endswith": 0.05}
+#: Fallback selectivity for opaque predicates (``apply`` lambdas, unparsable
+#: pipeline expressions, ...).  Shared with the pipeline-level estimation in
+#: :mod:`repro.engines.base` so both paths degrade identically.
+DEFAULT_PREDICATE_SELECTIVITY = 0.25
+_DEFAULT_SELECTIVITY = DEFAULT_PREDICATE_SELECTIVITY
+#: Row-match fractions assumed for semi/anti joins when key statistics are
+#: inconclusive.
+_SEMI_SELECTIVITY = 0.7
+#: Rows of a file whose statistics are unknown (no catalog entry).
+_UNKNOWN_FILE_ROWS = 1_000_000
+#: Hash-join pricing weight: building the hash table costs about twice as
+#: much per row as probing it, which is what makes "build on the smaller
+#: side" a win.  Shared by plan-level estimation and runtime plan pricing.
+JOIN_BUILD_COST_WEIGHT = 2.0
+#: Rows sampled when harvesting distinct fractions from a frame.
+_HARVEST_SAMPLE_ROWS = 4096
+#: Distinct fraction above which a column is treated as key-like when lifting
+#: sample statistics to population scale: key-like columns keep their
+#: *fraction* (ids stay unique), lower-cardinality columns keep their
+#: distinct *count* (a flag column has 4 values at any scale).
+KEYLIKE_DISTINCT_FRACTION = 0.5
+
+#: Cost-model operator class of each plan node type (``None`` = not priced,
+#: mirroring the runtime ``scan`` record).
+PLAN_NODE_COST_CLASS: dict[type, str | None] = {
+    Scan: None,
+    FileScan: "read_csv",   # switched to read_parquet per node format
+    Project: "metadata",
+    Filter: "filter",
+    WithColumn: "elementwise",
+    Sort: "sort",
+    Aggregate: "groupby",
+    Join: "join",
+    Distinct: "dedup",
+    DropNulls: "dropna",
+    FillNulls: "fillna",
+    Limit: "metadata",
+    MapFrame: "elementwise",
+}
+
+
+# --------------------------------------------------------------------------- #
+# statistics containers
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ColumnStats:
+    """Harvested (or assumed) statistics of one column."""
+
+    byte_width: float = 8.0
+    distinct_fraction: float = DEFAULT_DISTINCT_FRACTION
+    null_fraction: float = 0.0
+
+
+@dataclass
+class TableStats:
+    """Estimated shape of a (sub)plan's output: rows plus per-column stats."""
+
+    rows: float
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> int:
+        return max(1, len(self.columns))
+
+    @property
+    def row_bytes(self) -> float:
+        if not self.columns:
+            return 8.0
+        return sum(c.byte_width for c in self.columns.values())
+
+    @property
+    def bytes(self) -> int:
+        return int(max(0.0, self.rows) * self.row_bytes)
+
+    def column(self, name: str) -> ColumnStats:
+        return self.columns.get(name, ColumnStats())
+
+    def distinct_count(self, names) -> float:
+        """Estimated distinct combinations of the given key columns."""
+        count = 1.0
+        for name in names:
+            fraction = self.column(name).distinct_fraction
+            count *= max(1.0, fraction * max(1.0, self.rows))
+        return min(max(1.0, self.rows), count)
+
+    def bytes_for(self, names) -> int:
+        widths = sum(self.column(name).byte_width for name in names) or 8.0
+        return int(max(0.0, self.rows) * widths)
+
+    # ------------------------------------------------------------------ #
+    def with_rows(self, rows: float) -> "TableStats":
+        return TableStats(max(0.0, rows), dict(self.columns))
+
+    def drop_nulls(self, subset, how: str = "any") -> "TableStats":
+        """Estimated effect of dropping null rows over ``subset`` columns.
+
+        Shared by plan-node estimation (``DropNulls``) and pipeline-step
+        estimation (the ``dropna`` preparator) so both paths keep identical
+        keep-fraction math.
+        """
+        subset = list(subset)
+        fractions = [self.column(name).null_fraction for name in subset]
+        if how == "all":
+            drop = 1.0
+            for fraction in fractions:
+                drop *= fraction
+            keep = 1.0 - drop
+        else:
+            keep = 1.0
+            for fraction in fractions:
+                keep *= (1.0 - fraction)
+        touched = set(subset)
+        columns = {name: (replace(stats, null_fraction=0.0)
+                          if name in touched else stats)
+                   for name, stats in self.columns.items()}
+        return TableStats(self.rows * keep, columns)
+
+    def fill_nulls(self, touched) -> "TableStats":
+        """Estimated effect of filling nulls in the ``touched`` columns."""
+        touched = set(touched)
+        columns = {name: (replace(stats, null_fraction=0.0)
+                          if name in touched else stats)
+                   for name, stats in self.columns.items()}
+        return TableStats(self.rows, columns)
+
+    def scaled(self, factor: float) -> "TableStats":
+        """Statistics lifted from a physical sample to ``factor``× the rows.
+
+        Null fractions and byte widths are scale-invariant; distinct
+        statistics are not — a key-like column (sample distinct fraction ≥
+        :data:`KEYLIKE_DISTINCT_FRACTION`) keeps its *fraction* when lifted,
+        a categorical column keeps its distinct *count*.
+        """
+        if factor == 1.0:
+            return self.with_rows(self.rows)
+        rows = max(0.0, self.rows * factor)
+        columns: dict[str, ColumnStats] = {}
+        for name, stats in self.columns.items():
+            fraction = stats.distinct_fraction
+            if factor > 1.0 and fraction < KEYLIKE_DISTINCT_FRACTION:
+                distinct = fraction * max(1.0, self.rows)
+                fraction = min(1.0, distinct / max(1.0, rows))
+            columns[name] = replace(stats, distinct_fraction=fraction)
+        return TableStats(rows, columns)
+
+    def project(self, names) -> "TableStats":
+        return TableStats(self.rows, {n: self.column(n) for n in names})
+
+    @classmethod
+    def assumed(cls, columns=("*",), rows: float = float(_UNKNOWN_FILE_ROWS)) -> "TableStats":
+        return cls(rows, {name: ColumnStats() for name in columns})
+
+
+def harvest_frame(frame: DataFrame, sample_rows: int = _HARVEST_SAMPLE_ROWS) -> TableStats:
+    """Harvest row count, distinct/null fractions and byte widths of a frame.
+
+    Distinct fractions are measured on a bounded head sample so harvesting
+    stays cheap for large physical samples; the result is cached on the frame
+    object (keyed by its shape) because plans reference the same frame many
+    times during optimization.
+    """
+    rows = frame.num_rows
+    cache_key = (rows, tuple(frame.columns))
+    cached = getattr(frame, "_plan_stats_cache", None)
+    if cached is not None and cached[0] == cache_key:
+        return cached[1]
+    columns: dict[str, ColumnStats] = {}
+    sample_len = min(rows, sample_rows)
+    for name in frame.columns:
+        column = frame[name]
+        width = (column.memory_usage() / rows) if rows else 8.0
+        nulls = (column.null_count() / rows) if rows else 0.0
+        if sample_len:
+            sample = column.slice(0, sample_len) if rows > sample_len else column
+            distinct = max(1, sample.nunique()) / max(1, len(sample))
+        else:
+            distinct = DEFAULT_DISTINCT_FRACTION
+        columns[name] = ColumnStats(byte_width=width, distinct_fraction=distinct,
+                                    null_fraction=nulls)
+    stats = TableStats(float(rows), columns)
+    try:
+        frame._plan_stats_cache = (cache_key, stats)  # type: ignore[attr-defined]
+    except AttributeError:  # exotic frame subclasses with __slots__
+        pass
+    return stats
+
+
+def stats_from_context(sim, frame: DataFrame | None = None) -> TableStats:
+    """Table statistics at *nominal* scale from a simulation context.
+
+    Per-column byte widths come from the context's nominal column bytes;
+    distinct and null fractions are harvested from the physical sample when
+    one is provided (fractions are scale-invariant).
+    """
+    harvested = harvest_frame(frame) if frame is not None else None
+    rows = float(max(1, sim.nominal_rows))
+    if harvested is not None and harvested.rows:
+        # lift the sample's distinct statistics to nominal scale (key-like
+        # columns keep their fraction, categorical ones their count)
+        harvested = harvested.scaled(rows / harvested.rows)
+    columns: dict[str, ColumnStats] = {}
+    names = list(sim.column_bytes) or (list(harvested.columns) if harvested else [])
+    for name in names:
+        base = harvested.column(name) if harvested else ColumnStats()
+        nominal = sim.column_bytes.get(name)
+        width = (nominal / rows) if nominal else base.byte_width
+        columns[name] = replace(base, byte_width=width)
+    if not columns:
+        return TableStats.assumed(rows=rows)
+    return TableStats(rows, columns)
+
+
+# --------------------------------------------------------------------------- #
+# predicate selectivity
+# --------------------------------------------------------------------------- #
+def _equality_selectivity(expr: BinaryOp, stats: TableStats) -> float:
+    referenced = expr.columns()
+    if not referenced:
+        return _DEFAULT_SELECTIVITY
+    distinct = max(stats.distinct_count([name]) for name in referenced)
+    return 1.0 / max(1.0, distinct)
+
+
+def predicate_selectivity(expr: Expression, stats: TableStats) -> float:
+    """Estimated fraction of rows satisfying a boolean predicate."""
+    if isinstance(expr, Aliased):
+        return predicate_selectivity(expr.inner, stats)
+    if isinstance(expr, BinaryOp):
+        if expr.op == "&":
+            return (predicate_selectivity(expr.left, stats)
+                    * predicate_selectivity(expr.right, stats))
+        if expr.op == "|":
+            left = predicate_selectivity(expr.left, stats)
+            right = predicate_selectivity(expr.right, stats)
+            return min(1.0, left + right - left * right)
+        if expr.op == "==":
+            return _equality_selectivity(expr, stats)
+        if expr.op == "!=":
+            return max(0.0, 1.0 - _equality_selectivity(expr, stats))
+        if expr.op in ("<", "<=", ">", ">="):
+            return RANGE_SELECTIVITY
+        return _DEFAULT_SELECTIVITY
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return max(0.0, 1.0 - predicate_selectivity(expr.operand, stats))
+        referenced = expr.operand.columns()
+        null_fraction = max((stats.column(n).null_fraction for n in referenced),
+                            default=0.0)
+        if expr.op == "is_null":
+            return null_fraction
+        if expr.op == "not_null":
+            return 1.0 - null_fraction
+        return _DEFAULT_SELECTIVITY
+    if isinstance(expr, IsIn):
+        referenced = expr.operand.columns()
+        if not referenced:
+            return _DEFAULT_SELECTIVITY
+        distinct = max(stats.distinct_count([name]) for name in referenced)
+        return min(1.0, len(expr.values) / max(1.0, distinct))
+    if isinstance(expr, StringPredicate):
+        return _STRING_SELECTIVITY.get(expr.kind, _DEFAULT_SELECTIVITY)
+    return _DEFAULT_SELECTIVITY
+
+
+# --------------------------------------------------------------------------- #
+# structural fingerprints (fixed-point detection + common-subplan elimination)
+# --------------------------------------------------------------------------- #
+def expression_key(expr: Expression) -> str:
+    """Structural fingerprint of an expression.
+
+    Like :meth:`Expression.describe` but unambiguous for opaque callables
+    (two distinct lambdas render identically in ``describe`` — keying them by
+    object identity keeps common-subplan elimination sound).
+    """
+    if isinstance(expr, Aliased):
+        return f"alias({expression_key(expr.inner)},{expr.name})"
+    if isinstance(expr, ColumnRef):
+        return f"col({expr.name})"
+    if isinstance(expr, Literal):
+        return f"lit({expr.value!r})"
+    if isinstance(expr, BinaryOp):
+        return f"({expression_key(expr.left)}{expr.op}{expression_key(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        return f"{expr.op}({expression_key(expr.operand)})"
+    if isinstance(expr, IsIn):
+        return f"in({expression_key(expr.operand)},{expr.values!r})"
+    if isinstance(expr, StringPredicate):
+        return f"{expr.kind}({expression_key(expr.operand)},{expr.pattern!r},{expr.regex})"
+    if isinstance(expr, DateComponent):
+        return f"{expr.component}({expression_key(expr.operand)})"
+    if isinstance(expr, Apply):
+        return f"apply#{id(expr.func)}({expression_key(expr.operand)})"
+    return f"{type(expr).__name__}#{id(expr)}"
+
+
+def _node_key_head(node: PlanNode) -> str:
+    if isinstance(node, Scan):
+        return f"scan#{id(node.frame)}[{node.projected!r}]"
+    if isinstance(node, FileScan):
+        return f"filescan({node.path!r},{node.file_format},{node.projected!r})"
+    if isinstance(node, Project):
+        return f"project{node.columns!r}"
+    if isinstance(node, Filter):
+        return f"filter({expression_key(node.predicate)})"
+    if isinstance(node, WithColumn):
+        return f"with_column({node.name},{expression_key(node.expression)})"
+    if isinstance(node, Sort):
+        return f"sort({node.by!r},{node.ascending!r})"
+    if isinstance(node, Aggregate):
+        aggs = ",".join(f"{name}:{fn!r}" for name, fn in node.aggregations.items())
+        return f"aggregate({node.keys!r},{aggs})"
+    if isinstance(node, Join):
+        return (f"join({node.left_on!r},{node.right_on!r},{node.how},"
+                f"{node.suffix!r},{node.build_side})")
+    if isinstance(node, Distinct):
+        return f"distinct({node.subset!r})"
+    if isinstance(node, DropNulls):
+        return f"drop_nulls({node.subset!r},{node.how})"
+    if isinstance(node, FillNulls):
+        return f"fill_nulls({node.value!r})"
+    if isinstance(node, Limit):
+        return f"limit({node.n})"
+    if isinstance(node, MapFrame):
+        return f"map#{id(node.func)}({node.label},{node.needs!r},{node.barrier})"
+    return f"{type(node).__name__}#{id(node)}"
+
+
+def plan_key(node: PlanNode) -> str:
+    """Deterministic structural fingerprint of a plan subtree.
+
+    Two subtrees with the same key compute the same result, which is what the
+    optimizer's fixed-point loop and common-subplan elimination rely on.
+    Opaque callables (``MapFrame`` functions, ``apply`` lambdas) are keyed by
+    identity so distinct functions never collapse.
+    """
+    head = _node_key_head(node)
+    children = node.children()
+    if not children:
+        return head
+    return f"{head}({','.join(plan_key(c) for c in children)})"
+
+
+# --------------------------------------------------------------------------- #
+# the estimator
+# --------------------------------------------------------------------------- #
+class StatsEstimator:
+    """Propagates :class:`TableStats` bottom-up through a logical plan.
+
+    ``catalog`` maps ``FileScan`` paths to table statistics (dataset schemas,
+    advisor-provided contexts); ``scan_stats`` overrides the statistics of
+    every in-memory ``Scan`` leaf (used when a single source frame stands in
+    for an already-estimated intermediate); ``row_scale`` multiplies leaf row
+    counts, which is how physical samples are priced at nominal scale.
+    Estimates are memoized per node object, so shared subplans (common-subplan
+    elimination) are estimated once.
+    """
+
+    def __init__(self, catalog: Mapping[str, TableStats] | None = None,
+                 scan_stats: TableStats | None = None,
+                 row_scale: float = 1.0):
+        self.catalog = dict(catalog or {})
+        self.scan_stats = scan_stats
+        self.row_scale = max(row_scale, 1e-9)
+        self._cache: dict[int, TableStats] = {}
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, node: PlanNode) -> TableStats:
+        cached = self._cache.get(id(node))
+        if cached is None:
+            cached = self._estimate(node)
+            self._cache[id(node)] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    def _estimate(self, node: PlanNode) -> TableStats:
+        if isinstance(node, Scan):
+            stats = self.scan_stats or harvest_frame(node.frame).scaled(self.row_scale)
+            if node.projected is not None:
+                stats = stats.project([c for c in stats.columns if c in set(node.projected)]
+                                      or list(node.projected))
+            return stats
+
+        if isinstance(node, FileScan):
+            stats = self.catalog.get(node.path)
+            if stats is None:
+                stats = TableStats.assumed(node.projected or ("*",))
+            else:
+                stats = stats.scaled(self.row_scale)
+            if node.projected is not None:
+                stats = stats.project(node.projected)
+            return stats
+
+        if isinstance(node, Project):
+            return self.estimate(node.child).project(node.columns)
+
+        if isinstance(node, Filter):
+            child = self.estimate(node.child)
+            selectivity = min(1.0, max(0.0, predicate_selectivity(node.predicate, child)))
+            return child.with_rows(child.rows * selectivity)
+
+        if isinstance(node, WithColumn):
+            child = self.estimate(node.child)
+            columns = dict(child.columns)
+            columns[node.name] = ColumnStats()
+            return TableStats(child.rows, columns)
+
+        if isinstance(node, Sort):
+            return self.estimate(node.child)
+
+        if isinstance(node, Aggregate):
+            child = self.estimate(node.child)
+            rows = child.distinct_count(node.keys)
+            columns = {name: child.column(name) for name in node.keys}
+            for name in node.aggregations:
+                columns[name] = ColumnStats()
+            out = TableStats(rows, columns)
+            # key columns become unique in the output
+            for name in node.keys:
+                out.columns[name] = replace(out.column(name), distinct_fraction=1.0)
+            return out
+
+        if isinstance(node, Join):
+            return self._estimate_join(node)
+
+        if isinstance(node, Distinct):
+            child = self.estimate(node.child)
+            keys = node.subset if node.subset is not None else list(child.columns)
+            return child.with_rows(child.distinct_count(keys))
+
+        if isinstance(node, DropNulls):
+            child = self.estimate(node.child)
+            subset = node.subset if node.subset is not None else list(child.columns)
+            return child.drop_nulls(subset, node.how)
+
+        if isinstance(node, FillNulls):
+            child = self.estimate(node.child)
+            touched = (set(node.value) if isinstance(node.value, Mapping)
+                       else set(child.columns))
+            return child.fill_nulls(touched)
+
+        if isinstance(node, Limit):
+            child = self.estimate(node.child)
+            return child.with_rows(min(float(node.n), child.rows))
+
+        if isinstance(node, MapFrame):
+            # Opaque function: assume it preserves the input shape.
+            return self.estimate(node.child)
+
+        return TableStats.assumed()
+
+    # ------------------------------------------------------------------ #
+    def _estimate_join(self, node: Join) -> TableStats:
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        left_distinct = left.distinct_count(node.left_on)
+        right_distinct = right.distinct_count(node.right_on)
+        matched = (left.rows * right.rows) / max(left_distinct, right_distinct, 1.0)
+        if node.how == "inner":
+            rows = matched
+        elif node.how == "left":
+            rows = max(matched, left.rows)
+        elif node.how == "semi":
+            rows = left.rows * _SEMI_SELECTIVITY
+        elif node.how == "anti":
+            rows = left.rows * (1.0 - _SEMI_SELECTIVITY)
+        elif node.how == "right":
+            rows = max(matched, right.rows)
+        else:  # outer
+            rows = max(matched, left.rows + right.rows - matched)
+        if node.how in ("semi", "anti"):
+            return left.with_rows(rows)
+        columns = dict(left.columns)
+        for name, stats in right.columns.items():
+            if name in set(node.right_on):
+                continue
+            key = name if name not in columns else f"{name}{node.suffix}"
+            columns[key] = stats
+        return TableStats(rows, columns)
+
+    # ------------------------------------------------------------------ #
+    def join_sides(self, node: Join) -> tuple[TableStats, TableStats]:
+        """(probe, build) statistics honouring the node's ``build_side``."""
+        left = self.estimate(node.left)
+        right = self.estimate(node.right)
+        if node.build_side == "left":
+            return right, left
+        return left, right
+
+
+# --------------------------------------------------------------------------- #
+# plan-node → cost-model inputs
+# --------------------------------------------------------------------------- #
+def node_cost_inputs(node: PlanNode, estimator: StatsEstimator
+                     ) -> tuple[str | None, int, int, int]:
+    """(op_class, rows, columns, bytes) priced for one plan node.
+
+    Mirrors what the physical executors record at runtime — filter cost on
+    predicate columns, joins on probe + weighted build rows, reads on the
+    file footprint — but on *estimated* quantities, so
+    :meth:`~repro.simulate.costmodel.CostModel.estimate_plan` prices plans
+    that were never executed.
+    """
+    op_class = PLAN_NODE_COST_CLASS.get(type(node), "elementwise")
+    if op_class is None:
+        return None, 0, 0, 0
+    stats = estimator.estimate(node)
+
+    if isinstance(node, FileScan):
+        if node.file_format in ("parquet", "rparquet"):
+            return "read_parquet", int(stats.rows), stats.width, stats.bytes
+        # CSV parses the whole textual file; ~1.1x the in-memory footprint
+        return "read_csv", int(stats.rows), stats.width, int(stats.bytes * 1.1)
+
+    if isinstance(node, Filter):
+        child = estimator.estimate(node.child)
+        names = sorted(node.predicate.columns())
+        return op_class, int(child.rows), max(1, len(names)), child.bytes_for(names)
+
+    if isinstance(node, WithColumn):
+        child = estimator.estimate(node.child)
+        names = sorted(node.expression.columns())
+        return op_class, int(child.rows), max(1, len(names)), child.bytes_for(names)
+
+    if isinstance(node, Sort):
+        child = estimator.estimate(node.child)
+        return op_class, int(child.rows), len(node.by), child.bytes_for(node.by)
+
+    if isinstance(node, Aggregate):
+        child = estimator.estimate(node.child)
+        names = tuple(node.keys) + tuple(node.aggregations)
+        return op_class, int(child.rows), len(names), child.bytes_for(names)
+
+    if isinstance(node, Join):
+        probe, build = estimator.join_sides(node)
+        rows = probe.rows + JOIN_BUILD_COST_WEIGHT * build.rows
+        key_bytes = (probe.bytes_for(node.left_on if node.build_side != "left" else node.right_on)
+                     + build.bytes_for(node.right_on if node.build_side != "left" else node.left_on))
+        return op_class, int(rows), len(node.left_on), key_bytes
+
+    if isinstance(node, (Distinct, DropNulls)):
+        child = estimator.estimate(node.child)
+        subset = node.subset if node.subset is not None else tuple(child.columns)
+        return op_class, int(child.rows), max(1, len(subset)), child.bytes_for(subset)
+
+    if isinstance(node, FillNulls):
+        child = estimator.estimate(node.child)
+        touched = (tuple(node.value) if isinstance(node.value, Mapping)
+                   else tuple(child.columns))
+        return op_class, int(child.rows), max(1, len(touched)), child.bytes_for(touched)
+
+    if isinstance(node, (Project, Limit)):
+        child = estimator.estimate(node.child)
+        return op_class, int(child.rows), stats.width, stats.bytes
+
+    # MapFrame and anything future: elementwise over the child's shape
+    child_nodes = node.children()
+    child = estimator.estimate(child_nodes[0]) if child_nodes else stats
+    return op_class, int(child.rows), child.width, child.bytes
+
+
+def annotate_with(estimator: StatsEstimator,
+                  coster: Callable[[PlanNode], Any] | None = None
+                  ) -> Callable[[PlanNode], str]:
+    """Build an ``explain()`` annotation callback: estimated rows/bytes/cost."""
+    def annotate(node: PlanNode) -> str:
+        stats = estimator.estimate(node)
+        parts = [f"~{int(stats.rows):,} rows", f"~{_human_bytes(stats.bytes)}"]
+        if coster is not None:
+            seconds = coster(node)
+            if seconds is not None:
+                parts.append(f"~{seconds:.3g}s")
+        return "  [" + ", ".join(parts) + "]"
+    return annotate
+
+
+def _human_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024.0 or unit == "GiB":
+            return f"{count:.1f}{unit}" if unit != "B" else f"{int(count)}B"
+        count /= 1024.0
+    return f"{count:.1f}GiB"  # pragma: no cover

@@ -40,7 +40,7 @@ from typing import Callable, Iterator, Mapping
 from ..frame.errors import PlanError
 from ..frame.expressions import ensure_boolean
 from ..frame.frame import DataFrame, concat_rows
-from .executor import ExecutionStats, file_source_columns
+from .executor import ExecutionStats, file_source_columns, shared_subplans
 from .logical import (
     Aggregate,
     Distinct,
@@ -143,19 +143,27 @@ class StreamingExecutor:
         file_reader: Callable[[str, str, tuple[str, ...] | None], DataFrame] | None = None,
         batch_rows: int = DEFAULT_BATCH_ROWS,
         spill_budget_rows: int | None = None,
+        cost_model=None,
+        profile=None,
     ):
         if batch_rows < 1:
             raise ValueError("batch_rows must be at least 1")
-        self._optimizer = Optimizer(settings) if optimize_plan else None
+        self._optimizer = (Optimizer(settings, cost_model=cost_model, profile=profile)
+                           if optimize_plan else None)
+        self._cse = optimize_plan and (settings or OptimizerSettings()).common_subplan_elimination
         self._file_reader = file_reader
         self.batch_rows = batch_rows
         self.spill_budget_rows = spill_budget_rows
+        self._shared: frozenset[int] = frozenset()
+        self._shared_results: dict[int, DataFrame] = {}
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanNode) -> tuple[DataFrame, ExecutionStats]:
         if self._optimizer is not None:
             plan = self._optimizer.optimize(plan)
         stats = ExecutionStats()
+        self._shared = shared_subplans(plan) if self._cse else frozenset()
+        self._shared_results = {}
         frame = self._gather(plan, stats)
         return frame, stats
 
@@ -178,6 +186,20 @@ class StreamingExecutor:
 
     # ------------------------------------------------------------------ #
     def _stream(self, node: PlanNode, stats: ExecutionStats) -> Iterator[DataFrame]:
+        if id(node) in self._shared:
+            # Common subplan: materialize once, then serve morsels from the
+            # cached result for every reference.
+            cached = self._shared_results.get(id(node))
+            if cached is None:
+                pieces = list(self._stream_node(node, stats))
+                cached = (pieces[0] if len(pieces) == 1
+                          else concat_rows(pieces) if pieces else DataFrame())
+                self._shared_results[id(node)] = cached
+            yield from _batches(cached, self.batch_rows)
+            return
+        yield from self._stream_node(node, stats)
+
+    def _stream_node(self, node: PlanNode, stats: ExecutionStats) -> Iterator[DataFrame]:
         if isinstance(node, Scan):
             frame = node.frame
             if node.projected is not None:
@@ -368,7 +390,9 @@ class StreamingExecutor:
                 stats.record("join", rows_in + right.num_rows, rows_out,
                              len(node.left_on), column_names=tuple(node.left_on),
                              batches=batches + build.batches, streamed=True,
-                             spilled_rows=build.spilled_rows)
+                             spilled_rows=build.spilled_rows,
+                             build_rows=(rows_in if node.build_side == "left"
+                                         else right.num_rows))
                 return
             probe = self._accumulate(node.left, stats)
             left = probe.merge()
@@ -378,7 +402,9 @@ class StreamingExecutor:
             stats.record("join", left.num_rows + right.num_rows, out.num_rows,
                          len(node.left_on), column_names=tuple(node.left_on),
                          batches=probe.batches + build.batches,
-                         spilled_rows=probe.spilled_rows + build.spilled_rows)
+                         spilled_rows=probe.spilled_rows + build.spilled_rows,
+                         build_rows=(left.num_rows if node.build_side == "left"
+                                     else right.num_rows))
             yield from _batches(out, self.batch_rows)
             return
 

@@ -240,6 +240,37 @@ class ResultSet:
         return {row: {col: aggregate(vals) for col, vals in per_col.items()}
                 for row, per_col in cells.items()}
 
+    def winners(self, by: "str | Sequence[str]" = ("dataset", "pipeline"),
+                value: str = "seconds") -> dict:
+        """The measured-fastest cell per group: ``{group: Measurement}``.
+
+        Failed rows are excluded; groups with no completed rows are dropped.
+        Within a group, each (engine, strategy) pair is averaged over its
+        rows first, then the pair with the smallest mean wins (ties go to
+        the first pair seen).  This is what Figure 9 compares the advisor's
+        predicted-fastest configuration against.
+        """
+        by_fields = (by,) if isinstance(by, str) else tuple(by)
+        out: dict[Any, Measurement] = {}
+        for group, subset in self.ok().group_by(*by_fields).items():
+            per_pair: dict[tuple[str, str], list[float]] = {}
+            for m in subset:
+                per_pair.setdefault((m.engine, m.strategy),
+                                    []).append(getattr(m, value))
+            best_key, best_value = None, None
+            for pair, values in per_pair.items():
+                mean_value = sum(values) / len(values)
+                if best_value is None or mean_value < best_value:
+                    best_key, best_value = pair, mean_value
+            if best_key is None:
+                continue
+            winner = next(m for m in subset
+                          if (m.engine, m.strategy) == best_key)
+            winner = Measurement.from_dict(winner.to_dict())
+            setattr(winner, value, best_value)  # the group mean it won with
+            out[group] = winner
+        return out
+
     def speedup_vs(self, baseline: str = "pandas",
                    by: "str | Sequence[str]" = "dataset",
                    value: str = "seconds") -> dict:

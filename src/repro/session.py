@@ -413,6 +413,52 @@ class Session:
             self.last_sweep = scheduler.last_stats
 
     # ------------------------------------------------------------------ #
+    # the advisor: predicted-fastest configuration, nothing executed
+    # ------------------------------------------------------------------ #
+    def advise(self, *, engines: Sequence[str] | None = None,
+               datasets: Sequence[str] | None = None,
+               pipelines: "Sequence[Pipeline | str | int] | Pipeline | None" = None):
+        """Rank engine × eager/lazy/streaming candidates by estimated cost.
+
+        For every (dataset, pipeline) cell of the selected slice, the
+        :class:`~repro.plan.advisor.Advisor` prices each candidate through
+        the statistics layer and the cost model — no engine work is executed
+        — and returns one :class:`~repro.plan.advisor.AdvisorReport` per
+        cell, ranked fastest-first with infeasible (predicted-OOM,
+        unsupported-format) candidates last.
+        """
+        from .plan.advisor import Advisor
+
+        selected_engines = self._select_engines(engines)
+        advisor = Advisor(self.config.machine, engines=selected_engines)
+        reports = []
+        for dataset_name, generated in self._select_datasets(datasets).items():
+            sim = self.context_for(dataset_name)
+            for pipeline in self._select_pipelines(dataset_name, pipelines):
+                reports.append(advisor.advise(generated.frame, pipeline, sim,
+                                              dataset=dataset_name))
+        return reports
+
+    def advise_tpch(self, *, engines: Sequence[str] | None = None,
+                    queries: Sequence[str] | None = None,
+                    physical_scale_factor: float = 0.002):
+        """Advisor reports for the TPC-H engine × query matrix (estimated)."""
+        from .plan.advisor import Advisor
+        from .tpch.datagen import generate_tpch
+        from .tpch.queries import query_names
+
+        if physical_scale_factor not in self._tpch_data:
+            self._tpch_data[physical_scale_factor] = generate_tpch(
+                physical_scale_factor, seed=self.config.seed)
+        data = self._tpch_data[physical_scale_factor]
+        names = list(engines) if engines is not None else list(self.config.tpch_engines)
+        engine_map = create_engines(names, machine=self.config.machine,
+                                    skip_unavailable=True)
+        advisor = Advisor(self.config.machine, engines=engine_map)
+        return [advisor.advise_tpch(data, query)
+                for query in (list(queries) if queries is not None else query_names())]
+
+    # ------------------------------------------------------------------ #
     # TPC-H (the Figure 7 matrix)
     # ------------------------------------------------------------------ #
     def run_tpch(self, *, engines: Sequence[str] | None = None,

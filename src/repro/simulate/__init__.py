@@ -9,7 +9,8 @@ and a virtual clock with the paper's run-averaging protocol (:mod:`clock`).
 """
 
 from .clock import OperationRecord, RunReport, VirtualClock, average_runs, trimmed_mean
-from .costmodel import BASE_BYTE_COST_NS, BASE_CELL_COST_NS, CostModel, SimulatedCost
+from .costmodel import (BASE_BYTE_COST_NS, BASE_CELL_COST_NS, CostModel,
+                        PlanCost, SimulatedCost)
 from .hardware import (
     GB,
     LAPTOP,
@@ -46,6 +47,7 @@ __all__ = [
     "get_profile",
     "CostModel",
     "SimulatedCost",
+    "PlanCost",
     "BASE_CELL_COST_NS",
     "BASE_BYTE_COST_NS",
     "MemoryModel",

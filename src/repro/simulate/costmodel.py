@@ -24,13 +24,14 @@ from __future__ import annotations
 
 import hashlib
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .hardware import MachineConfig
-from .memory import MemoryAssessment, MemoryModel
+from .memory import MemoryAssessment, MemoryModel, SimulatedOOMError
 from .profiles import EngineProfile
 
-__all__ = ["BASE_CELL_COST_NS", "BASE_BYTE_COST_NS", "SimulatedCost", "CostModel"]
+__all__ = ["BASE_CELL_COST_NS", "BASE_BYTE_COST_NS", "SimulatedCost", "PlanCost",
+           "CostModel"]
 
 #: Single-threaded Pandas-kernel cost per cell, in nanoseconds.
 BASE_CELL_COST_NS: dict[str, float] = {
@@ -80,6 +81,34 @@ class SimulatedCost:
     @property
     def spilled(self) -> bool:
         return self.spilled_bytes > 0
+
+
+@dataclass
+class PlanCost:
+    """Estimated cost of a whole logical plan (never executed).
+
+    ``seconds`` sums the per-node operator estimates; ``oom`` flags plans the
+    memory model predicts cannot complete on the machine (their seconds only
+    cover the nodes priced before the failure — rank them as infeasible).
+    ``out_stats`` carries the estimated :class:`~repro.plan.stats.TableStats`
+    of the plan root so callers can chain estimation across plan segments.
+    """
+
+    seconds: float = 0.0
+    peak_bytes: int = 0
+    spilled_bytes: int = 0
+    oom: bool = False
+    per_node: list = field(default_factory=list)
+    out_stats: object | None = None
+
+    def add(self, other: "PlanCost") -> None:
+        self.seconds += other.seconds
+        self.peak_bytes = max(self.peak_bytes, other.peak_bytes)
+        self.spilled_bytes += other.spilled_bytes
+        self.oom = self.oom or other.oom
+        self.per_node.extend(other.per_node)
+        if other.out_stats is not None:
+            self.out_stats = other.out_stats
 
 
 def _deterministic_jitter(*parts: object) -> float:
@@ -188,3 +217,69 @@ class CostModel:
             streamed=assessment.streamed,
             work_cells=int(work_units),
         )
+
+    # ------------------------------------------------------------------ #
+    # plan-level estimation
+    # ------------------------------------------------------------------ #
+    def estimate_plan(
+        self,
+        engine: EngineProfile,
+        plan,
+        *,
+        catalog=None,
+        scan_stats=None,
+        row_scale: float = 1.0,
+        dataset_bytes: int | None = None,
+        lazy: bool = True,
+        streaming: bool = False,
+        pipeline_scope: bool = True,
+        run_index: int = 0,
+    ) -> PlanCost:
+        """Estimated cost of executing a whole logical plan — without running it.
+
+        The plan's cardinalities come from the statistics layer
+        (:class:`~repro.plan.stats.StatsEstimator`): ``catalog`` supplies
+        :class:`~repro.plan.stats.TableStats` for ``FileScan`` paths,
+        ``scan_stats`` overrides in-memory ``Scan`` leaves and ``row_scale``
+        lifts physical sample counts to nominal scale.  Each node is then
+        priced through :meth:`estimate` exactly like the runtime plan pricing
+        (joins on probe + weighted build rows, reads on the file footprint).
+        Shared subplans (common-subplan elimination) are priced once.  A
+        memory-model rejection never raises here — the plan is flagged
+        ``oom`` instead, so callers can rank it as infeasible.
+        """
+        from ..plan.stats import StatsEstimator, node_cost_inputs
+
+        estimator = StatsEstimator(catalog=catalog, scan_stats=scan_stats,
+                                   row_scale=row_scale)
+        cost = PlanCost()
+        visited: set[int] = set()
+
+        def walk(node) -> None:
+            if id(node) in visited:   # shared subplan: executed (and priced) once
+                return
+            visited.add(id(node))
+            for child in node.children():
+                walk(child)
+            if cost.oom:
+                return
+            op_class, rows, cols, bytes_in = node_cost_inputs(node, estimator)
+            if op_class is None:
+                return
+            try:
+                estimated = self.estimate(
+                    engine, op_class, rows, max(1, cols), bytes_in=bytes_in,
+                    dataset_bytes=dataset_bytes, lazy=lazy, run_index=run_index,
+                    pipeline_scope=pipeline_scope, streaming=streaming,
+                )
+            except SimulatedOOMError:
+                cost.oom = True
+                return
+            cost.seconds += estimated.seconds
+            cost.peak_bytes = max(cost.peak_bytes, estimated.peak_bytes)
+            cost.spilled_bytes += estimated.spilled_bytes
+            cost.per_node.append((node.describe(), estimated.seconds))
+
+        walk(plan)
+        cost.out_stats = estimator.estimate(plan)
+        return cost

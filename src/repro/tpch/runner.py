@@ -74,7 +74,9 @@ class TPCHRunner:
             frame: DataFrame | None = None
             for run_index in range(self.runs):
                 plan = builder(self.data)
-                frame, stats = plan.collect_with_stats(settings, optimize_plan=lazy)
+                frame, stats = plan.collect_with_stats(settings, optimize_plan=lazy,
+                                                       cost_model=engine.cost_model,
+                                                       profile=engine.profile)
                 report = RunReport(engine=engine.name, label=query)
                 engine._price_plan_stats(stats, sim, run_index, report, pipeline_scope=False)
                 per_run.append(report.total_seconds)

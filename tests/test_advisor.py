@@ -1,0 +1,240 @@
+"""Tests for the adaptive engine advisor: candidate pricing, ranking,
+feasibility, the Session/CLI entry points and Figure 9 accuracy."""
+
+import dataclasses
+
+import pytest
+
+from repro import ExperimentConfig, Session
+from repro.__main__ import main as cli_main
+from repro.datasets import generate_dataset
+from repro.datasets.pipelines import get_pipelines
+from repro.engines import create_engine
+from repro.engines.base import EngineUnavailableError
+from repro.plan.advisor import Advisor, AdvisorReport, CandidateEstimate, pipeline_plan
+from repro.simulate.hardware import PAPER_SERVER
+
+_SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def setup():
+    session = Session(ExperimentConfig(scale=_SCALE, runs=1, datasets=["athlete"]))
+    dataset = session.dataset("athlete")
+    return session, dataset, session.context_for("athlete"), get_pipelines("athlete")
+
+
+class TestEstimateSteps:
+    def test_estimate_is_positive_and_itemized(self, setup):
+        _, dataset, sim, pipelines = setup
+        engine = create_engine("polars")
+        estimate = engine.estimate_steps(dataset.frame, pipelines[0].steps, sim,
+                                         lazy=True)
+        assert estimate.seconds > 0 and not estimate.oom
+        assert estimate.per_node
+        assert estimate.out_stats is not None and estimate.out_stats.rows > 0
+
+    def test_lazy_estimate_beats_eager_for_polars(self, setup):
+        _, dataset, sim, pipelines = setup
+        engine = create_engine("polars")
+        eager = engine.estimate_steps(dataset.frame, pipelines[0].steps, sim)
+        lazy = engine.estimate_steps(dataset.frame, pipelines[0].steps, sim,
+                                     lazy=True)
+        assert lazy.seconds < eager.seconds
+
+    def test_nothing_is_executed(self, setup):
+        _, dataset, sim, pipelines = setup
+        engine = create_engine("polars")
+        before = dataset.frame.num_rows
+        engine.estimate_steps(dataset.frame, pipelines[0].steps, sim, lazy=True)
+        assert dataset.frame.num_rows == before
+
+    def test_oom_is_flagged_on_a_tiny_machine(self, setup):
+        from repro.experiments.fig8_out_of_core import constrained_machine
+
+        _, dataset, _, pipelines = setup
+        machine = constrained_machine(memory_gb=0.0001)
+        engine = create_engine("pandas", machine)
+        sim = dataset.simulation_context(machine, runs=1)
+        estimate = engine.estimate_steps(dataset.frame, pipelines[0].steps, sim)
+        assert estimate.oom
+
+    def test_unsupported_format_raises(self, setup):
+        from repro.core.pipeline import PipelineStep
+
+        _, dataset, sim, _ = setup
+        steps = [PipelineStep("read", {"format": "parquet"})]
+        engine = create_engine("datatable")  # no parquet support
+        with pytest.raises(EngineUnavailableError):
+            engine.estimate_steps(dataset.frame, steps, sim)
+
+
+class TestAdvisor:
+    def test_candidates_cover_engine_strategies(self, setup):
+        _, dataset, sim, pipelines = setup
+        advisor = Advisor(engines=["pandas", "polars"])
+        report = advisor.advise(dataset.frame, pipelines[0], sim)
+        keys = {c.key for c in report.candidates}
+        assert ("pandas", "eager") in keys
+        assert {("polars", "eager"), ("polars", "lazy"),
+                ("polars", "streaming")} <= keys
+
+    def test_ranking_is_sorted_and_best_is_feasible(self, setup):
+        _, dataset, sim, pipelines = setup
+        advisor = Advisor(engines=["pandas", "polars", "vaex"])
+        report = advisor.advise(dataset.frame, pipelines[0], sim)
+        feasible = [c for c in report.candidates if c.feasible]
+        assert feasible == sorted(feasible, key=lambda c: c.seconds)
+        assert report.best is feasible[0]
+        infeasible_rank = [i for i, c in enumerate(report.candidates)
+                          if not c.feasible]
+        assert all(i >= len(feasible) for i in infeasible_rank)
+
+    def test_oom_candidates_rank_infeasible(self, setup):
+        from repro.experiments.fig8_out_of_core import constrained_machine
+
+        _, dataset, _, pipelines = setup
+        machine = constrained_machine(memory_gb=0.0001)
+        sim = dataset.simulation_context(machine, runs=1)
+        advisor = Advisor(machine, engines=["pandas"])
+        report = advisor.advise(dataset.frame, pipelines[0], sim)
+        candidate = report.candidate("pandas", "eager")
+        assert candidate is not None and not candidate.feasible
+        assert "OOM" in candidate.reason
+        assert report.best is None
+
+    def test_format_marks_the_winner(self, setup):
+        _, dataset, sim, pipelines = setup
+        advisor = Advisor(engines=["pandas", "polars"])
+        text = advisor.advise(dataset.frame, pipelines[0], sim).format(top=2)
+        assert "»" in text and "predicted-fastest" in text
+
+    def test_advise_tpch_prices_optimized_plans(self):
+        session = Session(ExperimentConfig(scale=_SCALE, runs=1))
+        reports = session.advise_tpch(engines=["pandas", "polars"],
+                                      queries=["q06"])
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.pipeline == "q06"
+        polars = report.candidate("polars", "lazy")
+        pandas = report.candidate("pandas", "eager")
+        assert polars is not None and pandas is not None
+        assert polars.seconds < pandas.seconds
+
+
+class TestSessionAdvise:
+    def test_one_report_per_pipeline_cell(self, setup):
+        session, _, _, pipelines = setup
+        reports = session.advise(engines=["pandas", "polars"])
+        assert len(reports) == len(pipelines)
+        assert all(isinstance(r, AdvisorReport) and r.best is not None
+                   for r in reports)
+
+    def test_reports_carry_dataset_and_machine(self, setup):
+        session, _, _, _ = setup
+        report = session.advise(engines=["pandas"])[0]
+        assert report.dataset == "athlete"
+        assert report.machine == PAPER_SERVER.name
+
+
+class TestPipelinePlan:
+    def test_deferrable_steps_become_plan_nodes(self, setup):
+        _, dataset, _, pipelines = setup
+        text = pipeline_plan(dataset.frame, pipelines[0]).explain()
+        assert "scan" in text
+
+    def test_io_steps_render_as_barriers(self, setup):
+        _, dataset, _, pipelines = setup
+        with_io = next((p for p in pipelines
+                        if any(s.preparator in ("read", "write") for s in p.steps)),
+                       pipelines[0])
+        text = pipeline_plan(dataset.frame, with_io).explain()
+        if any(s.preparator in ("read", "write") for s in with_io.steps):
+            assert "map[" in text
+
+
+class TestAdviseCli:
+    def test_advise_prints_rankings(self, capsys):
+        assert cli_main(["advise", "--scale", str(_SCALE), "--datasets", "athlete",
+                         "--engines", "pandas,polars", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted-fastest configuration" in out
+        assert "polars" in out
+
+    def test_advise_explain_renders_plans(self, capsys):
+        assert cli_main(["advise", "--tpch", "--queries", "q06",
+                         "--engines", "pandas,polars", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "plan (unoptimized):" in out and "plan (optimized):" in out
+        assert "~" in out  # estimated rows/bytes annotations
+
+    def test_advise_memory_limit_flags_infeasible(self, capsys):
+        assert cli_main(["advise", "--scale", str(_SCALE), "--datasets", "athlete",
+                         "--engines", "pandas", "--memory-limit", "0.0001"]) == 0
+        out = capsys.readouterr().out
+        assert "infeasible" in out
+
+    def test_advise_rejects_queries_without_tpch(self):
+        with pytest.raises(SystemExit):
+            cli_main(["advise", "--queries", "q06"])
+
+
+class TestCandidateEstimate:
+    def test_strategy_labels(self):
+        assert CandidateEstimate("x").strategy == "eager"
+        assert CandidateEstimate("x", lazy=True).strategy == "lazy"
+        assert CandidateEstimate("x", lazy=True, streaming=True).strategy == "streaming"
+
+    def test_describe_infeasible(self):
+        candidate = CandidateEstimate("x", feasible=False, reason="predicted OOM")
+        assert "infeasible" in candidate.describe()
+
+
+class TestJoinReorderingOnTPCH:
+    def test_reordering_reduces_estimated_cost_on_real_queries(self):
+        """Acceptance: join reordering demonstrably reduces estimated cost on
+        at least one TPC-H query plan."""
+        from repro.plan.optimizer import Optimizer, OptimizerSettings
+        from repro.tpch.datagen import generate_tpch
+        from repro.tpch.queries import get_query
+
+        data = generate_tpch(0.002, seed=7)
+        pricer = Optimizer()
+        with_reorder = Optimizer()
+        without = Optimizer(dataclasses.replace(OptimizerSettings(),
+                                                join_reordering=False))
+        wins = 0
+        for query in ("q04", "q09", "q12", "q21"):
+            plan = get_query(query)(data).plan
+            reordered = pricer.plan_seconds(with_reorder.optimize(plan))
+            baseline = pricer.plan_seconds(without.optimize(plan))
+            assert reordered <= baseline + 1e-12
+            wins += reordered < baseline - 1e-12
+        assert wins > 0
+
+
+class TestFig9Accuracy:
+    def test_advisor_matches_measured_winners(self):
+        """Acceptance: ≥80% of fig5/fig7 cells hit (exact winner or within
+        10% regret) at small scale."""
+        from repro.experiments import fig9_advisor
+
+        result = fig9_advisor.run(
+            ExperimentConfig(scale=_SCALE, runs=1),
+            queries=["q01", "q03", "q06", "q14"])
+        assert len(result.cells) >= 12 + 4  # fig5 cells + the TPC-H subset
+        assert result.accuracy >= 0.8, result.format()
+        for cell in result.cells:
+            assert cell.predicted_seconds < float("inf"), cell.describe()
+
+    def test_format_reports_summary(self):
+        from repro.experiments.fig9_advisor import AdvisorAccuracyResult, AdvisorCell
+
+        result = AdvisorAccuracyResult(machine="m", scale=0.1)
+        result.cells.append(AdvisorCell(
+            dataset="d", pipeline="p", predicted=("a", "eager"),
+            winner=("b", "lazy"), winner_seconds=1.0, predicted_seconds=1.05,
+            hit=True))
+        text = result.format()
+        assert "1/1 hits" in text and "regret" in text
+        assert result.total_regret_seconds == pytest.approx(0.05)

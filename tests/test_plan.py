@@ -131,6 +131,15 @@ class TestOptimizerRules:
         optimized = Optimizer(OptimizerSettings.all_disabled()).optimize(plan)
         assert explain(optimized) == explain(plan)
 
+    def test_all_disabled_covers_every_flag(self):
+        import dataclasses
+
+        settings = OptimizerSettings.all_disabled()
+        # constructed by keyword: every flag — including ones added after the
+        # method was written — must come out False
+        assert all(not getattr(settings, f.name)
+                   for f in dataclasses.fields(OptimizerSettings))
+
     @pytest.mark.parametrize("settings", [
         OptimizerSettings(),
         OptimizerSettings(projection_pushdown=False),

@@ -115,6 +115,33 @@ class TestAggregation:
         assert rs.speedup_vs("pandas") == {}
 
 
+class TestWinners:
+    def test_winner_per_group_is_the_fastest_strategy_mean(self):
+        winners = _sample_set().winners()
+        taxi1 = winners[("taxi", "taxi-1")]
+        assert (taxi1.engine, taxi1.strategy) == ("polars", "lazy")
+        assert taxi1.seconds == pytest.approx(2.0)
+        athlete = winners[("athlete", "athlete-1")]
+        assert athlete.engine == "polars"
+
+    def test_failed_rows_never_win(self):
+        winners = _sample_set().winners()
+        assert all(m.engine != "vaex" for m in winners.values())
+
+    def test_winner_averages_repeated_rows(self):
+        rs = ResultSet([
+            Measurement(engine="a", dataset="d", pipeline="p", seconds=1.0),
+            Measurement(engine="a", dataset="d", pipeline="p", seconds=3.0),
+            Measurement(engine="b", dataset="d", pipeline="p", seconds=2.1),
+        ])
+        winner = rs.winners()[("d", "p")]
+        assert winner.engine == "a" and winner.seconds == pytest.approx(2.0)
+
+    def test_custom_grouping(self):
+        winners = _sample_set().winners(by="dataset")
+        assert set(winners) == {"taxi", "athlete"}
+
+
 class TestSerialization:
     def test_json_roundtrip_is_lossless(self, tmp_path):
         rs = _sample_set()

@@ -1,0 +1,361 @@
+"""Tests for the plan-statistics layer: harvesting, selectivity, propagation,
+structural fingerprints and plan-level cost estimation."""
+
+import dataclasses
+
+import pytest
+
+from repro.frame import DataFrame, col
+from repro.plan import LazyFrame, Optimizer, OptimizerSettings
+from repro.plan.logical import Join, Scan
+from repro.plan.stats import (
+    ColumnStats,
+    DEFAULT_DISTINCT_FRACTION,
+    JOIN_BUILD_COST_WEIGHT,
+    RANGE_SELECTIVITY,
+    StatsEstimator,
+    TableStats,
+    expression_key,
+    harvest_frame,
+    node_cost_inputs,
+    plan_key,
+    predicate_selectivity,
+)
+from repro.simulate import CostModel, PAPER_SERVER, get_profile
+from repro.simulate.hardware import MachineConfig
+
+
+@pytest.fixture
+def frame():
+    return DataFrame({
+        "key": ["a", "b"] * 50,
+        "value": [float(i) for i in range(100)],
+        "nullable": [None if i % 4 == 0 else i for i in range(100)],
+    })
+
+
+class TestHarvest:
+    def test_row_count_and_columns(self, frame):
+        stats = harvest_frame(frame)
+        assert stats.rows == 100
+        assert set(stats.columns) == {"key", "value", "nullable"}
+
+    def test_null_fraction(self, frame):
+        stats = harvest_frame(frame)
+        assert stats.column("nullable").null_fraction == pytest.approx(0.25)
+        assert stats.column("value").null_fraction == 0.0
+
+    def test_distinct_fraction(self, frame):
+        stats = harvest_frame(frame)
+        assert stats.column("key").distinct_fraction == pytest.approx(0.02)
+        assert stats.column("value").distinct_fraction == pytest.approx(1.0)
+
+    def test_harvest_is_cached_on_the_frame(self, frame):
+        assert harvest_frame(frame) is harvest_frame(frame)
+
+    def test_unknown_column_gets_defaults(self, frame):
+        stats = harvest_frame(frame)
+        assert stats.column("missing").distinct_fraction == DEFAULT_DISTINCT_FRACTION
+
+
+class TestTableStats:
+    def test_bytes_scale_with_rows(self):
+        stats = TableStats(100, {"a": ColumnStats(byte_width=8.0)})
+        assert stats.bytes == 800
+        assert stats.scaled(2.0).bytes == 1600
+
+    def test_distinct_count_caps_at_rows(self):
+        stats = TableStats(10, {"a": ColumnStats(distinct_fraction=1.0),
+                                "b": ColumnStats(distinct_fraction=1.0)})
+        assert stats.distinct_count(["a", "b"]) == 10
+
+    def test_project_keeps_row_count(self):
+        stats = TableStats(50, {"a": ColumnStats(), "b": ColumnStats()})
+        projected = stats.project(["a"])
+        assert projected.rows == 50 and list(projected.columns) == ["a"]
+
+
+class TestPredicateSelectivity:
+    def test_equality_uses_distinct_count(self, frame):
+        stats = harvest_frame(frame)
+        assert predicate_selectivity(col("key") == "a", stats) == pytest.approx(0.5)
+
+    def test_range_is_one_third(self, frame):
+        stats = harvest_frame(frame)
+        assert predicate_selectivity(col("value") > 5, stats) == RANGE_SELECTIVITY
+
+    def test_conjunction_multiplies(self, frame):
+        stats = harvest_frame(frame)
+        conj = (col("key") == "a") & (col("value") > 5)
+        assert predicate_selectivity(conj, stats) == pytest.approx(0.5 * RANGE_SELECTIVITY)
+
+    def test_disjunction_is_inclusion_exclusion(self, frame):
+        stats = harvest_frame(frame)
+        disj = (col("key") == "a") | (col("key") == "b")
+        assert predicate_selectivity(disj, stats) == pytest.approx(0.75)
+
+    def test_is_null_uses_null_fraction(self, frame):
+        stats = harvest_frame(frame)
+        assert predicate_selectivity(col("nullable").is_null(), stats) == pytest.approx(0.25)
+        assert predicate_selectivity(col("nullable").not_null(), stats) == pytest.approx(0.75)
+
+    def test_isin_scales_with_value_count(self, frame):
+        stats = harvest_frame(frame)
+        assert predicate_selectivity(col("key").is_in(["a"]), stats) == pytest.approx(0.5)
+
+    def test_selectivity_is_bounded(self, frame):
+        stats = harvest_frame(frame)
+        many = col("key").is_in(["a", "b", "c", "d", "e"])
+        assert predicate_selectivity(many, stats) <= 1.0
+
+
+class TestEstimatorPropagation:
+    def test_filter_scales_rows(self, frame):
+        plan = LazyFrame.from_frame(frame).filter(col("key") == "a").plan
+        estimated = StatsEstimator().estimate(plan)
+        assert estimated.rows == pytest.approx(50)
+
+    def test_project_narrows_columns(self, frame):
+        plan = LazyFrame.from_frame(frame).select(["key"]).plan
+        estimated = StatsEstimator().estimate(plan)
+        assert list(estimated.columns) == ["key"] and estimated.rows == 100
+
+    def test_aggregate_caps_at_distinct_keys(self, frame):
+        plan = LazyFrame.from_frame(frame).group_agg("key", {"value": "sum"}).plan
+        estimated = StatsEstimator().estimate(plan)
+        assert estimated.rows == pytest.approx(2)
+        assert estimated.column("key").distinct_fraction == 1.0
+
+    def test_join_cardinality(self, frame):
+        right = DataFrame({"key": ["a", "b"], "w": [1.0, 2.0]})
+        plan = LazyFrame.from_frame(frame).join(
+            LazyFrame.from_frame(right), on="key").plan
+        estimated = StatsEstimator().estimate(plan)
+        # |L|*|R| / max(d(L.key), d(R.key)) = 100*2/2
+        assert estimated.rows == pytest.approx(100)
+        assert "w" in estimated.columns
+
+    def test_semi_join_keeps_left_schema(self, frame):
+        right = DataFrame({"key": ["a"], "w": [1.0]})
+        plan = LazyFrame.from_frame(frame).join(
+            LazyFrame.from_frame(right), on="key", how="semi").plan
+        estimated = StatsEstimator().estimate(plan)
+        assert "w" not in estimated.columns
+        assert estimated.rows < 100
+
+    def test_drop_nulls_applies_null_fractions(self, frame):
+        plan = LazyFrame.from_frame(frame).drop_nulls(["nullable"]).plan
+        estimated = StatsEstimator().estimate(plan)
+        assert estimated.rows == pytest.approx(75)
+        assert estimated.column("nullable").null_fraction == 0.0
+
+    def test_fill_nulls_clears_null_fraction(self, frame):
+        plan = LazyFrame.from_frame(frame).fill_nulls(0).plan
+        estimated = StatsEstimator().estimate(plan)
+        assert estimated.rows == 100
+        assert estimated.column("nullable").null_fraction == 0.0
+
+    def test_limit_caps_rows(self, frame):
+        plan = LazyFrame.from_frame(frame).limit(7).plan
+        assert StatsEstimator().estimate(plan).rows == 7
+
+    def test_row_scale_lifts_leaves(self, frame):
+        plan = LazyFrame.from_frame(frame).filter(col("key") == "a").plan
+        estimated = StatsEstimator(row_scale=1000.0).estimate(plan)
+        assert estimated.rows == pytest.approx(50_000)
+
+    def test_filescan_uses_catalog(self):
+        from repro.plan.logical import FileScan
+
+        catalog = {"t.parquet": TableStats(1234, {"x": ColumnStats()})}
+        node = FileScan("t.parquet", "parquet")
+        assert StatsEstimator(catalog=catalog).estimate(node).rows == 1234
+        assert StatsEstimator().estimate(node).rows > 0  # assumed default
+
+    def test_estimates_are_memoized_per_node(self, frame):
+        plan = LazyFrame.from_frame(frame).filter(col("key") == "a").plan
+        estimator = StatsEstimator()
+        assert estimator.estimate(plan) is estimator.estimate(plan)
+
+
+class TestFingerprints:
+    def test_identical_subtrees_share_a_key(self, frame):
+        a = LazyFrame.from_frame(frame).filter(col("key") == "a").plan
+        b = LazyFrame.from_frame(frame).filter(col("key") == "a").plan
+        assert plan_key(a) == plan_key(b)
+
+    def test_different_predicates_differ(self, frame):
+        a = LazyFrame.from_frame(frame).filter(col("key") == "a").plan
+        b = LazyFrame.from_frame(frame).filter(col("key") == "b").plan
+        assert plan_key(a) != plan_key(b)
+
+    def test_different_frames_differ(self, frame):
+        other = DataFrame({"key": ["a"], "value": [1.0], "nullable": [None]})
+        a = LazyFrame.from_frame(frame).plan
+        b = LazyFrame.from_frame(other).plan
+        assert plan_key(a) != plan_key(b)
+
+    def test_distinct_lambdas_never_collapse(self, frame):
+        a = LazyFrame.from_frame(frame).map_frame(lambda f: f, label="m").plan
+        b = LazyFrame.from_frame(frame).map_frame(lambda f: f, label="m").plan
+        assert plan_key(a) != plan_key(b)
+
+    def test_expression_key_distinguishes_literals(self):
+        assert expression_key(col("a") == 1) != expression_key(col("a") == "1")
+
+
+class TestNodeCostInputs:
+    def test_join_weights_build_side(self, frame):
+        right = DataFrame({"key": ["a", "b"], "w": [1.0, 2.0]})
+        node = Join(Scan(frame), Scan(right), ("key",), ("key",))
+        estimator = StatsEstimator()
+        _, rows, _, _ = node_cost_inputs(node, estimator)
+        assert rows == int(100 + JOIN_BUILD_COST_WEIGHT * 2)
+        flipped = Join(Scan(frame), Scan(right), ("key",), ("key",),
+                       build_side="left")
+        _, rows_flipped, _, _ = node_cost_inputs(flipped, estimator)
+        assert rows_flipped == int(2 + JOIN_BUILD_COST_WEIGHT * 100)
+
+    def test_filescan_format_selects_op_class(self):
+        from repro.plan.logical import FileScan
+
+        estimator = StatsEstimator()
+        assert node_cost_inputs(FileScan("t.parquet", "parquet"), estimator)[0] == "read_parquet"
+        assert node_cost_inputs(FileScan("t.csv", "csv"), estimator)[0] == "read_csv"
+
+    def test_scan_is_not_priced(self, frame):
+        assert node_cost_inputs(Scan(frame), StatsEstimator())[0] is None
+
+
+class TestEstimatePlan:
+    def _plan(self, frame):
+        return (LazyFrame.from_frame(frame)
+                .filter(col("key") == "a")
+                .group_agg("key", {"value": "sum"})).plan
+
+    def test_plan_cost_is_positive_and_itemized(self, frame):
+        cost = CostModel(PAPER_SERVER).estimate_plan(get_profile("polars"),
+                                                     self._plan(frame))
+        assert cost.seconds > 0 and not cost.oom
+        assert len(cost.per_node) == 2  # filter + groupby (scan is free)
+        assert cost.out_stats is not None and cost.out_stats.rows <= 2
+
+    def test_row_scale_increases_cost(self, frame):
+        model = CostModel(PAPER_SERVER)
+        profile = get_profile("polars")
+        small = model.estimate_plan(profile, self._plan(frame))
+        large = model.estimate_plan(profile, self._plan(frame), row_scale=10_000.0)
+        assert large.seconds > small.seconds
+
+    def test_shared_subplans_are_priced_once(self, frame):
+        shared = LazyFrame.from_frame(frame).filter(col("key") == "a").plan
+        joined = Join(shared, shared, ("key",), ("key",))
+        cost = CostModel(PAPER_SERVER).estimate_plan(get_profile("polars"), joined)
+        filters = [label for label, _ in cost.per_node if "filter" in label]
+        assert len(filters) == 1
+
+    def test_oom_is_flagged_not_raised(self, frame):
+        tiny = dataclasses.replace(PAPER_SERVER, name="tiny", ram_gb=1e-6)
+        cost = CostModel(tiny).estimate_plan(get_profile("pandas"),
+                                             self._plan(frame), row_scale=1e6)
+        assert cost.oom
+
+    def test_plan_cost_add_combines(self):
+        from repro.simulate import PlanCost
+
+        a = PlanCost(seconds=1.0, peak_bytes=10, per_node=[("x", 1.0)])
+        b = PlanCost(seconds=2.0, peak_bytes=5, oom=True, per_node=[("y", 2.0)])
+        a.add(b)
+        assert a.seconds == 3.0 and a.peak_bytes == 10 and a.oom
+        assert len(a.per_node) == 2
+
+
+class TestCostBasedRewrites:
+    def test_build_side_annotated_on_smaller_input(self, frame):
+        small = DataFrame({"key": ["a", "b"], "w": [1.0, 2.0]})
+        # small side on the left: the optimizer should flip the build there
+        plan = LazyFrame.from_frame(small).join(
+            LazyFrame.from_frame(frame), on="key").plan
+        optimized = Optimizer().optimize(plan)
+        assert isinstance(optimized, Join) and optimized.build_side == "left"
+        # small side on the right: the default build side is already right
+        plan = LazyFrame.from_frame(frame).join(
+            LazyFrame.from_frame(small), on="key").plan
+        optimized = Optimizer().optimize(plan)
+        assert isinstance(optimized, Join) and optimized.build_side == "right"
+
+    def test_build_side_never_changes_results(self, frame):
+        small = DataFrame({"key": ["a", "b"], "w": [1.0, 2.0]})
+        lazy = LazyFrame.from_frame(small).join(LazyFrame.from_frame(frame), on="key")
+        assert lazy.collect().equals(lazy.collect(optimize_plan=False))
+
+    def test_reordering_reduces_estimated_cost(self, frame):
+        small = DataFrame({"key": ["a", "b"], "w": [1.0, 2.0]})
+        plan = LazyFrame.from_frame(small).join(
+            LazyFrame.from_frame(frame), on="key").plan
+        pricer = Optimizer()
+        with_rule = Optimizer(dataclasses.replace(
+            OptimizerSettings(), projection_pushdown=False)).optimize(plan)
+        without = Optimizer(dataclasses.replace(
+            OptimizerSettings(), projection_pushdown=False,
+            join_reordering=False)).optimize(plan)
+        assert pricer.plan_seconds(with_rule) < pricer.plan_seconds(without)
+
+    def test_common_subplan_elimination_shares_nodes(self, frame):
+        filtered = LazyFrame.from_frame(frame).filter(col("key") == "a")
+        lazy = filtered.join(filtered, on="key", suffix="_dup")
+        optimized = Optimizer().optimize(lazy.plan)
+        assert isinstance(optimized, Join)
+        assert optimized.left is optimized.right
+
+    def test_cse_executes_shared_subplan_once(self, frame):
+        filtered = LazyFrame.from_frame(frame).filter(col("key") == "a")
+        lazy = filtered.join(filtered, on="key", suffix="_dup")
+        out, stats = lazy.collect_with_stats()
+        filters = [op for op in stats.operators if op.operator == "filter"]
+        assert len(filters) == 1  # computed once, reused for both join inputs
+        baseline, base_stats = lazy.collect_with_stats(
+            OptimizerSettings(common_subplan_elimination=False))
+        assert out.equals(baseline)
+        assert len([op for op in base_stats.operators
+                    if op.operator == "filter"]) == 2
+
+    def test_cse_streaming_matches_eager(self, frame):
+        filtered = LazyFrame.from_frame(frame).filter(col("key") == "a")
+        lazy = filtered.join(filtered, on="key", suffix="_dup")
+        streamed, stats = lazy.collect_streaming(batch_rows=16)
+        assert streamed.equals(lazy.collect())
+        filters = [op for op in stats.operators if op.operator == "filter"]
+        assert len(filters) == 1
+
+    def test_cost_based_and_rule_based_agree_on_results(self, frame):
+        lazy = (LazyFrame.from_frame(frame)
+                .with_column("doubled", col("value") * 2)
+                .filter(col("key") == "a")
+                .join(LazyFrame.from_frame(DataFrame({"key": ["a", "b"],
+                                                      "w": [1.0, 2.0]})), on="key")
+                .group_agg("key", {"doubled": "sum"}))
+        rule_based = lazy.collect(dataclasses.replace(OptimizerSettings(),
+                                                      cost_based=False))
+        cost_based = lazy.collect()
+        assert rule_based.equals(cost_based)
+        assert cost_based.equals(lazy.collect(optimize_plan=False))
+
+
+class TestExplainWithStats:
+    def test_annotations_render_rows_and_bytes(self, frame):
+        lazy = LazyFrame.from_frame(frame).filter(col("key") == "a")
+        text = lazy.explain(stats=True)
+        assert "~50 rows" in text and "B]" in text or "KiB" in text
+
+    def test_optimized_explain_prices_nodes(self, frame):
+        lazy = (LazyFrame.from_frame(frame)
+                .filter(col("key") == "a")
+                .group_agg("key", {"value": "sum"}))
+        text = lazy.explain(optimized=True, stats=True)
+        assert "s]" in text  # per-node estimated seconds
+        assert "aggregate" in text
+
+    def test_plain_explain_is_unannotated(self, frame):
+        text = LazyFrame.from_frame(frame).filter(col("key") == "a").explain()
+        assert "~" not in text  # no estimated-rows/bytes annotations
