@@ -1,0 +1,109 @@
+"""Benchmark of the benchmark service: request throughput and latency.
+
+Starts a real :class:`~repro.service.app.BenchmarkService` on an ephemeral
+port and drives it with threaded :class:`~repro.service.client.ServiceClient`
+workers, measuring requests/second and p50/p95 latency for three workloads:
+
+* ``advise`` — pure cost-model estimation, no engine work;
+* ``run`` against a **cold** cache — every unique cell executes once, the
+  stampede is absorbed by the single-flight layer;
+* ``run`` against a **warm** cache — every cell is served from disk.
+
+The numbers land in ``BENCH_service.json`` at the repository root so the
+service's performance trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro import ExperimentConfig
+from repro.service import launch_in_thread
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+_CLIENTS = 8
+_REQUESTS_PER_CLIENT = 4
+
+
+def _drive(handle, call) -> dict:
+    """Fire ``call(client)`` from ``_CLIENTS`` threads; collect latencies."""
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(_CLIENTS)
+
+    def worker() -> None:
+        client = handle.client
+        try:
+            barrier.wait()
+            for _ in range(_REQUESTS_PER_CLIENT):
+                start = time.perf_counter()
+                call(client)
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed)
+        except BaseException as err:  # noqa: BLE001 — surfaced below
+            errors.append(err)
+
+    threads = [threading.Thread(target=worker) for _ in range(_CLIENTS)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    wall = time.perf_counter() - wall_start
+    assert not errors, errors
+    assert len(latencies) == _CLIENTS * _REQUESTS_PER_CLIENT
+    ordered = sorted(latencies)
+    quantiles = statistics.quantiles(ordered, n=20)
+    return {
+        "requests": len(latencies),
+        "wall_seconds": round(wall, 4),
+        "requests_per_second": round(len(latencies) / wall, 2) if wall else None,
+        "p50_ms": round(statistics.median(ordered) * 1000, 2),
+        "p95_ms": round(quantiles[18] * 1000, 2),
+        "max_ms": round(ordered[-1] * 1000, 2),
+    }
+
+
+def test_bench_service(tmp_path):
+    config = ExperimentConfig(scale=0.05, runs=1, datasets=("athlete",),
+                              engines=("pandas", "polars"))
+    with launch_in_thread(config=config, cache=str(tmp_path / "cache"),
+                          workers=8) as handle:
+        advise = _drive(handle, lambda c: c.advise())
+
+        cold = _drive(handle, lambda c: c.run(mode="full", wait=True))
+        service = handle.service
+        unique_cells = len(service.session.plan("full"))
+        # the whole cold stampede executed each unique cell exactly once
+        assert service.cell_executions == unique_cells
+
+        warm = _drive(handle, lambda c: c.run(mode="full", wait=True))
+        assert service.cell_executions == unique_cells  # nothing re-executed
+
+        stats = handle.client.stats()
+
+    payload = {
+        "setup": {"clients": _CLIENTS, "requests_per_client": _REQUESTS_PER_CLIENT,
+                  "workers": 8, "scale": config.scale, "runs": config.runs,
+                  "datasets": list(config.datasets),
+                  "engines": list(config.engines), "unique_cells": unique_cells},
+        "advise": advise,
+        "run_cold_cache": cold,
+        "run_warm_cache": warm,
+        "cell_executions": stats["cell_executions"],
+        "single_flight": stats["single_flight"],
+        "cache": stats["cache"],
+    }
+    _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nservice bench: advise={advise['requests_per_second']}rps "
+          f"run(cold)={cold['requests_per_second']}rps "
+          f"run(warm)={warm['requests_per_second']}rps "
+          f"p95 warm={warm['p95_ms']}ms -> {_BENCH_PATH.name}")
+    assert _BENCH_PATH.exists()

@@ -13,6 +13,7 @@ The package is organized in layers:
 * :mod:`repro.results`     — unified Measurement records and ResultSet;
 * :mod:`repro.sweep`       — sweep scheduler: cells, result cache, worker pools;
 * :mod:`repro.session`     — the Session facade over the whole matrix;
+* :mod:`repro.service`     — benchmark-as-a-service HTTP server and client;
 * :mod:`repro.tpch`        — TPC-H generator, 22 queries and runner;
 * :mod:`repro.experiments` — one driver per table/figure of the paper.
 
@@ -31,7 +32,7 @@ from .session import Session
 from .simulate import LAPTOP, PAPER_SERVER, SERVER, WORKSTATION, MachineConfig
 from .sweep import Cell, SweepCache, SweepScheduler, SweepStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -25,16 +25,26 @@ Examples::
     python -m repro advise --scale 0.05
     python -m repro advise --tpch --queries q03,q06 --explain
 
+    # the benchmark service: run/advise/explain over HTTP from one warm
+    # session, with per-tenant queues and memory budgets
+    python -m repro serve --port 8642 --tenants team-a=4,team-b --memory-limit 8
+
 The selected slice is executed through :class:`repro.Session`; the collected
 :class:`~repro.results.ResultSet` is printed as a seconds table (plus the
 speedup over Pandas when the baseline took part) and can be saved with
 ``--out`` (JSON) and/or ``--csv``.
+
+Exit codes are consistent across subcommands: ``0`` success, ``1`` a run that
+failed or produced no measurements, ``2`` usage errors (including unknown
+subcommands and unknown engines/datasets/queries).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
+from . import __version__
 from .config import ExperimentConfig
 from .experiments.fig8_out_of_core import constrained_machine
 from .experiments.tables import format_table
@@ -53,14 +63,24 @@ _MACHINES = {
 }
 
 
+#: Subcommands accepted after ``python -m repro`` (anything else exits 2).
+_SUBCOMMANDS = ("advise", "serve")
+
+
 def _csv_list(text: str) -> list[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _add_version(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--version", "-V", action="version",
+                        version=f"repro {__version__}")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run a slice of the engine × dataset × pipeline matrix")
+    _add_version(parser)
     parser.add_argument("--mode", default="full",
                         choices=["full", "stage", "core", "read", "write", "tpch"],
                         help="measurement mode (default: full)")
@@ -186,6 +206,7 @@ def build_advise_parser() -> argparse.ArgumentParser:
         prog="python -m repro advise",
         description="Predict the fastest engine × strategy per pipeline "
                     "(cost-model estimation only; nothing is executed)")
+    _add_version(parser)
     parser.add_argument("--engines", type=_csv_list, default=None, metavar="A,B,...",
                         help="candidate engines (default: the paper's engine set)")
     parser.add_argument("--datasets", type=_csv_list, default=None, metavar="A,B,...",
@@ -237,7 +258,7 @@ def _advise(argv: list[str]) -> int:
             # the session config already carries any --datasets narrowing
             reports = session.advise(engines=args.engines)
     except KeyError as err:
-        print(f"error: {err.args[0] if err.args else err}")
+        print(f"error: {err.args[0] if err.args else err}", file=sys.stderr)
         return 2
 
     sections = []
@@ -247,6 +268,94 @@ def _advise(argv: list[str]) -> int:
             section += "\n" + _explain_block(report.plan, report.row_scale)
         sections.append(section)
     print("\n\n".join(sections) if sections else "(nothing to advise on)")
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    from .service import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve run/advise/explain over HTTP from one warm session, "
+                    "with per-tenant queues, memory budgets and the shared "
+                    "sweep cache")
+    _add_version(parser)
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"listen port; 0 picks an ephemeral one "
+                             f"(default: {DEFAULT_PORT})")
+    parser.add_argument("--workers", type=int, default=4, metavar="N",
+                        help="concurrent jobs across all tenants (default: 4)")
+    parser.add_argument("--tenants", type=_csv_list, default=None,
+                        metavar="a=GB,b,...",
+                        help="pre-registered tenants; 'name=GB' caps that "
+                             "tenant's in-flight memory, bare names use "
+                             "--memory-limit (unknown tenants register "
+                             "themselves on first request)")
+    parser.add_argument("--memory-limit", type=float, default=None, metavar="GB",
+                        help="default per-tenant memory budget in GiB; jobs "
+                             "whose estimated peak would exceed it are "
+                             "rejected with HTTP 429 (default: unlimited)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="physical sample scale of the warm session "
+                             "(default: 0.05)")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="simulated repetitions per measurement (default: 1)")
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument("--machine", default="paper-server", choices=sorted(_MACHINES),
+                        help="machine configuration (default: paper-server)")
+    parser.add_argument("--engines", type=_csv_list, default=None, metavar="A,B,...",
+                        help="engine axis of the session (default: the paper's set)")
+    parser.add_argument("--datasets", type=_csv_list, default=None, metavar="A,B,...",
+                        help="dataset axis of the session (default: all four)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent result-cache location (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache (single-flight "
+                             "deduplication still applies)")
+    return parser
+
+
+def _serve(argv: list[str]) -> int:
+    import asyncio
+
+    from .service import BenchmarkService
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    config = ExperimentConfig(scale=args.scale, runs=args.runs, seed=args.seed,
+                              machine=_MACHINES[args.machine])
+    if args.engines:
+        config = config.but(engines=args.engines)
+    if args.datasets:
+        config = config.but(datasets=args.datasets)
+    cache = False if args.no_cache else (args.cache_dir or True)
+    service = BenchmarkService(config, cache=cache, workers=args.workers,
+                               tenants=args.tenants,
+                               memory_budget_gb=args.memory_limit,
+                               host=args.host, port=args.port)
+
+    async def _amain() -> None:
+        await service.start()
+        print(f"repro service listening on http://{service.host}:{service.port} "
+              f"(scale={config.scale:g}, engines={','.join(config.engines)}, "
+              f"datasets={','.join(config.datasets)})", flush=True)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+    except OSError as err:  # e.g. port already in use
+        print(f"error: {err}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -264,11 +373,16 @@ def _indent(text: str, prefix: str = "    ") -> str:
 
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
-        import sys
-
         argv = sys.argv[1:]
-    if argv and argv[0] == "advise":
-        return _advise(argv[1:])
+    if argv and not argv[0].startswith("-"):
+        if argv[0] == "advise":
+            return _advise(argv[1:])
+        if argv[0] == "serve":
+            return _serve(argv[1:])
+        print(f"error: unknown subcommand {argv[0]!r}; expected one of "
+              f"{list(_SUBCOMMANDS)} (or flags for the default sweep — "
+              f"see --help)", file=sys.stderr)
+        return 2
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.resume and args.no_cache:
@@ -303,8 +417,11 @@ def main(argv: list[str] | None = None) -> int:
                                   workers=args.jobs, cache=cache,
                                   executor=args.executor)
     except KeyError as err:
-        print(f"error: {err.args[0] if err.args else err}")
+        print(f"error: {err.args[0] if err.args else err}", file=sys.stderr)
         return 2
+    except Exception as err:  # noqa: BLE001 — a failed run exits 1, not a traceback
+        print(f"error: run failed: {err}", file=sys.stderr)
+        return 1
 
     print(_render(results, args.mode))
     if cache is not None and session.last_sweep is not None:
@@ -315,6 +432,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.csv:
         results.to_csv(args.csv)
         print(f"wrote {len(results)} measurements to {args.csv}")
+    if not results:
+        print("error: the selected slice produced no measurements",
+              file=sys.stderr)
+        return 1
     return 0
 
 

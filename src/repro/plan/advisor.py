@@ -84,6 +84,14 @@ class CandidateEstimate:
             return f"{label}: infeasible ({self.reason})"
         return f"{label}: ~{self.seconds:.3f}s"
 
+    def to_dict(self) -> dict:
+        """JSON-safe record (infinite seconds serialize as ``None``)."""
+        seconds = None if self.seconds == float("inf") else self.seconds
+        return {"engine": self.engine, "strategy": self.strategy,
+                "lazy": self.lazy, "streaming": self.streaming,
+                "seconds": seconds, "feasible": self.feasible,
+                "reason": self.reason}
+
 
 @dataclass
 class AdvisorReport:
@@ -117,6 +125,14 @@ class AdvisorReport:
 
     def sort(self) -> None:
         self.candidates.sort(key=lambda c: (not c.feasible, c.seconds))
+
+    def to_dict(self) -> dict:
+        """JSON document for the service's ``/advise`` endpoint (no plan)."""
+        best = self.best
+        return {"dataset": self.dataset, "pipeline": self.pipeline,
+                "machine": self.machine, "row_scale": self.row_scale,
+                "best": list(best.key) if best is not None else None,
+                "candidates": [c.to_dict() for c in self.candidates]}
 
     def format(self, top: int | None = None) -> str:
         where = "/".join(p for p in (self.dataset, self.pipeline) if p)

@@ -66,6 +66,15 @@ class Measurement:
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
 
+    def to_json(self) -> str:
+        """One compact, newline-free JSON line.
+
+        This is the incremental serialization unit: the service streams each
+        measurement as one NDJSON line the moment its cell completes, and
+        :meth:`ResultSet.from_ndjson` reassembles the stream losslessly.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Measurement":
         if "engine" not in data:
@@ -379,6 +388,25 @@ class ResultSet:
         payload = json.loads(text)
         records = payload["measurements"] if isinstance(payload, Mapping) else payload
         return cls.from_records(records)
+
+    def to_ndjson(self, path: "str | Path | None" = None) -> str:
+        """Newline-delimited JSON: one :meth:`Measurement.to_json` line per row.
+
+        Unlike :meth:`to_json`, the output is valid after any prefix of its
+        lines, so it can be produced (and consumed) incrementally — this is
+        the service's streaming format.
+        """
+        text = "".join(m.to_json() + "\n" for m in self.measurements)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_ndjson(cls, source: "str | Path") -> "ResultSet":
+        """Load from an NDJSON file path or NDJSON text (blank lines skipped)."""
+        text = read_path_or_content(source, kind="result-set NDJSON")
+        return cls.from_records(json.loads(line)
+                                for line in text.splitlines() if line.strip())
 
     def to_csv(self, path: "str | Path | None" = None) -> str:
         names = [f.name for f in fields(Measurement)]

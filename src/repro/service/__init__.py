@@ -1,0 +1,43 @@
+"""Benchmark-as-a-service: an async HTTP/JSON server over the shared sweep cache.
+
+``repro.service`` turns the single-shot :class:`~repro.session.Session` into
+the paper's product shape — a long-running decision aid serving "which
+dataframe engine should I use for this pipeline?" to many concurrent clients:
+
+* :class:`~repro.service.app.BenchmarkService` — the asyncio server
+  (``POST /run``/``/advise``/``/explain``, job status and NDJSON result
+  streaming, health and stats) over one warm session;
+* :class:`~repro.service.scheduler.JobScheduler` — per-tenant FIFO queues,
+  fair round-robin dispatch onto a bounded worker pool, and memory-model
+  admission control (over-budget tenants get 429, others are unaffected);
+* :class:`~repro.service.singleflight.SingleFlight` — cache-stampede
+  protection keyed on cell content hashes: identical concurrent requests
+  execute each unique cell exactly once and share the result through the
+  persistent :class:`~repro.sweep.cache.SweepCache`;
+* :class:`~repro.service.client.ServiceClient` — a thin stdlib HTTP client
+  used by the tests, the CI smoke job and the service benchmark.
+
+Start a server with ``python -m repro serve`` or embed one with
+:func:`~repro.service.app.launch_in_thread`.
+"""
+
+from .app import DEFAULT_PORT, BenchmarkService, ServiceHandle, launch_in_thread
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobStore
+from .scheduler import JobScheduler, MemoryBudgetExceeded, Tenant
+from .singleflight import SingleFlight
+
+__all__ = [
+    "BenchmarkService",
+    "ServiceHandle",
+    "ServiceClient",
+    "ServiceError",
+    "Job",
+    "JobStore",
+    "JobScheduler",
+    "MemoryBudgetExceeded",
+    "Tenant",
+    "SingleFlight",
+    "DEFAULT_PORT",
+    "launch_in_thread",
+]

@@ -1,0 +1,443 @@
+"""The benchmark service: one warm :class:`~repro.session.Session` behind HTTP.
+
+``BenchmarkService`` is the paper's decision aid turned into a long-running
+product: a single warm session (datasets generated, engines built) serves
+``run``/``advise``/``explain`` requests from many concurrent clients over the
+shared sweep cache.  The architecture is sync-core / async-edge: all engine
+and session work stays synchronous and runs in worker threads via
+``asyncio.to_thread``; the event loop only parses HTTP, schedules jobs and
+streams results.
+
+Endpoints
+---------
+
+* ``POST /run``     — sweep a matrix slice (``mode``/``engines``/``datasets``/
+  ``pipelines``/``lazy``/``streaming`` as in :meth:`Session.run`).  Returns
+  ``202`` with a job id by default, or the full result with ``"wait": true``.
+* ``POST /advise``  — rank engine × strategy candidates (cost model only,
+  nothing executed).  Waits by default.
+* ``POST /explain`` — annotated pre/post-optimization logical plans for a
+  dataset's pipelines.  Waits by default.
+* ``GET /jobs/<id>``        — job summary (and result once done).
+* ``GET /jobs/<id>/stream`` — NDJSON event stream: one line per completed
+  cell as the sweep progresses, terminated by an ``end`` summary line.
+* ``GET /healthz`` / ``GET /stats`` — liveness and counters (jobs, tenants,
+  cache, single-flight).
+
+Every request names a tenant (default ``"public"``).  Tenants get their own
+FIFO queue, fair round-robin dispatch and a memory budget enforced through
+the :class:`~repro.simulate.memory.MemoryModel` *before* admission: a job
+whose estimated peak would push its tenant over budget is rejected with HTTP
+429 and never touches the worker pool.  Identical concurrent cells are
+deduplicated by the :class:`~repro.service.singleflight.SingleFlight` layer
+keyed on cell content hashes, so a stampede of identical requests executes
+each unique cell exactly once and shares the result through the
+:class:`~repro.sweep.cache.SweepCache`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Mapping, Sequence
+
+from .. import __version__
+from ..config import ExperimentConfig
+from ..engines.base import EngineUnavailableError
+from ..session import _MODE_ALIASES, Session
+from ..simulate.memory import MemoryModel, SimulatedOOMError
+from ..sweep import PlannedCell, resolve_cache
+from .http import HTTPError, NDJSONStream, Request, Response, serve_connection
+from .jobs import Job, JobStore
+from .scheduler import JobScheduler, MemoryBudgetExceeded
+from .singleflight import SingleFlight
+
+__all__ = ["BenchmarkService", "ServiceHandle", "launch_in_thread", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8642
+_GIB = 1024 ** 3
+
+#: Fraction of the dataset the heaviest pipeline operator is assumed to touch
+#: when estimating a run job's peak for admission (mirrors
+#: :meth:`MemoryModel.fits_pipeline`'s default heavy-op fraction).
+_HEAVY_OP_FRACTION = 0.3
+
+
+def _parse_tenants(tenants: "Sequence[str] | Mapping[str, float | None] | None"
+                   ) -> "dict[str, float | None]":
+    """Normalize the tenants argument to ``{name: budget_gb_or_None}``.
+
+    Accepts a mapping, or an iterable of names where each name may carry an
+    inline budget as ``name=GiB`` (the ``--tenants a=2,b`` CLI form).
+    """
+    if tenants is None:
+        return {}
+    if isinstance(tenants, Mapping):
+        return dict(tenants)
+    out: "dict[str, float | None]" = {}
+    for item in tenants:
+        name, _, budget = str(item).partition("=")
+        out[name.strip()] = float(budget) if budget else None
+    return out
+
+
+class BenchmarkService:
+    """A multi-tenant benchmark-as-a-service server over one warm session."""
+
+    def __init__(self, config: "ExperimentConfig | None" = None, *,
+                 session: "Session | None" = None,
+                 cache: "bool | str | object | None" = True,
+                 workers: int = 4,
+                 tenants: "Sequence[str] | Mapping[str, float | None] | None" = None,
+                 memory_budget_gb: "float | None" = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.session = session if session is not None else Session(
+            config or ExperimentConfig(scale=0.05, runs=1))
+        self.cache = resolve_cache(cache)
+        self.flight = SingleFlight()
+        self.jobs = JobStore()
+        default_budget = int(memory_budget_gb * _GIB) if memory_budget_gb else None
+        self.scheduler = JobScheduler(self._execute_job, workers=workers,
+                                      default_budget_bytes=default_budget)
+        for name, budget_gb in _parse_tenants(tenants).items():
+            budget = int(budget_gb * _GIB) if budget_gb is not None else default_budget
+            self.scheduler.tenant(name, budget_bytes=budget)
+        self.host = host
+        self.port = port
+        self.requests = 0
+        #: Cells whose thunk actually ran (the "exactly once" counter: cache
+        #: hits and single-flight followers never increment it).
+        self.cell_executions = 0
+        self._exec_lock = threading.Lock()
+        self._server: "asyncio.base_events.Server | None" = None
+        self.started_at: "float | None" = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self, *, warm: bool = True) -> "BenchmarkService":
+        """Warm the session, start the scheduler and bind the listener."""
+        if warm:
+            await asyncio.to_thread(self.session.warm)
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(self._on_connection,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        await serve_connection(self._dispatch, reader, writer)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: Request) -> "Response | NDJSONStream":
+        self.requests += 1
+        parts = [p for p in request.path.split("/") if p]
+        if request.path == "/healthz":
+            self._require(request, "GET")
+            return Response(payload={"ok": True, "version": __version__,
+                                     "uptime_seconds": self._uptime()})
+        if request.path == "/stats":
+            self._require(request, "GET")
+            return Response(payload=self.stats())
+        if parts and parts[0] == "jobs":
+            self._require(request, "GET")
+            if len(parts) == 2:
+                return self._job_response(parts[1], request)
+            if len(parts) == 3 and parts[2] == "stream":
+                return NDJSONStream(self._job(parts[1]).follow())
+            raise HTTPError(404, f"no such resource: {request.path}")
+        if len(parts) == 1 and parts[0] in ("run", "advise", "explain"):
+            self._require(request, "POST")
+            return await self._submit(parts[0], request)
+        raise HTTPError(404, f"no such resource: {request.path}")
+
+    @staticmethod
+    def _require(request: Request, method: str) -> None:
+        if request.method != method:
+            raise HTTPError(405, f"{request.path} only accepts {method}")
+
+    def _job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HTTPError(404, f"unknown job {job_id!r}")
+        return job
+
+    def _job_response(self, job_id: str, request: Request) -> Response:
+        job = self._job(job_id)
+        payload: dict[str, Any] = {"job": job.to_dict()}
+        if job.state == "done" and request.query.get("result", "1") != "0":
+            payload["result"] = job.result
+        return Response(payload=payload)
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    async def _submit(self, kind: str, request: Request) -> Response:
+        body = request.json()
+        tenant = str(body.get("tenant") or "public")
+        wait = bool(body.get("wait", kind != "run"))
+        params = {k: v for k, v in body.items() if k not in ("tenant", "wait")}
+        self._validate(kind, params)
+        job = self.jobs.create(tenant=tenant, kind=kind, params=params)
+        if kind == "run":
+            job.estimated_bytes = await asyncio.to_thread(
+                self._estimate_run_bytes, params)
+        try:
+            self.scheduler.submit(job)
+        except MemoryBudgetExceeded as err:
+            raise HTTPError(429, str(err), job=job.to_dict()) from None
+        if not wait:
+            return Response(status=202, payload={"job": job.to_dict()})
+        await job.wait()
+        if job.state == "failed":
+            raise HTTPError(500, job.error, job=job.to_dict())
+        return Response(payload={"job": job.to_dict(), "result": job.result})
+
+    @staticmethod
+    def _validate(kind: str, params: "Mapping[str, Any]") -> None:
+        if kind == "run":
+            mode = params.get("mode", "full")
+            if mode not in _MODE_ALIASES or _MODE_ALIASES[mode] == "tpch":
+                raise HTTPError(400, f"unknown run mode {mode!r}; expected one of "
+                                     f"{sorted(m for m in _MODE_ALIASES if m != 'tpch')}")
+        if kind == "explain" and not params.get("dataset"):
+            raise HTTPError(400, "explain needs a 'dataset' (and optional 'pipeline')")
+
+    def _estimate_run_bytes(self, params: "Mapping[str, Any]") -> int:
+        """Memory-model peak of the worst cell of a run request.
+
+        Cells execute sequentially within one job, so the job's footprint is
+        the maximum — not the sum — over its (dataset, engine) combinations.
+        Engines unavailable on this machine contribute nothing; predicted
+        OOMs still count their required bytes (an admitted job may legally
+        *measure* an OOM, but it must fit the tenant's budget to try).
+        """
+        session = self.session
+        model = MemoryModel(session.config.machine)
+        datasets = params.get("datasets") or list(session.config.datasets)
+        engines = params.get("engines") or list(session.engines)
+        peak = 0
+        for dataset in datasets:
+            sim = session.context_for(dataset)
+            heavy_bytes = int(sim.dataset_bytes * _HEAVY_OP_FRACTION)
+            for engine_name in engines:
+                try:
+                    profile = session._engine(engine_name).profile
+                except EngineUnavailableError:
+                    continue
+                try:
+                    outcome = model.assess(profile, "pipeline", heavy_bytes,
+                                           sim.dataset_bytes, pipeline_scope=True)
+                    required = outcome.peak_bytes + outcome.spilled_bytes
+                except SimulatedOOMError as err:
+                    required = err.required_bytes
+                peak = max(peak, required)
+        return peak
+
+    # ------------------------------------------------------------------ #
+    # job execution (runs on the loop; blocking work goes to threads)
+    # ------------------------------------------------------------------ #
+    async def _execute_job(self, job: Job) -> Any:
+        if job.kind == "advise":
+            return await asyncio.to_thread(self._advise, job.params)
+        if job.kind == "explain":
+            return await asyncio.to_thread(self._explain, job.params)
+        return await self._run_sweep(job)
+
+    async def _run_sweep(self, job: Job) -> dict[str, Any]:
+        plan = await asyncio.to_thread(self._plan, job.params)
+        job.total_cells = len(plan)
+        job.add_event({"event": "planned", "cells": len(plan)})
+        measurements: list[dict[str, Any]] = []
+        for index, planned in enumerate(plan):
+            records, source = await self._execute_cell(planned)
+            job.count_cell(source)
+            measurements.extend(records)
+            job.add_event({"event": "cell", "index": index,
+                           "cell": planned.cell.label(),
+                           "cell_id": planned.cell.cell_id, "source": source,
+                           "measurements": records})
+        return {"measurements": measurements,
+                "cells": {"total": job.total_cells, "executed": job.executed,
+                          "cached": job.cached, "shared": job.shared}}
+
+    def _plan(self, params: "Mapping[str, Any]") -> "list[PlannedCell]":
+        kwargs: dict[str, Any] = {}
+        for key in ("engines", "datasets", "pipelines", "formats", "stages"):
+            if params.get(key) is not None:
+                kwargs[key] = list(params[key])
+        for key in ("lazy", "streaming"):
+            if key in params:
+                kwargs[key] = params[key]
+        return self.session.plan(params.get("mode", "full"), **kwargs)
+
+    async def _execute_cell(self, planned: PlannedCell
+                            ) -> "tuple[list[dict[str, Any]], str]":
+        """One cell's records and how they were obtained (executed/cache/shared)."""
+        if self.cache is not None:
+            hit = await asyncio.to_thread(self.cache.load, planned.cell)
+            if hit is not None:
+                return [m.to_dict() for m in hit], "cache"
+        result, shared = await self.flight.run(
+            planned.cell.cell_id, lambda: self._execute_and_store(planned))
+        return [m.to_dict() for m in result], "shared" if shared else "executed"
+
+    def _execute_and_store(self, planned: PlannedCell):
+        # Re-check the cache inside the flight: a caller that missed the cache
+        # just before a previous flight stored the cell must not re-execute.
+        if self.cache is not None:
+            hit = self.cache.load(planned.cell)
+            if hit is not None:
+                return hit
+        measurements = planned.execute()
+        with self._exec_lock:
+            self.cell_executions += 1
+        if self.cache is not None:
+            self.cache.store(planned.cell, measurements)
+        return measurements
+
+    # ------------------------------------------------------------------ #
+    def _advise(self, params: "Mapping[str, Any]") -> dict[str, Any]:
+        if params.get("tpch"):
+            reports = self.session.advise_tpch(engines=params.get("engines"),
+                                               queries=params.get("queries"))
+        else:
+            reports = self.session.advise(engines=params.get("engines"),
+                                          datasets=params.get("datasets"),
+                                          pipelines=params.get("pipelines"))
+        return {"reports": [report.to_dict() for report in reports]}
+
+    def _explain(self, params: "Mapping[str, Any]") -> dict[str, Any]:
+        from ..plan.advisor import pipeline_plan
+
+        session = self.session
+        dataset = str(params["dataset"])
+        generated = session.dataset(dataset)
+        sim = session.context_for(dataset)
+        wanted = params.get("pipeline")
+        pipelines = session._select_pipelines(
+            dataset, [wanted] if wanted is not None else None)
+        plans = []
+        for pipeline in pipelines:
+            lazy = pipeline_plan(generated.frame, pipeline)
+            plans.append({
+                "dataset": dataset, "pipeline": pipeline.name,
+                "unoptimized": lazy.explain(stats=True, row_scale=sim.row_scale),
+                "optimized": lazy.explain(optimized=True, stats=True,
+                                          row_scale=sim.row_scale),
+            })
+        return {"plans": plans}
+
+    # ------------------------------------------------------------------ #
+    def _uptime(self) -> "float | None":
+        return None if self.started_at is None else time.time() - self.started_at
+
+    def stats(self) -> dict[str, Any]:
+        config = self.session.config
+        return {
+            "ok": True,
+            "version": __version__,
+            "uptime_seconds": self._uptime(),
+            "requests": self.requests,
+            "cell_executions": self.cell_executions,
+            "jobs": self.jobs.counts(),
+            "scheduler": self.scheduler.stats(),
+            "single_flight": self.flight.stats(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "session": {"scale": config.scale, "runs": config.runs,
+                        "machine": config.machine.name,
+                        "engines": list(config.engines),
+                        "datasets": list(config.datasets)},
+        }
+
+
+# --------------------------------------------------------------------------- #
+# embedding helper: run a service in a background thread (tests, CI, benches)
+# --------------------------------------------------------------------------- #
+class ServiceHandle:
+    """A service running on its own event loop in a daemon thread."""
+
+    def __init__(self, **kwargs: Any):
+        self._kwargs = kwargs
+        self.service: "BenchmarkService | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stop: "asyncio.Event | None" = None
+        self._ready = threading.Event()
+        self._error: "BaseException | None" = None
+        self._thread = threading.Thread(target=self._main, daemon=True,
+                                        name="repro-service")
+
+    def start(self, timeout: float = 60.0) -> "ServiceHandle":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("service did not come up in time")
+        if self._error is not None:
+            raise RuntimeError(f"service failed to start: {self._error}") from self._error
+        return self
+
+    def _main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.service = await BenchmarkService(**self._kwargs).start()
+        except BaseException as err:  # noqa: BLE001 — reported to the caller
+            self._error = err
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.stop()
+
+    @property
+    def port(self) -> int:
+        assert self.service is not None
+        return self.service.port
+
+    @property
+    def client(self):
+        from .client import ServiceClient
+
+        assert self.service is not None
+        return ServiceClient(host=self.service.host, port=self.service.port)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def launch_in_thread(*, timeout: float = 60.0, **kwargs: Any) -> ServiceHandle:
+    """Start a :class:`BenchmarkService` in a daemon thread and wait for it.
+
+    Keyword arguments are forwarded to the service constructor.  Returns a
+    :class:`ServiceHandle` exposing ``.service``, ``.port``, a ready-made
+    ``.client`` and ``.stop()`` (also usable as a context manager).
+    """
+    return ServiceHandle(**kwargs).start(timeout)

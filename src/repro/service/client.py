@@ -1,0 +1,160 @@
+"""A thin blocking HTTP client for the benchmark service (stdlib only).
+
+Used by the test suite, the CI smoke job and the service benchmark; it is
+also the reference for talking to the server from any other HTTP client.
+One connection per request (the server is ``Connection: close``), JSON in,
+JSON out; ``stream()`` iterates the NDJSON event lines of a running job.
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(port=8642)
+    client.wait_until_ready()
+    result = client.run(mode="full", engines=["pandas", "polars"],
+                        datasets=["athlete"], wait=True)
+    reports = client.advise(datasets=["athlete"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Iterator, Mapping
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str, payload: "Mapping[str, Any] | None" = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.payload = dict(payload or {})
+
+
+class ServiceClient:
+    """Blocking JSON client for one :class:`~repro.service.app.BenchmarkService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def request(self, method: str, path: str,
+                payload: "Mapping[str, Any] | None" = None) -> dict[str, Any]:
+        """One request → the parsed JSON document (raises on non-2xx)."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            document = self._decode(response.read())
+            if response.status >= 400:
+                error = document.get("error", {}) if isinstance(document, dict) else {}
+                raise ServiceError(response.status,
+                                   error.get("message", "request failed"), document)
+            return document
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _decode(raw: bytes) -> dict[str, Any]:
+        try:
+            return json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            return {"raw": raw.decode("utf-8", "replace")}
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def run(self, *, tenant: str = "public", wait: bool = True,
+            **params: Any) -> dict[str, Any]:
+        """Submit a sweep (``mode``/``engines``/``datasets``/``lazy``/...).
+
+        With ``wait=True`` (default) blocks until done and returns
+        ``{"job": ..., "result": {"measurements": [...], "cells": ...}}``;
+        with ``wait=False`` returns the 202 job summary immediately.
+        """
+        return self.request("POST", "/run",
+                            {"tenant": tenant, "wait": wait, **params})
+
+    def advise(self, *, tenant: str = "public", wait: bool = True,
+               **params: Any) -> dict[str, Any]:
+        return self.request("POST", "/advise",
+                            {"tenant": tenant, "wait": wait, **params})
+
+    def explain(self, dataset: str, pipeline: "str | None" = None, *,
+                tenant: str = "public", **params: Any) -> dict[str, Any]:
+        body: dict[str, Any] = {"tenant": tenant, "dataset": dataset, **params}
+        if pipeline is not None:
+            body["pipeline"] = pipeline
+        return self.request("POST", "/explain", body)
+
+    def job(self, job_id: str, *, result: bool = True) -> dict[str, Any]:
+        suffix = "" if result else "?result=0"
+        return self.request("GET", f"/jobs/{job_id}{suffix}")
+
+    def wait_for_job(self, job_id: str, *, poll_seconds: float = 0.05,
+                     timeout: float = 120.0) -> dict[str, Any]:
+        """Poll ``/jobs/<id>`` until the job leaves the queued/running states."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["job"]["state"] not in ("queued", "running"):
+                return document
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {document['job']['state']} "
+                                   f"after {timeout}s")
+            time.sleep(poll_seconds)
+
+    def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield the NDJSON event lines of a job until its ``end`` line."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                document = self._decode(response.read())
+                error = document.get("error", {}) if isinstance(document, dict) else {}
+                raise ServiceError(response.status,
+                                   error.get("message", "stream failed"), document)
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------ #
+    def wait_until_ready(self, timeout: float = 60.0,
+                         poll_seconds: float = 0.2) -> dict[str, Any]:
+        """Block until ``/healthz`` answers (for freshly-spawned servers)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (ConnectionError, socket.timeout, OSError, ServiceError):
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"service at {self.host}:{self.port} not ready "
+                        f"after {timeout}s") from None
+                time.sleep(poll_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ServiceClient({self.host!r}, port={self.port})"

@@ -1,0 +1,194 @@
+"""A tiny HTTP/1.1 layer over :mod:`asyncio` streams — no dependencies.
+
+The benchmark service speaks plain HTTP/JSON so any client (curl, a browser,
+the bundled :mod:`repro.service.client`) can talk to it, but it deliberately
+implements only the slice of the protocol it needs:
+
+* requests are parsed into a :class:`Request` (method, path, query string,
+  headers, body) with hard caps on header count and body size;
+* handlers return a :class:`Response` (a JSON document) or an
+  :class:`NDJSONStream` (an async iterator of JSON-able dicts written as one
+  line each — the ``/jobs/<id>/stream`` incremental-results format);
+* every connection is ``Connection: close``: one request, one response, no
+  keep-alive state machine.  Streams carry no ``Content-Length`` and are
+  terminated by the close, which is what lets clients read incremental
+  results line-by-line until EOF.
+
+Handler errors surface as JSON error documents: raise :class:`HTTPError` for
+a deliberate status (400/404/429/...), anything else becomes a 500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable, Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["Request", "Response", "NDJSONStream", "HTTPError", "serve_connection"]
+
+#: Upper bounds keeping a single malformed client from exhausting the server.
+MAX_HEADER_LINES = 100
+MAX_LINE_BYTES = 16 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class HTTPError(Exception):
+    """A deliberate HTTP failure raised by handlers (becomes a JSON error)."""
+
+    def __init__(self, status: int, message: str, **extra: Any):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.extra = extra
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict[str, Any]:
+        """The body as a JSON object (empty body → ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as err:
+            raise HTTPError(400, f"request body is not valid JSON: {err}") from None
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        return payload
+
+
+@dataclass
+class Response:
+    """A JSON response document."""
+
+    status: int = 200
+    payload: "Mapping[str, Any] | None" = None
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class NDJSONStream:
+    """A streamed response: one JSON document per line, closed at the end."""
+
+    lines: AsyncIterator[Mapping[str, Any]]
+    status: int = 200
+
+
+Handler = Callable[[Request], "Awaitable[Response | NDJSONStream]"]
+
+
+async def _read_request(reader: asyncio.StreamReader) -> "Request | None":
+    """Parse one request off the wire (``None`` when the peer closed first)."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].upper().startswith("HTTP/"):
+        raise HTTPError(400, f"malformed request line: {request_line!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_LINES):
+        line = await reader.readline()
+        if len(line) > MAX_LINE_BYTES:
+            raise HTTPError(400, "header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HTTPError(400, "too many header lines")
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HTTPError(400, f"bad Content-Length: {length!r}") from None
+        if n > MAX_BODY_BYTES:
+            raise HTTPError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(n) if n else b""
+    return Request(method=method, path=split.path or "/", query=query,
+                   headers=headers, body=body)
+
+
+def _encode_head(status: int, headers: "Mapping[str, str]") -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def _write_json(writer: asyncio.StreamWriter, response: Response) -> None:
+    body = json.dumps(dict(response.payload or {}), indent=2).encode("utf-8") + b"\n"
+    headers = {"Content-Type": "application/json",
+               "Content-Length": str(len(body)),
+               "Connection": "close", **response.headers}
+    writer.write(_encode_head(response.status, headers) + body)
+    await writer.drain()
+
+
+async def _write_stream(writer: asyncio.StreamWriter, stream: NDJSONStream) -> None:
+    headers = {"Content-Type": "application/x-ndjson", "Connection": "close"}
+    writer.write(_encode_head(stream.status, headers))
+    await writer.drain()
+    async for line in stream.lines:
+        writer.write(json.dumps(dict(line)).encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+def _error_response(err: HTTPError) -> Response:
+    payload = {"error": {"status": err.status, "message": err.message, **err.extra}}
+    return Response(status=err.status, payload=payload)
+
+
+async def serve_connection(handler: Handler, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+    """Serve one request on one connection, then close it."""
+    try:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            response = await handler(request)
+        except HTTPError as err:
+            response = _error_response(err)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # the peer went away mid-request; nothing to answer
+        except Exception as err:  # noqa: BLE001 — a handler bug must not kill the server
+            response = _error_response(HTTPError(500, f"{type(err).__name__}: {err}"))
+        try:
+            if isinstance(response, NDJSONStream):
+                await _write_stream(writer, response)
+            else:
+                await _write_json(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # the peer hung up mid-response (or the server is stopping)
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

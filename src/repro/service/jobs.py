@@ -1,0 +1,184 @@
+"""Job records of the benchmark service.
+
+Every API request that does work — ``run``, ``advise``, ``explain`` — becomes
+one :class:`Job`: a tenant-owned unit the scheduler queues, dispatches and
+accounts.  Jobs expose their lifecycle twice:
+
+* as a summary document (:meth:`Job.to_dict`) served by ``GET /jobs/<id>``;
+* as an append-only event log (:meth:`Job.add_event` / :meth:`Job.follow`)
+  streamed by ``GET /jobs/<id>/stream`` as NDJSON — one event per completed
+  cell, so clients see incremental results while a sweep is still running.
+
+All mutation happens on the service's event loop, so no locking is needed;
+:meth:`Job.follow` uses the swap-an-Event pattern to wake any number of
+concurrent stream readers without missing appends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from typing import Any, AsyncIterator, Mapping
+
+__all__ = ["Job", "JobStore", "JOB_STATES"]
+
+#: Lifecycle: queued → running → done | failed; rejected never ran.
+JOB_STATES = ("queued", "running", "done", "failed", "rejected")
+
+
+class Job:
+    """One unit of service work: a run sweep, an advise call or an explain."""
+
+    def __init__(self, job_id: str, tenant: str, kind: str,
+                 params: "Mapping[str, Any] | None" = None):
+        self.id = job_id
+        self.tenant = tenant
+        self.kind = kind
+        self.params = dict(params or {})
+        self.state = "queued"
+        self.created = time.time()
+        self.started: "float | None" = None
+        self.finished: "float | None" = None
+        #: Peak bytes the memory model predicts for this job (admission unit).
+        self.estimated_bytes = 0
+        self.total_cells = 0
+        #: Per-source cell counters (how each cell's result was obtained).
+        self.executed = 0
+        self.cached = 0
+        self.shared = 0
+        self.error = ""
+        self.result: Any = None
+        self.events: list[dict[str, Any]] = []
+        self._done = asyncio.Event()
+        self._change = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed", "rejected")
+
+    @property
+    def wall_seconds(self) -> "float | None":
+        if self.started is None:
+            return None
+        return (self.finished or time.time()) - self.started
+
+    def mark_running(self) -> None:
+        self.state = "running"
+        self.started = time.time()
+        self._notify()
+
+    def count_cell(self, source: str) -> None:
+        """Account one completed cell by its result source."""
+        if source == "cache":
+            self.cached += 1
+        elif source == "shared":
+            self.shared += 1
+        else:
+            self.executed += 1
+
+    def add_event(self, event: "Mapping[str, Any]") -> None:
+        self.events.append({"job": self.id, **event})
+        self._notify()
+
+    def finish(self, state: str, result: Any = None, error: str = "") -> None:
+        self.state = state
+        self.finished = time.time()
+        self.result = result
+        self.error = error
+        self._notify()
+        self._done.set()
+
+    def _notify(self) -> None:
+        # swap-and-set: every reader holding the old Event wakes exactly once
+        previous, self._change = self._change, asyncio.Event()
+        previous.set()
+
+    # ------------------------------------------------------------------ #
+    async def wait(self) -> "Job":
+        await self._done.wait()
+        return self
+
+    async def follow(self, from_index: int = 0) -> AsyncIterator[dict[str, Any]]:
+        """Yield events as they are appended, ending once the job is done.
+
+        Replays history first, so following a finished job returns its full
+        event log.  The final yielded line is an ``end`` event carrying the
+        job summary.
+        """
+        index = from_index
+        while True:
+            change = self._change  # snapshot before draining, so no append is lost
+            while index < len(self.events):
+                yield self.events[index]
+                index += 1
+            if self.done:
+                break
+            await change.wait()
+        yield {"job": self.id, "event": "end", "summary": self.to_dict()}
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "id": self.id, "tenant": self.tenant, "kind": self.kind,
+            "state": self.state, "params": dict(self.params),
+            "created": self.created, "started": self.started,
+            "finished": self.finished, "wall_seconds": self.wall_seconds,
+            "estimated_bytes": self.estimated_bytes,
+            "cells": {"total": self.total_cells, "executed": self.executed,
+                      "cached": self.cached, "shared": self.shared},
+            "events": len(self.events),
+        }
+        if self.error:
+            out["error"] = self.error
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Job({self.id!r}, tenant={self.tenant!r}, kind={self.kind!r}, state={self.state!r})"
+
+
+class JobStore:
+    """Ordered id → :class:`Job` registry with bounded retention.
+
+    Finished jobs beyond ``keep_finished`` are evicted oldest-first, so a
+    long-running server does not accumulate every job it ever served; live
+    (queued/running) jobs are never evicted.
+    """
+
+    def __init__(self, keep_finished: int = 512):
+        self.keep_finished = keep_finished
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._counter = 0
+        self.created_total = 0
+
+    def create(self, tenant: str, kind: str,
+               params: "Mapping[str, Any] | None" = None) -> Job:
+        self._counter += 1
+        self.created_total += 1
+        job = Job(f"job-{self._counter:06d}", tenant=tenant, kind=kind, params=params)
+        self._jobs[job.id] = job
+        self._evict()
+        return job
+
+    def get(self, job_id: str) -> "Job | None":
+        return self._jobs.get(job_id)
+
+    def _evict(self) -> None:
+        finished = [job_id for job_id, job in self._jobs.items() if job.done]
+        for job_id in finished[:max(0, len(finished) - self.keep_finished)]:
+            del self._jobs[job_id]
+
+    def counts(self) -> dict[str, int]:
+        """Jobs currently retained, by state (plus the lifetime total)."""
+        out = {state: 0 for state in JOB_STATES}
+        for job in self._jobs.values():
+            out[job.state] = out.get(job.state, 0) + 1
+        out["total_created"] = self.created_total
+        return out
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return iter(self._jobs.values())

@@ -1,0 +1,193 @@
+"""Multi-tenant job scheduling: per-tenant queues, fair dispatch, budgets.
+
+The service must behave when "millions of users" share one machine, which
+means three properties the plain ``asyncio`` task soup does not give you:
+
+* **isolation** — every tenant owns a FIFO queue; one tenant flooding the
+  server queues behind itself, not in front of everyone else;
+* **fairness** — a single dispatcher drains the queues round-robin onto a
+  bounded worker pool, so K tenants with pending jobs each get ~1/K of the
+  worker slots regardless of arrival order;
+* **admission control** — a ``run`` job is charged its memory-model estimate
+  (:meth:`repro.service.app.BenchmarkService._estimate_run_bytes`) against
+  its tenant's budget for as long as it is queued or running.  A job that
+  would push its tenant over budget is rejected at submit time
+  (:class:`MemoryBudgetExceeded` → HTTP 429) without touching anyone else's
+  queue — the over-budget tenant degrades, the machine does not.
+
+Everything here runs on the event loop; the actual blocking work happens
+inside the ``runner`` coroutine the service provides (which uses
+``asyncio.to_thread`` around ``Session`` work).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+from .jobs import Job
+
+__all__ = ["Tenant", "JobScheduler", "MemoryBudgetExceeded"]
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """A job's estimated memory would push its tenant over budget."""
+
+    def __init__(self, tenant: str, requested_bytes: int, committed_bytes: int,
+                 budget_bytes: int):
+        self.tenant = tenant
+        self.requested_bytes = requested_bytes
+        self.committed_bytes = committed_bytes
+        self.budget_bytes = budget_bytes
+        gib = 1024 ** 3
+        super().__init__(
+            f"tenant {tenant!r} over memory budget: job needs "
+            f"{requested_bytes / gib:.3f} GiB with {committed_bytes / gib:.3f} GiB "
+            f"already committed, budget is {budget_bytes / gib:.3f} GiB")
+
+
+@dataclass
+class Tenant:
+    """Per-tenant queue and accounting."""
+
+    name: str
+    #: ``None`` = unlimited.
+    budget_bytes: "int | None" = None
+    #: Sum of the estimates of this tenant's queued + running jobs.
+    committed_bytes: int = 0
+    queue: "deque[Job]" = field(default_factory=deque)
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "budget_bytes": self.budget_bytes,
+                "committed_bytes": self.committed_bytes,
+                "queued": len(self.queue), "submitted": self.submitted,
+                "rejected": self.rejected, "completed": self.completed}
+
+
+class JobScheduler:
+    """Fair round-robin dispatch of tenant jobs onto a bounded worker pool."""
+
+    def __init__(self, runner: Callable[[Job], Awaitable[Any]], *,
+                 workers: int = 4, default_budget_bytes: "int | None" = None):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._runner = runner
+        self.workers = workers
+        self.default_budget_bytes = default_budget_bytes
+        self.tenants: dict[str, Tenant] = {}
+        self._order: list[str] = []
+        self._next = 0
+        self._queued = asyncio.Event()
+        self._slots = asyncio.Semaphore(workers)
+        self._dispatcher: "asyncio.Task | None" = None
+        self._running: "set[asyncio.Task]" = set()
+        self.dispatched = 0
+
+    # ------------------------------------------------------------------ #
+    def tenant(self, name: str, budget_bytes: "int | None | object" = ...) -> Tenant:
+        """Get or register a tenant (new tenants get the default budget)."""
+        state = self.tenants.get(name)
+        if state is None:
+            state = Tenant(name=name, budget_bytes=self.default_budget_bytes)
+            self.tenants[name] = state
+            self._order.append(name)
+        if budget_bytes is not ...:
+            state.budget_bytes = budget_bytes  # type: ignore[assignment]
+        return state
+
+    def submit(self, job: Job) -> Job:
+        """Queue a job, enforcing its tenant's memory budget at admission.
+
+        Raises :class:`MemoryBudgetExceeded` (and marks the job rejected)
+        when the tenant's committed estimate plus this job's would exceed the
+        tenant's budget.  Other tenants are unaffected either way.
+        """
+        tenant = self.tenant(job.tenant)
+        tenant.submitted += 1
+        if (tenant.budget_bytes is not None
+                and tenant.committed_bytes + job.estimated_bytes > tenant.budget_bytes):
+            tenant.rejected += 1
+            error = MemoryBudgetExceeded(tenant.name, job.estimated_bytes,
+                                         tenant.committed_bytes, tenant.budget_bytes)
+            job.finish("rejected", error=str(error))
+            raise error
+        tenant.committed_bytes += job.estimated_bytes
+        tenant.queue.append(job)
+        self._queued.set()
+        return job
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.create_task(self._dispatch(), name="job-dispatcher")
+
+    async def stop(self) -> None:
+        """Cancel the dispatcher and any in-flight jobs."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for task in list(self._running):
+            task.cancel()
+        if self._running:
+            await asyncio.gather(*self._running, return_exceptions=True)
+
+    async def _dispatch(self) -> None:
+        while True:
+            await self._slots.acquire()
+            job = self._pick()
+            while job is None:
+                self._queued.clear()
+                if any(t.queue for t in self.tenants.values()):
+                    self._queued.set()  # raced with a submit between pick and clear
+                await self._queued.wait()
+                job = self._pick()
+            self.dispatched += 1
+            task = asyncio.create_task(self._run(job), name=f"job-{job.id}")
+            self._running.add(task)
+            task.add_done_callback(self._running.discard)
+
+    def _pick(self) -> "Job | None":
+        """Next job, round-robin over tenants with non-empty queues."""
+        count = len(self._order)
+        for offset in range(count):
+            name = self._order[(self._next + offset) % count]
+            queue = self.tenants[name].queue
+            if queue:
+                self._next = (self._next + offset + 1) % count
+                return queue.popleft()
+        return None
+
+    async def _run(self, job: Job) -> None:
+        try:
+            job.mark_running()
+            result = await self._runner(job)
+            job.finish("done", result=result)
+        except asyncio.CancelledError:
+            job.finish("failed", error="cancelled: server shutting down")
+            raise
+        except Exception as err:  # noqa: BLE001 — one bad job must not kill the pool
+            job.finish("failed", error=f"{type(err).__name__}: {err}")
+        finally:
+            tenant = self.tenants[job.tenant]
+            tenant.committed_bytes -= job.estimated_bytes
+            tenant.completed += 1
+            self._slots.release()
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "running": len(self._running),
+            "queued": sum(len(t.queue) for t in self.tenants.values()),
+            "dispatched": self.dispatched,
+            "tenants": {name: t.to_dict() for name, t in self.tenants.items()},
+        }

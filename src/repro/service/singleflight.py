@@ -1,0 +1,87 @@
+"""Cache-stampede protection: at most one in-flight execution per cell.
+
+When many clients submit the same sweep slice concurrently, every job plans
+the same content-addressed cells.  The persistent
+:class:`~repro.sweep.cache.SweepCache` only helps *after* the first execution
+has been stored — without coordination, N concurrent jobs would execute each
+cold cell N times before any of them gets to write it.  ``SingleFlight``
+closes that gap with the classic single-flight contract keyed on
+:attr:`~repro.sweep.cells.Cell.cell_id`:
+
+* the first caller to reach a key becomes the **leader**: its thunk runs in a
+  worker thread (:func:`asyncio.to_thread`);
+* every caller that arrives while the leader is in flight becomes a
+  **follower**: it awaits the leader's future and shares the result without
+  executing anything;
+* when the flight lands the key is released, so later callers (which will hit
+  the now-warm cache first) start a fresh flight only if the cache misses.
+
+Combined with a cache re-check inside the leader's thunk this guarantees
+*exactly one* underlying execution per unique cell, no matter how many
+clients race (the service's acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Deduplicates concurrent executions of identical keyed work.
+
+    Single-event-loop object: all bookkeeping happens on the loop, only the
+    thunk itself runs in a worker thread.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: "dict[str, asyncio.Future]" = {}
+        #: Flights started (one execution each, unless the thunk short-circuits).
+        self.leaders = 0
+        #: Calls that piggybacked on another caller's in-flight execution.
+        self.followers = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, key: str, thunk: Callable[[], T]) -> "tuple[T, bool]":
+        """Run ``thunk`` in a worker thread, once per concurrently-seen key.
+
+        Returns ``(result, shared)``: ``shared`` is ``True`` when this caller
+        received another caller's result instead of executing.  A leader's
+        exception propagates to every follower of that flight, but does not
+        poison later flights for the same key.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.followers += 1
+            # shield: a cancelled follower must not cancel the shared flight
+            return await asyncio.shield(existing), True
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            result = await asyncio.to_thread(thunk)
+        except BaseException as err:
+            future.set_exception(err)
+            future.exception()  # consumed here; followers hold their own refs
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            self._inflight.pop(key, None)
+
+    def stats(self) -> dict[str, Any]:
+        return {"leaders": self.leaders, "followers": self.followers,
+                "in_flight": self.in_flight}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SingleFlight(leaders={self.leaders}, "
+                f"followers={self.followers}, in_flight={self.in_flight})")

@@ -20,8 +20,9 @@ Every measurement is emitted as a unified
 
 from __future__ import annotations
 
+import threading
 import warnings
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from .config import ExperimentConfig
 from .core.pipeline import Pipeline
@@ -70,6 +71,11 @@ class Session:
     ``datasets`` may inject pre-built :class:`GeneratedDataset` objects (e.g.
     the incremental samples of Figure 6 / Table 5); when given, the mapping
     fully defines the dataset axis of the matrix.
+
+    A session is safe to share across threads: lazy construction of datasets,
+    engines, contexts and the runner is serialized behind an internal lock,
+    so a long-running server (:mod:`repro.service`) can plan and execute many
+    concurrent jobs against one warm session — see :meth:`warm`.
     """
 
     def __init__(self, config: ExperimentConfig | None = None, *,
@@ -86,6 +92,8 @@ class Session:
         self._runner: MatrixRunner | None = None
         self._legacy_runner: BentoRunner | None = None
         self._tpch_data: dict[float, object] = {}
+        #: Serializes lazy construction, so concurrent jobs can share a session.
+        self._lock = threading.RLock()
         #: Statistics of the most recent scheduled sweep (cache hits, workers).
         self.last_sweep: SweepStats | None = None
 
@@ -103,19 +111,21 @@ class Session:
 
     def dataset(self, name: str) -> GeneratedDataset:
         """One generated dataset by name (cached)."""
-        if name not in self._datasets:
-            self._datasets[name] = generate_dataset(name, scale=self.config.scale,
-                                                    seed=self.config.seed)
-        return self._datasets[name]
+        with self._lock:
+            if name not in self._datasets:
+                self._datasets[name] = generate_dataset(name, scale=self.config.scale,
+                                                        seed=self.config.seed)
+            return self._datasets[name]
 
     @property
     def engines(self) -> dict[str, BaseEngine]:
         """The engine axis: configured engines available on the machine."""
-        if self._engines is None:
-            self._engines = create_engines(list(self.config.engines),
-                                           machine=self.config.machine,
-                                           skip_unavailable=True)
-        return self._engines
+        with self._lock:
+            if self._engines is None:
+                self._engines = create_engines(list(self.config.engines),
+                                               machine=self.config.machine,
+                                               skip_unavailable=True)
+            return self._engines
 
     @property
     def engine_names(self) -> list[str]:
@@ -129,9 +139,10 @@ class Session:
     @property
     def matrix_runner(self) -> MatrixRunner:
         """The measurement core executing every cell of the matrix."""
-        if self._runner is None:
-            self._runner = MatrixRunner(runs=self.config.runs)
-        return self._runner
+        with self._lock:
+            if self._runner is None:
+                self._runner = MatrixRunner(runs=self.config.runs)
+            return self._runner
 
     @property
     def runner(self) -> BentoRunner:
@@ -150,30 +161,47 @@ class Session:
         """Simulation context for a dataset of the matrix (cached per name)."""
         if isinstance(dataset, GeneratedDataset):
             return dataset.simulation_context(self.config.machine, runs=self.config.runs)
-        if dataset not in self._contexts:
-            self._contexts[dataset] = self.dataset(dataset).simulation_context(
-                self.config.machine, runs=self.config.runs)
-        return self._contexts[dataset]
+        with self._lock:
+            if dataset not in self._contexts:
+                self._contexts[dataset] = self.dataset(dataset).simulation_context(
+                    self.config.machine, runs=self.config.runs)
+            return self._contexts[dataset]
 
     def pipelines_for(self, dataset: str) -> list[Pipeline]:
         """Registered pipelines of a dataset (empty for ad-hoc datasets)."""
-        if dataset not in self._pipelines:
-            try:
-                self._pipelines[dataset] = get_pipelines(dataset)
-            except KeyError:
-                self._pipelines[dataset] = []
-        return self._pipelines[dataset]
+        with self._lock:
+            if dataset not in self._pipelines:
+                try:
+                    self._pipelines[dataset] = get_pipelines(dataset)
+                except KeyError:
+                    self._pipelines[dataset] = []
+            return self._pipelines[dataset]
 
     def baseline(self) -> BaseEngine:
         """The Pandas baseline engine (created on demand if not selected)."""
         return self._engine("pandas")
 
     def _engine(self, name: str) -> BaseEngine:
-        if name in self.engines:
-            return self.engines[name]
-        if name not in self._extra_engines:
-            self._extra_engines[name] = create_engine(name, self.config.machine)
-        return self._extra_engines[name]
+        with self._lock:
+            if name in self.engines:
+                return self.engines[name]
+            if name not in self._extra_engines:
+                self._extra_engines[name] = create_engine(name, self.config.machine)
+            return self._extra_engines[name]
+
+    def warm(self) -> "Session":
+        """Build every configured dataset, engine, context and pipeline list.
+
+        A long-running server calls this once at startup so that no request
+        ever pays generation latency; repeated calls are free.  Returns the
+        session for chaining.
+        """
+        self.engines
+        for name in self.datasets:
+            self.context_for(name)
+            self.pipelines_for(name)
+        self.matrix_runner
+        return self
 
     # ------------------------------------------------------------------ #
     # selection of matrix slices
@@ -366,7 +394,8 @@ class Session:
             formats: Sequence[str] = _IO_FORMATS,
             workers: int = 1,
             cache: "bool | str | object | None" = None,
-            executor: str = "thread") -> ResultSet:
+            executor: str = "thread",
+            progress: "Callable[[Cell, list, str], None] | None" = None) -> ResultSet:
         """Sweep a slice of the matrix and return the collected measurements.
 
         ``mode`` is one of ``full``/``stage``/``core`` (the paper's three
@@ -387,6 +416,11 @@ class Session:
         skip completed cells, and ``executor`` selects ``"thread"`` (shared
         components, default) or ``"process"`` (per-cell isolation) pools.
         Statistics of the last sweep are exposed as :attr:`last_sweep`.
+
+        ``progress`` is a job-granular callback invoked as each cell lands:
+        ``progress(cell, measurements, source)`` with ``source`` one of
+        ``"cache"``/``"executed"`` — what the service layer uses to stream
+        incremental results while a sweep is still running.
         """
         try:
             resolved_mode = _MODE_ALIASES[mode]
@@ -395,16 +429,19 @@ class Session:
                              f"expected one of {sorted(set(_MODE_ALIASES))}") from None
         if resolved_mode == "tpch":
             return self.run_tpch(engines=engines, workers=workers, cache=cache,
-                                 executor=executor)
+                                 executor=executor, progress=progress)
         plan = self.plan(resolved_mode, engines=engines, datasets=datasets,
                          pipelines=pipelines, lazy=lazy, streaming=streaming,
                          stages=stages, formats=formats)
-        return self._run_plan(plan, workers=workers, cache=cache, executor=executor)
+        return self._run_plan(plan, workers=workers, cache=cache, executor=executor,
+                              progress=progress)
 
     def _run_plan(self, plan: list[PlannedCell], *, workers: int,
-                  cache: "bool | str | object | None", executor: str) -> ResultSet:
+                  cache: "bool | str | object | None", executor: str,
+                  progress: "Callable[[Cell, list, str], None] | None" = None
+                  ) -> ResultSet:
         scheduler = SweepScheduler(workers=workers, cache=resolve_cache(cache),
-                                   executor=executor)
+                                   executor=executor, on_result=progress)
         try:
             return scheduler.run(plan)
         finally:
@@ -447,10 +484,11 @@ class Session:
         from .tpch.datagen import generate_tpch
         from .tpch.queries import query_names
 
-        if physical_scale_factor not in self._tpch_data:
-            self._tpch_data[physical_scale_factor] = generate_tpch(
-                physical_scale_factor, seed=self.config.seed)
-        data = self._tpch_data[physical_scale_factor]
+        with self._lock:
+            if physical_scale_factor not in self._tpch_data:
+                self._tpch_data[physical_scale_factor] = generate_tpch(
+                    physical_scale_factor, seed=self.config.seed)
+            data = self._tpch_data[physical_scale_factor]
         names = list(engines) if engines is not None else list(self.config.tpch_engines)
         engine_map = create_engines(names, machine=self.config.machine,
                                     skip_unavailable=True)
@@ -466,7 +504,9 @@ class Session:
                  physical_scale_factor: float = 0.002,
                  workers: int = 1,
                  cache: "bool | str | object | None" = None,
-                 executor: str = "thread") -> ResultSet:
+                 executor: str = "thread",
+                 progress: "Callable[[Cell, list, str], None] | None" = None
+                 ) -> ResultSet:
         """Run TPC-H queries on the TPC-H engine set and collect measurements.
 
         Like :meth:`run`, the engine × query matrix goes through the sweep
@@ -476,10 +516,11 @@ class Session:
         from .tpch.queries import query_names
         from .tpch.runner import TPCHRunner
 
-        if physical_scale_factor not in self._tpch_data:
-            self._tpch_data[physical_scale_factor] = generate_tpch(
-                physical_scale_factor, seed=self.config.seed)
-        data = self._tpch_data[physical_scale_factor]
+        with self._lock:
+            if physical_scale_factor not in self._tpch_data:
+                self._tpch_data[physical_scale_factor] = generate_tpch(
+                    physical_scale_factor, seed=self.config.seed)
+            data = self._tpch_data[physical_scale_factor]
         runner = TPCHRunner(data, runs=self.config.runs)
         names = list(engines) if engines is not None else list(self.config.tpch_engines)
         engine_map = create_engines(names, machine=self.config.machine,
@@ -511,7 +552,8 @@ class Session:
                     cell=cell,
                     execute=self._tpch_thunk(cell, engine, runner),
                     payload=payload))
-        return self._run_plan(plan, workers=workers, cache=cache, executor=executor)
+        return self._run_plan(plan, workers=workers, cache=cache, executor=executor,
+                              progress=progress)
 
     @staticmethod
     def _tpch_thunk(cell, engine, tpch_runner):

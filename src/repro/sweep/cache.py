@@ -12,6 +12,13 @@ miss.  The default location is ``~/.cache/repro`` (overridable with the
 Entries are written atomically (temp file + ``os.replace``) so a sweep killed
 mid-write never leaves a truncated entry behind; unreadable or mismatching
 entries are treated as misses and overwritten.
+
+The cache is safe under concurrency: any number of threads (or the service's
+worker pool) may load and store the *same* cell simultaneously.  Writers race
+benignly — each writes its own temp file and the last atomic rename wins with
+identical content — readers observe either the old or the new entry, never a
+torn one, and the hit/miss/store counters are kept consistent behind a lock
+(``+=`` on an attribute is not atomic across threads).
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import json
 import os
 import re
 import tempfile
+import threading
 from pathlib import Path
 from typing import Iterator
 
@@ -64,6 +72,7 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def path_for(self, cell: Cell) -> Path:
@@ -77,20 +86,24 @@ class SweepCache:
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            self.misses += 1
+            self._count("misses")
             return None
         if (not isinstance(payload, dict)
                 or payload.get("version") != CACHE_VERSION
                 or payload.get("cell") != cell.to_dict()):
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             measurements = [Measurement.from_dict(r) for r in payload["measurements"]]
         except (KeyError, TypeError, ValueError):
-            self.misses += 1
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
         return measurements
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
 
     def store(self, cell: Cell, measurements: "list[Measurement]") -> Path:
         """Atomically persist a completed cell."""
@@ -112,7 +125,7 @@ class SweepCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        self._count("stores")
         return path
 
     # ------------------------------------------------------------------ #
@@ -138,7 +151,8 @@ class SweepCache:
         return removed
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"SweepCache({str(self.root)!r}, hits={self.hits}, "

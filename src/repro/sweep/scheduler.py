@@ -89,10 +89,18 @@ def resolve_cache(cache: "bool | str | Any | None") -> "SweepCache | None":
 
 
 class SweepScheduler:
-    """Dispatches planned cells across a worker pool, deterministically."""
+    """Dispatches planned cells across a worker pool, deterministically.
+
+    ``on_result`` is a job-granular progress callback invoked once per cell
+    as its result lands — ``on_result(cell, measurements, source)`` with
+    ``source`` one of ``"cache"``/``"executed"``.  Callbacks fire in
+    completion order (not plan order) and always from the scheduling thread,
+    so implementations need no locking of their own.
+    """
 
     def __init__(self, workers: int = 1, cache: "SweepCache | None" = None,
-                 executor: str = "thread"):
+                 executor: str = "thread",
+                 on_result: "Callable[[Cell, list[Measurement], str], None] | None" = None):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if executor not in _EXECUTORS:
@@ -100,7 +108,12 @@ class SweepScheduler:
         self.workers = workers
         self.cache = cache
         self.executor = executor
+        self.on_result = on_result
         self.last_stats: "SweepStats | None" = None
+
+    def _notify(self, cell: Cell, measurements: "list[Measurement]", source: str) -> None:
+        if self.on_result is not None:
+            self.on_result(cell, measurements, source)
 
     # ------------------------------------------------------------------ #
     def run(self, plan: Sequence[PlannedCell]) -> ResultSet:
@@ -116,6 +129,7 @@ class SweepScheduler:
             if hit is not None:
                 slots[index] = hit
                 stats.cached += 1
+                self._notify(planned.cell, hit, "cache")
             else:
                 pending.append(index)
         stats.cells = [planned.cell.cell_id for planned in plan]
@@ -140,6 +154,7 @@ class SweepScheduler:
         measurements = planned.execute()
         if self.cache is not None:
             self.cache.store(planned.cell, measurements)
+        self._notify(planned.cell, measurements, "executed")
         return measurements
 
     def _run_pool(self, plan: Sequence[PlannedCell], pending: "list[int]",
@@ -179,6 +194,7 @@ class SweepScheduler:
                     stats.executed += 1
                     if self.cache is not None:
                         self.cache.store(plan[index].cell, measurements)
+                    self._notify(plan[index].cell, measurements, "executed")
             except BaseException:  # e.g. Ctrl-C in the main thread
                 for queued in futures:
                     queued.cancel()

@@ -12,7 +12,7 @@ from repro.datasets.pipelines import get_pipelines
 from repro.engines import create_engine
 from repro.engines.base import EngineUnavailableError
 from repro.plan.advisor import Advisor, AdvisorReport, CandidateEstimate, pipeline_plan
-from repro.simulate.hardware import PAPER_SERVER
+from repro.simulate.hardware import LAPTOP, PAPER_SERVER
 
 _SCALE = 0.05
 
@@ -135,6 +135,70 @@ class TestSessionAdvise:
         report = session.advise(engines=["pandas"])[0]
         assert report.dataset == "athlete"
         assert report.machine == PAPER_SERVER.name
+
+
+class TestSessionAdviseDegraded:
+    """``Session.advise()`` when part of the engine set cannot take part."""
+
+    def test_unavailable_engines_are_silently_skipped(self):
+        # the laptop has no GPU, so CuDF cannot even be instantiated there —
+        # advise() must drop it and still rank the remaining engines
+        session = Session(ExperimentConfig(scale=_SCALE, runs=1,
+                                           datasets=["athlete"], machine=LAPTOP))
+        reports = session.advise(engines=["pandas", "polars", "cudf"])
+        assert reports
+        for report in reports:
+            engines = {c.engine for c in report.candidates}
+            assert engines == {"pandas", "polars"}
+            assert report.best is not None
+
+    def test_unknown_engine_name_raises(self, setup):
+        session, _, _, _ = setup
+        with pytest.raises(KeyError):
+            session.advise(engines=["pandas", "no-such-engine"])
+
+    def test_all_candidates_infeasible_yields_best_none(self):
+        from repro.experiments.fig8_out_of_core import constrained_machine
+
+        machine = constrained_machine(memory_gb=0.0001)
+        session = Session(ExperimentConfig(scale=_SCALE, runs=1,
+                                           datasets=["athlete"], machine=machine))
+        reports = session.advise(engines=["pandas"])
+        assert reports
+        for report in reports:
+            assert report.best is None
+            assert all(not c.feasible for c in report.candidates)
+            assert all("OOM" in c.reason for c in report.candidates)
+
+    def test_infeasible_candidates_rank_after_feasible_ones(self):
+        from repro.experiments.fig8_out_of_core import constrained_machine
+
+        # 2 GiB: enough for the out-of-core capable engines to spill their
+        # way through, too little for fully-materializing ones
+        machine = constrained_machine(memory_gb=2.0)
+        session = Session(ExperimentConfig(scale=_SCALE, runs=1,
+                                           datasets=["athlete"], machine=machine))
+        for report in session.advise(engines=["pandas", "polars", "vaex"]):
+            flags = [c.feasible for c in report.candidates]
+            assert flags == sorted(flags, reverse=True)  # feasible first
+            if report.best is not None:
+                assert report.candidates[0] is report.best
+
+    def test_unsupported_estimates_carry_reason(self, setup, monkeypatch):
+        _, dataset, sim, pipelines = setup
+        engine = create_engine("pandas")
+
+        def unsupported(*args, **kwargs):
+            raise EngineUnavailableError("simulated: format not supported")
+
+        monkeypatch.setattr(engine, "estimate_steps", unsupported)
+        advisor = Advisor(engines={"pandas": engine})
+        report = advisor.advise(dataset.frame, pipelines[0], sim)
+        assert report.best is None
+        candidate = report.candidates[0]
+        assert not candidate.feasible
+        assert candidate.reason.startswith("unsupported")
+        assert candidate.to_dict()["seconds"] is None  # inf is JSON-safe
 
 
 class TestPipelinePlan:

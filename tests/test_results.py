@@ -159,6 +159,30 @@ class TestSerialization:
         assert loaded == rs
         assert ResultSet.from_csv(rs.to_csv()) == rs
 
+    def test_ndjson_roundtrip_is_lossless(self, tmp_path):
+        rs = _sample_set()
+        path = tmp_path / "results.ndjson"
+        rs.to_ndjson(path)
+        assert ResultSet.from_ndjson(path) == rs
+        assert ResultSet.from_ndjson(rs.to_ndjson()) == rs
+
+    def test_ndjson_is_valid_after_any_prefix(self):
+        # the streaming property: each line stands alone, so a consumer can
+        # parse a partially-delivered stream
+        rs = _sample_set()
+        lines = rs.to_ndjson().splitlines()
+        assert len(lines) == len(rs)
+        for cut in range(1, len(lines) + 1):
+            prefix = ResultSet.from_ndjson("\n".join(lines[:cut]) + "\n")
+            assert prefix.measurements == rs.measurements[:cut]
+
+    def test_measurement_to_json_is_compact_and_stable(self):
+        m = _sample_set().measurements[0]
+        text = m.to_json()
+        assert "\n" not in text and ": " not in text  # one compact line
+        assert text == m.to_json()  # deterministic (sorted keys)
+        assert Measurement.from_dict(__import__("json").loads(text)) == m
+
     def test_roundtrip_preserves_failure_rows(self, tmp_path):
         rs = _sample_set()
         loaded = ResultSet.from_json(rs.to_json())

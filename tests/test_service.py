@@ -1,0 +1,373 @@
+"""The benchmark service: HTTP API, single-flight, tenancy, scheduling, CLI.
+
+The service tests run a real :class:`~repro.service.app.BenchmarkService` on
+an ephemeral port in a daemon thread (via :func:`~repro.service.app.
+launch_in_thread`) and talk to it through the stdlib
+:class:`~repro.service.client.ServiceClient` — the same path CI's smoke job
+and external users take.  One warm session is shared by every service
+instance in the module, so the suite pays for dataset generation once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.__main__ import build_serve_parser, main as cli_main
+from repro.config import ExperimentConfig
+from repro.service import (
+    JobScheduler,
+    MemoryBudgetExceeded,
+    ServiceError,
+    SingleFlight,
+    launch_in_thread,
+)
+from repro.service.jobs import JobStore
+from repro.session import Session
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+
+_CONFIG = ExperimentConfig(scale=0.05, runs=1, datasets=("athlete",),
+                           engines=("pandas", "polars"))
+
+
+@pytest.fixture(scope="module")
+def warm_session():
+    """One warm session shared by every service instance in this module."""
+    return Session(_CONFIG).warm()
+
+
+@pytest.fixture(scope="module")
+def svc(warm_session, tmp_path_factory):
+    """A long-lived service for the plain API tests (own cache directory)."""
+    cache_dir = tmp_path_factory.mktemp("svc-cache")
+    with launch_in_thread(session=warm_session, cache=str(cache_dir), workers=4,
+                          tenants=["cramped=0.000000001"]) as handle:
+        yield handle
+
+
+@pytest.fixture
+def fresh_svc(warm_session, tmp_path):
+    """A service with an empty cache, for tests that count executions."""
+    with launch_in_thread(session=warm_session, cache=str(tmp_path / "cache"),
+                          workers=8) as handle:
+        yield handle
+
+
+# --------------------------------------------------------------------------- #
+# liveness and the plain endpoints
+# --------------------------------------------------------------------------- #
+class TestEndpoints:
+    def test_healthz(self, svc):
+        from repro import __version__
+
+        doc = svc.client.healthz()
+        assert doc["ok"] is True
+        assert doc["version"] == __version__
+
+    def test_run_waits_and_matches_sequential_session(self, svc, warm_session):
+        doc = svc.client.run(mode="full", wait=True)
+        assert doc["job"]["state"] == "done"
+        cells = doc["result"]["cells"]
+        assert cells["total"] == cells["executed"] + cells["cached"] + cells["shared"]
+        baseline = warm_session.run(mode="full")
+        assert doc["result"]["measurements"] == [m.to_dict() for m in baseline]
+
+    def test_advise_reports_ranked(self, svc, warm_session):
+        doc = svc.client.advise()
+        reports = doc["result"]["reports"]
+        assert len(reports) == len(warm_session.pipelines_for("athlete"))
+        for report in reports:
+            assert report["machine"] == _CONFIG.machine.name
+            assert report["best"] is not None
+            feasible = [c for c in report["candidates"] if c["feasible"]]
+            seconds = [c["seconds"] for c in feasible]
+            assert seconds == sorted(seconds)  # ranked fastest-first
+            assert list(report["best"]) == [feasible[0]["engine"],
+                                            feasible[0]["strategy"]]
+
+    def test_explain_returns_both_plans(self, svc):
+        doc = svc.client.explain("athlete")
+        plans = doc["result"]["plans"]
+        assert plans, "athlete has registered pipelines"
+        for plan in plans:
+            assert plan["dataset"] == "athlete"
+            assert plan["unoptimized"] and plan["optimized"]
+
+    def test_async_job_and_ndjson_stream(self, svc):
+        doc = svc.client.run(mode="read", wait=False)
+        job_id = doc["job"]["id"]
+        assert doc["job"]["state"] in ("queued", "running")
+        events = list(svc.client.stream(job_id))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "planned"
+        assert kinds[-1] == "end"
+        cell_events = [e for e in events if e["event"] == "cell"]
+        assert len(cell_events) == events[0]["cells"]
+        assert all(e["measurements"] for e in cell_events)
+        summary = events[-1]["summary"]
+        assert summary["state"] == "done"
+        # the job endpoint serves the same summary after the fact
+        followed = svc.client.job(job_id)
+        assert followed["job"]["state"] == "done"
+        assert len(followed["result"]["measurements"]) >= len(cell_events)
+
+    def test_stats_counters(self, svc):
+        stats = svc.client.stats()
+        assert stats["requests"] >= 1
+        assert stats["session"]["datasets"] == ["athlete"]
+        assert stats["scheduler"]["workers"] == 4
+        assert "public" in stats["scheduler"]["tenants"]
+        assert stats["cache"] is not None
+
+
+class TestErrors:
+    def test_unknown_path_404(self, svc):
+        with pytest.raises(ServiceError) as err:
+            svc.client.request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, svc):
+        with pytest.raises(ServiceError) as err:
+            svc.client.request("GET", "/run")
+        assert err.value.status == 405
+
+    def test_bad_mode_400(self, svc):
+        with pytest.raises(ServiceError) as err:
+            svc.client.run(mode="frobnicate")
+        assert err.value.status == 400
+        assert "unknown run mode" in err.value.message
+
+    def test_tpch_mode_rejected(self, svc):
+        with pytest.raises(ServiceError) as err:
+            svc.client.run(mode="tpch")
+        assert err.value.status == 400
+
+    def test_explain_needs_dataset_400(self, svc):
+        with pytest.raises(ServiceError) as err:
+            svc.client.request("POST", "/explain", {})
+        assert err.value.status == 400
+
+    def test_unknown_job_404(self, svc):
+        with pytest.raises(ServiceError) as err:
+            svc.client.job("job-999999")
+        assert err.value.status == 404
+
+    def test_failed_job_is_500_with_error(self, svc):
+        with pytest.raises(ServiceError) as err:
+            svc.client.run(mode="full", pipelines=["no-such-pipeline"])
+        assert err.value.status == 500
+        assert "no-such-pipeline" in err.value.message
+
+
+# --------------------------------------------------------------------------- #
+# the acceptance criterion: a stampede executes each unique cell exactly once
+# --------------------------------------------------------------------------- #
+class TestSingleFlightStampede:
+    def test_16_concurrent_identical_sweeps_execute_each_cell_once(
+            self, fresh_svc, warm_session):
+        clients = 16
+        results: "list[dict | None]" = [None] * clients
+        errors: list[BaseException] = []
+
+        def submit(slot: int) -> None:
+            try:
+                results[slot] = fresh_svc.client.run(mode="full", wait=True)
+            except BaseException as err:  # noqa: BLE001 — re-raised below
+                errors.append(err)
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+
+        plan = warm_session.plan("full")
+        unique_cells = len({planned.cell.cell_id for planned in plan})
+        service = fresh_svc.service
+        assert service.cell_executions == unique_cells
+
+        # every client saw the full result, bit-identical to a sequential run
+        baseline = [m.to_dict() for m in warm_session.run(mode="full")]
+        for doc in results:
+            assert doc is not None and doc["job"]["state"] == "done"
+            assert doc["result"]["measurements"] == baseline
+
+        # the single-flight layer and cache absorbed the other 15 clients
+        stats = service.stats()
+        flight = stats["single_flight"]
+        assert flight["leaders"] == unique_cells
+        total_cells = sum(doc["result"]["cells"]["total"] for doc in results)
+        assert total_cells == clients * unique_cells
+        executed = sum(doc["result"]["cells"]["executed"] for doc in results)
+        assert executed == unique_cells
+
+
+# --------------------------------------------------------------------------- #
+# tenancy: memory budgets reject without degrading other tenants
+# --------------------------------------------------------------------------- #
+class TestTenancy:
+    def test_over_budget_tenant_gets_429_others_unaffected(self, svc):
+        with pytest.raises(ServiceError) as err:
+            svc.client.run(tenant="cramped", mode="full", wait=True)
+        assert err.value.status == 429
+        assert "over memory budget" in err.value.message
+        rejected = err.value.payload["error"]["job"]
+        assert rejected["state"] == "rejected"
+        assert rejected["estimated_bytes"] > 0
+
+        # the default tenant still runs fine, before and after the rejection
+        doc = svc.client.run(mode="full", wait=True)
+        assert doc["job"]["state"] == "done"
+
+        tenants = svc.client.stats()["scheduler"]["tenants"]
+        assert tenants["cramped"]["rejected"] >= 1
+        assert tenants["cramped"]["committed_bytes"] == 0
+        assert tenants["public"]["rejected"] == 0
+
+    def test_advise_is_never_budget_limited(self, svc):
+        # advise jobs estimate nothing and execute nothing: always admitted
+        doc = svc.client.advise(tenant="cramped")
+        assert doc["job"]["state"] == "done"
+
+
+# --------------------------------------------------------------------------- #
+# scheduler and single-flight units (no HTTP)
+# --------------------------------------------------------------------------- #
+class TestJobScheduler:
+    def test_round_robin_interleaves_tenants(self):
+        order: list[str] = []
+
+        async def scenario() -> None:
+            async def runner(job):
+                order.append(job.tenant)
+
+            scheduler = JobScheduler(runner, workers=1)
+            store = JobStore()
+            jobs = [store.create(tenant=tenant, kind="advise")
+                    for tenant in ["a", "a", "a", "b", "b", "b"]]
+            for job in jobs:
+                scheduler.submit(job)
+            await scheduler.start()
+            await asyncio.gather(*(job.wait() for job in jobs))
+            await scheduler.stop()
+
+        asyncio.run(scenario())
+        # tenant b queued last but is served every other slot, not after a
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_budget_rejection_accounting(self):
+        async def scenario() -> None:
+            async def runner(job):
+                return None
+
+            scheduler = JobScheduler(runner, workers=1,
+                                     default_budget_bytes=100)
+            store = JobStore()
+            ok = store.create(tenant="t", kind="run")
+            ok.estimated_bytes = 80
+            scheduler.submit(ok)
+            too_big = store.create(tenant="t", kind="run")
+            too_big.estimated_bytes = 30
+            with pytest.raises(MemoryBudgetExceeded):
+                scheduler.submit(too_big)  # 80 committed + 30 > 100
+            assert too_big.state == "rejected"
+            await scheduler.start()
+            await ok.wait()
+            await scheduler.stop()
+            assert ok.state == "done"
+            assert scheduler.tenants["t"].committed_bytes == 0
+
+        asyncio.run(scenario())
+
+
+class TestSingleFlightUnit:
+    def test_concurrent_callers_share_one_execution(self):
+        calls: list[int] = []
+
+        def thunk() -> str:
+            calls.append(1)
+            time.sleep(0.05)
+            return "value"
+
+        async def scenario():
+            flight = SingleFlight()
+            return await asyncio.gather(*(flight.run("key", thunk)
+                                          for _ in range(8)))
+
+        outcomes = asyncio.run(scenario())
+        assert len(calls) == 1
+        assert all(value == "value" for value, _ in outcomes)
+        assert sum(1 for _, shared in outcomes if shared) == 7
+
+    def test_leader_exception_propagates_then_clears(self):
+        async def scenario():
+            flight = SingleFlight()
+
+            def boom() -> None:
+                raise ValueError("boom")
+
+            with pytest.raises(ValueError):
+                await flight.run("key", boom)
+            # the failed flight does not poison the key
+            value, shared = await flight.run("key", lambda: 42)
+            assert (value, shared) == (42, False)
+            assert flight.in_flight == 0
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------- #
+# CLI: --version, serve parser, exit codes
+# --------------------------------------------------------------------------- #
+class TestCLI:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as err:
+            cli_main(["--version"])
+        assert err.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        assert cli_main(["frobnicate"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self):
+        from repro.service import DEFAULT_PORT
+
+        args = build_serve_parser().parse_args([])
+        assert args.port == DEFAULT_PORT
+        assert args.workers == 4
+        assert args.scale == 0.05
+
+    def test_failed_run_exits_1(self, monkeypatch, capsys):
+        def explode(self, *args, **kwargs):
+            raise RuntimeError("simulated mid-sweep failure")
+
+        monkeypatch.setattr(Session, "run", explode)
+        code = cli_main(["--mode", "full", "--datasets", "athlete",
+                         "--scale", "0.05", "--runs", "1", "--no-cache"])
+        assert code == 1
+        assert "run failed" in capsys.readouterr().err
+
+    def test_empty_result_exits_1(self, monkeypatch, capsys):
+        from repro.results import ResultSet
+
+        monkeypatch.setattr(Session, "run",
+                            lambda self, *args, **kwargs: ResultSet())
+        code = cli_main(["--mode", "full", "--datasets", "athlete",
+                         "--scale", "0.05", "--runs", "1", "--no-cache"])
+        assert code == 1
+        assert "no measurements" in capsys.readouterr().err
+
+    def test_unknown_engine_exits_2(self, capsys):
+        code = cli_main(["--mode", "full", "--engines", "no-such-engine",
+                         "--datasets", "athlete", "--scale", "0.05",
+                         "--runs", "1", "--no-cache"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

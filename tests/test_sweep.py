@@ -195,6 +195,56 @@ class TestCache:
         session.run(mode="read", engines=["pandas"], cache=True)
         assert (tmp_path / "env-cache").is_dir()
 
+    def test_concurrent_same_cell_writers_are_safe(self, session, tmp_path):
+        """N threads hammering one cell: no torn reads, no counter drift.
+
+        This is the contention the service's worker pool produces when a
+        stampede of identical jobs lands on one cache: every writer renames
+        its own temp file over the same path, every reader must observe a
+        complete entry (or a miss), and the counters must add up exactly.
+        """
+        import threading
+
+        cache = SweepCache(tmp_path)
+        planned = session.plan("full", engines=["pandas"])[0]
+        measurements = planned.execute()
+        expected = [m.to_dict() for m in measurements]
+        writers, rounds = 12, 5
+        loaded: list = []
+        errors: list = []
+        barrier = threading.Barrier(writers)
+
+        def hammer() -> None:
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    cache.store(planned.cell, measurements)
+                    hit = cache.load(planned.cell)
+                    if hit is not None:
+                        loaded.append(hit)
+            except BaseException as err:  # noqa: BLE001 — surfaced below
+                errors.append(err)
+
+        threads = [threading.Thread(target=hammer) for _ in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+
+        # every successful load saw a complete entry, never a torn one
+        for hit in loaded:
+            assert [m.to_dict() for m in hit] == expected
+        final = cache.load(planned.cell)
+        assert final is not None
+        assert [m.to_dict() for m in final] == expected
+        # counters are exact under contention (they sit behind a lock)
+        assert cache.stores == writers * rounds
+        assert cache.hits == len(loaded) + 1
+        # no orphaned temp files survive the races
+        assert not list(tmp_path.rglob("*.tmp"))
+        assert len(cache) == 1
+
 
 # --------------------------------------------------------------------------- #
 # resumability: a killed sweep picks up where it left off
