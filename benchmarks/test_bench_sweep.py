@@ -33,11 +33,13 @@ def test_bench_sweep_scheduler(tmp_path, bench_config):
     parallel = session.run(**_SLICE, workers=4)
     parallel_s = time.perf_counter() - start
     assert parallel == sequential
+    parallel_stats = session.last_sweep
 
     start = time.perf_counter()
     processes = session.run(**_SLICE, workers=4, executor="process")
     process_s = time.perf_counter() - start
     assert processes == sequential
+    process_stats = session.last_sweep
 
     cache = SweepCache(tmp_path / "cache")
     session.run(**_SLICE, workers=4, cache=cache)
@@ -61,6 +63,16 @@ def test_bench_sweep_scheduler(tmp_path, bench_config):
         "parallel_speedup": round(sequential_s / parallel_s, 2) if parallel_s else None,
         "process_speedup": round(sequential_s / process_s, 2) if process_s else None,
         "cache_speedup": round(sequential_s / cached_s, 2) if cached_s else None,
+        # the batch tier's executed-vs-overhead wall-clock split (the numbers
+        # that explain a speedup change, not just report one)
+        "parallel_batches": parallel_stats.batches,
+        "parallel_execute_seconds": round(parallel_stats.execute_seconds, 4),
+        "parallel_overhead_seconds": round(parallel_stats.overhead_seconds, 4),
+        "process_batches": process_stats.batches,
+        "process_execute_seconds": round(process_stats.execute_seconds, 4),
+        "process_serialize_seconds": round(process_stats.serialize_seconds, 4),
+        "process_setup_seconds": round(process_stats.setup_seconds, 4),
+        "process_overhead_seconds": round(process_stats.overhead_seconds, 4),
     }
     _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\nsweep bench: sequential={sequential_s:.3f}s thread(4)={parallel_s:.3f}s "

@@ -16,6 +16,10 @@ Examples::
     python -m repro --scale 0.05 --jobs 4 --cache-dir .repro-cache
     python -m repro --scale 0.05 --jobs 4 --cache-dir .repro-cache --resume
 
+    # persistent process workers over shared-memory frames, with the sweep
+    # profiler's per-cell timing breakdown and machine-readable stats
+    python -m repro --jobs 4 --executor process --profile --stats-out stats.json
+
     # the out-of-core scenario: 2 GiB of RAM — eager engines OOM, streaming
     # engines finish by spilling breaker partitions to disk
     python -m repro --scale 0.05 --memory-limit 2 --streaming both
@@ -125,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(resuming is automatic whenever the cache is "
                              "enabled; this flag makes the intent explicit and "
                              "refuses to combine with --no-cache)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the sweep profiler's per-cell "
+                             "dispatch/serialize/setup/execute/cache timing "
+                             "breakdown after the results")
+    parser.add_argument("--stats-out", default=None, metavar="stats.json",
+                        help="write the sweep scheduler statistics (cell "
+                             "counts plus the executed-vs-overhead wall-clock "
+                             "split) as JSON")
     parser.add_argument("--out", default=None, metavar="results.json",
                         help="write the ResultSet as JSON")
     parser.add_argument("--csv", default=None, metavar="results.csv",
@@ -408,14 +420,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.mode == "tpch":
             results = session.run_tpch(engines=args.engines, queries=args.queries,
                                        workers=args.jobs, cache=cache,
-                                       executor=args.executor)
+                                       executor=args.executor,
+                                       profile=args.profile)
         else:
             lazy = {"auto": None, "eager": False, "lazy": True, "both": "both"}[args.lazy]
             streaming = {None: None, "on": True, "both": "both"}[args.streaming]
             results = session.run(mode=args.mode, engines=args.engines, lazy=lazy,
                                   streaming=streaming,
                                   workers=args.jobs, cache=cache,
-                                  executor=args.executor)
+                                  executor=args.executor,
+                                  profile=args.profile)
     except KeyError as err:
         print(f"error: {err.args[0] if err.args else err}", file=sys.stderr)
         return 2
@@ -426,6 +440,15 @@ def main(argv: list[str] | None = None) -> int:
     print(_render(results, args.mode))
     if cache is not None and session.last_sweep is not None:
         print(f"\n[sweep] {session.last_sweep.summary()} — cache at {cache.root}")
+    if args.profile and session.last_sweep is not None:
+        print(f"\nSweep profile (seconds per cell):\n"
+              f"{session.last_sweep.profile_table()}")
+    if args.stats_out and session.last_sweep is not None:
+        import json
+
+        with open(args.stats_out, "w", encoding="utf-8") as handle:
+            json.dump(session.last_sweep.to_dict(), handle, indent=2)
+        print(f"wrote sweep stats to {args.stats_out}")
     if args.out:
         results.to_json(args.out)
         print(f"\nwrote {len(results)} measurements to {args.out}")

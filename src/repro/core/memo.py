@@ -1,0 +1,158 @@
+"""Substrate memoization for the sweep's batch execution tier.
+
+The benchmark matrix is massively redundant at the *physical* layer: every
+engine executes every pipeline on the same substrate sample (that is the
+paper's design — engines differ in *pricing* and in which physical path they
+take, while results are pinned identical), and every cell repeats its runs on
+identical deterministic inputs.  A :class:`SubstrateMemo` caches the outcome
+of physical substrate executions inside one batch-execution context (a worker
+process, or one batched thread sweep) so that:
+
+* the ``runs`` repetitions of a cell execute the pipeline **once** and serve
+  runs 2..N from the memo — pricing still happens per run (the cost model's
+  deterministic per-run jitter depends on ``run_index``), so measurements are
+  bit-identical to unmemoized execution;
+* engines sharing a physical execution path (the whole-frame ``plain`` path
+  for most engines; Modin's partitioned path; Vaex's chunked path) execute
+  each (frame, step) pair once per context instead of once per engine.
+
+Sharing is keyed on **execution provenance**, never on result guesses:
+
+* frames are identified by object identity (the memo pins a strong reference,
+  so ids cannot be recycled) — input frames arrive as shared objects and
+  every produced frame gets its own token, so a chain of steps maps to a
+  chain of keys;
+* preparator steps are keyed by (input-frame token, preparator name, a stable
+  digest of the call parameters, the engine's *physical path tag* — see
+  :meth:`repro.engines.base.BaseEngine._preparator_path_tag`).  Identical key
+  ⇒ identical code ran on identical bits ⇒ identical result;
+* lazy/streaming plan segments are keyed per engine profile (cost-based
+  optimization may pick different physical plans per profile), which still
+  deduplicates the per-run repetitions.
+
+The sequential scheduler path deliberately does **not** use the memo: it
+remains the naive reference implementation the property tests compare every
+other execution strategy against (exactly like the eager executor is the
+reference for the streaming one).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Mapping
+
+__all__ = ["SubstrateMemo"]
+
+#: Entries kept per memo before least-recently-used eviction.  Eviction only
+#: costs speed (the computation reruns), never correctness.
+_DEFAULT_CAPACITY = 1024
+
+
+def _stable_digest(value: Any) -> str:
+    """Deterministic in-process digest of JSON-ish parameter structures.
+
+    Anything non-JSON-ish (callables, custom objects) degrades to an
+    identity-based key — conservative: such steps simply never share.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_stable_digest(v) for v in value) + "]"
+    if isinstance(value, Mapping):
+        items = sorted((str(k), _stable_digest(v)) for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_stable_digest(v) for v in value)) + "}"
+    return f"@{type(value).__name__}:{id(value):x}"
+
+
+class SubstrateMemo:
+    """Content/provenance-keyed cache of substrate executions.
+
+    Thread-safe: one memo is shared by every worker thread of a batched
+    thread sweep.  Two threads may race to compute the same key; both compute
+    (identical, deterministic) results and the last store wins — correct, and
+    cheaper than per-key locking for this workload.
+    """
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._tokens: dict[int, str] = {}
+        self._pinned: dict[int, Any] = {}  # strong refs keep ids stable
+        self._next_token = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def token_for(self, frame: Any) -> str:
+        """Identity token of a frame (stable for the memo's lifetime)."""
+        with self._lock:
+            token = self._tokens.get(id(frame))
+            if token is None:
+                token = f"f{self._next_token}"
+                self._next_token += 1
+                self._tokens[id(frame)] = token
+                self._pinned[id(frame)] = frame
+            return token
+
+    def _get(self, key: str) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def _put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    def preparator_result(self, engine, preparator, frame,
+                          params: Mapping[str, Any]):
+        """One ``_execute_preparator`` call, deduplicated by provenance."""
+        tag = engine._preparator_path_tag(preparator, frame)
+        key = (f"prep|{self.token_for(frame)}|{preparator.name}"
+               f"|{_stable_digest(dict(params))}|{tag}")
+        cached = self._get(key)
+        if cached is not None:
+            return cached
+        result = engine._execute_preparator(preparator, frame, params)
+        self.token_for(result.frame)  # pin the output so the chain continues
+        self._put(key, result)
+        return result
+
+    def collect_plan(self, engine, base_frame, segment_key: str,
+                     compute: Callable[[], tuple]):
+        """One lazy/streaming plan-segment collection, deduplicated.
+
+        ``segment_key`` must pin everything that shapes the physical plan and
+        its execution: the deferred steps, the optimizer settings, the engine
+        profile (cost-based optimization arbitrates with it) and the machine.
+        The cached value is the ``(collected frame, ExecutionStats)`` pair;
+        stats are only read downstream (pricing), never mutated.
+        """
+        key = f"plan|{self.token_for(base_frame)}|{segment_key}"
+        cached = self._get(key)
+        if cached is not None:
+            return cached
+        collected, stats = compute()
+        self.token_for(collected)
+        self._put(key, (collected, stats))
+        return collected, stats
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries)}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SubstrateMemo(entries={len(self._entries)}, "
+                f"hits={self.hits}, misses={self.misses})")

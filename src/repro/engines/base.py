@@ -143,6 +143,13 @@ class BaseEngine:
         self.profile: EngineProfile = get_profile(self.profile_name)
         self.cost_model = CostModel(machine)
         self.optimizer_settings = optimizer_settings or OptimizerSettings()
+        #: Optional :class:`~repro.core.memo.SubstrateMemo` set by the sweep's
+        #: batch execution tier.  When present, physical substrate executions
+        #: are served from the memo (pricing always happens per call, so
+        #: measurements are bit-identical with or without it); when ``None``
+        #: (the default, and always for the sequential reference path) every
+        #: call executes the substrate directly.
+        self.substrate_memo = None
         self._validate_machine()
 
     # ------------------------------------------------------------------ #
@@ -251,6 +258,20 @@ class BaseEngine:
             return stream_preparator(preparator, frame, params, self.stream_chunk_rows)
         return preparator.apply(frame, params)
 
+    def _preparator_path_tag(self, preparator: Preparator, frame: DataFrame) -> str:
+        """Physical-execution signature of ``_execute_preparator`` for a call.
+
+        The substrate memo may share one execution's result across engines
+        only when this tag matches: identical tag means the *identical code
+        path* runs on identical inputs, so the shared result is bit-exact.
+        Engines with special physical paths must override this alongside
+        ``_execute_preparator``.
+        """
+        if (preparator.name in self.streamable_preparators
+                and frame.num_rows > self.stream_chunk_rows):
+            return f"chunk{self.stream_chunk_rows}"
+        return "plain"
+
     # ------------------------------------------------------------------ #
     # single-step execution (function-core mode)
     # ------------------------------------------------------------------ #
@@ -277,7 +298,11 @@ class BaseEngine:
                            streaming=streaming)
         if self.compatibility_for(name) is Compatibility.MISSING:
             cost.seconds *= self._fallback_penalty(preparator)
-        result = self._execute_preparator(preparator, frame, call_params)
+        if self.substrate_memo is not None:
+            result = self.substrate_memo.preparator_result(self, preparator, frame,
+                                                           call_params)
+        else:
+            result = self._execute_preparator(preparator, frame, call_params)
         record = self._record(name, preparator.op_class, preparator.stage, cost,
                               frame.num_rows, touched, sim, lazy=lazy)
         return result, record
@@ -363,19 +388,32 @@ class BaseEngine:
                             pipeline_scope: bool, streaming: bool) -> DataFrame:
         current = frame
         pending: LazyFrame | None = None
+        segment: list[PipelineStep] = []  # the steps folded into ``pending``
+
+        def collect(lazy_frame: LazyFrame) -> "tuple[DataFrame, ExecutionStats]":
+            if streaming:
+                return lazy_frame.collect_streaming(
+                    self.optimizer_settings, batch_rows=self.stream_chunk_rows,
+                    cost_model=self.cost_model, profile=self.profile)
+            return lazy_frame.collect_with_stats(
+                self.optimizer_settings,
+                cost_model=self.cost_model, profile=self.profile)
 
         def flush(lazy_frame: LazyFrame | None) -> None:
             nonlocal current
             if lazy_frame is None:
                 return
-            if streaming:
-                collected, stats = lazy_frame.collect_streaming(
-                    self.optimizer_settings, batch_rows=self.stream_chunk_rows,
-                    cost_model=self.cost_model, profile=self.profile)
+            if self.substrate_memo is not None:
+                # Keyed per profile: cost-based optimization may pick a
+                # different physical plan per engine, so plan segments are
+                # never shared across profiles — only across the per-cell
+                # ``runs`` repetitions (and identical cells), which execute
+                # byte-identical plans on the same base frame.
+                collected, stats = self.substrate_memo.collect_plan(
+                    self, current, self._plan_segment_key(segment, streaming),
+                    lambda: collect(lazy_frame))
             else:
-                collected, stats = lazy_frame.collect_with_stats(
-                    self.optimizer_settings,
-                    cost_model=self.cost_model, profile=self.profile)
+                collected, stats = collect(lazy_frame)
             self._price_plan_stats(stats, sim, run_index, report, pipeline_scope,
                                    streaming=streaming)
             current = collected
@@ -387,10 +425,12 @@ class BaseEngine:
                 extended = preparator.lazy_builder(base, step.params)
                 if extended is not None:
                     pending = extended
+                    segment.append(step)
                     continue
             # Step cannot be deferred: materialize what is pending, then run it.
             flush(pending)
             pending = None
+            segment = []
             result, record = self.execute_step(current, step, sim, run_index=run_index,
                                                lazy=True, pipeline_scope=pipeline_scope,
                                                streaming=streaming)
@@ -399,6 +439,15 @@ class BaseEngine:
                 current = result.frame
         flush(pending)
         return current
+
+    def _plan_segment_key(self, segment: Sequence[PipelineStep], streaming: bool) -> str:
+        """Memo key of one deferred plan segment (see ``SubstrateMemo``)."""
+        from ..core.memo import _stable_digest
+
+        steps = _stable_digest([step.to_dict() for step in segment])
+        mode = f"stream{self.stream_chunk_rows}" if streaming else "lazy"
+        return (f"{steps}|{mode}|{self.profile.name}|{self.machine.name}"
+                f"|{_stable_digest(vars(self.optimizer_settings))}")
 
     def _plan_op_bytes(self, op, sim: SimulationContext) -> int:
         """Nominal bytes one plan operator touches.

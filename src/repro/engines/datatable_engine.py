@@ -39,6 +39,11 @@ class DataTableEngine(BaseEngine):
             return PreparatorResult(frame, output=self._isna_via_sentinels(frame), chained=False)
         return preparator.apply(frame, params)
 
+    def _preparator_path_tag(self, preparator: Preparator, frame: DataFrame) -> str:
+        if preparator.name == "isna":
+            return "dt-sentinel"  # distinct physical path; never shared
+        return super()._preparator_path_tag(preparator, frame)
+
     @staticmethod
     def _isna_via_sentinels(frame: DataFrame) -> DataFrame:
         """Missing-value mask computed from the sentinel encoding."""

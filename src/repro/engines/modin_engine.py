@@ -50,6 +50,11 @@ class _ModinEngine(BaseEngine):
             return self._execute_partitioned(preparator, frame, params)
         return preparator.apply(frame, params)
 
+    def _preparator_path_tag(self, preparator: Preparator, frame: DataFrame) -> str:
+        if preparator.name in _ROW_PARALLEL and frame.num_rows >= 4:
+            return f"part{self._partition_count()}"
+        return super()._preparator_path_tag(preparator, frame)
+
     def _execute_partitioned(self, preparator: Preparator, frame: DataFrame,
                              params: Mapping[str, Any]) -> PreparatorResult:
         parts = self._partition_count()

@@ -33,11 +33,16 @@ from .errors import (
 )
 from .expressions import Expression, col, lit
 from .frame import DataFrame, concat_rows
+from .sharing import FrameManifest, SharedFrameStore, attach_frame, export_frame
 
 __all__ = [
     "Column",
     "DataFrame",
     "concat_rows",
+    "FrameManifest",
+    "SharedFrameStore",
+    "attach_frame",
+    "export_frame",
     "DType",
     "INT64",
     "FLOAT64",

@@ -1,0 +1,308 @@
+"""Zero-copy frame transport over ``multiprocessing.shared_memory``.
+
+The sweep's process workers used to receive a pickled copy of the physical
+frame inside *every* cell payload — serialization dominated the sweep and the
+"parallel" path ran slower than sequential.  This module serializes each
+distinct physical frame **once** into a single shared-memory segment (one
+buffer per column component, with a picklable manifest describing offsets,
+dtypes and shapes) so any number of workers attach to the same bytes instead
+of unpickling their own copy.
+
+Layout: numeric storage (``int64``/``float64``/``bool`` values and the boolean
+validity masks) is copied verbatim and re-attached as **zero-copy read-only
+numpy views** over the segment.  String-typed object arrays (``STRING`` values
+and ``CATEGORICAL`` category tables) are encoded as a UTF-8 data buffer plus an
+``int64`` offsets array; attaching decodes them back into object arrays (one
+unavoidable copy, paid once per worker per frame — not once per cell).
+
+Ownership: the process that calls :func:`export_frame` owns the segment and
+must eventually ``close()`` + ``unlink()`` it; :class:`SharedFrameStore` is the
+reference-counting registry the sweep scheduler uses for that (segments are
+unlinked as soon as the last batch referencing them completes, and
+unconditionally when the sweep ends — including on exception or Ctrl-C).
+Attachers must *not* unlink; :func:`attach_frame` unregisters the attached
+segment from this process's ``resource_tracker`` so a worker exiting cannot
+destroy a segment the parent still owns (CPython < 3.13 tracks attached
+segments as if they were owned).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from .column import Column
+from .dtypes import CATEGORICAL, STRING, parse_dtype
+from .frame import DataFrame
+
+__all__ = ["FrameManifest", "SharedFrameStore", "attach_frame", "export_frame",
+           "SEGMENT_PREFIX"]
+
+#: Prefix of every segment this module creates (``/dev/shm/<prefix>…`` on
+#: Linux) — tests assert no segment with this prefix survives a sweep.
+SEGMENT_PREFIX = "repro-frame-"
+
+#: Segments created by this process (or inherited over ``fork``, in which case
+#: the child shares the parent's resource-tracker daemon).  Attaching to one
+#: of these must not unregister it — the tracker entry belongs to the owner.
+_OWNED: set[str] = set()
+
+
+@dataclass(frozen=True)
+class _Buffer:
+    """One contiguous region of the segment holding a numpy array."""
+
+    offset: int
+    count: int
+    dtype: str  # numpy dtype string, e.g. "int64", "bool", "uint8"
+
+
+@dataclass(frozen=True)
+class _ColumnSpec:
+    """How to rebuild one :class:`Column` from the segment."""
+
+    name: str
+    dtype: str  # logical dtype value ("int64", "string", …)
+    values: _Buffer
+    validity: _Buffer
+    # STRING values / CATEGORICAL categories: (offsets, utf8 data, validity)
+    strings: "tuple[_Buffer, _Buffer, _Buffer] | None" = None
+    categories: "tuple[_Buffer, _Buffer, _Buffer] | None" = None
+
+
+@dataclass(frozen=True)
+class FrameManifest:
+    """Picklable description of one exported frame (ships inside batches)."""
+
+    segment: str
+    size: int
+    rows: int
+    columns: tuple[_ColumnSpec, ...] = field(default_factory=tuple)
+
+
+# --------------------------------------------------------------------------- #
+# export
+# --------------------------------------------------------------------------- #
+def _encode_strings(values: np.ndarray) -> tuple[bytes, np.ndarray, np.ndarray]:
+    """Object array of ``str | None`` → (utf8 blob, int64 offsets, validity)."""
+    present = np.array([v is not None for v in values], dtype=bool)
+    pieces = [v.encode("utf-8") if ok else b""
+              for v, ok in zip(values.tolist(), present.tolist())]
+    offsets = np.zeros(len(pieces) + 1, dtype=np.int64)
+    np.cumsum([len(p) for p in pieces], out=offsets[1:])
+    return b"".join(pieces), offsets, present
+
+
+def _decode_strings(data: np.ndarray, offsets: np.ndarray,
+                    present: np.ndarray) -> np.ndarray:
+    blob = data.tobytes()
+    out = np.empty(len(offsets) - 1, dtype=object)
+    starts, ends = offsets[:-1].tolist(), offsets[1:].tolist()
+    for i, ok in enumerate(present.tolist()):
+        out[i] = blob[starts[i]:ends[i]].decode("utf-8") if ok else None
+    return out
+
+
+class _SegmentWriter:
+    """Accumulates arrays, then copies them into one shared segment."""
+
+    def __init__(self) -> None:
+        self._arrays: list[np.ndarray] = []
+        self._offset = 0
+
+    def add(self, array: np.ndarray) -> _Buffer:
+        array = np.ascontiguousarray(array)
+        # align every buffer to 16 bytes so attached views are always aligned
+        self._offset = (self._offset + 15) & ~15
+        buffer = _Buffer(self._offset, len(array), str(array.dtype))
+        self._arrays.append(array)
+        self._offset += array.nbytes
+        return buffer
+
+    def add_strings(self, values: np.ndarray) -> tuple[_Buffer, _Buffer, _Buffer]:
+        blob, offsets, present = _encode_strings(values)
+        data = np.frombuffer(blob, dtype=np.uint8) if blob else np.empty(0, np.uint8)
+        return self.add(offsets), self.add(data), self.add(present)
+
+    def write(self, name: str) -> shared_memory.SharedMemory:
+        size = max(1, self._offset)
+        shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        offset = 0
+        for array in self._arrays:
+            offset = (offset + 15) & ~15
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=shm.buf, offset=offset)
+            view[:] = array
+            offset += array.nbytes
+        return shm
+
+
+def export_frame(frame: DataFrame,
+                 name: str | None = None) -> tuple[shared_memory.SharedMemory, FrameManifest]:
+    """Serialize a frame into one owned shared-memory segment.
+
+    Returns the segment (caller owns ``close()``/``unlink()``) and the
+    picklable manifest any process can :func:`attach_frame` from.
+    """
+    name = name or f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+    writer = _SegmentWriter()
+    specs: list[_ColumnSpec] = []
+    for column_name in frame.columns:
+        column = frame[column_name]
+        validity = writer.add(np.asarray(column.validity, dtype=bool))
+        if column.dtype is STRING:
+            strings = writer.add_strings(column.values)
+            values = strings[0]  # placeholder; rebuilt from the string buffers
+            specs.append(_ColumnSpec(column_name, column.dtype.value, values,
+                                     validity, strings=strings))
+            continue
+        values = writer.add(np.asarray(column.values))
+        categories = (writer.add_strings(column.categories)
+                      if column.dtype is CATEGORICAL else None)
+        specs.append(_ColumnSpec(column_name, column.dtype.value, values,
+                                 validity, categories=categories))
+    shm = writer.write(name)
+    _OWNED.add(name)
+    manifest = FrameManifest(segment=name, size=shm.size, rows=frame.num_rows,
+                             columns=tuple(specs))
+    return shm, manifest
+
+
+# --------------------------------------------------------------------------- #
+# attach
+# --------------------------------------------------------------------------- #
+def _view(shm: shared_memory.SharedMemory, buffer: _Buffer) -> np.ndarray:
+    array = np.ndarray((buffer.count,), dtype=np.dtype(buffer.dtype),
+                       buffer=shm.buf, offset=buffer.offset)
+    array.flags.writeable = False  # the frame is shared; mutation is a bug
+    return array
+
+
+def _decode_string_array(shm: shared_memory.SharedMemory,
+                         buffers: tuple[_Buffer, _Buffer, _Buffer]) -> np.ndarray:
+    offsets, data, present = buffers
+    return _decode_strings(_view(shm, data), _view(shm, offsets),
+                           _view(shm, present))
+
+
+def attach_frame(manifest: FrameManifest,
+                 shm: shared_memory.SharedMemory | None = None
+                 ) -> tuple[DataFrame, shared_memory.SharedMemory]:
+    """Rebuild a frame from a manifest, attaching to the segment if needed.
+
+    Numeric buffers become read-only zero-copy views over the segment; the
+    returned ``SharedMemory`` must stay alive as long as the frame is used.
+    The attachment is unregistered from this process's ``resource_tracker``
+    so that a worker's exit never unlinks a segment the exporter still owns.
+    """
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=manifest.segment)
+        if manifest.segment not in _OWNED:
+            try:  # the exporter owns cleanup; see module docstring
+                resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+            except Exception:  # pragma: no cover - tracker API is best-effort
+                pass
+    data: dict[str, Column] = {}
+    for spec in manifest.columns:
+        dtype = parse_dtype(spec.dtype)
+        validity = _view(shm, spec.validity)
+        if spec.strings is not None:
+            values = _decode_string_array(shm, spec.strings)
+            data[spec.name] = Column(values, dtype, validity)
+            continue
+        values = _view(shm, spec.values)
+        categories = (_decode_string_array(shm, spec.categories)
+                      if spec.categories is not None else None)
+        data[spec.name] = Column(values, dtype, validity, categories)
+    return DataFrame(data), shm
+
+
+# --------------------------------------------------------------------------- #
+# the exporter-side registry
+# --------------------------------------------------------------------------- #
+class SharedFrameStore:
+    """Reference-counted registry of the segments one sweep exported.
+
+    ``export()`` serializes a frame once (keyed by object identity) and
+    returns its manifest; ``retain()``/``release()`` track how many dispatched
+    batches still reference each segment so memory is reclaimed as soon as the
+    last batch using a frame completes; ``close()`` unlinks everything that is
+    left — the scheduler calls it in a ``finally`` so segments never outlive
+    the sweep, even on exception or Ctrl-C.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._manifests: dict[int, FrameManifest] = {}
+        self._frames: dict[int, DataFrame] = {}  # keeps ids stable
+        self._refs: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def export(self, frame: DataFrame) -> FrameManifest:
+        with self._lock:
+            manifest = self._manifests.get(id(frame))
+            if manifest is None:
+                shm, manifest = export_frame(frame)
+                self._segments[manifest.segment] = shm
+                self._manifests[id(frame)] = manifest
+                self._frames[id(frame)] = frame
+                self._refs[manifest.segment] = 0
+            return manifest
+
+    def retain(self, segment: str) -> None:
+        with self._lock:
+            self._refs[segment] = self._refs.get(segment, 0) + 1
+
+    def release(self, segment: str) -> None:
+        """Drop one reference; the segment is unlinked when none remain."""
+        with self._lock:
+            count = self._refs.get(segment)
+            if count is None:
+                return
+            count -= 1
+            self._refs[segment] = count
+            if count > 0:
+                return
+            shm = self._segments.pop(segment, None)
+            del self._refs[segment]
+        if shm is not None:
+            _destroy(shm)
+
+    @property
+    def segment_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._segments)
+
+    def close(self) -> None:
+        """Unlink every remaining segment (idempotent)."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._manifests.clear()
+            self._frames.clear()
+            self._refs.clear()
+        for shm in segments:
+            _destroy(shm)
+
+    def __enter__(self) -> "SharedFrameStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _destroy(shm: shared_memory.SharedMemory) -> None:
+    _OWNED.discard(getattr(shm, "name", None))
+    try:
+        shm.close()
+    except Exception:  # pragma: no cover
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass

@@ -94,7 +94,10 @@ class Session:
         self._tpch_data: dict[float, object] = {}
         #: Serializes lazy construction, so concurrent jobs can share a session.
         self._lock = threading.RLock()
-        #: Statistics of the most recent scheduled sweep (cache hits, workers).
+        #: Statistics of the most recent scheduled sweep: cache hits, workers,
+        #: the executed-vs-overhead wall-clock split (execute/serialize/setup
+        #: seconds, batch count) and — for ``run(profile=True)`` — the
+        #: per-cell timing records behind ``profile_table()``.
         self.last_sweep: SweepStats | None = None
 
     # ------------------------------------------------------------------ #
@@ -395,7 +398,8 @@ class Session:
             workers: int = 1,
             cache: "bool | str | object | None" = None,
             executor: str = "thread",
-            progress: "Callable[[Cell, list, str], None] | None" = None) -> ResultSet:
+            progress: "Callable[[Cell, list, str], None] | None" = None,
+            profile: bool = False) -> ResultSet:
         """Sweep a slice of the matrix and return the collected measurements.
 
         ``mode`` is one of ``full``/``stage``/``core`` (the paper's three
@@ -414,8 +418,19 @@ class Session:
         the default ``~/.cache/repro``, or a directory path, or a
         :class:`~repro.sweep.SweepCache`) so repeated or interrupted sweeps
         skip completed cells, and ``executor`` selects ``"thread"`` (shared
-        components, default) or ``"process"`` (per-cell isolation) pools.
-        Statistics of the last sweep are exposed as :attr:`last_sweep`.
+        components, default) or ``"process"`` (persistent workers attached to
+        shared-memory frame segments) pools.  Parallel sweeps run through the
+        batched tier of :mod:`repro.sweep.workers`: cells are grouped by
+        (dataset, scale, engine), ordered longest-first from recorded timing
+        hints, and dispatched with dataset affinity to long-lived workers.
+
+        Statistics of the last sweep are exposed as :attr:`last_sweep` — a
+        :class:`~repro.sweep.SweepStats` with the cell counts plus the
+        executed-vs-overhead wall-clock split (``execute_seconds``,
+        ``serialize_seconds``, ``setup_seconds``, ``batches``).  With
+        ``profile=True`` it also carries one per-cell
+        dispatch/serialize/setup/execute/cache timing record per executed
+        cell (render with ``last_sweep.profile_table()``).
 
         ``progress`` is a job-granular callback invoked as each cell lands:
         ``progress(cell, measurements, source)`` with ``source`` one of
@@ -429,19 +444,21 @@ class Session:
                              f"expected one of {sorted(set(_MODE_ALIASES))}") from None
         if resolved_mode == "tpch":
             return self.run_tpch(engines=engines, workers=workers, cache=cache,
-                                 executor=executor, progress=progress)
+                                 executor=executor, progress=progress,
+                                 profile=profile)
         plan = self.plan(resolved_mode, engines=engines, datasets=datasets,
                          pipelines=pipelines, lazy=lazy, streaming=streaming,
                          stages=stages, formats=formats)
         return self._run_plan(plan, workers=workers, cache=cache, executor=executor,
-                              progress=progress)
+                              progress=progress, profile=profile)
 
     def _run_plan(self, plan: list[PlannedCell], *, workers: int,
                   cache: "bool | str | object | None", executor: str,
-                  progress: "Callable[[Cell, list, str], None] | None" = None
-                  ) -> ResultSet:
+                  progress: "Callable[[Cell, list, str], None] | None" = None,
+                  profile: bool = False) -> ResultSet:
         scheduler = SweepScheduler(workers=workers, cache=resolve_cache(cache),
-                                   executor=executor, on_result=progress)
+                                   executor=executor, on_result=progress,
+                                   profile=profile)
         try:
             return scheduler.run(plan)
         finally:
@@ -505,8 +522,8 @@ class Session:
                  workers: int = 1,
                  cache: "bool | str | object | None" = None,
                  executor: str = "thread",
-                 progress: "Callable[[Cell, list, str], None] | None" = None
-                 ) -> ResultSet:
+                 progress: "Callable[[Cell, list, str], None] | None" = None,
+                 profile: bool = False) -> ResultSet:
         """Run TPC-H queries on the TPC-H engine set and collect measurements.
 
         Like :meth:`run`, the engine × query matrix goes through the sweep
@@ -553,7 +570,7 @@ class Session:
                     execute=self._tpch_thunk(cell, engine, runner),
                     payload=payload))
         return self._run_plan(plan, workers=workers, cache=cache, executor=executor,
-                              progress=progress)
+                              progress=progress, profile=profile)
 
     @staticmethod
     def _tpch_thunk(cell, engine, tpch_runner):

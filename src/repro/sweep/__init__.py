@@ -7,6 +7,13 @@ content-addressed on-disk cache so repeated or interrupted sweeps skip the
 cells that already completed.  :meth:`repro.session.Session.run` and the
 ``python -m repro`` CLI (``--jobs``/``--cache-dir``/``--resume``) are built on
 top of it.
+
+Parallel sweeps execute through the batched tier of
+:mod:`repro.sweep.workers`: cells are grouped into :class:`CellBatch` units
+by (dataset, scale, engine), ordered longest-first from recorded wall-clock
+hints and dispatched with dataset affinity to persistent workers — process
+workers attach zero-copy to shared-memory frame segments
+(:mod:`repro.frame.sharing`) instead of unpickling a frame per cell.
 """
 
 from .cache import CACHE_VERSION, SweepCache, default_cache_dir
@@ -19,16 +26,34 @@ from .scheduler import (
     execute_payload,
     resolve_cache,
 )
+from .workers import (
+    CellBatch,
+    CellTask,
+    HintMemory,
+    ProcessWorkerPool,
+    ThreadBatchExecutor,
+    assign_shards,
+    build_batches,
+    hint_memory,
+)
 
 __all__ = [
     "Cell",
+    "CellBatch",
+    "CellTask",
+    "HintMemory",
     "PlannedCell",
+    "ProcessWorkerPool",
     "SweepCache",
     "SweepScheduler",
     "SweepStats",
+    "ThreadBatchExecutor",
     "CACHE_VERSION",
+    "assign_shards",
+    "build_batches",
     "context_fingerprint",
     "dataset_fingerprint",
+    "hint_memory",
     "pipeline_fingerprint",
     "default_cache_dir",
     "execute_cell",

@@ -105,8 +105,15 @@ class SweepCache:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + 1)
 
-    def store(self, cell: Cell, measurements: "list[Measurement]") -> Path:
-        """Atomically persist a completed cell."""
+    def store(self, cell: Cell, measurements: "list[Measurement]",
+              seconds: "float | None" = None) -> Path:
+        """Atomically persist a completed cell.
+
+        ``seconds`` is optional wall-clock metadata — how long the cell took
+        to execute — used by the batch scheduler for longest-first ordering
+        (see :meth:`seconds_hint`).  Entries without it (all pre-existing
+        ones) load exactly as before: :meth:`load` ignores unknown keys.
+        """
         path = self.path_for(cell)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -114,6 +121,8 @@ class SweepCache:
             "cell": cell.to_dict(),
             "measurements": [m.to_dict() for m in measurements],
         }
+        if seconds is not None:
+            payload["seconds"] = float(seconds)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -127,6 +136,39 @@ class SweepCache:
             raise
         self._count("stores")
         return path
+
+    def seconds_hint(self, cell: Cell) -> "float | None":
+        """Best-effort wall-clock hint for a cell, from entry metadata.
+
+        A *pending* cell has, by definition, no exact-hash entry — but a
+        close relative usually does: the same (mode, engine, dataset …)
+        label measured at a different run count, scale or code state shares
+        the human-readable file-name prefix.  Any ``seconds`` recorded under
+        that prefix is a fine ordering hint (hints shape scheduling order,
+        never results).  Returns ``None`` when nothing is known.
+        """
+        prefix = _SAFE.sub("_", cell.label())[:80]
+        directory = self.path_for(cell).parent
+        hint: "float | None" = None
+        try:
+            candidates = sorted(directory.glob(f"{prefix}-*.json"))
+        except OSError:
+            return None
+        for path in candidates:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict):
+                continue
+            entry_cell = payload.get("cell") or {}
+            if any(entry_cell.get(key) != getattr(cell, key)
+                   for key in ("mode", "engine", "dataset", "pipeline")):
+                continue  # the prefix glob is loose; pin the coordinates
+            seconds = payload.get("seconds")
+            if isinstance(seconds, (int, float)):
+                hint = float(seconds)
+        return hint
 
     # ------------------------------------------------------------------ #
     def entries(self) -> Iterator[Path]:

@@ -8,18 +8,25 @@ the :class:`~repro.sweep.cache.SweepCache`, dispatches the rest across a
 returned :class:`~repro.results.ResultSet` is bit-identical to a sequential
 run regardless of completion order, worker count or cache state.
 
-Two pool flavours are supported:
+Two pool flavours are supported, and both normally run through the batched
+execution tier of :mod:`repro.sweep.workers` — cells are grouped by
+``(dataset, scale, engine)``, ordered longest-first from recorded wall-clock
+hints, and dispatched with dataset affinity to **persistent** workers that
+keep engines, frames and a substrate memo warm across the whole sweep:
 
-* ``executor="thread"`` (default) — workers share the session's engines,
-  frames and simulation contexts.  Execution is pure computation over
-  read-only inputs, so this is safe and has zero serialization cost;
-* ``executor="process"`` — each cell ships a self-contained picklable payload
-  and is re-executed from scratch in a worker process (engines are rebuilt by
-  name), sidestepping the GIL for CPU-heavy slices.
+* ``executor="thread"`` (default) — workers share the session's live frames
+  (zero serialization) and one shared memo;
+* ``executor="process"`` — long-lived worker processes attach zero-copy to
+  shared-memory frame segments the dispatcher exports once per distinct
+  frame (see :mod:`repro.frame.sharing`); only small manifests and
+  measurement events cross process boundaries.
 
-Completed cells are written to the cache *as they finish*, which is what
-makes interrupted sweeps resumable: rerunning the same sweep skips every cell
-that completed before the interruption.
+``batched=False`` falls back to the historical per-cell futures pool.
+Completed cells are written to the cache *as they finish* in every flavour,
+which is what makes interrupted sweeps resumable: rerunning the same sweep
+skips every cell that completed before the interruption.  ``profile=True``
+additionally records a per-cell dispatch/serialize/setup/execute/cache
+timing breakdown into :class:`SweepStats`.
 """
 
 from __future__ import annotations
@@ -55,7 +62,16 @@ class PlannedCell:
 
 @dataclass
 class SweepStats:
-    """What one scheduler run did (exposed as ``Session.last_sweep``)."""
+    """What one scheduler run did (exposed as ``Session.last_sweep``).
+
+    Beyond the cell counts, a batched run records where the wall clock went:
+    ``execute_seconds`` is time spent inside ``measure_*`` calls, while
+    ``serialize_seconds`` (exporting frames to shared memory) and
+    ``setup_seconds`` (building engines / attaching frames in workers) are
+    overhead — the split :meth:`summary` prints is the flatline diagnostic
+    this PR exists for.  With ``profile=True`` the scheduler also appends one
+    per-cell timing record to :attr:`profile` (see :meth:`profile_table`).
+    """
 
     total: int = 0
     executed: int = 0
@@ -65,11 +81,66 @@ class SweepStats:
     executor: str = "thread"
     wall_seconds: float = 0.0
     cells: list[str] = field(default_factory=list)
+    #: Batches dispatched (0 = sequential or per-cell futures path).
+    batches: int = 0
+    #: Exporting frames into shared-memory segments (dispatcher side).
+    serialize_seconds: float = 0.0
+    #: Engine construction + frame attach inside workers (warm ⇒ ~0).
+    setup_seconds: float = 0.0
+    #: Summed wall clock of the actual ``measure_*`` work inside workers.
+    execute_seconds: float = 0.0
+    #: Per-cell timing records (``profile=True`` runs only).
+    profile: list[dict] = field(default_factory=list)
+
+    @property
+    def overhead_seconds(self) -> float:
+        return self.serialize_seconds + self.setup_seconds
 
     def summary(self) -> str:
-        return (f"{self.total} cells: {self.cached} from cache, "
+        base = (f"{self.total} cells: {self.cached} from cache, "
                 f"{self.executed} executed ({self.workers} worker(s), "
                 f"{self.executor}), {self.wall_seconds:.2f}s")
+        if self.batches:
+            base += (f" [{self.batches} batches: {self.execute_seconds:.2f}s "
+                     f"executing, {self.overhead_seconds:.3f}s overhead = "
+                     f"{self.serialize_seconds:.3f}s serialize "
+                     f"+ {self.setup_seconds:.3f}s setup]")
+        return base
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (what ``--stats-out`` and the bench emit)."""
+        return {
+            "total": self.total, "executed": self.executed,
+            "cached": self.cached, "failed": self.failed,
+            "workers": self.workers, "executor": self.executor,
+            "wall_seconds": self.wall_seconds, "batches": self.batches,
+            "serialize_seconds": self.serialize_seconds,
+            "setup_seconds": self.setup_seconds,
+            "execute_seconds": self.execute_seconds,
+        }
+
+    def profile_table(self) -> str:
+        """The per-cell breakdown as an aligned text table."""
+        if not self.profile:
+            return "(no profile records; run with profile=True)"
+        headers = ("cell", "dispatch", "serialize", "setup", "execute", "cache")
+        rows = [(record["cell"],
+                 *(f"{record[k]:.4f}" for k in headers[1:]))
+                for record in self.profile]
+        widths = [max(len(h), *(len(r[i]) for r in rows))
+                  for i, h in enumerate(headers)]
+        def fmt(values):
+            first = values[0].ljust(widths[0])
+            rest = (v.rjust(w) for v, w in zip(values[1:], widths[1:]))
+            return "  ".join((first, *rest))
+        lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+        lines += [fmt(row) for row in rows]
+        totals = ("total",) + tuple(
+            f"{sum(r[k] for r in self.profile):.4f}"
+            for k in headers[1:])
+        lines.append(fmt(tuple("-" * w for w in widths)))
+        lines.append(fmt(totals))
+        return "\n".join(lines)
 
 
 def resolve_cache(cache: "bool | str | Any | None") -> "SweepCache | None":
@@ -100,7 +171,8 @@ class SweepScheduler:
 
     def __init__(self, workers: int = 1, cache: "SweepCache | None" = None,
                  executor: str = "thread",
-                 on_result: "Callable[[Cell, list[Measurement], str], None] | None" = None):
+                 on_result: "Callable[[Cell, list[Measurement], str], None] | None" = None,
+                 batched: bool = True, profile: bool = False):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if executor not in _EXECUTORS:
@@ -109,6 +181,10 @@ class SweepScheduler:
         self.cache = cache
         self.executor = executor
         self.on_result = on_result
+        #: ``False`` restores the historical per-cell futures pool.
+        self.batched = batched
+        #: Record per-cell timing breakdowns into ``last_stats.profile``.
+        self.profile = profile
         self.last_stats: "SweepStats | None" = None
 
     def _notify(self, cell: Cell, measurements: "list[Measurement]", source: str) -> None:
@@ -134,11 +210,18 @@ class SweepScheduler:
                 pending.append(index)
         stats.cells = [planned.cell.cell_id for planned in plan]
 
+        # The batch tier needs self-contained payloads; plans built by hand
+        # with ``payload=None`` (thread-only) keep the per-cell futures path.
+        use_batched = (self.batched and self.workers > 1 and len(pending) > 1
+                       and all(plan[index].payload is not None
+                               for index in pending))
         try:
             if self.workers == 1 or len(pending) <= 1:
                 for index in pending:
-                    slots[index] = self._complete(plan[index])
+                    slots[index] = self._complete(plan[index], stats)
                     stats.executed += 1
+            elif use_batched:
+                self._run_batched(plan, pending, slots, stats)
             else:
                 self._run_pool(plan, pending, slots, stats)
         finally:
@@ -150,12 +233,141 @@ class SweepScheduler:
         return results
 
     # ------------------------------------------------------------------ #
-    def _complete(self, planned: PlannedCell) -> "list[Measurement]":
+    def _complete(self, planned: PlannedCell,
+                  stats: "SweepStats | None" = None) -> "list[Measurement]":
+        started = time.perf_counter()
         measurements = planned.execute()
+        seconds = time.perf_counter() - started
         if self.cache is not None:
-            self.cache.store(planned.cell, measurements)
+            self.cache.store(planned.cell, measurements, seconds=seconds)
+        cache_seconds = time.perf_counter() - started - seconds
+        from .workers import hint_memory
+
+        hint_memory.record(planned.cell, seconds)
+        if stats is not None:
+            stats.execute_seconds += seconds
+            if self.profile:
+                stats.profile.append({
+                    "cell": planned.cell.label(), "dispatch": 0.0,
+                    "serialize": 0.0, "setup": 0.0, "execute": seconds,
+                    "cache": cache_seconds})
         self._notify(planned.cell, measurements, "executed")
         return measurements
+
+    # ------------------------------------------------------------------ #
+    # the batched tier: persistent workers, shared frames, affinity dispatch
+    # ------------------------------------------------------------------ #
+    def _run_batched(self, plan: Sequence[PlannedCell], pending: "list[int]",
+                     slots: "list[list[Measurement] | None]",
+                     stats: SweepStats) -> None:
+        from ..frame.sharing import SharedFrameStore
+        from .workers import (ProcessWorkerPool, ThreadBatchExecutor,
+                              assign_shards, build_batches, decode_error,
+                              hint_memory)
+
+        batches = build_batches(plan, pending, cache=self.cache)
+        assignments = assign_shards(batches, self.workers)
+        stats.batches = len(batches)
+        batch_index = {batch.batch_id: batch for batch in batches}
+        serialize_share: "dict[int, float]" = {}  # plan index → seconds
+
+        store: "SharedFrameStore | None" = None
+        if self.executor == "process":
+            # Serialize each distinct physical frame ONCE, replace the live
+            # frame in every task with the shared-memory manifest, and
+            # reference-count segments per batch so memory is reclaimed the
+            # moment the last batch touching a frame completes.
+            store = SharedFrameStore()
+            segment_cost: "dict[str, float]" = {}
+            segment_cells: "dict[str, int]" = {}
+            for batch in batches:
+                for task in batch.tasks:
+                    if task.frame is None:
+                        continue
+                    started = time.perf_counter()
+                    task.manifest = store.export(task.frame)  # once per frame
+                    cost = time.perf_counter() - started
+                    segment = task.manifest.segment
+                    if segment not in segment_cost:
+                        stats.serialize_seconds += cost
+                        segment_cost[segment] = cost
+                    segment_cells[segment] = segment_cells.get(segment, 0) + 1
+                    task.frame = None
+            for batch in batches:
+                for segment in batch.segments():
+                    store.retain(segment)
+                for task in batch.tasks:
+                    if task.manifest is not None:
+                        segment = task.manifest.segment
+                        serialize_share[task.index] = (
+                            segment_cost[segment] / segment_cells[segment])
+            pool = ProcessWorkerPool(len(assignments))
+        else:
+            pool = ThreadBatchExecutor(len(assignments))
+
+        errors: "list[BaseException]" = []
+        outstanding = {batch.batch_id for batch in batches}
+        unresolved = set(pending)
+        try:
+            pool.submit(assignments)
+            while outstanding or unresolved:
+                try:
+                    event = pool.get_event(timeout=1.0)
+                except Exception:  # queue.Empty (both flavours raise it)
+                    if not pool.alive() and (outstanding or unresolved):
+                        raise RuntimeError(
+                            f"sweep workers died with {len(outstanding)} "
+                            f"batch(es) outstanding") from None
+                    continue
+                kind = event[0]
+                if kind == "ok":
+                    _, _, batch_id, index, measurements, seconds, timings = event
+                    slots[index] = measurements
+                    stats.executed += 1
+                    stats.setup_seconds += timings["setup"]
+                    stats.execute_seconds += timings["execute"]
+                    unresolved.discard(index)
+                    cell = plan[index].cell
+                    cache_started = time.perf_counter()
+                    if self.cache is not None:
+                        self.cache.store(cell, measurements, seconds=seconds)
+                    cache_seconds = time.perf_counter() - cache_started
+                    hint_memory.record(cell, seconds)
+                    if self.profile:
+                        stats.profile.append({
+                            "cell": cell.label(),
+                            "dispatch": timings.get("dispatch", 0.0),
+                            "serialize": serialize_share.get(index, 0.0),
+                            "setup": timings["setup"],
+                            "execute": timings["execute"],
+                            "cache": cache_seconds})
+                    self._notify(cell, measurements, "executed")
+                elif kind == "err":
+                    _, _, batch_id, index, encoded = event
+                    unresolved.discard(index)
+                    errors.append(decode_error(encoded))
+                    pool.abort.set()  # remaining cells drain as "skip"
+                elif kind == "skip":
+                    unresolved.discard(event[3])
+                elif kind == "batch_done":
+                    batch_id = event[2]
+                    outstanding.discard(batch_id)
+                    if store is not None:
+                        for segment in batch_index[batch_id].segments():
+                            store.release(segment)
+                # "worker_done" events need no handling: batch/cell
+                # accounting above already decides when the drain ends.
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.shutdown()
+            if store is not None:
+                # segments must never outlive the sweep, whatever happened
+                store.close()
+        if errors:
+            stats.failed = len(errors)
+            raise errors[0]
 
     def _run_pool(self, plan: Sequence[PlannedCell], pending: "list[int]",
                   slots: "list[list[Measurement] | None]", stats: SweepStats) -> None:
@@ -198,6 +410,20 @@ class SweepScheduler:
             except BaseException:  # e.g. Ctrl-C in the main thread
                 for queued in futures:
                     queued.cancel()
+                # Cells whose futures already completed did their work: drain
+                # them into the cache/slots before propagating, so a resumed
+                # sweep does not re-execute finished cells.
+                for future, index in futures.items():
+                    if (slots[index] is not None or not future.done()
+                            or future.cancelled()
+                            or future.exception() is not None):
+                        continue
+                    measurements = future.result()
+                    slots[index] = measurements
+                    stats.executed += 1
+                    if self.cache is not None:
+                        self.cache.store(plan[index].cell, measurements)
+                    self._notify(plan[index].cell, measurements, "executed")
                 raise
         if errors:
             stats.failed = len(errors)
