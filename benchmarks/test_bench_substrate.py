@@ -2,12 +2,28 @@
 
 Not a figure of the paper, but useful to track the real performance of the
 dataframe substrate that every simulated engine executes on.
+
+``test_bench_substrate_backends`` additionally races the two physical column
+backends — ``"object"`` (reference Python kernels) against ``"dict"``
+(dictionary-encoded strings + vectorized join/groupby) — on string-heavy and
+join/groupby-heavy workloads, asserts the results are identical, and writes
+the wall-clock numbers to ``BENCH_substrate.json`` at the repository root so
+the backend speedups are tracked (and guarded) across PRs.
 """
 
+import json
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
 from repro.datasets import generate_dataset
+from repro.frame import Column, DataFrame, convert_frame
+from repro.frame import strings as fstr
 from repro.io import read_csv, write_csv, write_rparquet, read_rparquet
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_substrate.json"
 
 
 @pytest.fixture(scope="module")
@@ -58,3 +74,89 @@ def test_substrate_rparquet_roundtrip(benchmark, taxi_frame, tmp_path):
 
     out = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
     assert out.num_rows == taxi_frame.num_rows
+
+
+# --------------------------------------------------------------------------- #
+# object vs dict backend A/B
+# --------------------------------------------------------------------------- #
+_ROWS = 200_000
+_DISTINCT = 200
+
+
+def _ab_frames():
+    """A string-heavy frame: 200k rows drawn from 200 distinct values."""
+    rng = np.random.default_rng(7)
+    vocabulary = np.array([f"Category {i:03d} padding-{i * 37 % 101} " for i in range(_DISTINCT)],
+                          dtype=object)
+    keys = vocabulary[rng.integers(0, _DISTINCT, _ROWS)]
+    keys[rng.random(_ROWS) < 0.02] = None
+    frame = DataFrame({
+        "key": Column.from_values(keys, "string"),
+        "value": Column.from_values(rng.random(_ROWS) * 100, "float64"),
+        "count": Column.from_values(rng.integers(0, 50, _ROWS), "int64"),
+    })
+    right = DataFrame({
+        "key": Column.from_values(list(vocabulary[::2]), "string"),
+        "weight": Column.from_values([float(i) for i in range(0, _DISTINCT, 2)], "float64"),
+    })
+    return frame, right
+
+
+def _timeit(fn, repeats=3):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def _string_workload(frame):
+    column = frame["key"]
+    return DataFrame({
+        "lower": fstr.set_case(column, "lower"),
+        "stripped": fstr.strip(column),
+        "has_7": fstr.contains(column, "7", regex=False),
+        "length": fstr.str_length(column),
+        "prefix": fstr.startswith(column, "Category 0"),
+    })
+
+
+def _join_groupby_workload(frame, right):
+    joined = frame.join(right, on="key", how="left")
+    return joined.group_agg("key", {"value": "mean", "count": "sum",
+                                    "weight": "max"})
+
+
+def test_bench_substrate_backends():
+    frame, right = _ab_frames()
+    dict_frame = convert_frame(frame, "dict")
+    dict_right = convert_frame(right, "dict")
+
+    string_obj_s, string_obj = _timeit(lambda: _string_workload(frame))
+    string_dict_s, string_dict = _timeit(lambda: _string_workload(dict_frame))
+    assert string_obj.equals(convert_frame(string_dict, "object"))
+
+    jg_obj_s, jg_obj = _timeit(lambda: _join_groupby_workload(frame, right))
+    jg_dict_s, jg_dict = _timeit(lambda: _join_groupby_workload(dict_frame, dict_right))
+    assert jg_obj.equals(convert_frame(jg_dict, "object"))
+
+    payload = {
+        "workload": {"rows": _ROWS, "distinct_strings": _DISTINCT,
+                     "string_kernels": ["lower", "strip", "contains",
+                                        "str_length", "startswith"],
+                     "join": "left join on string key (200k x 100)",
+                     "groupby": "mean/sum/max by string key"},
+        "string_object_seconds": round(string_obj_s, 4),
+        "string_dict_seconds": round(string_dict_s, 4),
+        "string_speedup": round(string_obj_s / string_dict_s, 2),
+        "join_groupby_object_seconds": round(jg_obj_s, 4),
+        "join_groupby_dict_seconds": round(jg_dict_s, 4),
+        "join_groupby_speedup": round(jg_obj_s / jg_dict_s, 2),
+        "identical_results": True,  # asserted above before writing
+    }
+    _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nsubstrate backends: strings {string_obj_s:.3f}s -> {string_dict_s:.3f}s "
+          f"({payload['string_speedup']}x), join+groupby {jg_obj_s:.3f}s -> "
+          f"{jg_dict_s:.3f}s ({payload['join_groupby_speedup']}x) -> {_BENCH_PATH.name}")
+    assert _BENCH_PATH.exists()

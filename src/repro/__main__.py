@@ -103,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "'on') streams on streaming-capable engines, "
                              "'both' measures a streaming variant next to the "
                              "eager/lazy cells")
+    parser.add_argument("--backend", default="object", choices=["object", "dict"],
+                        help="physical column backend of the substrate: "
+                             "'object' (reference representation) or 'dict' "
+                             "(dictionary-encoded strings with vectorized "
+                             "join/groupby kernels); part of each cell's "
+                             "cache address (default: object)")
     parser.add_argument("--machine", default="paper-server", choices=sorted(_MACHINES),
                         help="machine configuration (default: paper-server)")
     parser.add_argument("--memory-limit", type=float, default=None, metavar="GB",
@@ -419,6 +425,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.mode == "tpch":
             results = session.run_tpch(engines=args.engines, queries=args.queries,
+                                       backend=args.backend,
                                        workers=args.jobs, cache=cache,
                                        executor=args.executor,
                                        profile=args.profile)
@@ -426,7 +433,7 @@ def main(argv: list[str] | None = None) -> int:
             lazy = {"auto": None, "eager": False, "lazy": True, "both": "both"}[args.lazy]
             streaming = {None: None, "on": True, "both": "both"}[args.streaming]
             results = session.run(mode=args.mode, engines=args.engines, lazy=lazy,
-                                  streaming=streaming,
+                                  streaming=streaming, backend=args.backend,
                                   workers=args.jobs, cache=cache,
                                   executor=args.executor,
                                   profile=args.profile)

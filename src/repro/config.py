@@ -37,6 +37,8 @@ class ExperimentConfig:
     datasets: Sequence[str] = field(default_factory=lambda: ["athlete", "loan", "patrol", "taxi"])
     #: Random seed used by every generator.
     seed: int = 7
+    #: Physical column backend the substrate runs on ("object" or "dict").
+    backend: str = "object"
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":

@@ -118,9 +118,14 @@ class SubstrateMemo:
     def preparator_result(self, engine, preparator, frame,
                           params: Mapping[str, Any]):
         """One ``_execute_preparator`` call, deduplicated by provenance."""
+        from ..frame.backends import active_backend
+
         tag = engine._preparator_path_tag(preparator, frame)
+        # the active backend shapes the produced frame's physical columns
+        # (string kernels under "dict" emit dictionary-encoded outputs), so
+        # executions under different backends must never share an entry
         key = (f"prep|{self.token_for(frame)}|{preparator.name}"
-               f"|{_stable_digest(dict(params))}|{tag}")
+               f"|{_stable_digest(dict(params))}|{tag}|{active_backend()}")
         cached = self._get(key)
         if cached is not None:
             return cached
@@ -139,7 +144,9 @@ class SubstrateMemo:
         The cached value is the ``(collected frame, ExecutionStats)`` pair;
         stats are only read downstream (pricing), never mutated.
         """
-        key = f"plan|{self.token_for(base_frame)}|{segment_key}"
+        from ..frame.backends import active_backend
+
+        key = f"plan|{self.token_for(base_frame)}|{segment_key}|{active_backend()}"
         cached = self._get(key)
         if cached is not None:
             return cached

@@ -108,6 +108,24 @@ class GeneratedDataset:
         return int(self.nominal_csv_bytes * 0.35)
 
     # ------------------------------------------------------------------ #
+    def frame_for(self, backend: str = "object") -> DataFrame:
+        """The physical sample on a column backend (converted once, cached).
+
+        ``frame_for("object")`` returns :attr:`frame` itself; other backends
+        are converted lazily and cached on the dataset, so every cell of a
+        sweep shares one converted copy per backend.
+        """
+        from ..frame.backends import convert_frame
+
+        cache = getattr(self, "_backend_frames", None)
+        if cache is None:
+            cache = {}
+            self._backend_frames = cache
+        if backend not in cache:
+            cache[backend] = convert_frame(self.frame, backend)
+        return cache[backend]
+
+    # ------------------------------------------------------------------ #
     def sample(self, fraction: float, seed: int | None = None) -> "GeneratedDataset":
         """A row-sampled copy (the incremental samples of Figure 6 / Table 5).
 
@@ -134,10 +152,17 @@ class GeneratedDataset:
 
     # ------------------------------------------------------------------ #
     def simulation_context(self, machine: MachineConfig = PAPER_SERVER,
-                           runs: int = 10) -> SimulationContext:
-        """Simulation context tying this sample to its nominal size."""
-        column_bytes = {name: int(self.frame[name].memory_usage() * self.row_scale)
-                        for name in self.frame.columns}
+                           runs: int = 10, backend: str = "object"
+                           ) -> SimulationContext:
+        """Simulation context tying this sample to its nominal size.
+
+        ``backend`` prices the sample on a specific column backend: the
+        per-column byte footprints are measured on the converted frame, so a
+        dictionary-encoded sweep is costed on its (smaller) physical columns.
+        """
+        frame = self.frame_for(backend)
+        column_bytes = {name: int(frame[name].memory_usage() * self.row_scale)
+                        for name in frame.columns}
         return SimulationContext(
             machine=machine,
             nominal_rows=self.nominal_rows,
@@ -148,6 +173,7 @@ class GeneratedDataset:
             column_bytes=column_bytes,
             dataset_name=self.name,
             runs=runs,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------ #

@@ -63,6 +63,10 @@ class SimulationContext:
     column_bytes: dict[str, int] = field(default_factory=dict)
     dataset_name: str = ""
     runs: int = 10
+    #: Physical column backend the priced ``column_bytes`` were measured on
+    #: ("object" or "dict") — pricing provenance, so a context built from a
+    #: dictionary-encoded sample is never mistaken for an object-backed one.
+    backend: str = "object"
 
     @property
     def row_scale(self) -> float:

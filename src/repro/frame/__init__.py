@@ -6,7 +6,17 @@ columns, a two-dimensional frame, group-by, joins, pivots, string and datetime
 kernels, and an expression AST used by the lazy engines.
 """
 
+from .backends import (
+    ColumnFactory,
+    active_backend,
+    convert_column,
+    convert_frame,
+    known_backends,
+    set_default_backend,
+    use_backend,
+)
 from .column import Column
+from .dictionary import DictStringColumn
 from .dtypes import (
     BOOL,
     CATEGORICAL,
@@ -37,6 +47,14 @@ from .sharing import FrameManifest, SharedFrameStore, attach_frame, export_frame
 
 __all__ = [
     "Column",
+    "ColumnFactory",
+    "DictStringColumn",
+    "active_backend",
+    "convert_column",
+    "convert_frame",
+    "known_backends",
+    "set_default_backend",
+    "use_backend",
     "DataFrame",
     "concat_rows",
     "FrameManifest",

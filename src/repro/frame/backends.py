@@ -1,0 +1,185 @@
+"""Pluggable physical column backends.
+
+The substrate exposes one logical :class:`~repro.frame.column.Column` API but
+supports several *physical* representations.  Construction is routed through
+:class:`ColumnFactory`, a registry keyed by ``(typecode, backend)`` — the same
+seam torcharrow uses to dispatch between its CPU (Velox) and test backends:
+the typecode is the logical dtype's string value (``"string"``, ``"int64"``,
+…, or ``"*"`` as a wildcard), the backend a short device-like name.
+
+Two backends ship in-tree:
+
+* ``"object"`` — the reference representation: numpy ``object`` arrays for
+  strings, per-element Python kernels.  Registered by
+  :mod:`repro.frame.column`.
+* ``"dict"`` — dictionary-encoded strings (int32 codes into a deduplicated,
+  sorted value table) with vectorized kernels that evaluate string operations
+  once per *distinct* value and joins/group-bys directly on codes.  Registered
+  by :mod:`repro.frame.dictionary`.
+
+The active backend is thread-local (so concurrent sweep cells with different
+``backend`` coordinates never interfere) with a process-wide default
+underneath.  Third-party backends plug in with::
+
+    from repro.frame.backends import ColumnFactory
+
+    ColumnFactory.register(("string", "arrow"), build_arrow_string_column)
+
+and become selectable via ``use_backend("arrow")`` / ``--backend arrow`` once
+registered.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from .errors import DTypeError
+
+__all__ = [
+    "ColumnFactory",
+    "OBJECT_BACKEND",
+    "DICT_BACKEND",
+    "active_backend",
+    "known_backends",
+    "set_default_backend",
+    "use_backend",
+    "convert_column",
+    "convert_frame",
+]
+
+OBJECT_BACKEND = "object"
+DICT_BACKEND = "dict"
+
+#: Wildcard typecode: matches any logical dtype not registered explicitly.
+WILDCARD = "*"
+
+
+class ColumnFactory:
+    """Registry mapping ``(typecode, backend)`` to a column builder.
+
+    A builder is a callable returning a ``Column`` from the normalized storage
+    parts ``Column.from_values`` produced for that dtype — string builders
+    receive ``(values, validity)`` with ``values`` an object array of
+    ``str | None``; wildcard builders receive ``(values, dtype, validity,
+    categories)``.  Lookup falls back from the exact key to the backend's
+    wildcard entry and finally to the ``"object"`` reference builders, so a
+    backend only has to register the representations it actually changes.
+    """
+
+    _registry: dict[tuple[str, str], Callable[..., Any]] = {}
+
+    @classmethod
+    def register(cls, key: tuple[str, str], builder: Callable[..., Any]) -> None:
+        if key in cls._registry:
+            raise DTypeError(f"column builder already registered for {key!r}")
+        cls._registry[key] = builder
+
+    @classmethod
+    def unregister(cls, key: tuple[str, str]) -> None:
+        cls._registry.pop(key, None)
+
+    @classmethod
+    def lookup(cls, typecode: str, backend: str) -> Callable[..., Any]:
+        registry = cls._registry
+        for key in (
+            (typecode, backend),
+            (WILDCARD, backend),
+            (typecode, OBJECT_BACKEND),
+            (WILDCARD, OBJECT_BACKEND),
+        ):
+            builder = registry.get(key)
+            if builder is not None:
+                return builder
+        raise DTypeError(f"no column builder for typecode {typecode!r} on backend {backend!r}")
+
+    @classmethod
+    def build(cls, typecode: str, backend: str, *args: Any, **kwargs: Any) -> Any:
+        return cls.lookup(typecode, backend)(*args, **kwargs)
+
+    @classmethod
+    def backends(cls) -> list[str]:
+        return sorted({backend for _, backend in cls._registry})
+
+
+_local = threading.local()
+_default_backend = OBJECT_BACKEND
+
+
+def known_backends() -> list[str]:
+    """Names of every registered backend (``["dict", "object"]`` in-tree)."""
+    return ColumnFactory.backends()
+
+
+def _check_backend(name: str) -> str:
+    if name not in ColumnFactory.backends():
+        raise DTypeError(
+            f"unknown column backend {name!r}; registered backends: {known_backends()}"
+        )
+    return name
+
+
+def active_backend() -> str:
+    """The backend new columns are built on in the current thread."""
+    stack = getattr(_local, "stack", None)
+    if stack:
+        return stack[-1]
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous default."""
+    global _default_backend
+    previous = _default_backend
+    _default_backend = _check_backend(name)
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Thread-locally select the column backend for the enclosed block."""
+    name = _check_backend(name)
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    stack.append(name)
+    try:
+        yield name
+    finally:
+        stack.pop()
+
+
+# --------------------------------------------------------------------------- #
+# conversion between backends
+# --------------------------------------------------------------------------- #
+def convert_column(column: Any, backend: str) -> Any:
+    """Re-represent ``column`` on ``backend`` (no-op when already there)."""
+    from .column import Column
+    from .dictionary import DictStringColumn
+    from .dtypes import STRING
+
+    _check_backend(backend)
+    if backend == DICT_BACKEND:
+        if column.dtype is STRING and not isinstance(column, DictStringColumn):
+            return DictStringColumn.from_strings(column.to_string_array(),
+                                                 column.validity.copy())
+        return column
+    if isinstance(column, DictStringColumn):
+        return Column(column.to_string_array(), STRING, column.validity.copy())
+    return column
+
+
+def convert_frame(frame: Any, backend: str) -> Any:
+    """Re-represent every column of ``frame`` on ``backend``."""
+    from .frame import DataFrame
+
+    converted = {name: convert_column(frame[name], backend) for name in frame.columns}
+    if all(converted[name] is frame[name] for name in frame.columns):
+        return frame
+    return DataFrame(converted)
+
+
+def column_backend(column: Any) -> str:
+    """Backend a column instance is physically represented on."""
+    return getattr(type(column), "backend", OBJECT_BACKEND)

@@ -30,6 +30,7 @@ from .dtypes import (
     numpy_storage_dtype,
     parse_dtype,
 )
+from .backends import ColumnFactory, OBJECT_BACKEND, WILDCARD, active_backend
 from .errors import DTypeError, LengthMismatchError
 
 __all__ = ["Column"]
@@ -41,7 +42,12 @@ _STRING_SENTINEL = ""
 
 
 def _as_object_array(values: Iterable[Any]) -> np.ndarray:
-    arr = np.empty(len(list(values)) if not hasattr(values, "__len__") else len(values), dtype=object)
+    # Materialize iterators exactly once: sizing via ``len(list(values))`` and
+    # then enumerating the original iterable would consume a generator during
+    # sizing and fill nothing.
+    if not hasattr(values, "__len__"):
+        values = list(values)
+    arr = np.empty(len(values), dtype=object)
     for i, item in enumerate(values):
         arr[i] = item
     return arr
@@ -51,6 +57,9 @@ class Column:
     """A single named-less, typed column of values with a validity mask."""
 
     __slots__ = ("dtype", "values", "validity", "categories")
+
+    #: Physical backend this class implements (see :mod:`repro.frame.backends`).
+    backend = OBJECT_BACKEND
 
     def __init__(
         self,
@@ -115,7 +124,10 @@ class Column:
             data = np.empty(n, dtype=object)
             for i, (v, ok) in enumerate(zip(objs, validity)):
                 data[i] = str(v) if ok else None
-            return cls(data, STRING, validity)
+            # Physical representation is backend-dependent: route through the
+            # (typecode, backend) factory so e.g. the "dict" backend can build
+            # a dictionary-encoded column from the same normalized parts.
+            return ColumnFactory.build(STRING.typecode, active_backend(), data, validity)
         if dtype is CATEGORICAL:
             strings = np.array([str(v) if ok else None for v, ok in zip(objs, validity)], dtype=object)
             return cls._encode_categorical(strings, validity)
@@ -164,7 +176,11 @@ class Column:
     def full_null(cls, length: int, dtype: DType = FLOAT64) -> "Column":
         """A column of ``length`` nulls."""
         storage = numpy_storage_dtype(dtype)
-        data = np.empty(length, dtype=object) if dtype is STRING else np.zeros(length, dtype=storage)
+        if dtype is STRING:
+            data = np.empty(length, dtype=object)
+            return ColumnFactory.build(STRING.typecode, active_backend(), data,
+                                       np.zeros(length, dtype=bool))
+        data = np.zeros(length, dtype=storage)
         categories = np.array([], dtype=object) if dtype is CATEGORICAL else None
         return cls(data, dtype, np.zeros(length, dtype=bool), categories=categories)
 
@@ -202,8 +218,14 @@ class Column:
         return [self[i] for i in range(len(self))]
 
     def copy(self) -> "Column":
-        return Column(self.values.copy(), self.dtype, self.validity.copy(),
-                      None if self.categories is None else self.categories.copy())
+        return type(self)(self.values.copy(), self.dtype, self.validity.copy(),
+                          None if self.categories is None else self.categories.copy())
+
+    def to_backend(self, backend: str) -> "Column":
+        """Re-represent this column on another physical backend."""
+        from .backends import convert_column
+
+        return convert_column(self, backend)
 
     def equals(self, other: "Column") -> bool:
         """Exact equality including null positions (NaN-safe for floats)."""
@@ -263,8 +285,8 @@ class Column:
     # ------------------------------------------------------------------ #
     def take(self, indices: np.ndarray) -> "Column":
         indices = np.asarray(indices)
-        return Column(self.values[indices], self.dtype, self.validity[indices],
-                      self.categories)
+        return type(self)(self.values[indices], self.dtype, self.validity[indices],
+                          self.categories)
 
     def filter(self, mask: "np.ndarray | Column") -> "Column":
         if isinstance(mask, Column):
@@ -272,12 +294,12 @@ class Column:
         mask = np.asarray(mask, dtype=bool)
         if len(mask) != len(self):
             raise LengthMismatchError("filter mask length does not match column length")
-        return Column(self.values[mask], self.dtype, self.validity[mask], self.categories)
+        return type(self)(self.values[mask], self.dtype, self.validity[mask], self.categories)
 
     def slice(self, offset: int, length: int | None = None) -> "Column":
         stop = len(self) if length is None else min(len(self), offset + length)
-        return Column(self.values[offset:stop], self.dtype, self.validity[offset:stop],
-                      self.categories)
+        return type(self)(self.values[offset:stop], self.dtype, self.validity[offset:stop],
+                          self.categories)
 
     def head(self, n: int) -> "Column":
         return self.slice(0, n)
@@ -589,17 +611,23 @@ class Column:
     # ------------------------------------------------------------------ #
     # ordering
     # ------------------------------------------------------------------ #
-    def sort_indices(self, ascending: bool = True, nulls_last: bool = True) -> np.ndarray:
-        """Stable argsort with nulls grouped at one end."""
-        n = len(self)
+    def _sort_keys(self) -> np.ndarray:
+        """Array whose stable argsort orders the valid values ascending.
+
+        Null rows may carry any key; :meth:`sort_indices` regroups them at the
+        requested end afterwards.  Backends override this to sort on their
+        physical representation (e.g. dictionary codes) instead of decoding.
+        """
         if self.dtype in (STRING, CATEGORICAL):
             strings = self.to_string_array()
-            keys = np.array([s if s is not None else "" for s in strings], dtype=object)
-            order = np.argsort(keys, kind="stable")
-        else:
-            floats = self.values.astype(np.float64).copy()
-            floats[~self.validity] = np.inf
-            order = np.argsort(floats, kind="stable")
+            return np.array([s if s is not None else "" for s in strings], dtype=object)
+        floats = self.values.astype(np.float64).copy()
+        floats[~self.validity] = np.inf
+        return floats
+
+    def sort_indices(self, ascending: bool = True, nulls_last: bool = True) -> np.ndarray:
+        """Stable argsort with nulls grouped at one end."""
+        order = np.argsort(self._sort_keys(), kind="stable")
         if not ascending:
             valid_part = order[self.validity[order]]
             null_part = order[~self.validity[order]]
@@ -675,3 +703,19 @@ class Column:
         preview = ", ".join(repr(v) for v in self.to_list()[:6])
         suffix = ", ..." if len(self) > 6 else ""
         return f"Column<{self.dtype}, n={len(self)}, nulls={self.null_count()}>[{preview}{suffix}]"
+
+
+# --------------------------------------------------------------------------- #
+# "object" reference backend registration
+# --------------------------------------------------------------------------- #
+def _build_object_string(values: np.ndarray, validity: np.ndarray) -> Column:
+    return Column(values, STRING, validity)
+
+
+def _build_object_any(values: np.ndarray, dtype: DType, validity: np.ndarray,
+                      categories: np.ndarray | None = None) -> Column:
+    return Column(values, dtype, validity, categories)
+
+
+ColumnFactory.register((STRING.typecode, OBJECT_BACKEND), _build_object_string)
+ColumnFactory.register((WILDCARD, OBJECT_BACKEND), _build_object_any)

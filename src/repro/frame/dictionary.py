@@ -1,0 +1,222 @@
+"""Dictionary-encoded string columns: the ``"dict"`` backend.
+
+A :class:`DictStringColumn` stores a STRING column as ``int32`` codes into a
+deduplicated, **sorted** value table (the same physical layout the substrate
+already uses for CATEGORICAL columns) instead of a numpy ``object`` array.
+Because the table is sorted, code order is string order, so sorting, min/max
+and range predicates operate on the codes without decoding.
+
+The payoff is that every string kernel collapses to a pass over the *distinct*
+values followed by an O(n) gather through the codes (see
+:meth:`DictStringColumn.map_distinct` / :meth:`DictStringColumn.mask_distinct`)
+— on a column with ``n`` rows and ``k`` distinct values, a regex predicate
+costs ``k`` matches instead of ``n``.  Joins and group-bys factorize to the
+codes directly (:mod:`repro.frame.join`, :mod:`repro.frame.groupby`).
+
+Invariant: ``categories`` is sorted and duplicate-free; every valid row's code
+indexes it and null rows carry code ``-1``.  All constructors below preserve
+this (``_remap`` re-normalizes after a mapping merges or reorders values).
+
+The logical dtype stays ``STRING`` — engines, plans and tests cannot tell the
+backends apart except by speed, which is exactly the bit-identity contract the
+property tests pin (``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from .backends import ColumnFactory, DICT_BACKEND
+from .column import Column
+from .dtypes import BOOL, STRING, DType
+from .errors import DTypeError
+
+__all__ = ["DictStringColumn"]
+
+
+class DictStringColumn(Column):
+    """STRING column physically stored as int32 codes + a sorted value table."""
+
+    __slots__ = ()
+
+    backend = DICT_BACKEND
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        dtype: DType = STRING,
+        validity: np.ndarray | None = None,
+        categories: np.ndarray | None = None,
+    ):
+        if dtype is not STRING:
+            raise DTypeError(f"dictionary-encoded columns are STRING, got {dtype}")
+        if categories is None:
+            raise DTypeError("dictionary-encoded columns require a value table")
+        codes = np.asarray(values)
+        if codes.dtype != np.int32:
+            codes = codes.astype(np.int32)
+        super().__init__(codes, STRING, validity, categories)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_strings(cls, strings: np.ndarray, validity: np.ndarray | None = None
+                     ) -> "DictStringColumn":
+        """Encode an object array of ``str | None`` (dedup + sort the table)."""
+        strings = np.asarray(strings, dtype=object)
+        if validity is None:
+            validity = np.array([s is not None for s in strings], dtype=bool)
+        validity = np.asarray(validity, dtype=bool)
+        codes = np.full(len(strings), -1, dtype=np.int32)
+        valid_strings = strings[validity]
+        if valid_strings.size:
+            categories, inverse = np.unique(valid_strings, return_inverse=True)
+            codes[validity] = inverse.astype(np.int32)
+        else:
+            categories = np.empty(0, dtype=object)
+        return cls(codes, STRING, validity, categories)
+
+    def _remap(self, mapped: np.ndarray) -> "DictStringColumn":
+        """Rebuild with a transformed value table, restoring the sorted
+        duplicate-free invariant (a mapping may merge or reorder values)."""
+        codes = np.full(len(self), -1, dtype=np.int32)
+        if len(mapped):
+            categories, inverse = np.unique(mapped, return_inverse=True)
+            valid = self.validity
+            codes[valid] = inverse.astype(np.int32)[self.values[valid]]
+        else:
+            categories = np.empty(0, dtype=object)
+        return DictStringColumn(codes, STRING, self.validity.copy(), categories)
+
+    # ------------------------------------------------------------------ #
+    # distinct-value kernels
+    # ------------------------------------------------------------------ #
+    def map_distinct(self, func: Callable[[str], str]) -> "DictStringColumn":
+        """Apply a ``str -> str`` function once per distinct value."""
+        mapped = np.array([func(c) for c in self.categories.tolist()], dtype=object)
+        return self._remap(mapped)
+
+    def mask_distinct(self, predicate: Callable[[str], bool]) -> np.ndarray:
+        """Row mask from a predicate evaluated once per distinct value.
+
+        Null rows are ``False``, matching the reference string kernels.
+        """
+        out = np.zeros(len(self), dtype=bool)
+        if len(self.categories):
+            table = np.array([bool(predicate(c)) for c in self.categories.tolist()],
+                             dtype=bool)
+            valid = self.validity
+            out[valid] = table[self.values[valid]]
+        return out
+
+    def gather_objects(self, table: "Iterable[Any]") -> np.ndarray:
+        """Gather one precomputed object per distinct value through the codes
+        (null rows gather ``None``)."""
+        table = list(table)
+        ext = np.empty(len(table) + 1, dtype=object)
+        ext[:len(table)] = table
+        ext[-1] = None
+        codes = np.where(self.validity, self.values, -1).astype(np.int64)
+        return ext[codes]
+
+    # ------------------------------------------------------------------ #
+    # logical API overrides
+    # ------------------------------------------------------------------ #
+    def _decode(self, raw: Any) -> Any:
+        return self.categories[int(raw)]
+
+    def to_string_array(self) -> np.ndarray:
+        return self.gather_objects(self.categories.tolist())
+
+    def to_list(self) -> list[Any]:
+        return self.to_string_array().tolist()
+
+    def fill_null(self, value: Any) -> "Column":
+        if self.null_count() == 0:
+            return self.copy()
+        text = str(value)
+        categories = self.categories
+        pos = int(np.searchsorted(categories, text)) if len(categories) else 0
+        codes = self.values.astype(np.int32, copy=True)
+        if pos >= len(categories) or categories[pos] != text:
+            categories = np.insert(categories, pos, text)
+            codes = np.where(codes >= pos, codes + 1, codes).astype(np.int32)
+        codes[~self.validity] = pos
+        return DictStringColumn(codes, STRING, np.ones(len(self), dtype=bool),
+                                categories)
+
+    def memory_usage(self) -> int:
+        n = len(self)
+        table = int(sum(len(c) for c in self.categories.tolist()))
+        return n * 4 + n // 8 + 1 + table + 16 * len(self.categories)
+
+    def _sort_keys(self) -> np.ndarray:
+        # Codes order valid values lexicographically (sorted table invariant);
+        # nulls share one constant key and are regrouped by ``sort_indices``.
+        return np.where(self.validity, self.values.astype(np.int64), -1)
+
+    def min(self) -> Any:
+        codes = self.values[self.validity]
+        return self.categories[int(codes.min())] if codes.size else None
+
+    def max(self) -> Any:
+        codes = self.values[self.validity]
+        return self.categories[int(codes.max())] if codes.size else None
+
+    def nunique(self) -> int:
+        codes = self.values[self.validity]
+        return int(np.unique(codes).size) if codes.size else 0
+
+    def unique(self) -> "Column":
+        codes = self.values[self.validity]
+        if codes.size == 0:
+            return Column.from_values([], STRING)
+        uniq, first = np.unique(codes, return_index=True)
+        order = np.argsort(first, kind="stable")
+        return Column.from_values(self.categories[uniq[order]].tolist(), STRING)
+
+    def value_counts(self) -> dict[Any, int]:
+        codes = self.values[self.validity]
+        if codes.size == 0:
+            return {}
+        counts = np.bincount(codes, minlength=len(self.categories))
+        uniq, first = np.unique(codes, return_index=True)
+        order = np.argsort(first, kind="stable")
+        return {self.categories[c]: int(counts[c]) for c in uniq[order]}
+
+    def is_in(self, values: "Iterable[Any]") -> "Column":
+        lookup = set(values)
+        out = self.mask_distinct(lambda c: c in lookup)
+        if None in lookup:
+            out[~self.validity] = True
+        return Column(out, BOOL, self.validity.copy())
+
+    def _compare(self, other: "Column | Any", op: Callable) -> "Column":
+        if isinstance(other, str):
+            out = self.mask_distinct(lambda c: bool(op(c, other)))
+            return Column(out, BOOL, self.validity.copy())
+        return super()._compare(other, op)
+
+    def replace(self, mapping: dict[Any, Any]) -> "Column":
+        str_only = all(isinstance(k, str) for k in mapping) and all(
+            isinstance(v, str) for v in mapping.values())
+        if not str_only:
+            return super().replace(mapping)
+        if not any(c in mapping for c in self.categories.tolist()):
+            return self.copy()
+        mapped = np.array([mapping.get(c, c) for c in self.categories.tolist()],
+                          dtype=object)
+        return self._remap(mapped)
+
+
+# --------------------------------------------------------------------------- #
+# "dict" backend registration
+# --------------------------------------------------------------------------- #
+def _build_dict_string(values: np.ndarray, validity: np.ndarray) -> DictStringColumn:
+    return DictStringColumn.from_strings(values, validity)
+
+
+ColumnFactory.register((STRING.typecode, DICT_BACKEND), _build_dict_string)

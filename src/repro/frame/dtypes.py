@@ -55,6 +55,12 @@ class DType(enum.Enum):
         return self.value
 
     @property
+    def typecode(self) -> str:
+        """String key used to register column builders per backend
+        (see :class:`repro.frame.backends.ColumnFactory`)."""
+        return self.value
+
+    @property
     def is_numeric(self) -> bool:
         return self in (DType.INT64, DType.FLOAT64, DType.BOOL)
 

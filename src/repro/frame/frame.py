@@ -118,6 +118,13 @@ class DataFrame:
     def copy(self) -> "DataFrame":
         return DataFrame({name: col.copy() for name, col in self._data.items()})
 
+    def to_backend(self, backend: str) -> "DataFrame":
+        """Re-represent every column on another physical backend (no-op when
+        already there; see :mod:`repro.frame.backends`)."""
+        from .backends import convert_frame
+
+        return convert_frame(self, backend)
+
     def row(self, index: int) -> dict[str, Any]:
         """Single row as a dict (used by tests and examples, not pipelines)."""
         return {name: col[index] for name, col in self._data.items()}

@@ -37,6 +37,7 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from .column import Column
+from .dictionary import DictStringColumn
 from .dtypes import CATEGORICAL, STRING, parse_dtype
 from .frame import DataFrame
 
@@ -73,6 +74,10 @@ class _ColumnSpec:
     # STRING values / CATEGORICAL categories: (offsets, utf8 data, validity)
     strings: "tuple[_Buffer, _Buffer, _Buffer] | None" = None
     categories: "tuple[_Buffer, _Buffer, _Buffer] | None" = None
+    # physical backend of the column ("dict" STRING columns ship their int32
+    # codes in ``values`` plus the value table in ``categories`` — the table
+    # is deduplicated, so the segment shrinks with the distinct count)
+    backend: str = "object"
 
 
 @dataclass(frozen=True)
@@ -155,6 +160,15 @@ def export_frame(frame: DataFrame,
     for column_name in frame.columns:
         column = frame[column_name]
         validity = writer.add(np.asarray(column.validity, dtype=bool))
+        if isinstance(column, DictStringColumn):
+            # dictionary columns ship codes + the deduplicated value table —
+            # far smaller than the decoded strings for low-cardinality data
+            values = writer.add(np.asarray(column.values))
+            categories = writer.add_strings(column.categories)
+            specs.append(_ColumnSpec(column_name, column.dtype.value, values,
+                                     validity, categories=categories,
+                                     backend=column.backend))
+            continue
         if column.dtype is STRING:
             strings = writer.add_strings(column.values)
             values = strings[0]  # placeholder; rebuilt from the string buffers
@@ -211,6 +225,11 @@ def attach_frame(manifest: FrameManifest,
     for spec in manifest.columns:
         dtype = parse_dtype(spec.dtype)
         validity = _view(shm, spec.validity)
+        if getattr(spec, "backend", "object") == "dict":
+            codes = _view(shm, spec.values)  # zero-copy int32 code view
+            categories = _decode_string_array(shm, spec.categories)
+            data[spec.name] = DictStringColumn(codes, dtype, validity, categories)
+            continue
         if spec.strings is not None:
             values = _decode_string_array(shm, spec.strings)
             data[spec.name] = Column(values, dtype, validity)

@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from .column import Column
+from .dictionary import DictStringColumn
 from .dtypes import BOOL, INT64, STRING
 from .errors import DTypeError
 
@@ -38,11 +39,30 @@ def _string_values(column: Column, op_name: str) -> np.ndarray:
 
 
 def _map_strings(column: Column, func: Callable[[str], str], op_name: str) -> Column:
+    if isinstance(column, DictStringColumn):
+        # dict backend: evaluate once per distinct value, gather through codes
+        return column.map_distinct(func)
     strings = _string_values(column, op_name)
     out = np.empty(len(strings), dtype=object)
+    valid = column.validity
+    present = strings[valid]
+    if present.size:
+        # one ufunc dispatch instead of a Python-level loop over every row
+        out[valid] = np.frompyfunc(func, 1, 1)(present)
+    out[~valid] = None
+    return Column(out, STRING, valid.copy())
+
+
+def _mask_strings(column: Column, predicate: Callable[[str], bool], op_name: str) -> Column:
+    """Boolean kernel: ``predicate`` per non-null value, ``False`` for nulls."""
+    if isinstance(column, DictStringColumn):
+        return Column(column.mask_distinct(predicate), BOOL, column.validity.copy())
+    strings = _string_values(column, op_name)
+    out = np.zeros(len(strings), dtype=bool)
     for i, s in enumerate(strings):
-        out[i] = func(s) if s is not None else None
-    return Column(out, STRING, column.validity.copy())
+        if s is not None:
+            out[i] = predicate(s)
+    return Column(out, BOOL, column.validity.copy())
 
 
 def contains(column: Column, pattern: str, regex: bool = True, case: bool = True) -> Column:
@@ -51,7 +71,6 @@ def contains(column: Column, pattern: str, regex: bool = True, case: bool = True
     Backs the ``srchptn`` (search by pattern) preparator.  With
     ``regex=False`` the pattern is treated as a literal substring.
     """
-    strings = _string_values(column, "contains")
     flags = 0 if case else re.IGNORECASE
     if regex:
         compiled = re.compile(pattern, flags)
@@ -59,11 +78,7 @@ def contains(column: Column, pattern: str, regex: bool = True, case: bool = True
     else:
         needle = pattern if case else pattern.lower()
         matcher = (lambda s: needle in s) if case else (lambda s: needle in s.lower())
-    out = np.zeros(len(strings), dtype=bool)
-    for i, s in enumerate(strings):
-        if s is not None:
-            out[i] = matcher(s)
-    return Column(out, BOOL, column.validity.copy())
+    return _mask_strings(column, matcher, "contains")
 
 
 def match_like(column: Column, pattern: str) -> Column:
@@ -73,15 +88,11 @@ def match_like(column: Column, pattern: str) -> Column:
 
 
 def startswith(column: Column, prefix: str) -> Column:
-    strings = _string_values(column, "startswith")
-    out = np.array([s.startswith(prefix) if s is not None else False for s in strings], dtype=bool)
-    return Column(out, BOOL, column.validity.copy())
+    return _mask_strings(column, lambda s: s.startswith(prefix), "startswith")
 
 
 def endswith(column: Column, suffix: str) -> Column:
-    strings = _string_values(column, "endswith")
-    out = np.array([s.endswith(suffix) if s is not None else False for s in strings], dtype=bool)
-    return Column(out, BOOL, column.validity.copy())
+    return _mask_strings(column, lambda s: s.endswith(suffix), "endswith")
 
 
 def set_case(column: Column, mode: str = "lower") -> Column:
@@ -105,14 +116,35 @@ def replace_substring(column: Column, old: str, new: str, regex: bool = False) -
 
 
 def str_length(column: Column) -> Column:
+    if isinstance(column, DictStringColumn):
+        # one len() per distinct value, then an O(n) gather (nulls stay 0)
+        table = np.array([len(c) for c in column.categories.tolist()], dtype=np.int64)
+        out = np.zeros(len(column), dtype=np.int64)
+        if table.size:
+            out[column.validity] = table[column.values[column.validity]]
+        return Column(out, INT64, column.validity.copy())
     strings = _string_values(column, "str_length")
-    out = np.array([len(s) if s is not None else 0 for s in strings], dtype=np.int64)
-    return Column(out, INT64, column.validity.copy())
+    out = np.zeros(len(strings), dtype=np.int64)
+    valid = column.validity
+    present = strings[valid]
+    if present.size:
+        out[valid] = np.frompyfunc(len, 1, 1)(present).astype(np.int64)
+    return Column(out, INT64, valid.copy())
 
 
 def extract_regex(column: Column, pattern: str, group: int = 0) -> Column:
     """Extract the first regex match (or capture group) from each value."""
     compiled = re.compile(pattern)
+
+    def extract(s: str) -> str | None:
+        match = compiled.search(s)
+        return None if match is None else match.group(group)
+
+    if isinstance(column, DictStringColumn):
+        table = [extract(c) for c in column.categories.tolist()]
+        out = column.gather_objects(table)
+        validity = np.array([v is not None for v in out], dtype=bool)
+        return DictStringColumn.from_strings(out, validity)
     strings = _string_values(column, "extract_regex")
     out = np.empty(len(strings), dtype=object)
     validity = column.validity.copy()

@@ -49,6 +49,8 @@ class Measurement:
     lazy: bool = False
     #: Whether the cell ran through the morsel-driven streaming executor.
     streaming: bool = False
+    #: Physical column backend the substrate ran on ("object" or "dict").
+    backend: str = "object"
     #: Whether the simulated run went out-of-core (breaker partitions or
     #: spill-to-disk engines writing overflow to disk instead of OOMing).
     spilled: bool = False

@@ -86,7 +86,7 @@ class Session:
         self._injected_datasets = dict(datasets) if datasets else None
         self._datasets: dict[str, GeneratedDataset] = dict(self._injected_datasets or {})
         self._pipelines: dict[str, list[Pipeline]] = {}
-        self._contexts: dict[str, SimulationContext] = {}
+        self._contexts: dict[tuple[str, str], SimulationContext] = {}
         self._engines: dict[str, BaseEngine] | None = None
         self._extra_engines: dict[str, BaseEngine] = {}
         self._runner: MatrixRunner | None = None
@@ -160,15 +160,34 @@ class Session:
     # ------------------------------------------------------------------ #
     # per-dataset helpers
     # ------------------------------------------------------------------ #
-    def context_for(self, dataset: "str | GeneratedDataset") -> SimulationContext:
-        """Simulation context for a dataset of the matrix (cached per name)."""
+    def context_for(self, dataset: "str | GeneratedDataset",
+                    backend: str | None = None) -> SimulationContext:
+        """Simulation context for a dataset of the matrix (cached per name).
+
+        ``backend`` prices the dataset on a specific column backend (defaults
+        to the configured one); contexts are cached per (dataset, backend).
+        """
+        backend = self._resolve_backend(backend)
         if isinstance(dataset, GeneratedDataset):
-            return dataset.simulation_context(self.config.machine, runs=self.config.runs)
+            return dataset.simulation_context(self.config.machine,
+                                              runs=self.config.runs, backend=backend)
         with self._lock:
-            if dataset not in self._contexts:
-                self._contexts[dataset] = self.dataset(dataset).simulation_context(
-                    self.config.machine, runs=self.config.runs)
-            return self._contexts[dataset]
+            key = (dataset, backend)
+            if key not in self._contexts:
+                self._contexts[key] = self.dataset(dataset).simulation_context(
+                    self.config.machine, runs=self.config.runs, backend=backend)
+            return self._contexts[key]
+
+    def _resolve_backend(self, backend: str | None) -> str:
+        from .frame.backends import known_backends
+
+        backend = backend if backend is not None else self.config.backend
+        backend = backend or "object"
+        known = known_backends()
+        if backend not in known:
+            raise ValueError(f"unknown column backend {backend!r}; "
+                             f"registered: {known}")
+        return backend
 
     def pipelines_for(self, dataset: str) -> list[Pipeline]:
         """Registered pipelines of a dataset (empty for ad-hoc datasets)."""
@@ -290,7 +309,8 @@ class Session:
              lazy: "bool | str | None" = None,
              streaming: "bool | str | None" = None,
              stages: "Iterable[Stage | str] | None" = None,
-             formats: Sequence[str] = _IO_FORMATS) -> list[PlannedCell]:
+             formats: Sequence[str] = _IO_FORMATS,
+             backend: str | None = None) -> list[PlannedCell]:
         """Enumerate the requested matrix slice as independent sweep cells.
 
         Cells are emitted in exactly the nested-loop order of the historical
@@ -299,7 +319,10 @@ class Session:
         yields the same :class:`~repro.results.ResultSet`.  ``streaming``
         follows the ``lazy`` convention: ``True`` selects morsel-driven
         execution on streaming-capable engines, ``"both"`` adds streaming
-        cells next to the eager/lazy ones.
+        cells next to the eager/lazy ones.  ``backend`` selects the physical
+        column backend cells run on (``"object"``/``"dict"``, defaulting to
+        the configured one); frames are converted once per dataset and the
+        simulation context is priced on the converted columns.
         """
         try:
             mode = _MODE_ALIASES[mode]
@@ -308,6 +331,7 @@ class Session:
                              f"expected one of {sorted(set(_MODE_ALIASES))}") from None
         if mode == "tpch":
             raise ValueError("TPC-H sweeps are planned by run_tpch()")
+        backend = self._resolve_backend(backend)
         selected_engines = self._select_engines(engines)
         selected_datasets = self._select_datasets(datasets)
         runner = self.matrix_runner
@@ -323,18 +347,20 @@ class Session:
                 engine: BaseEngine) -> None:
             payload = {"cell": cell, "machine": machine,
                        "optimizer": engine.optimizer_settings,
-                       "frame": generated.frame, "sim": sim, "pipeline": pipeline}
+                       "frame": generated.frame_for(backend), "sim": sim,
+                       "pipeline": pipeline}
             plan.append(PlannedCell(cell=cell, execute=execute, payload=payload))
 
         if mode in ("read", "write"):
             for dataset_name, generated in selected_datasets.items():
-                sim = self.context_for(dataset_name)
+                sim = self.context_for(dataset_name, backend)
                 dataset_fp = dataset_fingerprint(generated)
                 for file_format in formats:
                     for engine in selected_engines.values():
                         cell = Cell(
                             mode=mode, engine=engine.name, dataset=sim.dataset_name,
-                            file_format=file_format, machine=machine.name,
+                            file_format=file_format, backend=backend,
+                            machine=machine.name,
                             runs=self.config.runs, seed=self.config.seed,
                             scale=self.config.scale,
                             fingerprint=context_fingerprint(
@@ -344,7 +370,7 @@ class Session:
             return plan
 
         for dataset_name, generated in selected_datasets.items():
-            sim = self.context_for(dataset_name)
+            sim = self.context_for(dataset_name, backend)
             dataset_fp = dataset_fingerprint(generated)
             for pipeline in self._select_pipelines(dataset_name, pipelines):
                 pipeline_fp = pipeline_fingerprint(pipeline)
@@ -354,7 +380,8 @@ class Session:
                     if mode == "core":
                         cell = Cell(
                             mode="core", engine=engine.name, dataset=sim.dataset_name,
-                            pipeline=pipeline.name, machine=machine.name,
+                            pipeline=pipeline.name, backend=backend,
+                            machine=machine.name,
                             runs=self.config.runs, seed=self.config.seed,
                             scale=self.config.scale, fingerprint=fingerprint)
                         add(cell, self._cell_thunk(cell, runner, engine, generated,
@@ -368,6 +395,7 @@ class Session:
                             pipeline=pipeline.name,
                             lazy=engine.effective_lazy(lazy_flag),
                             streaming=engine.effective_streaming(streaming_flag),
+                            backend=backend,
                             stages=stage_names,
                             machine=machine.name, runs=self.config.runs,
                             seed=self.config.seed, scale=self.config.scale,
@@ -380,9 +408,13 @@ class Session:
     @staticmethod
     def _cell_thunk(cell, runner, engine, generated, sim, pipeline):
         """Thread-pool thunk: :func:`~repro.sweep.execute_cell` over the
-        session's shared components (the process pool rebuilds them instead)."""
+        session's shared components (the process pool rebuilds them instead).
+        The frame is pre-converted to the cell's backend here, so every cell
+        of a sweep shares one converted copy (``execute_cell``'s own
+        conversion then no-ops)."""
         return lambda: execute_cell(cell, engine, runner=runner,
-                                    frame=generated.frame, sim=sim, pipeline=pipeline)
+                                    frame=generated.frame_for(cell.backend),
+                                    sim=sim, pipeline=pipeline)
 
     # ------------------------------------------------------------------ #
     # the front door
@@ -395,6 +427,7 @@ class Session:
             streaming: "bool | str | None" = None,
             stages: "Iterable[Stage | str] | None" = None,
             formats: Sequence[str] = _IO_FORMATS,
+            backend: str | None = None,
             workers: int = 1,
             cache: "bool | str | object | None" = None,
             executor: str = "thread",
@@ -411,6 +444,11 @@ class Session:
         ``True`` streams on streaming-capable engines, ``"both"`` measures a
         streaming variant next to the eager/lazy ones.  ``stages`` restricts
         stage mode to specific stages; ``formats`` restricts the I/O modes.
+        ``backend`` selects the physical column backend (``"object"`` — the
+        reference representation — or ``"dict"`` for dictionary-encoded
+        strings with vectorized join/groupby kernels); it is part of each
+        cell's content address, so cached results never alias across
+        backends.
 
         The sweep is executed by the :mod:`repro.sweep` scheduler:
         ``workers`` sets the worker-pool size (results are identical for any
@@ -443,12 +481,13 @@ class Session:
             raise ValueError(f"unknown mode {mode!r}; "
                              f"expected one of {sorted(set(_MODE_ALIASES))}") from None
         if resolved_mode == "tpch":
-            return self.run_tpch(engines=engines, workers=workers, cache=cache,
+            return self.run_tpch(engines=engines, backend=backend,
+                                 workers=workers, cache=cache,
                                  executor=executor, progress=progress,
                                  profile=profile)
         plan = self.plan(resolved_mode, engines=engines, datasets=datasets,
                          pipelines=pipelines, lazy=lazy, streaming=streaming,
-                         stages=stages, formats=formats)
+                         stages=stages, formats=formats, backend=backend)
         return self._run_plan(plan, workers=workers, cache=cache, executor=executor,
                               progress=progress, profile=profile)
 
@@ -519,6 +558,7 @@ class Session:
     def run_tpch(self, *, engines: Sequence[str] | None = None,
                  queries: Sequence[str] | None = None,
                  physical_scale_factor: float = 0.002,
+                 backend: str | None = None,
                  workers: int = 1,
                  cache: "bool | str | object | None" = None,
                  executor: str = "thread",
@@ -527,7 +567,10 @@ class Session:
         """Run TPC-H queries on the TPC-H engine set and collect measurements.
 
         Like :meth:`run`, the engine × query matrix goes through the sweep
-        scheduler: ``workers``/``cache``/``executor`` behave identically.
+        scheduler: ``workers``/``cache``/``executor``/``backend`` behave
+        identically (TPC-H tables are built inside the query runner, so the
+        backend coordinate switches the substrate's active backend for the
+        duration of each query rather than pre-converting frames).
         """
         from .tpch.datagen import generate_tpch
         from .tpch.queries import query_names
@@ -538,6 +581,7 @@ class Session:
                 self._tpch_data[physical_scale_factor] = generate_tpch(
                     physical_scale_factor, seed=self.config.seed)
             data = self._tpch_data[physical_scale_factor]
+        backend = self._resolve_backend(backend)
         runner = TPCHRunner(data, runs=self.config.runs)
         names = list(engines) if engines is not None else list(self.config.tpch_engines)
         engine_map = create_engines(names, machine=self.config.machine,
@@ -553,7 +597,8 @@ class Session:
             for query in (list(queries) if queries is not None else query_names()):
                 cell = Cell(
                     mode="tpch", engine=engine_name, dataset=dataset_name,
-                    pipeline=query, lazy=engine.supports_lazy, machine=machine.name,
+                    pipeline=query, lazy=engine.supports_lazy, backend=backend,
+                    machine=machine.name,
                     runs=self.config.runs, seed=self.config.seed,
                     scale=physical_scale_factor,
                     fingerprint=context_fingerprint(

@@ -37,7 +37,8 @@ from .cells import Cell
 __all__ = ["SweepCache", "default_cache_dir", "CACHE_VERSION"]
 
 #: Bump when the on-disk entry layout changes; old entries become misses.
-CACHE_VERSION = 1
+#: v2: cells and measurements gained the ``backend`` coordinate.
+CACHE_VERSION = 2
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 

@@ -90,6 +90,11 @@ class Cell:
     #: Effective streaming flag (resolved like ``lazy``).  Part of the cell's
     #: content address, so cached eager/lazy results never alias streamed ones.
     streaming: bool = False
+    #: Physical column backend the substrate runs on ("object" or "dict").
+    #: Part of the content address — mirroring ``streaming`` — so cached
+    #: results from different backends never alias (timings legitimately
+    #: differ: dictionary encoding changes the priced column bytes).
+    backend: str = "object"
     #: Stage restriction of stage mode (empty tuple = every present stage).
     stages: tuple[str, ...] = ()
     #: File format of the read/write modes.

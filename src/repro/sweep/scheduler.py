@@ -441,8 +441,30 @@ def execute_cell(cell: Cell, engine, *, runner=None, frame=None, sim=None,
     ``measure_*`` calls: the session's thread-pool thunks call it with shared
     components, and :func:`execute_payload` calls it with components rebuilt
     inside a worker process — so both executors produce identical records by
-    construction.
+    construction.  The cell's ``backend`` coordinate is realized here too:
+    the input frame is converted to the requested physical representation,
+    the substrate's active backend is switched for the duration of the cell,
+    and every emitted measurement is stamped with the backend it ran on.
     """
+    from ..frame.backends import convert_frame, use_backend
+
+    backend = cell.backend or "object"
+    if frame is not None:
+        # no-op (same object) when the frame already lives on that backend,
+        # e.g. when the session pre-converted it once per dataset
+        frame = convert_frame(frame, backend)
+    with use_backend(backend):
+        measurements = _execute_cell_inner(cell, engine, runner=runner,
+                                           frame=frame, sim=sim,
+                                           pipeline=pipeline,
+                                           tpch_runner=tpch_runner)
+    for m in measurements:
+        m.backend = backend
+    return measurements
+
+
+def _execute_cell_inner(cell: Cell, engine, *, runner, frame, sim, pipeline,
+                        tpch_runner) -> "list[Measurement]":
     if cell.mode == "tpch":
         outcome = tpch_runner.run_query(engine, cell.pipeline)
         return [Measurement(

@@ -1,0 +1,334 @@
+"""Backend parity: the dict backend must be bit-identical to the object one.
+
+The ``"object"`` backend keeps the original per-row Python kernels and serves
+as the behavioural oracle; the ``"dict"`` backend dictionary-encodes strings
+and reroutes string kernels, joins and group-bys through vectorized numpy
+kernels.  Every test here runs the same operation through both physical
+implementations and asserts identical results — values, nulls, dtypes and row
+order — including the all-null and empty-frame corners.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.frame import (
+    Column,
+    DataFrame,
+    DictStringColumn,
+    active_backend,
+    convert_column,
+    convert_frame,
+    known_backends,
+    set_default_backend,
+    use_backend,
+)
+from repro.frame.backends import ColumnFactory
+from repro.frame.dtypes import STRING
+from repro.frame.errors import DTypeError
+from repro.frame.groupby import AGG_FUNCTIONS
+from repro.frame import strings as fstr
+
+_SETTINGS = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+_JOIN_TYPES = ("inner", "left", "right", "outer", "semi", "anti")
+
+#: Every public string kernel, with representative arguments.
+_STRING_KERNELS = [
+    ("contains-regex", lambda c: fstr.contains(c, "a.", regex=True)),
+    ("contains-literal", lambda c: fstr.contains(c, "ab", regex=False)),
+    ("contains-nocase", lambda c: fstr.contains(c, "AB", regex=False, case=False)),
+    ("match_like", lambda c: fstr.match_like(c, "%a%")),
+    ("startswith", lambda c: fstr.startswith(c, "a")),
+    ("endswith", lambda c: fstr.endswith(c, "b")),
+    ("lower", lambda c: fstr.set_case(c, "lower")),
+    ("upper", lambda c: fstr.set_case(c, "upper")),
+    ("title", lambda c: fstr.set_case(c, "title")),
+    ("strip", lambda c: fstr.strip(c)),
+    ("strip-chars", lambda c: fstr.strip(c, "ab ")),
+    ("replace_substring", lambda c: fstr.replace_substring(c, "a", "_")),
+    ("replace-regex", lambda c: fstr.replace_substring(c, "[ab]+", "*", regex=True)),
+    ("str_length", fstr.str_length),
+    ("extract_regex", lambda c: fstr.extract_regex(c, r"([a-z]+)", group=1)),
+]
+
+string_lists = st.lists(
+    st.one_of(st.none(), st.text(alphabet="abcAB _-", min_size=0, max_size=6)),
+    min_size=0, max_size=50)
+
+
+def _string_column_pair(values):
+    obj = Column.from_values(list(values), "string")
+    dct = convert_column(obj, "dict")
+    assert isinstance(dct, DictStringColumn)
+    return obj, dct
+
+
+@st.composite
+def keyed_frames(draw, prefix=""):
+    """A frame with a low-cardinality string key plus mixed payload columns."""
+    n = draw(st.integers(min_value=0, max_value=30))
+    elem = st.one_of(st.none(), st.sampled_from(["a", "b", "c", "dd", ""]))
+    keys = draw(st.lists(elem, min_size=n, max_size=n))
+    ints = draw(st.lists(st.one_of(st.none(), st.integers(-50, 50)),
+                         min_size=n, max_size=n))
+    floats = draw(st.lists(
+        st.one_of(st.none(), st.floats(min_value=-100, max_value=100,
+                                       allow_nan=False, width=32)),
+        min_size=n, max_size=n))
+    bools = draw(st.lists(st.one_of(st.none(), st.booleans()),
+                          min_size=n, max_size=n))
+    return DataFrame({"key": Column.from_values(keys, "string"),
+                      f"{prefix}i": Column.from_values(ints, "int64"),
+                      f"{prefix}f": Column.from_values(floats, "float64"),
+                      f"{prefix}b": Column.from_values(bools, "bool")})
+
+
+def _assert_frames_identical(reference: DataFrame, candidate: DataFrame):
+    assert list(candidate.columns) == list(reference.columns)
+    assert candidate.num_rows == reference.num_rows
+    for name in reference.columns:
+        ref, got = reference[name], candidate[name]
+        assert got.dtype == ref.dtype, f"{name}: {got.dtype} != {ref.dtype}"
+        assert got.equals(ref), (
+            f"column {name!r} differs:\n object: {ref.to_list()}\n dict:   {got.to_list()}")
+
+
+class TestStringKernelParity:
+    @pytest.mark.parametrize("name,kernel", _STRING_KERNELS,
+                             ids=[name for name, _ in _STRING_KERNELS])
+    @_SETTINGS
+    @given(values=string_lists)
+    def test_kernel_matches_reference(self, name, kernel, values):
+        obj, dct = _string_column_pair(values)
+        expected, got = kernel(obj), kernel(dct)
+        assert got.dtype == expected.dtype
+        assert got.to_list() == expected.to_list()
+
+    @_SETTINGS
+    @given(values=string_lists, other=string_lists)
+    def test_concat_strings_matches_reference(self, values, other):
+        n = min(len(values), len(other))
+        lo, ld = _string_column_pair(values[:n])
+        ro, rd = _string_column_pair(other[:n])
+        expected = fstr.concat_strings(lo, ro, separator="-")
+        got = fstr.concat_strings(ld, rd, separator="-")
+        assert got.to_list() == expected.to_list()
+
+    @pytest.mark.parametrize("name,kernel", _STRING_KERNELS,
+                             ids=[name for name, _ in _STRING_KERNELS])
+    @pytest.mark.parametrize("values", [[None, None, None], []],
+                             ids=["all-null", "empty"])
+    def test_kernel_degenerate_columns(self, name, kernel, values):
+        obj, dct = _string_column_pair(values)
+        expected, got = kernel(obj), kernel(dct)
+        assert got.dtype == expected.dtype
+        assert got.to_list() == expected.to_list()
+
+
+class TestJoinParity:
+    @pytest.mark.parametrize("how", _JOIN_TYPES)
+    @_SETTINGS
+    @given(left=keyed_frames(), right=keyed_frames(prefix="r"))
+    def test_string_key_join(self, how, left, right):
+        expected = left.join(right, on="key", how=how)
+        got = left.to_backend("dict").join(right.to_backend("dict"), on="key", how=how)
+        _assert_frames_identical(expected, got)
+
+    @pytest.mark.parametrize("how", _JOIN_TYPES)
+    @_SETTINGS
+    @given(left=keyed_frames(), right=keyed_frames(prefix="r"))
+    def test_multi_key_join(self, how, left, right):
+        lkeys, rkeys = ["key", "i"], ["key", "ri"]
+        expected = left.join(right, left_on=lkeys, right_on=rkeys, how=how)
+        got = left.to_backend("dict").join(right.to_backend("dict"),
+                                           left_on=lkeys, right_on=rkeys, how=how)
+        _assert_frames_identical(expected, got)
+
+    @pytest.mark.parametrize("how", _JOIN_TYPES)
+    def test_degenerate_joins(self, how):
+        empty = DataFrame({"key": Column.from_values([], "string"),
+                           "x": Column.from_values([], "int64")})
+        nulls = DataFrame({"key": Column.from_values([None, None], "string"),
+                           "y": Column.from_values([1, 2], "int64")})
+        for left, right in [(empty, nulls), (nulls, empty), (nulls, nulls),
+                            (empty, empty)]:
+            expected = left.join(right, on="key", how=how, suffix="_r")
+            got = left.to_backend("dict").join(right.to_backend("dict"),
+                                               on="key", how=how, suffix="_r")
+            _assert_frames_identical(expected, got)
+
+
+class TestGroupbyParity:
+    @pytest.mark.parametrize("func", AGG_FUNCTIONS)
+    @_SETTINGS
+    @given(frame=keyed_frames())
+    def test_string_key_aggregation(self, func, frame):
+        aggs = {"i": func, "f": func, "b": "count"}
+        expected = frame.group_agg("key", aggs)
+        got = frame.to_backend("dict").group_agg("key", aggs)
+        _assert_frames_identical(expected, got)
+
+    @pytest.mark.parametrize("func", AGG_FUNCTIONS)
+    @_SETTINGS
+    @given(frame=keyed_frames())
+    def test_multi_key_aggregation(self, func, frame):
+        expected = frame.group_agg(["key", "b"], {"i": func})
+        got = frame.to_backend("dict").group_agg(["key", "b"], {"i": func})
+        _assert_frames_identical(expected, got)
+
+    @_SETTINGS
+    @given(frame=keyed_frames())
+    def test_string_payload_aggregation(self, frame):
+        # min/max/first/last/count/nunique on the string column itself
+        aggs = {"key": "nunique"}
+        expected = frame.group_agg("b", aggs)
+        got = frame.to_backend("dict").group_agg("b", aggs)
+        _assert_frames_identical(expected, got)
+
+    @_SETTINGS
+    @given(frame=keyed_frames())
+    def test_size_matches_reference(self, frame):
+        expected = frame.groupby("key").size()
+        got = frame.to_backend("dict").groupby("key").size()
+        _assert_frames_identical(expected, got)
+
+    @pytest.mark.parametrize("func", AGG_FUNCTIONS)
+    def test_degenerate_groupbys(self, func):
+        empty = DataFrame({"key": Column.from_values([], "string"),
+                           "x": Column.from_values([], "int64")})
+        nulls = DataFrame({"key": Column.from_values([None, None, None], "string"),
+                           "x": Column.from_values([1, None, 3], "int64")})
+        for frame in (empty, nulls):
+            expected = frame.group_agg("key", {"x": func})
+            got = frame.to_backend("dict").group_agg("key", {"x": func})
+            _assert_frames_identical(expected, got)
+
+
+class TestColumnOpParity:
+    """Column-level operations the dict backend overrides."""
+
+    @_SETTINGS
+    @given(values=string_lists)
+    def test_sort_filter_take_unique(self, values):
+        obj, dct = _string_column_pair(values)
+        for kwargs in ({}, {"ascending": False}, {"nulls_last": True},
+                       {"ascending": False, "nulls_last": True}):
+            assert np.array_equal(obj.sort_indices(**kwargs), dct.sort_indices(**kwargs))
+        assert obj.nunique() == dct.nunique()
+        assert obj.unique().to_list() == dct.unique().to_list()
+        assert obj.value_counts() == dct.value_counts()
+        assert obj.min() == dct.min() and obj.max() == dct.max()
+        assert obj.is_in(["a", "ab"]).to_list() == dct.is_in(["a", "ab"]).to_list()
+        assert obj.fill_null("zz").to_list() == dct.fill_null("zz").to_list()
+        assert (obj.replace({"a": "x", "b": "y"}).to_list()
+                == dct.replace({"a": "x", "b": "y"}).to_list())
+
+    @_SETTINGS
+    @given(values=string_lists)
+    def test_conversion_roundtrip(self, values):
+        obj, dct = _string_column_pair(values)
+        back = convert_column(dct, "object")
+        assert type(back) is Column and back.dtype is STRING
+        assert back.to_list() == obj.to_list()
+        assert convert_column(dct, "dict") is dct  # already there: no copy
+
+
+class TestBackendMachinery:
+    def test_known_backends(self):
+        assert set(known_backends()) >= {"object", "dict"}
+
+    def test_use_backend_scoping(self):
+        assert active_backend() == "object"
+        with use_backend("dict"):
+            assert active_backend() == "dict"
+            assert isinstance(Column.from_values(["a", None], "string"),
+                              DictStringColumn)
+            with use_backend("object"):
+                assert active_backend() == "object"
+            assert active_backend() == "dict"
+        assert active_backend() == "object"
+
+    def test_set_default_backend(self):
+        set_default_backend("dict")
+        try:
+            assert active_backend() == "dict"
+        finally:
+            set_default_backend("object")
+        assert active_backend() == "object"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(DTypeError):
+            use_backend("arrow").__enter__()
+
+    def test_third_party_backend_registration(self):
+        calls = []
+
+        def builder(values, validity):
+            calls.append(len(values))
+            return Column(values, STRING, validity)
+
+        key = (STRING.typecode, "mine")
+        ColumnFactory.register(key, builder)
+        try:
+            assert "mine" in known_backends()
+            with use_backend("mine"):
+                column = Column.from_values(["a", None], "string")
+            assert column.to_list() == ["a", None]
+            assert calls  # the custom builder actually ran
+        finally:
+            ColumnFactory.unregister(key)
+        assert "mine" not in known_backends()
+
+    def test_convert_frame_is_noop_on_same_backend(self):
+        frame = DataFrame({"s": Column.from_values(["a", "b"], "string"),
+                           "i": Column.from_values([1, 2], "int64")})
+        assert convert_frame(frame, "object") is frame
+        converted = convert_frame(frame, "dict")
+        assert convert_frame(converted, "dict") is converted
+        assert isinstance(converted["s"], DictStringColumn)
+        assert converted["i"] is frame["i"]  # non-strings are untouched
+
+
+class TestSweepBackendCoordinate:
+    def test_cell_id_depends_on_backend(self):
+        from repro.sweep import Cell
+
+        base = Cell(mode="full", engine="pandas", dataset="taxi")
+        dct = Cell(mode="full", engine="pandas", dataset="taxi", backend="dict")
+        assert base.backend == "object"
+        assert base.cell_id != dct.cell_id
+        assert Cell.from_dict(dct.to_dict()) == dct
+
+    def test_measurement_roundtrips_backend(self):
+        from repro.results import Measurement
+
+        m = Measurement(engine="pandas", backend="dict")
+        assert Measurement.from_dict(m.to_dict()).backend == "dict"
+        # records written before the field existed load with the default
+        assert Measurement.from_dict({"engine": "pandas"}).backend == "object"
+
+    def test_sharing_roundtrips_dict_columns(self):
+        from repro.frame.sharing import attach_frame, export_frame
+
+        frame = DataFrame({
+            "s": Column.from_values(["a", None, "b", "a"], "string"),
+            "i": Column.from_values([1, 2, None, 4], "int64"),
+        }).to_backend("dict")
+        shm, manifest = export_frame(frame)
+        try:
+            attached, attached_shm = attach_frame(manifest)
+            try:
+                assert isinstance(attached["s"], DictStringColumn)
+                _assert_frames_identical(frame, attached)
+                # exported codes attach as a zero-copy read-only view
+                with pytest.raises((ValueError, RuntimeError)):
+                    attached["s"].values[0] = 0
+            finally:
+                del attached
+                attached_shm.close()
+        finally:
+            shm.close()
+            shm.unlink()

@@ -184,9 +184,12 @@ class TestCache:
         entry = next(cache.entries())
         # entries are namespaced by package version: a repro upgrade (new cost
         # model) can never serve entries priced by the old code
-        assert entry.parent.parent.name == f"v1-{repro.__version__}"
+        from repro.sweep.cache import CACHE_VERSION
+
+        assert entry.parent.parent.name == f"v{CACHE_VERSION}-{repro.__version__}"
         payload = json.loads(entry.read_text())
-        assert payload["version"] == 1 and "cell" in payload and "measurements" in payload
+        assert (payload["version"] == CACHE_VERSION
+                and "cell" in payload and "measurements" in payload)
         assert cache.clear() == cache.stores
         assert len(cache) == 0
 
