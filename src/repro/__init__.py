@@ -30,9 +30,9 @@ from .plan import LazyFrame
 from .results import Measurement, ResultSet
 from .session import Session
 from .simulate import LAPTOP, PAPER_SERVER, SERVER, WORKSTATION, MachineConfig
-from .sweep import Cell, SweepCache, SweepScheduler, SweepStats
+from .sweep import Cell, RetryPolicy, SweepCache, SweepScheduler, SweepStats
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -51,6 +51,7 @@ __all__ = [
     "MatrixRunner",
     "BentoRunner",
     "Cell",
+    "RetryPolicy",
     "SweepCache",
     "SweepScheduler",
     "SweepStats",

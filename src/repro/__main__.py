@@ -135,6 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "(resuming is automatic whenever the cache is "
                              "enabled; this flag makes the intent explicit and "
                              "refuses to combine with --no-cache)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry each failing cell up to N times with "
+                             "exponential backoff before quarantining it as a "
+                             "failed measurement; with --executor process this "
+                             "also respawns crashed workers and reassigns "
+                             "their cells (default: 0 = historical fail-fast)")
+    parser.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                        help="per-cell wall-clock budget in seconds; a cell "
+                             "over budget counts as a failed attempt under "
+                             "the --retries policy")
+    parser.add_argument("--inject-faults", default=None, metavar="SPEC",
+                        help="deterministic fault injection for testing the "
+                             "resilience machinery, e.g. "
+                             "'kill:1,flaky:2,corrupt:1' (kinds: kill = "
+                             "SIGKILL a process worker mid-cell, flaky = one "
+                             "transient exception, hang = stall past "
+                             "--cell-timeout, corrupt = flip bytes in the "
+                             "cell's cache entry); seeded from --seed")
     parser.add_argument("--profile", action="store_true",
                         help="print the sweep profiler's per-cell "
                              "dispatch/serialize/setup/execute/cache timing "
@@ -422,13 +440,33 @@ def main(argv: list[str] | None = None) -> int:
     session = Session(config)
     cache = None if args.no_cache else SweepCache(args.cache_dir)
 
+    if args.retries < 0:
+        parser.error("--retries must be non-negative")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error("--cell-timeout must be positive")
+    retry = None
+    if args.retries > 0 or args.cell_timeout is not None:
+        from .sweep import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.retries + 1,
+                            cell_timeout=args.cell_timeout)
+    fault_plan = None
+    if args.inject_faults:
+        from .testing.faults import FaultPlan, install_fault_plan
+
+        try:
+            fault_plan = FaultPlan.from_spec(args.inject_faults, seed=args.seed)
+        except ValueError as err:
+            parser.error(str(err))
+        install_fault_plan(fault_plan)
+
     try:
         if args.mode == "tpch":
             results = session.run_tpch(engines=args.engines, queries=args.queries,
                                        backend=args.backend,
                                        workers=args.jobs, cache=cache,
                                        executor=args.executor,
-                                       profile=args.profile)
+                                       profile=args.profile, retry=retry)
         else:
             lazy = {"auto": None, "eager": False, "lazy": True, "both": "both"}[args.lazy]
             streaming = {None: None, "on": True, "both": "both"}[args.streaming]
@@ -436,13 +474,18 @@ def main(argv: list[str] | None = None) -> int:
                                   streaming=streaming, backend=args.backend,
                                   workers=args.jobs, cache=cache,
                                   executor=args.executor,
-                                  profile=args.profile)
+                                  profile=args.profile, retry=retry)
     except KeyError as err:
         print(f"error: {err.args[0] if err.args else err}", file=sys.stderr)
         return 2
     except Exception as err:  # noqa: BLE001 — a failed run exits 1, not a traceback
         print(f"error: run failed: {err}", file=sys.stderr)
         return 1
+    finally:
+        if fault_plan is not None:
+            from .testing.faults import clear_fault_plan
+
+            clear_fault_plan()
 
     print(_render(results, args.mode))
     if cache is not None and session.last_sweep is not None:

@@ -57,6 +57,17 @@ class Measurement:
     failed: bool = False
     failure_reason: str = ""
     machine: str = ""
+    #: Resilience outcome of the cell: ``"ok"`` for any organically produced
+    #: record (including organic failures), ``"error"`` for records the
+    #: scheduler synthesized when a poison cell was quarantined after
+    #: exhausting its :class:`~repro.sweep.resilience.RetryPolicy`.
+    status: str = "ok"
+    #: Stringified final exception of a quarantined cell (else empty).
+    error: str = ""
+    #: Execution attempts a quarantined cell consumed (0 on ordinary records,
+    #: so successful results stay bit-identical whether or not they were
+    #: retried — retry accounting lives in ``SweepStats``).
+    attempts: int = 0
 
     @property
     def strategy(self) -> str:

@@ -158,6 +158,8 @@ class BenchmarkService:
             self._require(request, "GET")
             return Response(payload=self.stats())
         if parts and parts[0] == "jobs":
+            if len(parts) == 2 and request.method == "DELETE":
+                return self._cancel_job(parts[1])
             self._require(request, "GET")
             if len(parts) == 2:
                 return self._job_response(parts[1], request)
@@ -179,6 +181,17 @@ class BenchmarkService:
         if job is None:
             raise HTTPError(404, f"unknown job {job_id!r}")
         return job
+
+    def _cancel_job(self, job_id: str) -> Response:
+        """``DELETE /jobs/<id>``: cancel a queued or running job.
+
+        Idempotent — deleting an already-finished (or already-cancelled) job
+        returns its current summary with ``cancelled: false`` rather than an
+        error; only an unknown id is a 404.
+        """
+        job = self._job(job_id)
+        changed = self.scheduler.cancel(job)
+        return Response(payload={"job": job.to_dict(), "cancelled": changed})
 
     def _job_response(self, job_id: str, request: Request) -> Response:
         job = self._job(job_id)

@@ -35,14 +35,34 @@ class ServiceError(RuntimeError):
         self.payload = dict(payload or {})
 
 
+#: Transport-level failures worth one retry: the server answered nothing, so
+#: retrying a request is safe for GET/DELETE and, for this service, for the
+#: idempotent POST endpoints too (identical cells deduplicate through the
+#: cache and single-flight layers).  A :class:`ServiceError` is *never*
+#: retried — the server answered, retrying would double-submit.
+_RETRYABLE = (ConnectionResetError, ConnectionRefusedError, BrokenPipeError,
+              ConnectionAbortedError, http.client.RemoteDisconnected,
+              socket.timeout)
+
+
 class ServiceClient:
-    """Blocking JSON client for one :class:`~repro.service.app.BenchmarkService`."""
+    """Blocking JSON client for one :class:`~repro.service.app.BenchmarkService`.
+
+    Every request carries a socket timeout, and a request that dies at the
+    transport layer (connection reset, refused, broken pipe, timeout) is
+    retried ``retries`` times with ``retry_backoff``-second pauses before
+    the error propagates.  Non-2xx *responses* raise :class:`ServiceError`
+    immediately — the server spoke, so there is nothing to retry.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, retries: int = 1,
+                 retry_backoff: float = 0.2):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff = retry_backoff
 
     # ------------------------------------------------------------------ #
     # transport
@@ -50,6 +70,18 @@ class ServiceClient:
     def request(self, method: str, path: str,
                 payload: "Mapping[str, Any] | None" = None) -> dict[str, Any]:
         """One request → the parsed JSON document (raises on non-2xx)."""
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except _RETRYABLE:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                time.sleep(self.retry_backoff * attempt)
+
+    def _request_once(self, method: str, path: str,
+                      payload: "Mapping[str, Any] | None" = None) -> dict[str, Any]:
         connection = http.client.HTTPConnection(self.host, self.port,
                                                 timeout=self.timeout)
         try:
@@ -108,6 +140,14 @@ class ServiceClient:
     def job(self, job_id: str, *, result: bool = True) -> dict[str, Any]:
         suffix = "" if result else "?result=0"
         return self.request("GET", f"/jobs/{job_id}{suffix}")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """``DELETE /jobs/<id>``: cancel a queued or running job.
+
+        Idempotent: cancelling a finished job returns its summary with
+        ``cancelled: false``; only an unknown id raises (404).
+        """
+        return self.request("DELETE", f"/jobs/{job_id}")
 
     def wait_for_job(self, job_id: str, *, poll_seconds: float = 0.05,
                      timeout: float = 120.0) -> dict[str, Any]:

@@ -23,8 +23,10 @@ from typing import Any, AsyncIterator, Mapping
 
 __all__ = ["Job", "JobStore", "JOB_STATES"]
 
-#: Lifecycle: queued → running → done | failed; rejected never ran.
-JOB_STATES = ("queued", "running", "done", "failed", "rejected")
+#: Lifecycle: queued → running → done | failed | cancelled; rejected never
+#: ran, cancelled jobs were withdrawn (``DELETE /jobs/<id>``) before or
+#: during execution.
+JOB_STATES = ("queued", "running", "done", "failed", "rejected", "cancelled")
 
 
 class Job:
@@ -48,6 +50,9 @@ class Job:
         self.cached = 0
         self.shared = 0
         self.error = ""
+        #: Set by the scheduler when a client cancels a *running* job, so the
+        #: runner's CancelledError can be told apart from server shutdown.
+        self.cancel_requested = False
         self.result: Any = None
         self.events: list[dict[str, Any]] = []
         self._done = asyncio.Event()
@@ -56,7 +61,7 @@ class Job:
     # ------------------------------------------------------------------ #
     @property
     def done(self) -> bool:
-        return self.state in ("done", "failed", "rejected")
+        return self.state in ("done", "failed", "rejected", "cancelled")
 
     @property
     def wall_seconds(self) -> "float | None":

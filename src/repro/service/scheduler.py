@@ -86,7 +86,9 @@ class JobScheduler:
         self._slots = asyncio.Semaphore(workers)
         self._dispatcher: "asyncio.Task | None" = None
         self._running: "set[asyncio.Task]" = set()
+        self._job_tasks: "dict[str, asyncio.Task]" = {}
         self.dispatched = 0
+        self.cancelled = 0
 
     # ------------------------------------------------------------------ #
     def tenant(self, name: str, budget_bytes: "int | None | object" = ...) -> Tenant:
@@ -153,7 +155,10 @@ class JobScheduler:
             self.dispatched += 1
             task = asyncio.create_task(self._run(job), name=f"job-{job.id}")
             self._running.add(task)
+            self._job_tasks[job.id] = task
             task.add_done_callback(self._running.discard)
+            task.add_done_callback(
+                lambda _task, job_id=job.id: self._job_tasks.pop(job_id, None))
 
     def _pick(self) -> "Job | None":
         """Next job, round-robin over tenants with non-empty queues."""
@@ -166,14 +171,46 @@ class JobScheduler:
                 return queue.popleft()
         return None
 
+    def cancel(self, job: Job) -> bool:
+        """Cancel a job: dequeue it if queued, interrupt it if running.
+
+        Idempotent — returns ``True`` when this call changed anything
+        (the job was dequeued, or a cancellation was delivered to its
+        running task), ``False`` when the job had already finished.  A
+        queued job is removed from its tenant's queue and its memory
+        estimate released immediately; a running job has
+        :attr:`Job.cancel_requested` set so :meth:`_run` records
+        ``cancelled`` rather than a shutdown failure.
+        """
+        if job.done:
+            return False
+        tenant = self.tenants.get(job.tenant)
+        if job.state == "queued" and tenant is not None and job in tenant.queue:
+            tenant.queue.remove(job)
+            tenant.committed_bytes -= job.estimated_bytes
+            tenant.completed += 1
+            self.cancelled += 1
+            job.finish("cancelled", error="cancelled by client")
+            return True
+        task = self._job_tasks.get(job.id)
+        if task is not None and not task.done():
+            job.cancel_requested = True
+            self.cancelled += 1
+            task.cancel()
+            return True
+        return False
+
     async def _run(self, job: Job) -> None:
         try:
             job.mark_running()
             result = await self._runner(job)
             job.finish("done", result=result)
         except asyncio.CancelledError:
-            job.finish("failed", error="cancelled: server shutting down")
-            raise
+            if job.cancel_requested:
+                job.finish("cancelled", error="cancelled by client")
+            else:
+                job.finish("failed", error="cancelled: server shutting down")
+                raise
         except Exception as err:  # noqa: BLE001 — one bad job must not kill the pool
             job.finish("failed", error=f"{type(err).__name__}: {err}")
         finally:
@@ -189,5 +226,6 @@ class JobScheduler:
             "running": len(self._running),
             "queued": sum(len(t.queue) for t in self.tenants.values()),
             "dispatched": self.dispatched,
+            "cancelled": self.cancelled,
             "tenants": {name: t.to_dict() for name, t in self.tenants.items()},
         }

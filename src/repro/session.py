@@ -411,10 +411,12 @@ class Session:
         session's shared components (the process pool rebuilds them instead).
         The frame is pre-converted to the cell's backend here, so every cell
         of a sweep shares one converted copy (``execute_cell``'s own
-        conversion then no-ops)."""
-        return lambda: execute_cell(cell, engine, runner=runner,
-                                    frame=generated.frame_for(cell.backend),
-                                    sim=sim, pipeline=pipeline)
+        conversion then no-ops).  ``attempt`` is threaded through for the
+        retry/fault-injection machinery and never influences results."""
+        return lambda attempt=1: execute_cell(
+            cell, engine, runner=runner,
+            frame=generated.frame_for(cell.backend),
+            sim=sim, pipeline=pipeline, attempt=attempt)
 
     # ------------------------------------------------------------------ #
     # the front door
@@ -432,7 +434,8 @@ class Session:
             cache: "bool | str | object | None" = None,
             executor: str = "thread",
             progress: "Callable[[Cell, list, str], None] | None" = None,
-            profile: bool = False) -> ResultSet:
+            profile: bool = False,
+            retry: "object | int | None" = None) -> ResultSet:
         """Sweep a slice of the matrix and return the collected measurements.
 
         ``mode`` is one of ``full``/``stage``/``core`` (the paper's three
@@ -472,8 +475,16 @@ class Session:
 
         ``progress`` is a job-granular callback invoked as each cell lands:
         ``progress(cell, measurements, source)`` with ``source`` one of
-        ``"cache"``/``"executed"`` — what the service layer uses to stream
-        incremental results while a sweep is still running.
+        ``"cache"``/``"executed"``/``"quarantined"`` — what the service layer
+        uses to stream incremental results while a sweep is still running.
+
+        ``retry`` makes the sweep fault-tolerant: a
+        :class:`~repro.sweep.RetryPolicy` (or an int, shorthand for that many
+        retries per cell) retries failed cells with deterministic backoff,
+        quarantines poison cells into error-status measurements instead of
+        aborting, and — on the process executor — respawns crashed workers
+        and re-dispatches their uncommitted cells.  ``None`` (default) keeps
+        fail-fast semantics.
         """
         try:
             resolved_mode = _MODE_ALIASES[mode]
@@ -484,20 +495,21 @@ class Session:
             return self.run_tpch(engines=engines, backend=backend,
                                  workers=workers, cache=cache,
                                  executor=executor, progress=progress,
-                                 profile=profile)
+                                 profile=profile, retry=retry)
         plan = self.plan(resolved_mode, engines=engines, datasets=datasets,
                          pipelines=pipelines, lazy=lazy, streaming=streaming,
                          stages=stages, formats=formats, backend=backend)
         return self._run_plan(plan, workers=workers, cache=cache, executor=executor,
-                              progress=progress, profile=profile)
+                              progress=progress, profile=profile, retry=retry)
 
     def _run_plan(self, plan: list[PlannedCell], *, workers: int,
                   cache: "bool | str | object | None", executor: str,
                   progress: "Callable[[Cell, list, str], None] | None" = None,
-                  profile: bool = False) -> ResultSet:
+                  profile: bool = False,
+                  retry: "object | int | None" = None) -> ResultSet:
         scheduler = SweepScheduler(workers=workers, cache=resolve_cache(cache),
                                    executor=executor, on_result=progress,
-                                   profile=profile)
+                                   profile=profile, retry=retry)
         try:
             return scheduler.run(plan)
         finally:
@@ -563,7 +575,8 @@ class Session:
                  cache: "bool | str | object | None" = None,
                  executor: str = "thread",
                  progress: "Callable[[Cell, list, str], None] | None" = None,
-                 profile: bool = False) -> ResultSet:
+                 profile: bool = False,
+                 retry: "object | int | None" = None) -> ResultSet:
         """Run TPC-H queries on the TPC-H engine set and collect measurements.
 
         Like :meth:`run`, the engine × query matrix goes through the sweep
@@ -615,11 +628,13 @@ class Session:
                     execute=self._tpch_thunk(cell, engine, runner),
                     payload=payload))
         return self._run_plan(plan, workers=workers, cache=cache, executor=executor,
-                              progress=progress, profile=profile)
+                              progress=progress, profile=profile, retry=retry)
 
     @staticmethod
     def _tpch_thunk(cell, engine, tpch_runner):
-        return lambda: execute_cell(cell, engine, tpch_runner=tpch_runner)
+        return lambda attempt=1: execute_cell(cell, engine,
+                                              tpch_runner=tpch_runner,
+                                              attempt=attempt)
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover

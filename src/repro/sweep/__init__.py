@@ -16,8 +16,14 @@ workers attach zero-copy to shared-memory frame segments
 (:mod:`repro.frame.sharing`) instead of unpickling a frame per cell.
 """
 
-from .cache import CACHE_VERSION, SweepCache, default_cache_dir
+from .cache import CACHE_VERSION, SweepCache, default_cache_dir, entry_checksum
 from .cells import Cell, context_fingerprint, dataset_fingerprint, pipeline_fingerprint
+from .resilience import (
+    CellTimeoutError,
+    RetryPolicy,
+    WorkerCrashError,
+    quarantine_measurement,
+)
 from .scheduler import (
     PlannedCell,
     SweepScheduler,
@@ -41,22 +47,27 @@ __all__ = [
     "Cell",
     "CellBatch",
     "CellTask",
+    "CellTimeoutError",
     "HintMemory",
     "PlannedCell",
     "ProcessWorkerPool",
+    "RetryPolicy",
     "SweepCache",
     "SweepScheduler",
     "SweepStats",
     "ThreadBatchExecutor",
+    "WorkerCrashError",
     "CACHE_VERSION",
     "assign_shards",
     "build_batches",
     "context_fingerprint",
     "dataset_fingerprint",
+    "entry_checksum",
     "hint_memory",
     "pipeline_fingerprint",
     "default_cache_dir",
     "execute_cell",
     "execute_payload",
+    "quarantine_measurement",
     "resolve_cache",
 ]

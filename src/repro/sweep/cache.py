@@ -11,7 +11,12 @@ miss.  The default location is ``~/.cache/repro`` (overridable with the
 
 Entries are written atomically (temp file + ``os.replace``) so a sweep killed
 mid-write never leaves a truncated entry behind; unreadable or mismatching
-entries are treated as misses and overwritten.
+entries are treated as misses and overwritten.  Every entry additionally
+carries a content checksum: an entry that exists but fails to parse or fails
+checksum verification is *corrupt* (bit rot, a torn copy, a buggy tool
+editing the cache) — it counts as a miss **and** the bad file is quarantined
+(renamed to ``*.corrupt`` next to the entry) so it is never consulted again
+and the evidence survives for inspection.
 
 The cache is safe under concurrency: any number of threads (or the service's
 worker pool) may load and store the *same* cell simultaneously.  Writers race
@@ -23,6 +28,7 @@ torn one, and the hit/miss/store counters are kept consistent behind a lock
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -32,13 +38,16 @@ from pathlib import Path
 from typing import Iterator
 
 from ..results import Measurement
+from ..testing.faults import fault_point
 from .cells import Cell
 
-__all__ = ["SweepCache", "default_cache_dir", "CACHE_VERSION"]
+__all__ = ["SweepCache", "default_cache_dir", "CACHE_VERSION", "entry_checksum"]
 
 #: Bump when the on-disk entry layout changes; old entries become misses.
 #: v2: cells and measurements gained the ``backend`` coordinate.
-CACHE_VERSION = 2
+#: v3: entries carry a content checksum; measurements gained the resilience
+#:     fields (``status``/``error``/``attempts``).
+CACHE_VERSION = 3
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -57,6 +66,18 @@ def _cache_namespace() -> str:
     return f"v{CACHE_VERSION}-{__version__}"
 
 
+def entry_checksum(payload: dict) -> str:
+    """Content checksum of a cache entry (every key except the checksum).
+
+    Computed over the canonical sorted-key JSON serialization, which is
+    stable across a write/parse round trip (Python's shortest-roundtrip
+    float repr guarantees ``dumps(loads(x))`` reproduces ``x``'s values).
+    """
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -73,6 +94,7 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -82,15 +104,34 @@ class SweepCache:
         return self.root / _cache_namespace() / cell.mode / f"{prefix}-{cell.cell_id}.json"
 
     def load(self, cell: Cell) -> "list[Measurement] | None":
-        """The cell's measurements, or ``None`` on a miss."""
+        """The cell's measurements, or ``None`` on a miss.
+
+        Three miss flavours: the file does not exist (a plain miss); the
+        entry belongs to another version / cell hash (stale, left in place
+        to be overwritten); the entry exists but is unparseable or fails
+        checksum verification (corrupt — quarantined via
+        :meth:`_quarantine` and counted in ``stats()["corrupt"]``).
+        """
         path = self.path_for(cell)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            raw = path.read_bytes()
+        except OSError:
             self._count("misses")
             return None
-        if (not isinstance(payload, dict)
-                or payload.get("version") != CACHE_VERSION
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:  # includes UnicodeDecodeError: flipped bytes
+            self._quarantine(path)
+            return None
+        stored_checksum = payload.get("checksum")
+        if (payload.get("version") == CACHE_VERSION
+                and stored_checksum is not None
+                and stored_checksum != entry_checksum(payload)):
+            self._quarantine(path)
+            return None
+        if (payload.get("version") != CACHE_VERSION
                 or payload.get("cell") != cell.to_dict()):
             self._count("misses")
             return None
@@ -101,6 +142,15 @@ class SweepCache:
             return None
         self._count("hits")
         return measurements
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (miss + ``*.corrupt`` next to it)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+        self._count("corrupt")
+        self._count("misses")
 
     def _count(self, counter: str) -> None:
         with self._lock:
@@ -124,6 +174,7 @@ class SweepCache:
         }
         if seconds is not None:
             payload["seconds"] = float(seconds)
+        payload["checksum"] = entry_checksum(payload)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -136,6 +187,7 @@ class SweepCache:
                 pass
             raise
         self._count("stores")
+        fault_point("cache_store", cell_id=cell.cell_id, path=path)
         return path
 
     def seconds_hint(self, cell: Cell) -> "float | None":
@@ -195,7 +247,8 @@ class SweepCache:
 
     def stats(self) -> dict[str, int]:
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+            return {"hits": self.hits, "misses": self.misses,
+                    "stores": self.stores, "corrupt": self.corrupt}
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"SweepCache({str(self.root)!r}, hits={self.hits}, "

@@ -34,12 +34,14 @@ from __future__ import annotations
 import functools
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 from ..results import Measurement, ResultSet
+from ..testing.faults import active_fault_plan, fault_point
 from .cache import SweepCache
 from .cells import Cell
+from .resilience import RetryPolicy
 
 __all__ = ["PlannedCell", "SweepStats", "SweepScheduler", "resolve_cache"]
 
@@ -91,6 +93,15 @@ class SweepStats:
     execute_seconds: float = 0.0
     #: Per-cell timing records (``profile=True`` runs only).
     profile: list[dict] = field(default_factory=list)
+    #: Re-dispatched cell attempts (a retry policy was active and charged).
+    retries: int = 0
+    #: Cells that succeeded after at least one failed/charged attempt.
+    recovered: int = 0
+    #: Poison cells degraded to an error-status measurement after exhausting
+    #: their attempts (see :func:`~repro.sweep.resilience.quarantine_measurement`).
+    quarantined: int = 0
+    #: Dead (crashed/killed/hung) workers replaced mid-sweep.
+    respawns: int = 0
 
     @property
     def overhead_seconds(self) -> float:
@@ -105,6 +116,11 @@ class SweepStats:
                      f"executing, {self.overhead_seconds:.3f}s overhead = "
                      f"{self.serialize_seconds:.3f}s serialize "
                      f"+ {self.setup_seconds:.3f}s setup]")
+        if self.retries or self.quarantined or self.respawns:
+            base += (f" [resilience: {self.retries} retried, "
+                     f"{self.recovered} recovered, "
+                     f"{self.quarantined} quarantined, "
+                     f"{self.respawns} worker(s) respawned]")
         return base
 
     def to_dict(self) -> dict:
@@ -117,6 +133,8 @@ class SweepStats:
             "serialize_seconds": self.serialize_seconds,
             "setup_seconds": self.setup_seconds,
             "execute_seconds": self.execute_seconds,
+            "retries": self.retries, "recovered": self.recovered,
+            "quarantined": self.quarantined, "respawns": self.respawns,
         }
 
     def profile_table(self) -> str:
@@ -164,15 +182,26 @@ class SweepScheduler:
 
     ``on_result`` is a job-granular progress callback invoked once per cell
     as its result lands — ``on_result(cell, measurements, source)`` with
-    ``source`` one of ``"cache"``/``"executed"``.  Callbacks fire in
-    completion order (not plan order) and always from the scheduling thread,
-    so implementations need no locking of their own.
+    ``source`` one of ``"cache"``/``"executed"``/``"quarantined"``.
+    Callbacks fire in completion order (not plan order) and always from the
+    scheduling thread, so implementations need no locking of their own.
+
+    ``retry`` selects the failure semantics: ``None`` (default) keeps the
+    historical fail-fast behaviour — the first cell error aborts the sweep
+    and a dead worker raises.  A :class:`~repro.sweep.resilience.RetryPolicy`
+    (or an int, shorthand for that many retries) switches the scheduler to
+    resilient mode: failed cells are retried with backoff and quarantined
+    after exhausting their attempts, crashed workers are respawned and their
+    uncommitted cells re-dispatched across the pool, and ``cell_timeout``
+    bounds each attempt's wall clock.  Successful results are bit-identical
+    in both modes regardless of how many retries they needed.
     """
 
     def __init__(self, workers: int = 1, cache: "SweepCache | None" = None,
                  executor: str = "thread",
                  on_result: "Callable[[Cell, list[Measurement], str], None] | None" = None,
-                 batched: bool = True, profile: bool = False):
+                 batched: bool = True, profile: bool = False,
+                 retry: "RetryPolicy | int | None" = None):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if executor not in _EXECUTORS:
@@ -185,6 +214,9 @@ class SweepScheduler:
         self.batched = batched
         #: Record per-cell timing breakdowns into ``last_stats.profile``.
         self.profile = profile
+        if isinstance(retry, int) and not isinstance(retry, bool):
+            retry = RetryPolicy.from_retries(retry) if retry > 0 else None
+        self.retry: "RetryPolicy | None" = retry
         self.last_stats: "SweepStats | None" = None
 
     def _notify(self, cell: Cell, measurements: "list[Measurement]", source: str) -> None:
@@ -198,6 +230,13 @@ class SweepScheduler:
         stats = SweepStats(total=len(plan), workers=self.workers, executor=self.executor)
         self.last_stats = stats
         slots: "list[list[Measurement] | None]" = [None] * len(plan)
+
+        # An installed-but-unbound fault plan is bound to this sweep's cell
+        # population *before* any worker forks, so every process deterministically
+        # agrees on the target cells (no-op without an injection harness).
+        fault_plan = active_fault_plan()
+        if fault_plan is not None and not fault_plan.bound:
+            fault_plan.bind([planned.cell.cell_id for planned in plan])
 
         pending: list[int] = []
         for index, planned in enumerate(plan):
@@ -219,7 +258,6 @@ class SweepScheduler:
             if self.workers == 1 or len(pending) <= 1:
                 for index in pending:
                     slots[index] = self._complete(plan[index], stats)
-                    stats.executed += 1
             elif use_batched:
                 self._run_batched(plan, pending, slots, stats)
             else:
@@ -235,16 +273,47 @@ class SweepScheduler:
     # ------------------------------------------------------------------ #
     def _complete(self, planned: PlannedCell,
                   stats: "SweepStats | None" = None) -> "list[Measurement]":
+        if self.retry is None:
+            measurements = self._execute_sequential(planned, stats)
+        else:
+            from .resilience import execute_with_retry
+
+            measurements, attempts, seconds, error = execute_with_retry(
+                planned.execute, planned.cell, self.retry)
+            if error is not None:
+                # poison cell: quarantine record, never cached (a rerun retries)
+                if stats is not None:
+                    stats.quarantined += 1
+                    stats.retries += attempts - 1
+                self._notify(planned.cell, measurements, "quarantined")
+                return measurements
+            if stats is not None:
+                stats.retries += attempts - 1
+                if attempts > 1:
+                    stats.recovered += 1
+            measurements = self._commit_sequential(planned, measurements,
+                                                   seconds, stats)
+        return measurements
+
+    def _execute_sequential(self, planned: PlannedCell,
+                            stats: "SweepStats | None") -> "list[Measurement]":
         started = time.perf_counter()
         measurements = planned.execute()
         seconds = time.perf_counter() - started
+        return self._commit_sequential(planned, measurements, seconds, stats)
+
+    def _commit_sequential(self, planned: PlannedCell,
+                           measurements: "list[Measurement]", seconds: float,
+                           stats: "SweepStats | None") -> "list[Measurement]":
+        cache_started = time.perf_counter()
         if self.cache is not None:
             self.cache.store(planned.cell, measurements, seconds=seconds)
-        cache_seconds = time.perf_counter() - started - seconds
+        cache_seconds = time.perf_counter() - cache_started
         from .workers import hint_memory
 
         hint_memory.record(planned.cell, seconds)
         if stats is not None:
+            stats.executed += 1
             stats.execute_seconds += seconds
             if self.profile:
                 stats.profile.append({
@@ -261,107 +330,323 @@ class SweepScheduler:
                      slots: "list[list[Measurement] | None]",
                      stats: SweepStats) -> None:
         from ..frame.sharing import SharedFrameStore
-        from .workers import (ProcessWorkerPool, ThreadBatchExecutor,
-                              assign_shards, build_batches, decode_error,
-                              hint_memory)
+        from .resilience import WorkerCrashError, quarantine_measurement
+        from .workers import (CellBatch, ProcessWorkerPool,
+                              ThreadBatchExecutor, assign_shards,
+                              build_batches, decode_error, hint_memory)
 
+        retry = self.retry
         batches = build_batches(plan, pending, cache=self.cache)
         assignments = assign_shards(batches, self.workers)
         stats.batches = len(batches)
-        batch_index = {batch.batch_id: batch for batch in batches}
         serialize_share: "dict[int, float]" = {}  # plan index → seconds
+        task_by_index = {task.index: task
+                         for batch in batches for task in batch.tasks}
+        next_batch_id = max((b.batch_id for b in batches), default=-1) + 1
 
         store: "SharedFrameStore | None" = None
-        if self.executor == "process":
-            # Serialize each distinct physical frame ONCE, replace the live
-            # frame in every task with the shared-memory manifest, and
-            # reference-count segments per batch so memory is reclaimed the
-            # moment the last batch touching a frame completes.
-            store = SharedFrameStore()
-            segment_cost: "dict[str, float]" = {}
-            segment_cells: "dict[str, int]" = {}
-            for batch in batches:
-                for task in batch.tasks:
-                    if task.frame is None:
-                        continue
-                    started = time.perf_counter()
-                    task.manifest = store.export(task.frame)  # once per frame
-                    cost = time.perf_counter() - started
-                    segment = task.manifest.segment
-                    if segment not in segment_cost:
-                        stats.serialize_seconds += cost
-                        segment_cost[segment] = cost
-                    segment_cells[segment] = segment_cells.get(segment, 0) + 1
-                    task.frame = None
-            for batch in batches:
-                for segment in batch.segments():
-                    store.retain(segment)
-                for task in batch.tasks:
-                    if task.manifest is not None:
-                        segment = task.manifest.segment
-                        serialize_share[task.index] = (
-                            segment_cost[segment] / segment_cells[segment])
-            pool = ProcessWorkerPool(len(assignments))
-        else:
-            pool = ThreadBatchExecutor(len(assignments))
-
+        pool = None
         errors: "list[BaseException]" = []
-        outstanding = {batch.batch_id for batch in batches}
-        unresolved = set(pending)
         try:
+            # Everything from here sits inside the try so that a failure (or
+            # Ctrl-C) during frame export or pool spawn — e.g. a worker that
+            # dies before attaching — still unlinks every exported /dev/shm
+            # segment via the finally below.
+            if self.executor == "process":
+                # Serialize each distinct physical frame ONCE, replace the
+                # live frame in every task with the shared-memory manifest,
+                # and reference-count segments per batch so memory is
+                # reclaimed the moment the last batch touching a frame
+                # completes.
+                store = SharedFrameStore()
+                segment_cost: "dict[str, float]" = {}
+                segment_cells: "dict[str, int]" = {}
+                for batch in batches:
+                    for task in batch.tasks:
+                        if task.frame is None:
+                            continue
+                        started = time.perf_counter()
+                        task.manifest = store.export(task.frame)  # once per frame
+                        cost = time.perf_counter() - started
+                        segment = task.manifest.segment
+                        if segment not in segment_cost:
+                            stats.serialize_seconds += cost
+                            segment_cost[segment] = cost
+                        segment_cells[segment] = segment_cells.get(segment, 0) + 1
+                        task.frame = None
+                for batch in batches:
+                    for task in batch.tasks:
+                        if task.manifest is not None:
+                            segment = task.manifest.segment
+                            serialize_share[task.index] = (
+                                segment_cost[segment] / segment_cells[segment])
+                pool = ProcessWorkerPool(len(assignments))
+            else:
+                pool = ThreadBatchExecutor(len(assignments))
+
+            # --- dispatch/recovery bookkeeping (scheduling thread only) --- #
+            batch_segments: "dict[int, list[str]]" = {}  # per-dispatch retains
+            owner: "dict[int, int]" = {}        # batch id → worker id
+            open_cells: "dict[int, set[int]]" = {}  # batch id → uncommitted cells
+            attempts: "dict[int, int]" = {}     # plan index → attempts started
+            current: "dict[int, int | None]" = {}   # worker → in-flight index
+            started_at: "dict[int, float]" = {}  # plan index → start wall time
+            waiting: "list[tuple[float, int]]" = []  # (ready time, index)
+            held: "dict[int, list[str]]" = {}   # retry segment holds
+            outstanding: "set[int]" = set()
+            unresolved = set(pending)
+            workers_used = max(1, len(assignments))
+            respawn_budget = 4 * workers_used + len(pending)
+
+            if store is not None:
+                for batch in batches:
+                    segments = sorted(batch.segments())
+                    for segment in segments:
+                        store.retain(segment)
+                    batch_segments[batch.batch_id] = segments
+            for worker_id, group in enumerate(assignments):
+                for batch in group:
+                    owner[batch.batch_id] = worker_id
+                    open_cells[batch.batch_id] = {t.index for t in batch.tasks}
+                    outstanding.add(batch.batch_id)
+
+            def task_segments(task) -> "list[str]":
+                return [task.manifest.segment] if task.manifest is not None else []
+
+            def release_batch(batch_id: int) -> None:
+                if store is not None:
+                    for segment in batch_segments.pop(batch_id, ()):
+                        store.release(segment)
+
+            def pick_worker() -> int:
+                loads = {worker_id: 0 for worker_id in range(workers_used)}
+                for batch_id, cells in open_cells.items():
+                    worker_id = owner.get(batch_id)
+                    if worker_id in loads:
+                        loads[worker_id] += len(cells)
+                return min(loads, key=lambda worker_id: (loads[worker_id], worker_id))
+
+            def dispatch_cells(indices: "list[int]", worker_id: int) -> None:
+                """Ship cells as a fresh batch (retries / stolen cells)."""
+                nonlocal next_batch_id
+                tasks, segments = [], []
+                for index in indices:
+                    task = replace(task_by_index[index],
+                                   attempt=attempts.get(index, 0) + 1)
+                    task_by_index[index] = task
+                    tasks.append(task)
+                    hold = held.pop(index, None)
+                    if hold is not None:
+                        segments.extend(hold)  # transfer the retry hold
+                    elif store is not None:
+                        for segment in task_segments(task):
+                            store.retain(segment)
+                            segments.append(segment)
+                batch = CellBatch(batch_id=next_batch_id, key=("redispatch",),
+                                  tasks=tasks)
+                next_batch_id += 1
+                owner[batch.batch_id] = worker_id
+                open_cells[batch.batch_id] = set(indices)
+                outstanding.add(batch.batch_id)
+                if store is not None:
+                    batch_segments[batch.batch_id] = segments
+                pool.dispatch(worker_id, batch)
+
+            def quarantine(index: int, error: BaseException) -> None:
+                cell = plan[index].cell
+                measurement = quarantine_measurement(
+                    cell, error, attempts.get(index, 0))
+                slots[index] = [measurement]
+                stats.quarantined += 1
+                unresolved.discard(index)
+                if store is not None:
+                    for segment in held.pop(index, ()):
+                        store.release(segment)
+                self._notify(cell, [measurement], "quarantined")
+
+            def handle_failure(index: int, error: BaseException) -> None:
+                """Charge the in-flight attempt; retry with backoff or quarantine."""
+                if index not in unresolved:
+                    return
+                charged = attempts.get(index, 0)
+                if retry is not None and charged < retry.max_attempts:
+                    stats.retries += 1
+                    if store is not None and index not in held:
+                        segments = task_segments(task_by_index[index])
+                        for segment in segments:
+                            store.retain(segment)  # survive batch release
+                        held[index] = segments
+                    ready = (time.perf_counter()
+                             + retry.backoff_seconds(plan[index].cell.cell_id,
+                                                     max(1, charged)))
+                    waiting.append((ready, index))
+                else:
+                    quarantine(index, error)
+
+            def handle_dead_worker(worker_id: int, reason: str) -> None:
+                nonlocal respawn_budget
+                if respawn_budget <= 0:
+                    raise RuntimeError(
+                        "sweep worker respawn limit exceeded; giving up")
+                respawn_budget -= 1
+                # The victim cell comes from the pool's in-flight sentinel (a
+                # side channel that survives SIGKILL), falling back to the
+                # drained "start" stream; its attempt is charged from the
+                # dispatched task, because the event recording it may have
+                # died in the worker's queue feeder.
+                victim: "int | None" = pool.inflight(worker_id)
+                if victim is None or victim < 0:
+                    victim = current.pop(worker_id, None)
+                else:
+                    current.pop(worker_id, None)
+                if victim is not None and victim in unresolved:
+                    attempts[victim] = max(attempts.get(victim, 0),
+                                           task_by_index[victim].attempt)
+                orphan_batches = [batch_id for batch_id, owner_id in owner.items()
+                                  if owner_id == worker_id and batch_id in open_cells]
+                orphans: "list[int]" = []
+                for batch_id in orphan_batches:
+                    cells = open_cells.pop(batch_id)
+                    outstanding.discard(batch_id)
+                    orphans.extend(index for index in cells if index != victim)
+                pool.respawn(worker_id)
+                stats.respawns += 1
+                # The victim (the cell the worker was executing when it died)
+                # is charged an attempt; the rest of the shard is stolen and
+                # re-dispatched untouched.  Retains for the replacement
+                # batches happen before the dead batches release, so shared
+                # segments never hit refcount zero in between.
+                if victim is not None:
+                    handle_failure(victim, WorkerCrashError(reason))
+                orphans = sorted(index for index in set(orphans)
+                                 if index in unresolved)
+                if orphans:
+                    dispatch_cells(orphans, pick_worker())
+                for batch_id in orphan_batches:
+                    release_batch(batch_id)
+
+            def maintenance() -> None:
+                """Idle-tick work: due retries, cell timeouts, dead workers."""
+                now = time.perf_counter()
+                if waiting:
+                    still_waiting: "list[tuple[float, int]]" = []
+                    for ready, index in waiting:
+                        if index not in unresolved:
+                            # resolved while waiting (e.g. a duplicate
+                            # attempt landed): drop the hold
+                            if store is not None:
+                                for segment in held.pop(index, ()):
+                                    store.release(segment)
+                        elif ready <= now:
+                            dispatch_cells([index], pick_worker())
+                        else:
+                            still_waiting.append((ready, index))
+                    waiting[:] = still_waiting
+                if retry is not None and retry.cell_timeout:
+                    for worker_id, index in list(current.items()):
+                        if (index is not None and index in unresolved
+                                and now - started_at.get(index, now)
+                                > retry.cell_timeout):
+                            pool.kill(worker_id)  # recovered as a dead worker
+                for worker_id in pool.check_workers():
+                    if retry is None:
+                        raise RuntimeError(
+                            f"sweep worker {worker_id} died with "
+                            f"{len(unresolved)} cell(s) unresolved")
+                    handle_dead_worker(worker_id, f"worker {worker_id} died")
+
             pool.submit(assignments)
-            while outstanding or unresolved:
+            last_maintenance = time.perf_counter()
+            while unresolved or outstanding:
                 try:
-                    event = pool.get_event(timeout=1.0)
+                    event = pool.get_event(timeout=0.25)
                 except Exception:  # queue.Empty (both flavours raise it)
-                    if not pool.alive() and (outstanding or unresolved):
+                    event = None
+                    if (retry is None and not pool.alive()
+                            and (unresolved or outstanding)):
                         raise RuntimeError(
                             f"sweep workers died with {len(outstanding)} "
                             f"batch(es) outstanding") from None
-                    continue
-                kind = event[0]
-                if kind == "ok":
-                    _, _, batch_id, index, measurements, seconds, timings = event
-                    slots[index] = measurements
-                    stats.executed += 1
-                    stats.setup_seconds += timings["setup"]
-                    stats.execute_seconds += timings["execute"]
-                    unresolved.discard(index)
-                    cell = plan[index].cell
-                    cache_started = time.perf_counter()
-                    if self.cache is not None:
-                        self.cache.store(cell, measurements, seconds=seconds)
-                    cache_seconds = time.perf_counter() - cache_started
-                    hint_memory.record(cell, seconds)
-                    if self.profile:
-                        stats.profile.append({
-                            "cell": cell.label(),
-                            "dispatch": timings.get("dispatch", 0.0),
-                            "serialize": serialize_share.get(index, 0.0),
-                            "setup": timings["setup"],
-                            "execute": timings["execute"],
-                            "cache": cache_seconds})
-                    self._notify(cell, measurements, "executed")
-                elif kind == "err":
-                    _, _, batch_id, index, encoded = event
-                    unresolved.discard(index)
-                    errors.append(decode_error(encoded))
-                    pool.abort.set()  # remaining cells drain as "skip"
-                elif kind == "skip":
-                    unresolved.discard(event[3])
-                elif kind == "batch_done":
-                    batch_id = event[2]
-                    outstanding.discard(batch_id)
-                    if store is not None:
-                        for segment in batch_index[batch_id].segments():
-                            store.release(segment)
-                # "worker_done" events need no handling: batch/cell
-                # accounting above already decides when the drain ends.
+                if event is not None:
+                    kind = event[0]
+                    if kind == "start":
+                        _, worker_id, batch_id, index = event
+                        if index in unresolved:
+                            attempts[index] = attempts.get(index, 0) + 1
+                        current[worker_id] = index
+                        started_at[index] = time.perf_counter()
+                    elif kind == "ok":
+                        _, worker_id, batch_id, index, measurements, seconds, timings = event
+                        if current.get(worker_id) == index:
+                            current[worker_id] = None
+                        cells = open_cells.get(batch_id)
+                        if cells is not None:
+                            cells.discard(index)
+                        if index not in unresolved:
+                            continue  # stale duplicate (abandoned attempt)
+                        slots[index] = measurements
+                        stats.executed += 1
+                        if attempts.get(index, 1) > 1:
+                            stats.recovered += 1
+                        stats.setup_seconds += timings["setup"]
+                        stats.execute_seconds += timings["execute"]
+                        unresolved.discard(index)
+                        cell = plan[index].cell
+                        cache_started = time.perf_counter()
+                        if self.cache is not None:
+                            self.cache.store(cell, measurements, seconds=seconds)
+                        cache_seconds = time.perf_counter() - cache_started
+                        hint_memory.record(cell, seconds)
+                        if self.profile:
+                            stats.profile.append({
+                                "cell": cell.label(),
+                                "dispatch": timings.get("dispatch", 0.0),
+                                "serialize": serialize_share.get(index, 0.0),
+                                "setup": timings["setup"],
+                                "execute": timings["execute"],
+                                "cache": cache_seconds})
+                        self._notify(cell, measurements, "executed")
+                    elif kind == "err":
+                        _, worker_id, batch_id, index, encoded = event
+                        if current.get(worker_id) == index:
+                            current[worker_id] = None
+                        cells = open_cells.get(batch_id)
+                        if cells is not None:
+                            cells.discard(index)
+                        if retry is None:
+                            unresolved.discard(index)
+                            errors.append(decode_error(encoded))
+                            pool.abort.set()  # remaining cells drain as "skip"
+                        else:
+                            handle_failure(index, decode_error(encoded))
+                    elif kind == "skip":
+                        _, worker_id, batch_id, index = event
+                        unresolved.discard(index)
+                        cells = open_cells.get(batch_id)
+                        if cells is not None:
+                            cells.discard(index)
+                    elif kind == "batch_done":
+                        batch_id = event[2]
+                        open_cells.pop(batch_id, None)
+                        outstanding.discard(batch_id)
+                        release_batch(batch_id)
+                    # "worker_done" events need no handling: batch/cell
+                    # accounting above already decides when the drain ends.
+                now = time.perf_counter()
+                if event is None or now - last_maintenance >= 0.2:
+                    # Recovery runs on idle ticks (and at least every 0.2s
+                    # under load) so a dead worker's already-queued events
+                    # drain first and the victim cell is identified from the
+                    # freshest "start" bookkeeping.
+                    last_maintenance = now
+                    maintenance()
         except BaseException:
-            pool.terminate()
+            if pool is not None:
+                pool.terminate()
             raise
         finally:
-            pool.shutdown()
+            if pool is not None:
+                pool.shutdown()
             if store is not None:
                 # segments must never outlive the sweep, whatever happened
                 store.close()
@@ -434,7 +719,8 @@ class SweepScheduler:
 # cell execution: one implementation shared by the thread and process paths
 # --------------------------------------------------------------------------- #
 def execute_cell(cell: Cell, engine, *, runner=None, frame=None, sim=None,
-                 pipeline=None, tpch_runner=None) -> "list[Measurement]":
+                 pipeline=None, tpch_runner=None,
+                 attempt: int = 1) -> "list[Measurement]":
     """Run one cell against resolved components and return its measurements.
 
     This is the *single* place a cell's coordinates are turned into
@@ -445,9 +731,14 @@ def execute_cell(cell: Cell, engine, *, runner=None, frame=None, sim=None,
     the input frame is converted to the requested physical representation,
     the substrate's active backend is switched for the duration of the cell,
     and every emitted measurement is stamped with the backend it ran on.
+
+    ``attempt`` is the 1-based execution attempt under a retry policy; it
+    never influences results — it only feeds the fault-injection hook, which
+    is a no-op unless a :class:`~repro.testing.faults.FaultPlan` is active.
     """
     from ..frame.backends import convert_frame, use_backend
 
+    fault_point("execute_cell", cell_id=cell.cell_id, attempt=attempt)
     backend = cell.backend or "object"
     if frame is not None:
         # no-op (same object) when the frame already lives on that backend,

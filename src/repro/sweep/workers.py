@@ -110,6 +110,10 @@ class CellTask:
     #: Share of the frame's shared-memory export time attributed to this cell
     #: (parent-side bookkeeping for the profiler; not shipped usefully).
     serialize_share: float = 0.0
+    #: 1-based execution attempt this dispatch represents (resilient
+    #: scheduling re-dispatches a failed cell with an incremented attempt;
+    #: fault injection gates on it).
+    attempt: int = 1
 
 
 @dataclass
@@ -287,23 +291,30 @@ def _execute_task(task: CellTask, state: _WorkerState):
     setup = time.perf_counter() - started
     measurements = execute_cell(task.cell, engine, runner=runner, frame=frame,
                                 sim=task.sim, pipeline=task.pipeline,
-                                tpch_runner=tpch_runner)
+                                tpch_runner=tpch_runner, attempt=task.attempt)
     done = time.perf_counter()
     return measurements, done - started, {"setup": setup,
                                           "execute": done - started - setup}
 
 
-def _run_batches(worker_id: int, batches, emit, abort, state: _WorkerState) -> None:
+def _run_batches(worker_id: int, batches, emit, abort, state: _WorkerState,
+                 inflight=None) -> None:
     """The worker loop body: execute assigned batches, emit per-cell events.
 
     Event tuples (drained by the scheduling thread, which owns all cache
     stores and callbacks):
 
+    * ``("start", worker, batch, index)`` — a cell attempt began
     * ``("ok", worker, batch, index, measurements, seconds, timings)``
     * ``("err", worker, batch, index, encoded_exception)``
     * ``("skip", worker, batch, index)`` — abandoned after an abort
     * ``("batch_done", worker, batch)`` — frame refcounts released on this
     * ``("worker_done", worker)``
+
+    ``inflight`` (when given) is a setter recording the plan index currently
+    executing in a side channel that survives SIGKILL — queued events can die
+    with a killed worker's queue feeder, so crash recovery identifies the
+    victim cell from this sentinel, not from the (lossy) ``start`` stream.
     """
     for batch_id, dispatch_ts, tasks in batches:
         batch_started = time.perf_counter()
@@ -311,6 +322,9 @@ def _run_batches(worker_id: int, batches, emit, abort, state: _WorkerState) -> N
             if abort.is_set():
                 emit(("skip", worker_id, batch_id, task.index))
                 continue
+            if inflight is not None:
+                inflight(task.index)
+            emit(("start", worker_id, batch_id, task.index))
             try:
                 measurements, seconds, timings = _execute_task(task, state)
                 timings["dispatch"] = max(0.0, batch_started - dispatch_ts)
@@ -319,6 +333,9 @@ def _run_batches(worker_id: int, batches, emit, abort, state: _WorkerState) -> N
             except BaseException as error:  # transported, re-raised by parent
                 emit(("err", worker_id, batch_id, task.index,
                       _encode_error(error)))
+            finally:
+                if inflight is not None:
+                    inflight(-1)
         emit(("batch_done", worker_id, batch_id))
     emit(("worker_done", worker_id))
 
@@ -342,6 +359,15 @@ def decode_error(encoded) -> BaseException:
 # --------------------------------------------------------------------------- #
 # the two pool flavours
 # --------------------------------------------------------------------------- #
+# Both pools expose the same lifecycle to the scheduler: ``submit`` for the
+# initial shard assignment, ``dispatch`` for later single batches (retries,
+# stolen cells), ``get_event`` to drain, and the crash-recovery trio —
+# ``check_workers`` (ids needing recovery), ``kill`` (force-fail a worker,
+# e.g. on a cell timeout) and ``respawn`` (fresh queue + fresh worker under
+# the same id).  Workers stay alive when idle and exit on a ``None``
+# sentinel, which ``shutdown`` sends.
+
+
 class ThreadBatchExecutor:
     """Batched thread pool: workers share one memo and live frames.
 
@@ -349,6 +375,11 @@ class ThreadBatchExecutor:
     batched thread path buys over per-cell futures is the shared
     :class:`SubstrateMemo` (cross-engine/cross-run dedup) and batch-ordered
     dispatch. Zero serialization: tasks reference the session's own objects.
+
+    A thread cannot be killed, so ``kill`` *abandons* it: the thread keeps
+    running as a daemon (it may finish its hung cell and even later batches,
+    whose events the scheduler ignores as stale) while a replacement thread
+    with a fresh queue takes over its worker id.
     """
 
     def __init__(self, workers: int):
@@ -356,22 +387,56 @@ class ThreadBatchExecutor:
         self.events: "queue.Queue" = queue.Queue()
         self.abort = threading.Event()
         self._state = _WorkerState()  # shared; SubstrateMemo is thread-safe
-        self._threads: "list[threading.Thread]" = []
+        self._queues: "list[queue.Queue]" = [queue.Queue() for _ in range(workers)]
+        #: Per-worker in-flight sentinel cells; respawn swaps in a fresh cell
+        #: so an abandoned thread keeps writing to its detached one.
+        self._inflight: "list[list[int]]" = [[-1] for _ in range(workers)]
+        self._threads = [self._spawn(worker_id) for worker_id in range(workers)]
+        self._failed: "set[int]" = set()
+        self._abandoned: "list[tuple[threading.Thread, queue.Queue]]" = []
+
+    def _spawn(self, worker_id: int) -> threading.Thread:
+        holder = self._inflight[worker_id]
+        thread = threading.Thread(
+            target=_run_batches, name=f"sweep-worker-{worker_id}",
+            args=(worker_id, iter(self._queues[worker_id].get, None),
+                  self.events.put, self.abort, self._state),
+            kwargs={"inflight": lambda index: holder.__setitem__(0, index)},
+            daemon=True)
+        thread.start()
+        return thread
+
+    def inflight(self, worker_id: int) -> int:
+        """Plan index the worker is executing right now (-1 when idle)."""
+        return self._inflight[worker_id][0]
 
     def submit(self, assignments: "list[list[CellBatch]]") -> None:
         now = time.perf_counter()
         for worker_id, group in enumerate(assignments):
-            batches = [(batch.batch_id, now, batch.tasks) for batch in group]
-            thread = threading.Thread(
-                target=_run_batches, name=f"sweep-worker-{worker_id}",
-                args=(worker_id, batches, self.events.put, self.abort,
-                      self._state),
-                daemon=True)
-            self._threads.append(thread)
-            thread.start()
+            for batch in group:
+                self._queues[worker_id].put((batch.batch_id, now, batch.tasks))
+
+    def dispatch(self, worker_id: int, batch: CellBatch) -> None:
+        self._queues[worker_id].put(
+            (batch.batch_id, time.perf_counter(), batch.tasks))
 
     def get_event(self, timeout: float):
         return self.events.get(timeout=timeout)
+
+    def check_workers(self) -> "list[int]":
+        """Worker ids needing recovery (killed/abandoned, not yet respawned)."""
+        return sorted(self._failed)
+
+    def kill(self, worker_id: int) -> None:
+        """Mark a (presumably hung) worker for abandonment."""
+        self._failed.add(worker_id)
+
+    def respawn(self, worker_id: int) -> None:
+        self._failed.discard(worker_id)
+        self._abandoned.append((self._threads[worker_id], self._queues[worker_id]))
+        self._queues[worker_id] = queue.Queue()
+        self._inflight[worker_id] = [-1]  # detach the abandoned thread's cell
+        self._threads[worker_id] = self._spawn(worker_id)
 
     def alive(self) -> bool:
         return any(thread.is_alive() for thread in self._threads)
@@ -381,8 +446,13 @@ class ThreadBatchExecutor:
 
     def shutdown(self) -> None:
         self.abort.set()
+        for task_queue in self._queues:
+            task_queue.put(None)
+        for _, task_queue in self._abandoned:
+            task_queue.put(None)  # lets an eventually-unblocked thread exit
         for thread in self._threads:
             thread.join(timeout=30)
+        # abandoned threads are never joined: they may be hung forever
 
 
 class ProcessWorkerPool:
@@ -393,6 +463,13 @@ class ProcessWorkerPool:
     across every batch they are assigned.  The parent never sends a frame
     through a queue — only :class:`~repro.frame.sharing.FrameManifest`
     handles travel.
+
+    Crash recovery: a worker that dies (crash, OOM kill, injected SIGKILL,
+    or :meth:`kill` on a cell timeout) is reported by :meth:`check_workers`
+    via its exit code; :meth:`respawn` forks a replacement under the same id
+    with a *fresh* task queue (the dead reader's queue may hold undrainable
+    state) — the replacement rebuilds its warm caches (engines, attached
+    frames, memo) lazily on the first cell it executes.
     """
 
     def __init__(self, workers: int):
@@ -403,19 +480,42 @@ class ProcessWorkerPool:
         self.abort = self._ctx.Event()
         self._results = self._ctx.Queue()
         self._tasks = [self._ctx.Queue() for _ in range(workers)]
-        self._procs = [
-            self._ctx.Process(target=self._worker_main, name=f"sweep-worker-{i}",
-                              args=(i, self._tasks[i], self._results, self.abort),
-                              daemon=True)
-            for i in range(workers)]
-        for proc in self._procs:
-            proc.start()
+        #: Shared-memory in-flight sentinels: a SIGKILLed worker's queued
+        #: events can be lost with its queue feeder thread, but the Value it
+        #: wrote before executing survives — crash recovery reads the victim
+        #: cell from here.
+        self._inflight = [self._ctx.Value("i", -1) for _ in range(workers)]
+        self._retired: "list[Any]" = []  # queues of respawned workers
+        self._procs = [self._spawn(worker_id) for worker_id in range(workers)]
+
+    def _spawn(self, worker_id: int):
+        proc = self._ctx.Process(
+            target=self._worker_main, name=f"sweep-worker-{worker_id}",
+            args=(worker_id, self._tasks[worker_id], self._results, self.abort,
+                  self._inflight[worker_id]),
+            daemon=True)
+        proc.start()
+        return proc
 
     @staticmethod
-    def _worker_main(worker_id, task_queue, result_queue, abort) -> None:
+    def _worker_main(worker_id, task_queue, result_queue, abort, inflight) -> None:
+        from ..testing.faults import fault_point, mark_worker_process
+
+        mark_worker_process()  # enables SIGKILL injection in this process
+        fault_point("worker_start", cell_id=None, worker_id=worker_id)
         state = _WorkerState()
+
+        def mark(index: int) -> None:
+            with inflight.get_lock():
+                inflight.value = index
+
         batches = iter(task_queue.get, None)  # None is the shutdown sentinel
-        _run_batches(worker_id, batches, result_queue.put, abort, state)
+        _run_batches(worker_id, batches, result_queue.put, abort, state,
+                     inflight=mark)
+
+    def inflight(self, worker_id: int) -> int:
+        """Plan index the worker is executing right now (-1 when idle)."""
+        return self._inflight[worker_id].value
 
     def submit(self, assignments: "list[list[CellBatch]]") -> None:
         for worker_id, group in enumerate(assignments):
@@ -423,12 +523,38 @@ class ProcessWorkerPool:
                 dispatch_ts = time.perf_counter()
                 self._tasks[worker_id].put(
                     (batch.batch_id, dispatch_ts, batch.tasks))
-            self._tasks[worker_id].put(None)
-        for worker_id in range(len(assignments), self.workers):
-            self._tasks[worker_id].put(None)  # idle workers exit immediately
+
+    def dispatch(self, worker_id: int, batch: CellBatch) -> None:
+        self._tasks[worker_id].put(
+            (batch.batch_id, time.perf_counter(), batch.tasks))
 
     def get_event(self, timeout: float):
         return self._results.get(timeout=timeout)
+
+    def check_workers(self) -> "list[int]":
+        """Worker ids whose process died without a clean sentinel exit."""
+        return [worker_id for worker_id, proc in enumerate(self._procs)
+                if not proc.is_alive() and proc.exitcode not in (None, 0)]
+
+    def kill(self, worker_id: int) -> None:
+        """SIGKILL a worker (cell-timeout enforcement); recover via respawn."""
+        proc = self._procs[worker_id]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5)
+
+    def respawn(self, worker_id: int) -> None:
+        old = self._procs[worker_id]
+        old.join(timeout=1)
+        retired = self._tasks[worker_id]
+        # The dead worker's queue may still hold undrained batches; with no
+        # reader left, its feeder thread would block on the full pipe and the
+        # atexit finalizer would join it forever — drop the data instead.
+        retired.cancel_join_thread()
+        self._retired.append(retired)
+        self._tasks[worker_id] = self._ctx.Queue()
+        self._inflight[worker_id] = self._ctx.Value("i", -1)
+        self._procs[worker_id] = self._spawn(worker_id)
 
     def alive(self) -> bool:
         return any(proc.is_alive() for proc in self._procs)
@@ -441,12 +567,17 @@ class ProcessWorkerPool:
 
     def shutdown(self) -> None:
         self.abort.set()
+        for task_queue in self._tasks:
+            try:
+                task_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - closed queue
+                pass
         for proc in self._procs:
             proc.join(timeout=10)
         for proc in self._procs:
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.kill()
                 proc.join(timeout=5)
-        for task_queue in self._tasks:
+        for task_queue in self._tasks + self._retired:
             task_queue.close()
         self._results.close()

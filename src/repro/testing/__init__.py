@@ -1,0 +1,16 @@
+"""Testing utilities: deterministic fault injection for resilience tests."""
+
+from .faults import (FaultPlan, TransientFaultError, active_fault_plan,
+                     clear_fault_plan, fault_point, install_fault_plan,
+                     mark_worker_process, parse_fault_spec)
+
+__all__ = [
+    "FaultPlan",
+    "TransientFaultError",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "fault_point",
+    "install_fault_plan",
+    "mark_worker_process",
+    "parse_fault_spec",
+]

@@ -1,0 +1,221 @@
+"""Deterministic fault injection for sweep resilience testing.
+
+The sweep tier is supposed to survive crashed workers, flaky engines, hung
+cells and corrupted cache files (see :mod:`repro.sweep.resilience`).  None of
+those happen on demand, so this module makes them happen *deterministically*:
+a seeded :class:`FaultPlan` picks target cells up front and fires faults at
+three well-known hook sites, all wired behind the module-level
+:func:`fault_point` no-op — with no plan installed, a hook is a single global
+read and an immediate return, so production paths pay nothing.
+
+Hook sites (callers pass keyword context):
+
+* ``execute_cell`` — fired once per cell execution attempt, inside the
+  worker that runs the cell.  Kill targets ``SIGKILL`` their own worker
+  process mid-batch (only when :func:`mark_worker_process` was called, so a
+  thread- or sequential-mode sweep is never killed from under the user);
+  hang targets sleep; flaky targets raise :class:`TransientFaultError`.
+* ``cache_store`` — fired after :class:`~repro.sweep.cache.SweepCache`
+  commits an entry; corrupt targets have bytes flipped in the written file.
+* ``worker_start`` — fired when a pool worker boots (observability only).
+
+Faults are *stateless across processes*: whether a fault fires depends only
+on the bound plan (inherited by forked workers) and the attempt number the
+caller reports, never on mutable counters — so a kill target fires in
+whichever worker first executes that cell, and exactly once, because the
+retry carries ``attempt > 1``.
+
+The plan must be installed (:func:`install_fault_plan`) and bound to the
+sweep's cell ids *before* the worker pool forks; the scheduler binds any
+installed-but-unbound plan at the top of ``run()``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from typing import Iterable, Mapping
+
+__all__ = [
+    "FaultPlan",
+    "TransientFaultError",
+    "parse_fault_spec",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "active_fault_plan",
+    "fault_point",
+    "mark_worker_process",
+    "FAULT_KINDS",
+]
+
+#: Recognized fault kinds, in the (fixed) order targets are drawn.
+FAULT_KINDS = ("kill", "flaky", "hang", "corrupt")
+
+_ALIASES = {
+    "kill": "kill", "kills": "kill", "sigkill": "kill",
+    "flaky": "flaky", "transient": "flaky", "error": "flaky",
+    "hang": "hang", "hangs": "hang", "timeout": "hang",
+    "corrupt": "corrupt", "corruption": "corrupt",
+}
+
+
+class TransientFaultError(RuntimeError):
+    """Injected transient failure; retried like any real engine exception."""
+
+
+def parse_fault_spec(spec: str) -> "dict[str, int]":
+    """Parse a CLI fault spec like ``"kill:1,flaky:2,corrupt:1"``.
+
+    Returns a ``{kind: count}`` mapping over :data:`FAULT_KINDS`; a bare kind
+    with no count means one fault of that kind.
+    """
+    counts = dict.fromkeys(FAULT_KINDS, 0)
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, number = part.partition(":")
+        kind = _ALIASES.get(name.strip().lower())
+        if kind is None:
+            raise ValueError(
+                f"unknown fault kind {name.strip()!r}; expected one of {FAULT_KINDS}")
+        try:
+            count = int(number) if number.strip() else 1
+        except ValueError:
+            raise ValueError(f"bad fault count in {part!r}") from None
+        if count < 0:
+            raise ValueError(f"fault count must be >= 0 in {part!r}")
+        counts[kind] += count
+    return counts
+
+
+def _corrupt_file(path) -> None:
+    """Flip a few bytes in the middle of a file (invalid UTF-8 on purpose)."""
+    try:
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                handle.write(b"\xde\xad\xbe\xef")
+            else:
+                handle.seek(size // 2)
+                handle.write(b"\xde\xad\xbe\xef")
+    except OSError:  # pragma: no cover - corruption is best-effort
+        pass
+
+
+class FaultPlan:
+    """A seeded, bound-once schedule of faults over a sweep's cells.
+
+    ``bind(cell_ids)`` deterministically draws *disjoint* target cells for
+    every fault kind from a seeded shuffle of the sorted ids — the same seed
+    and cell population always picks the same targets, which is what makes
+    chaos tests reproducible and lets a property test predict exactly which
+    cells end up quarantined.
+
+    ``flaky_attempts`` is how many leading attempts of a flaky target raise
+    (default 1: fail once, succeed on retry); ``hang_seconds`` is how long a
+    hang target sleeps on its first attempt.
+    """
+
+    def __init__(self, *, seed: int = 7, kills: int = 0, flaky: int = 0,
+                 hangs: int = 0, corrupt: int = 0, flaky_attempts: int = 1,
+                 hang_seconds: float = 30.0):
+        self.seed = int(seed)
+        self.counts = {"kill": int(kills), "flaky": int(flaky),
+                       "hang": int(hangs), "corrupt": int(corrupt)}
+        self.flaky_attempts = int(flaky_attempts)
+        self.hang_seconds = float(hang_seconds)
+        self.targets: "dict[str, frozenset[str]]" = {
+            kind: frozenset() for kind in FAULT_KINDS}
+        self.bound = False
+        #: Faults fired in *this* process (kills log before dying; records
+        #: from killed workers are lost with the worker, by design).
+        self.fired: "list[tuple[str, str, int]]" = []
+
+    @classmethod
+    def from_spec(cls, spec: str, *, seed: int = 7, **kwargs) -> "FaultPlan":
+        counts = parse_fault_spec(spec)
+        return cls(seed=seed, kills=counts["kill"], flaky=counts["flaky"],
+                   hangs=counts["hang"], corrupt=counts["corrupt"], **kwargs)
+
+    def bind(self, cell_ids: "Iterable[str]") -> "FaultPlan":
+        """Pick concrete target cells; idempotent only via the caller."""
+        ids = sorted(set(cell_ids))
+        rng = random.Random(self.seed)
+        rng.shuffle(ids)
+        cursor = 0
+        for kind in FAULT_KINDS:
+            want = min(self.counts[kind], max(0, len(ids) - cursor))
+            self.targets[kind] = frozenset(ids[cursor:cursor + want])
+            cursor += want
+        self.bound = True
+        return self
+
+    def describe(self) -> "Mapping[str, object]":
+        return {"seed": self.seed, "bound": self.bound,
+                "targets": {kind: sorted(cells)
+                            for kind, cells in self.targets.items()}}
+
+    # ------------------------------------------------------------------ #
+    def fire(self, site: str, *, cell_id: "str | None" = None,
+             attempt: int = 1, path=None, worker: bool = False,
+             **_context) -> None:
+        """Fire whatever fault this plan schedules at ``site`` (maybe none)."""
+        if not self.bound or cell_id is None:
+            return
+        if site == "execute_cell":
+            if cell_id in self.targets["kill"] and attempt <= 1 and worker:
+                self.fired.append(("kill", cell_id, attempt))
+                os.kill(os.getpid(), signal.SIGKILL)
+            if cell_id in self.targets["hang"] and attempt <= 1:
+                self.fired.append(("hang", cell_id, attempt))
+                time.sleep(self.hang_seconds)
+            if cell_id in self.targets["flaky"] and attempt <= self.flaky_attempts:
+                self.fired.append(("flaky", cell_id, attempt))
+                raise TransientFaultError(
+                    f"injected transient fault for cell {cell_id[:8]} "
+                    f"(attempt {attempt})")
+        elif site == "cache_store":
+            if cell_id in self.targets["corrupt"] and path is not None:
+                self.fired.append(("corrupt", cell_id, attempt))
+                _corrupt_file(path)
+
+
+# --------------------------------------------------------------------------- #
+# module state: one active plan, inherited by forked workers
+# --------------------------------------------------------------------------- #
+_PLAN: "FaultPlan | None" = None
+_IN_WORKER = False
+
+
+def install_fault_plan(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the process-wide active plan (returned for chaining)."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def clear_fault_plan() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def active_fault_plan() -> "FaultPlan | None":
+    return _PLAN
+
+
+def mark_worker_process() -> None:
+    """Flag this process as a pool worker (enables SIGKILL injection)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def fault_point(site: str, **context) -> None:
+    """The no-op hook production code calls; fires only with a plan active."""
+    plan = _PLAN
+    if plan is None:
+        return
+    plan.fire(site, worker=_IN_WORKER, **context)

@@ -164,6 +164,144 @@ class TestErrors:
 
 
 # --------------------------------------------------------------------------- #
+# job cancellation: DELETE /jobs/<id> for queued and running jobs
+# --------------------------------------------------------------------------- #
+class TestCancellation:
+    def test_scheduler_cancels_queued_job_and_releases_budget(self):
+        async def scenario() -> None:
+            release = asyncio.Event()
+
+            async def runner(job):
+                await release.wait()
+
+            scheduler = JobScheduler(runner, workers=1,
+                                     default_budget_bytes=100)
+            store = JobStore()
+            blocker = store.create(tenant="t", kind="run")
+            blocker.estimated_bytes = 50
+            queued = store.create(tenant="t", kind="run")
+            queued.estimated_bytes = 50
+            scheduler.submit(blocker)
+            scheduler.submit(queued)
+            await scheduler.start()
+            while blocker.state != "running":
+                await asyncio.sleep(0.01)
+            assert scheduler.cancel(queued) is True
+            assert queued.state == "cancelled" and queued.done
+            # the queued job's memory estimate is released immediately
+            assert scheduler.tenants["t"].committed_bytes == 50
+            assert scheduler.cancel(queued) is False  # idempotent
+            release.set()
+            await blocker.wait()
+            await scheduler.stop()
+            assert blocker.state == "done"
+
+        asyncio.run(scenario())
+
+    def test_scheduler_cancels_running_job_and_frees_the_slot(self):
+        async def scenario() -> None:
+            async def runner(job):
+                if job.params.get("slow"):
+                    await asyncio.sleep(60)
+
+            scheduler = JobScheduler(runner, workers=1)
+            store = JobStore()
+            running = store.create(tenant="t", kind="run", params={"slow": True})
+            follower = store.create(tenant="t", kind="run")
+            scheduler.submit(running)
+            scheduler.submit(follower)
+            await scheduler.start()
+            while running.state != "running":
+                await asyncio.sleep(0.01)
+            assert scheduler.cancel(running) is True
+            await running.wait()
+            assert running.state == "cancelled"
+            assert running.error == "cancelled by client"
+            # cancellation released the worker slot: the follower completes
+            await asyncio.wait_for(follower.wait(), timeout=10)
+            assert follower.state == "done"
+            await scheduler.stop()
+
+        asyncio.run(scenario())
+
+    def test_delete_cancels_queued_job_over_http(self, warm_session, tmp_path):
+        with launch_in_thread(session=warm_session,
+                              cache=str(tmp_path / "cache"),
+                              workers=1) as handle:
+            client = handle.client
+            # one worker: the fillers occupy the slot and the queue ahead
+            for _ in range(2):
+                client.run(mode="full", wait=False)
+            target = client.run(mode="full", datasets=["athlete"], wait=False)
+            job_id = target["job"]["id"]
+            doc = client.cancel(job_id)
+            assert doc["cancelled"] is True
+            assert client.job(job_id)["job"]["state"] == "cancelled"
+            # idempotent: a second DELETE reports nothing left to cancel
+            assert client.cancel(job_id)["cancelled"] is False
+            # unknown ids are still a 404
+            with pytest.raises(ServiceError) as err:
+                client.cancel("job-999999")
+            assert err.value.status == 404
+
+    def test_delete_finished_job_is_idempotent_no_op(self, svc):
+        doc = svc.client.run(mode="full", wait=True)
+        # a waited run response carries no job id field loss: fetch it back
+        finished = doc["job"]["id"]
+        result = svc.client.cancel(finished)
+        assert result["cancelled"] is False
+        assert result["job"]["state"] == "done"
+
+
+# --------------------------------------------------------------------------- #
+# client transport resilience: timeout plus one retry with backoff
+# --------------------------------------------------------------------------- #
+class TestClientRetry:
+    def test_transport_error_is_retried_once(self, monkeypatch):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(port=1, retries=1, retry_backoff=0.0)
+        calls: list[int] = []
+
+        def flaky_once(method, path, payload=None):
+            calls.append(1)
+            if len(calls) == 1:
+                raise ConnectionResetError("peer reset")
+            return {"ok": True}
+
+        monkeypatch.setattr(client, "_request_once", flaky_once)
+        assert client.request("GET", "/healthz") == {"ok": True}
+        assert len(calls) == 2
+
+    def test_transport_error_exhausts_after_retries(self, monkeypatch):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(port=1, retries=1, retry_backoff=0.0)
+
+        def always_reset(method, path, payload=None):
+            raise ConnectionResetError("peer reset")
+
+        monkeypatch.setattr(client, "_request_once", always_reset)
+        with pytest.raises(ConnectionResetError):
+            client.request("GET", "/healthz")
+
+    def test_service_error_is_never_retried(self, monkeypatch):
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(port=1, retries=5, retry_backoff=0.0)
+        calls: list[int] = []
+
+        def http_error(method, path, payload=None):
+            calls.append(1)
+            raise ServiceError(429, "over budget")
+
+        monkeypatch.setattr(client, "_request_once", http_error)
+        with pytest.raises(ServiceError):
+            client.request("POST", "/run", {})
+        assert len(calls) == 1  # the server answered; retrying would resubmit
+
+
+# --------------------------------------------------------------------------- #
 # the acceptance criterion: a stampede executes each unique cell exactly once
 # --------------------------------------------------------------------------- #
 class TestSingleFlightStampede:

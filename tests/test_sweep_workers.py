@@ -283,6 +283,25 @@ class TestBatchedFailures:
         reference = [m.to_dict() for m in _fresh_session().run("full", lazy="both")]
         assert [m.to_dict() for m in results] == reference
 
+    def test_setup_failure_before_workers_attach_unlinks_segments(
+            self, tmp_path, monkeypatch):
+        # Satellite fix: frames are exported to /dev/shm *before* the worker
+        # pool exists; a pool that dies during construction (or a Ctrl-C in
+        # the setup window) must still unlink every exported segment.
+        from repro.sweep import workers as workers_mod
+
+        def refuse_to_start(*_args, **_kwargs):
+            raise RuntimeError("worker pool failed to start")
+
+        monkeypatch.setattr(workers_mod, "ProcessWorkerPool", refuse_to_start)
+        session = _fresh_session()
+        plan = session.plan("full")
+        scheduler = SweepScheduler(workers=2, cache=SweepCache(tmp_path),
+                                   executor="process")
+        with pytest.raises(RuntimeError, match="failed to start"):
+            scheduler.run(plan)
+        assert not _leaked_segments()
+
     def test_pool_interrupt_drains_done_futures(self, tmp_path, monkeypatch):
         # Satellite fix: a BaseException (Ctrl-C) in the scheduling thread
         # must not discard cells whose futures already completed.
