@@ -1,0 +1,75 @@
+"""Benchmark of the distributed sweep tier: 1 vs 2 vs 4 worker hosts.
+
+Runs the same full-pipeline slice sequentially and distributed across 1, 2
+and 4 local worker-host processes (each host a real ``python -m repro
+sweep-worker`` agent talking TCP to the coordinator), asserts every
+``ResultSet`` is bit-identical to the sequential one, and writes the
+wall-clock numbers to ``BENCH_distributed.json`` at the repository root so
+the scaling trajectory of the coordinator/host protocol is tracked across
+PRs.  The baseline is the plain single-host run (``workers=1``): worker
+hosts beat it by amortising per-coordinate setup (frame attach, warm
+engines, substrate memo) across a persistent batch pool, exactly the
+substrate a real multi-machine fleet would exploit per host.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro import Session
+
+_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
+_SLICE = dict(mode="full", lazy="both", cache=False)
+
+
+def test_bench_distributed_hosts(bench_config):
+    config = bench_config.but(scale=0.1)
+    session = Session(config)
+    session.datasets  # keep generation out of every timed region
+    session.engines
+
+    start = time.perf_counter()
+    sequential = session.run(**_SLICE, workers=1)
+    sequential_s = time.perf_counter() - start
+
+    host_seconds: dict[int, float] = {}
+    host_stats: dict[int, object] = {}
+    for hosts in (1, 2, 4):
+        start = time.perf_counter()
+        distributed = session.run(**_SLICE, hosts=hosts, workers=1)
+        host_seconds[hosts] = time.perf_counter() - start
+        host_stats[hosts] = session.last_sweep
+        assert distributed == sequential, f"hosts={hosts} diverged"
+        assert session.last_sweep.hosts == hosts
+
+    payload = {
+        "slice": {"mode": "full", "lazy": "both", "scale": config.scale,
+                  "runs": config.runs, "datasets": list(config.datasets),
+                  "engines": list(config.engines)},
+        "cells": host_stats[1].total,
+        "measurements": len(sequential),
+        "sequential_seconds": round(sequential_s, 4),
+        "hosts_1_seconds": round(host_seconds[1], 4),
+        "hosts_2_seconds": round(host_seconds[2], 4),
+        "hosts_4_seconds": round(host_seconds[4], 4),
+        # speedups are against the plain single-host sequential run, the
+        # reference every distributed result must be bit-identical to
+        "hosts_1_speedup": round(sequential_s / host_seconds[1], 2),
+        "hosts_2_speedup": round(sequential_s / host_seconds[2], 2),
+        "hosts_4_speedup": round(sequential_s / host_seconds[4], 2),
+        "hosts_2_stolen": host_stats[2].stolen,
+        "hosts_4_stolen": host_stats[4].stolen,
+        "hosts_2_execute_seconds": round(host_stats[2].execute_seconds, 4),
+        "hosts_4_execute_seconds": round(host_stats[4].execute_seconds, 4),
+        "per_host": {hosts: host_stats[hosts].distributed
+                     for hosts in (1, 2, 4)},
+    }
+    _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\ndistributed bench: sequential={sequential_s:.3f}s "
+          f"hosts1={host_seconds[1]:.3f}s hosts2={host_seconds[2]:.3f}s "
+          f"hosts4={host_seconds[4]:.3f}s "
+          f"(x{payload['hosts_2_speedup']}/x{payload['hosts_4_speedup']}) "
+          f"-> {_BENCH_PATH.name}")
+    assert _BENCH_PATH.exists()

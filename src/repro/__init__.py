@@ -32,7 +32,7 @@ from .session import Session
 from .simulate import LAPTOP, PAPER_SERVER, SERVER, WORKSTATION, MachineConfig
 from .sweep import Cell, RetryPolicy, SweepCache, SweepScheduler, SweepStats
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

@@ -30,8 +30,17 @@ Examples::
     python -m repro advise --tpch --queries q03,q06 --explain
 
     # the benchmark service: run/advise/explain over HTTP from one warm
-    # session, with per-tenant queues and memory budgets
-    python -m repro serve --port 8642 --tenants team-a=4,team-b --memory-limit 8
+    # session, with per-tenant queues, memory budgets and rate limits
+    python -m repro serve --port 8642 --tenants team-a=4:10,team-b --memory-limit 8
+
+    # a distributed sweep: shard cells across 2 local worker-host processes
+    # (content-hash sharding, shared cache, work-stealing)
+    python -m repro --scale 0.05 --hosts 2 --jobs 2 --executor process \
+        --cache-dir .repro-cache
+
+    # ... or across real machines: listen, then start one agent per host
+    python -m repro --hosts wait:2 --bind 0.0.0.0:7341 --cache-dir /nfs/cache
+    python -m repro sweep-worker --connect coordinator:7341 --jobs 4
 
 The selected slice is executed through :class:`repro.Session`; the collected
 :class:`~repro.results.ResultSet` is printed as a seconds table (plus the
@@ -68,7 +77,7 @@ _MACHINES = {
 
 
 #: Subcommands accepted after ``python -m repro`` (anything else exits 2).
-_SUBCOMMANDS = ("advise", "serve")
+_SUBCOMMANDS = ("advise", "serve", "sweep-worker")
 
 
 def _csv_list(text: str) -> list[str]:
@@ -125,6 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "are identical for any value (default: 1)")
     parser.add_argument("--executor", default="thread", choices=["thread", "process"],
                         help="worker-pool flavour (default: thread)")
+    parser.add_argument("--hosts", default=None, metavar="SPEC",
+                        help="distribute the sweep across worker hosts: a "
+                             "count like '2' spawns that many local "
+                             "'sweep-worker' agents (each with --jobs pool "
+                             "workers), 'wait:N' listens for N external "
+                             "agents on --bind, and they mix: 'local:2,wait:1'")
+    parser.add_argument("--bind", default=None, metavar="HOST:PORT",
+                        help="coordinator listen address for --hosts "
+                             "(default: 127.0.0.1 on an ephemeral port)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persistent result-cache location (default: "
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -152,7 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "SIGKILL a process worker mid-cell, flaky = one "
                              "transient exception, hang = stall past "
                              "--cell-timeout, corrupt = flip bytes in the "
-                             "cell's cache entry); seeded from --seed")
+                             "cell's cache entry, drop = sever a "
+                             "coordinator<->host link under --hosts); seeded "
+                             "from --seed")
     parser.add_argument("--profile", action="store_true",
                         help="print the sweep profiler's per-cell "
                              "dispatch/serialize/setup/execute/cache timing "
@@ -324,9 +344,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=4, metavar="N",
                         help="concurrent jobs across all tenants (default: 4)")
     parser.add_argument("--tenants", type=_csv_list, default=None,
-                        metavar="a=GB,b,...",
+                        metavar="a=GB:RPS,b,...",
                         help="pre-registered tenants; 'name=GB' caps that "
-                             "tenant's in-flight memory, bare names use "
+                             "tenant's in-flight memory and 'name=GB:RPS' "
+                             "adds a token-bucket rate limit (429 + "
+                             "Retry-After past it); bare names use "
                              "--memory-limit (unknown tenants register "
                              "themselves on first request)")
     parser.add_argument("--memory-limit", type=float, default=None, metavar="GB",
@@ -407,6 +429,69 @@ def _indent(text: str, prefix: str = "    ") -> str:
     return "\n".join(prefix + line for line in text.splitlines())
 
 
+def build_sweep_worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep-worker",
+        description="Join a distributed sweep as a worker-host agent: "
+                    "connect to a coordinator, rebuild its plan locally, and "
+                    "execute granted cells on a local worker pool")
+    _add_version(parser)
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's listen address")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="local worker-pool size (default: 1)")
+    parser.add_argument("--executor", default="thread",
+                        choices=["thread", "process"],
+                        help="local worker-pool flavour (default: thread)")
+    parser.add_argument("--name", default=None,
+                        help="host label in the coordinator's statistics "
+                             "(default: hostname:pid)")
+    return parser
+
+
+def _sweep_worker(argv: list[str]) -> int:
+    from .sweep.distributed import HostWorker
+
+    parser = build_sweep_worker_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"bad --connect address {args.connect!r}; "
+                     f"expected HOST:PORT")
+    worker = HostWorker(host, int(port), jobs=args.jobs,
+                        executor=args.executor, name=args.name)
+    try:
+        return worker.run()
+    except Exception as err:  # noqa: BLE001 — agents exit 1, not a traceback
+        print(f"error: sweep-worker failed: {err}", file=sys.stderr)
+        return 1
+
+
+def _parse_hosts_arg(text: str, parser: argparse.ArgumentParser) -> "list[str]":
+    """Turn ``--hosts`` ('2', 'wait:2', 'local:2,wait:1') into host labels."""
+    labels: "list[str]" = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition(":")
+        if name.isdigit() and not count:
+            name, count = "local", name
+        if name not in ("local", "wait"):
+            parser.error(f"bad --hosts entry {part!r}; expected a count, "
+                         f"'local[:N]' or 'wait[:N]'")
+        try:
+            repeat = int(count) if count else 1
+        except ValueError:
+            parser.error(f"bad count in --hosts entry {part!r}")
+        labels += ["local" if name == "local" else "external"] * repeat
+    if not labels:
+        parser.error(f"--hosts {text!r} selects no hosts")
+    return labels
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -415,6 +500,8 @@ def main(argv: list[str] | None = None) -> int:
             return _advise(argv[1:])
         if argv[0] == "serve":
             return _serve(argv[1:])
+        if argv[0] == "sweep-worker":
+            return _sweep_worker(argv[1:])
         print(f"error: unknown subcommand {argv[0]!r}; expected one of "
               f"{list(_SUBCOMMANDS)} (or flags for the default sweep — "
               f"see --help)", file=sys.stderr)
@@ -428,6 +515,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.streaming is not None and args.mode in ("tpch", "read", "write"):
         parser.error(f"--streaming is not supported in {args.mode} mode "
                      "(use full, stage or core)")
+    hosts = None
+    if args.hosts:
+        if args.mode == "tpch":
+            parser.error("--hosts is not supported in tpch mode")
+        hosts = _parse_hosts_arg(args.hosts, parser)
     machine = _MACHINES[args.machine]
     if args.memory_limit is not None:
         if args.memory_limit <= 0:
@@ -474,7 +566,8 @@ def main(argv: list[str] | None = None) -> int:
                                   streaming=streaming, backend=args.backend,
                                   workers=args.jobs, cache=cache,
                                   executor=args.executor,
-                                  profile=args.profile, retry=retry)
+                                  profile=args.profile, retry=retry,
+                                  hosts=hosts, bind=args.bind)
     except KeyError as err:
         print(f"error: {err.args[0] if err.args else err}", file=sys.stderr)
         return 2
@@ -493,6 +586,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile and session.last_sweep is not None:
         print(f"\nSweep profile (seconds per cell):\n"
               f"{session.last_sweep.profile_table()}")
+        if session.last_sweep.distributed:
+            print(f"\nDistributed hosts:\n"
+                  f"{session.last_sweep.distributed_table()}")
     if args.stats_out and session.last_sweep is not None:
         import json
 

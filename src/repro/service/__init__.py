@@ -8,8 +8,10 @@ dataframe engine should I use for this pipeline?" to many concurrent clients:
   (``POST /run``/``/advise``/``/explain``, job status and NDJSON result
   streaming, health and stats) over one warm session;
 * :class:`~repro.service.scheduler.JobScheduler` — per-tenant FIFO queues,
-  fair round-robin dispatch onto a bounded worker pool, and memory-model
-  admission control (over-budget tenants get 429, others are unaffected);
+  fair round-robin dispatch onto a bounded worker pool, memory-model
+  admission control and token-bucket rate limits (over-budget or throttled
+  tenants get 429 — the latter with ``Retry-After`` — others are
+  unaffected);
 * :class:`~repro.service.singleflight.SingleFlight` — cache-stampede
   protection keyed on cell content hashes: identical concurrent requests
   execute each unique cell exactly once and share the result through the
@@ -24,7 +26,7 @@ Start a server with ``python -m repro serve`` or embed one with
 from .app import DEFAULT_PORT, BenchmarkService, ServiceHandle, launch_in_thread
 from .client import ServiceClient, ServiceError
 from .jobs import Job, JobStore
-from .scheduler import JobScheduler, MemoryBudgetExceeded, Tenant
+from .scheduler import JobScheduler, MemoryBudgetExceeded, RateLimitExceeded, Tenant
 from .singleflight import SingleFlight
 
 __all__ = [
@@ -36,6 +38,7 @@ __all__ = [
     "JobStore",
     "JobScheduler",
     "MemoryBudgetExceeded",
+    "RateLimitExceeded",
     "Tenant",
     "SingleFlight",
     "DEFAULT_PORT",

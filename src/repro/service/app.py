@@ -38,6 +38,7 @@ each unique cell exactly once and shares the result through the
 from __future__ import annotations
 
 import asyncio
+import math
 import threading
 import time
 from typing import Any, Mapping, Sequence
@@ -50,7 +51,7 @@ from ..simulate.memory import MemoryModel, SimulatedOOMError
 from ..sweep import PlannedCell, resolve_cache
 from .http import HTTPError, NDJSONStream, Request, Response, serve_connection
 from .jobs import Job, JobStore
-from .scheduler import JobScheduler, MemoryBudgetExceeded
+from .scheduler import JobScheduler, MemoryBudgetExceeded, RateLimitExceeded
 from .singleflight import SingleFlight
 
 __all__ = ["BenchmarkService", "ServiceHandle", "launch_in_thread", "DEFAULT_PORT"]
@@ -65,20 +66,29 @@ _HEAVY_OP_FRACTION = 0.3
 
 
 def _parse_tenants(tenants: "Sequence[str] | Mapping[str, float | None] | None"
-                   ) -> "dict[str, float | None]":
-    """Normalize the tenants argument to ``{name: budget_gb_or_None}``.
+                   ) -> "dict[str, tuple[float | None, float | None]]":
+    """Normalize the tenants argument to ``{name: (budget_gb, rate_rps)}``.
 
-    Accepts a mapping, or an iterable of names where each name may carry an
-    inline budget as ``name=GiB`` (the ``--tenants a=2,b`` CLI form).
+    Accepts a mapping of ``{name: budget_gb}``, or an iterable of names
+    where each name may carry an inline budget and rate as ``name=GiB:RPS``
+    (the ``--tenants a=2:10,b=2,c=:5,d`` CLI form — either part may be
+    empty, meaning the default budget / no rate limit).
     """
     if tenants is None:
         return {}
     if isinstance(tenants, Mapping):
-        return dict(tenants)
-    out: "dict[str, float | None]" = {}
+        return {name: (budget, None) for name, budget in tenants.items()}
+    out: "dict[str, tuple[float | None, float | None]]" = {}
     for item in tenants:
-        name, _, budget = str(item).partition("=")
-        out[name.strip()] = float(budget) if budget else None
+        name, _, spec = str(item).partition("=")
+        budget_text, _, rate_text = spec.partition(":")
+        try:
+            budget = float(budget_text) if budget_text else None
+            rate = float(rate_text) if rate_text else None
+        except ValueError:
+            raise ValueError(f"bad tenant spec {item!r}; expected "
+                             f"name, name=GB or name=GB:RPS") from None
+        out[name.strip()] = (budget, rate)
     return out
 
 
@@ -100,9 +110,9 @@ class BenchmarkService:
         default_budget = int(memory_budget_gb * _GIB) if memory_budget_gb else None
         self.scheduler = JobScheduler(self._execute_job, workers=workers,
                                       default_budget_bytes=default_budget)
-        for name, budget_gb in _parse_tenants(tenants).items():
+        for name, (budget_gb, rate) in _parse_tenants(tenants).items():
             budget = int(budget_gb * _GIB) if budget_gb is not None else default_budget
-            self.scheduler.tenant(name, budget_bytes=budget)
+            self.scheduler.tenant(name, budget_bytes=budget, rate_per_second=rate)
         self.host = host
         self.port = port
         self.requests = 0
@@ -215,6 +225,12 @@ class BenchmarkService:
                 self._estimate_run_bytes, params)
         try:
             self.scheduler.submit(job)
+        except RateLimitExceeded as err:
+            retry_after = max(1, math.ceil(err.retry_after))
+            raise HTTPError(429, str(err),
+                            headers={"Retry-After": str(retry_after)},
+                            job=job.to_dict(),
+                            retry_after=err.retry_after) from None
         except MemoryBudgetExceeded as err:
             raise HTTPError(429, str(err), job=job.to_dict()) from None
         if not wait:

@@ -2,8 +2,10 @@
 
 Used by the test suite, the CI smoke job and the service benchmark; it is
 also the reference for talking to the server from any other HTTP client.
-One connection per request (the server is ``Connection: close``), JSON in,
-JSON out; ``stream()`` iterates the NDJSON event lines of a running job.
+The client keeps one persistent HTTP/1.1 connection per thread and reuses
+it across requests (reconnecting transparently when the server retires it),
+JSON in, JSON out; ``stream()`` iterates the NDJSON event lines of a
+running job on a dedicated connection.
 
     from repro.service.client import ServiceClient
 
@@ -19,6 +21,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import threading
 import time
 from typing import Any, Iterator, Mapping
 
@@ -63,10 +66,22 @@ class ServiceClient:
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.retry_backoff = retry_backoff
+        self._local = threading.local()
+        self._opened = 0
+        self._opened_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
+    @property
+    def connections_opened(self) -> int:
+        """How many TCP connections this client has opened (all threads)."""
+        return self._opened
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (if any)."""
+        self._discard_connection()
+
     def request(self, method: str, path: str,
                 payload: "Mapping[str, Any] | None" = None) -> dict[str, Any]:
         """One request → the parsed JSON document (raises on non-2xx)."""
@@ -80,23 +95,66 @@ class ServiceClient:
                 attempt += 1
                 time.sleep(self.retry_backoff * attempt)
 
-    def _request_once(self, method: str, path: str,
-                      payload: "Mapping[str, Any] | None" = None) -> dict[str, Any]:
+    def _connection(self) -> "tuple[http.client.HTTPConnection, bool]":
+        """This thread's persistent connection, opening one if needed."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            return connection, False
         connection = http.client.HTTPConnection(self.host, self.port,
                                                 timeout=self.timeout)
+        self._local.connection = connection
+        with self._opened_lock:
+            self._opened += 1
+        return connection, True
+
+    def _discard_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        self._local.connection = None
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    def _request_once(self, method: str, path: str,
+                      payload: "Mapping[str, Any] | None" = None) -> dict[str, Any]:
+        connection, fresh = self._connection()
         try:
-            body = json.dumps(payload).encode("utf-8") if payload is not None else None
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            document = self._decode(response.read())
-            if response.status >= 400:
-                error = document.get("error", {}) if isinstance(document, dict) else {}
-                raise ServiceError(response.status,
-                                   error.get("message", "request failed"), document)
-            return document
-        finally:
-            connection.close()
+            return self._send(connection, method, path, payload)
+        except _RETRYABLE:
+            self._discard_connection()
+            if fresh:
+                raise
+            # A reused keep-alive socket the server had already retired
+            # (idle timeout, max-requests cap): reconnect once, silently —
+            # this is connection churn, not a request failure.
+            connection, _ = self._connection()
+            try:
+                return self._send(connection, method, path, payload)
+            except _RETRYABLE:
+                self._discard_connection()
+                raise
+        except ServiceError:
+            raise  # the response was fully read; the socket is still clean
+        except BaseException:
+            # Anything else may leave the socket mid-response; don't reuse it.
+            self._discard_connection()
+            raise
+
+    def _send(self, connection: http.client.HTTPConnection, method: str,
+              path: str, payload: "Mapping[str, Any] | None") -> dict[str, Any]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        document = self._decode(response.read())
+        if (response.getheader("Connection") or "").lower() == "close":
+            self._discard_connection()
+        if response.status >= 400:
+            error = document.get("error", {}) if isinstance(document, dict) else {}
+            raise ServiceError(response.status,
+                               error.get("message", "request failed"), document)
+        return document
 
     @staticmethod
     def _decode(raw: bytes) -> dict[str, Any]:

@@ -9,13 +9,17 @@ implements only the slice of the protocol it needs:
 * handlers return a :class:`Response` (a JSON document) or an
   :class:`NDJSONStream` (an async iterator of JSON-able dicts written as one
   line each — the ``/jobs/<id>/stream`` incremental-results format);
-* every connection is ``Connection: close``: one request, one response, no
-  keep-alive state machine.  Streams carry no ``Content-Length`` and are
-  terminated by the close, which is what lets clients read incremental
-  results line-by-line until EOF.
+* connections are persistent HTTP/1.1: JSON responses carry a
+  ``Content-Length`` and the connection is reused for the next request until
+  the client sends ``Connection: close``, ``IDLE_TIMEOUT`` seconds pass
+  between requests, or ``MAX_REQUESTS`` have been served.  Streams carry no
+  ``Content-Length`` and are terminated by closing the connection, which is
+  what lets clients read incremental results line-by-line until EOF.
 
 Handler errors surface as JSON error documents: raise :class:`HTTPError` for
-a deliberate status (400/404/429/...), anything else becomes a 500.
+a deliberate status (400/404/429/...), anything else becomes a 500.  A parse
+error closes the connection after the error document (framing is lost); a
+handler error keeps it open.
 """
 
 from __future__ import annotations
@@ -33,6 +37,13 @@ MAX_HEADER_LINES = 100
 MAX_LINE_BYTES = 16 * 1024
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: Keep-alive bounds: an idle persistent connection is closed after
+#: ``IDLE_TIMEOUT`` seconds without a new request, and any connection is
+#: retired after ``MAX_REQUESTS`` requests so misbehaving clients cannot pin
+#: a server task forever.
+IDLE_TIMEOUT = 30.0
+MAX_REQUESTS = 100
+
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
@@ -41,12 +52,18 @@ _REASONS = {
 
 
 class HTTPError(Exception):
-    """A deliberate HTTP failure raised by handlers (becomes a JSON error)."""
+    """A deliberate HTTP failure raised by handlers (becomes a JSON error).
 
-    def __init__(self, status: int, message: str, **extra: Any):
+    ``headers`` adds response headers (e.g. ``Retry-After`` on a 429);
+    any other keyword lands in the JSON error document.
+    """
+
+    def __init__(self, status: int, message: str,
+                 headers: "Mapping[str, str] | None" = None, **extra: Any):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
         self.extra = extra
 
 
@@ -141,11 +158,13 @@ def _encode_head(status: int, headers: "Mapping[str, str]") -> bytes:
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
-async def _write_json(writer: asyncio.StreamWriter, response: Response) -> None:
+async def _write_json(writer: asyncio.StreamWriter, response: Response,
+                      *, close: bool) -> None:
     body = json.dumps(dict(response.payload or {}), indent=2).encode("utf-8") + b"\n"
     headers = {"Content-Type": "application/json",
                "Content-Length": str(len(body)),
-               "Connection": "close", **response.headers}
+               "Connection": "close" if close else "keep-alive",
+               **response.headers}
     writer.write(_encode_head(response.status, headers) + body)
     await writer.drain()
 
@@ -161,31 +180,62 @@ async def _write_stream(writer: asyncio.StreamWriter, stream: NDJSONStream) -> N
 
 def _error_response(err: HTTPError) -> Response:
     payload = {"error": {"status": err.status, "message": err.message, **err.extra}}
-    return Response(status=err.status, payload=payload)
+    return Response(status=err.status, payload=payload, headers=dict(err.headers))
 
 
 async def serve_connection(handler: Handler, reader: asyncio.StreamReader,
-                           writer: asyncio.StreamWriter) -> None:
-    """Serve one request on one connection, then close it."""
+                           writer: asyncio.StreamWriter, *,
+                           idle_timeout: float = IDLE_TIMEOUT,
+                           max_requests: int = MAX_REQUESTS) -> None:
+    """Serve requests on one persistent connection until it retires.
+
+    The connection closes when the client asks (``Connection: close``),
+    goes quiet for ``idle_timeout`` seconds, has used up ``max_requests``
+    requests, a request fails to parse (framing is lost), or the response
+    is an NDJSON stream (terminated by the close).
+    """
+    served = 0
     try:
-        try:
-            request = await _read_request(reader)
+        while served < max_requests:
+            try:
+                request = await asyncio.wait_for(_read_request(reader),
+                                                 timeout=idle_timeout)
+            except (TimeoutError, asyncio.TimeoutError):
+                return  # idle keep-alive connection timed out
+            except asyncio.CancelledError:
+                return  # server shutting down with the connection parked idle
+            except HTTPError as err:
+                # A parse failure loses the request framing: answer it, then
+                # drop the connection rather than misread what follows.
+                try:
+                    await _write_json(writer, _error_response(err), close=True)
+                except (ConnectionError, asyncio.CancelledError):
+                    pass
+                return
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return  # the peer went away mid-request; nothing to answer
             if request is None:
                 return
-            response = await handler(request)
-        except HTTPError as err:
-            response = _error_response(err)
-        except (ConnectionError, asyncio.IncompleteReadError):
-            return  # the peer went away mid-request; nothing to answer
-        except Exception as err:  # noqa: BLE001 — a handler bug must not kill the server
-            response = _error_response(HTTPError(500, f"{type(err).__name__}: {err}"))
-        try:
-            if isinstance(response, NDJSONStream):
-                await _write_stream(writer, response)
-            else:
-                await _write_json(writer, response)
-        except (ConnectionError, asyncio.CancelledError):
-            pass  # the peer hung up mid-response (or the server is stopping)
+            served += 1
+            close = (served >= max_requests
+                     or request.headers.get("connection", "").lower() == "close")
+            try:
+                response = await handler(request)
+            except HTTPError as err:
+                response = _error_response(err)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            except Exception as err:  # noqa: BLE001 — a handler bug must not kill the server
+                response = _error_response(HTTPError(500, f"{type(err).__name__}: {err}"))
+            try:
+                if isinstance(response, NDJSONStream):
+                    await _write_stream(writer, response)
+                    return  # streams are terminated by the close
+                await _write_json(writer, response, close=close)
+            except (ConnectionError, asyncio.CancelledError):
+                return  # the peer hung up mid-response (or the server is stopping)
+            if close:
+                return
     finally:
         try:
             writer.close()

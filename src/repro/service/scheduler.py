@@ -13,7 +13,10 @@ means three properties the plain ``asyncio`` task soup does not give you:
   its tenant's budget for as long as it is queued or running.  A job that
   would push its tenant over budget is rejected at submit time
   (:class:`MemoryBudgetExceeded` → HTTP 429) without touching anyone else's
-  queue — the over-budget tenant degrades, the machine does not.
+  queue — the over-budget tenant degrades, the machine does not.  Tenants
+  may additionally carry a token-bucket rate limit (``rate_per_second`` +
+  ``burst``): submissions past the bucket are rejected with
+  :class:`RateLimitExceeded` → HTTP 429 + ``Retry-After``.
 
 Everything here runs on the event loop; the actual blocking work happens
 inside the ``runner`` coroutine the service provides (which uses
@@ -23,13 +26,26 @@ inside the ``runner`` coroutine the service provides (which uses
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
 from .jobs import Job
 
-__all__ = ["Tenant", "JobScheduler", "MemoryBudgetExceeded"]
+__all__ = ["Tenant", "JobScheduler", "MemoryBudgetExceeded", "RateLimitExceeded"]
+
+
+class RateLimitExceeded(RuntimeError):
+    """A tenant submitted faster than its token bucket refills."""
+
+    def __init__(self, tenant: str, rate_per_second: float, retry_after: float):
+        self.tenant = tenant
+        self.rate_per_second = rate_per_second
+        self.retry_after = retry_after
+        super().__init__(
+            f"tenant {tenant!r} over rate limit ({rate_per_second:g} "
+            f"requests/s); retry in {retry_after:.2f}s")
 
 
 class MemoryBudgetExceeded(RuntimeError):
@@ -61,12 +77,42 @@ class Tenant:
     submitted: int = 0
     rejected: int = 0
     completed: int = 0
+    #: Token-bucket rate limit; ``None`` = unlimited submissions.
+    rate_per_second: "float | None" = None
+    #: Bucket capacity (defaults to ``max(1, rate_per_second)`` when unset).
+    burst: "float | None" = None
+    tokens: float = 0.0
+    refilled_at: float = 0.0
+    throttled: int = 0
+
+    def take_token(self, now: "float | None" = None) -> float:
+        """Consume one token; returns 0.0, or the seconds until one refills.
+
+        A return greater than zero means the submission must be rejected and
+        retried after that many seconds (the token was *not* consumed).
+        """
+        if self.rate_per_second is None or self.rate_per_second <= 0:
+            return 0.0
+        now = time.monotonic() if now is None else now
+        capacity = self.burst if self.burst is not None else max(1.0, self.rate_per_second)
+        if self.refilled_at == 0.0:
+            self.tokens = capacity  # first submission: a full bucket
+        else:
+            elapsed = max(0.0, now - self.refilled_at)
+            self.tokens = min(capacity, self.tokens + elapsed * self.rate_per_second)
+        self.refilled_at = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate_per_second
 
     def to_dict(self) -> dict[str, Any]:
         return {"name": self.name, "budget_bytes": self.budget_bytes,
                 "committed_bytes": self.committed_bytes,
                 "queued": len(self.queue), "submitted": self.submitted,
-                "rejected": self.rejected, "completed": self.completed}
+                "rejected": self.rejected, "completed": self.completed,
+                "rate_per_second": self.rate_per_second,
+                "throttled": self.throttled}
 
 
 class JobScheduler:
@@ -91,7 +137,8 @@ class JobScheduler:
         self.cancelled = 0
 
     # ------------------------------------------------------------------ #
-    def tenant(self, name: str, budget_bytes: "int | None | object" = ...) -> Tenant:
+    def tenant(self, name: str, budget_bytes: "int | None | object" = ...,
+               rate_per_second: "float | None | object" = ...) -> Tenant:
         """Get or register a tenant (new tenants get the default budget)."""
         state = self.tenants.get(name)
         if state is None:
@@ -100,17 +147,29 @@ class JobScheduler:
             self._order.append(name)
         if budget_bytes is not ...:
             state.budget_bytes = budget_bytes  # type: ignore[assignment]
+        if rate_per_second is not ...:
+            state.rate_per_second = rate_per_second  # type: ignore[assignment]
         return state
 
     def submit(self, job: Job) -> Job:
-        """Queue a job, enforcing its tenant's memory budget at admission.
+        """Queue a job, enforcing the tenant's rate limit and memory budget.
 
-        Raises :class:`MemoryBudgetExceeded` (and marks the job rejected)
-        when the tenant's committed estimate plus this job's would exceed the
-        tenant's budget.  Other tenants are unaffected either way.
+        Raises :class:`RateLimitExceeded` when the tenant's token bucket is
+        empty, or :class:`MemoryBudgetExceeded` when the tenant's committed
+        estimate plus this job's would exceed the tenant's budget (in both
+        cases the job is marked rejected).  Other tenants are unaffected
+        either way.
         """
         tenant = self.tenant(job.tenant)
         tenant.submitted += 1
+        retry_after = tenant.take_token()
+        if retry_after > 0:
+            tenant.rejected += 1
+            tenant.throttled += 1
+            error = RateLimitExceeded(tenant.name, tenant.rate_per_second or 0.0,
+                                      retry_after)
+            job.finish("rejected", error=str(error))
+            raise error
         if (tenant.budget_bytes is not None
                 and tenant.committed_bytes + job.estimated_bytes > tenant.budget_bytes):
             tenant.rejected += 1

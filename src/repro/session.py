@@ -435,7 +435,9 @@ class Session:
             executor: str = "thread",
             progress: "Callable[[Cell, list, str], None] | None" = None,
             profile: bool = False,
-            retry: "object | int | None" = None) -> ResultSet:
+            retry: "object | int | None" = None,
+            hosts: "int | Sequence[str] | None" = None,
+            bind: "str | tuple[str, int] | None" = None) -> ResultSet:
         """Sweep a slice of the matrix and return the collected measurements.
 
         ``mode`` is one of ``full``/``stage``/``core`` (the paper's three
@@ -485,6 +487,18 @@ class Session:
         aborting, and — on the process executor — respawns crashed workers
         and re-dispatches their uncommitted cells.  ``None`` (default) keeps
         fail-fast semantics.
+
+        ``hosts`` distributes the sweep across worker-host processes via the
+        :mod:`repro.sweep.distributed` coordinator: an int spawns that many
+        local ``python -m repro sweep-worker`` agents (each running
+        ``workers`` pool workers on ``executor``); a list mixes ``"local"``
+        entries (spawned) with any other label, which waits for an external
+        agent to connect to the coordinator's ``bind`` address (default
+        ``127.0.0.1`` on an ephemeral port; pass ``"host:port"`` to listen
+        for remote machines).  Cells shard across hosts by content hash,
+        idle hosts steal from the slowest shard, every host commits to the
+        shared ``cache``, and host loss follows the ``retry`` policy —
+        results stay bit-identical to a sequential run.
         """
         try:
             resolved_mode = _MODE_ALIASES[mode]
@@ -492,10 +506,21 @@ class Session:
             raise ValueError(f"unknown mode {mode!r}; "
                              f"expected one of {sorted(set(_MODE_ALIASES))}") from None
         if resolved_mode == "tpch":
+            if hosts is not None:
+                raise ValueError("TPC-H sweeps do not support hosts=; "
+                                 "use workers/executor instead")
             return self.run_tpch(engines=engines, backend=backend,
                                  workers=workers, cache=cache,
                                  executor=executor, progress=progress,
                                  profile=profile, retry=retry)
+        if hosts is not None:
+            return self._run_distributed(
+                mode=resolved_mode, engines=engines, datasets=datasets,
+                pipelines=pipelines, lazy=lazy, streaming=streaming,
+                stages=stages, formats=formats, backend=backend,
+                hosts=hosts, bind=bind, workers=workers, cache=cache,
+                executor=executor, progress=progress, profile=profile,
+                retry=retry)
         plan = self.plan(resolved_mode, engines=engines, datasets=datasets,
                          pipelines=pipelines, lazy=lazy, streaming=streaming,
                          stages=stages, formats=formats, backend=backend)
@@ -516,6 +541,114 @@ class Session:
             # also on failure/interruption, so callers can inspect how far
             # the sweep got before resuming it
             self.last_sweep = scheduler.last_stats
+
+    # ------------------------------------------------------------------ #
+    # distributed sweeps: coordinator + sweep-worker host agents
+    # ------------------------------------------------------------------ #
+    def _run_distributed(self, *, mode: str, engines, datasets, pipelines,
+                         lazy, streaming, stages, formats, backend,
+                         hosts, bind, workers: int, cache, executor: str,
+                         progress, profile: bool, retry) -> ResultSet:
+        import os
+        import subprocess
+        import sys
+        from dataclasses import asdict
+        from pathlib import Path
+
+        from .sweep.distributed import RunSpec, SweepCoordinator
+        from .sweep.resilience import RetryPolicy
+        from .testing.faults import active_fault_plan
+
+        if self._injected_datasets is not None:
+            raise ValueError(
+                "distributed sweeps cannot ship injected datasets; worker "
+                "hosts rebuild every dataset from (name, scale, seed)")
+        if pipelines is not None:
+            items = (pipelines if isinstance(pipelines, (list, tuple))
+                     else [pipelines])
+            for item in items:
+                if not isinstance(item, (str, int)):
+                    raise ValueError(
+                        "distributed sweeps select pipelines by name or "
+                        "index; ad-hoc Pipeline objects cannot cross hosts")
+        expected, spawn_local = _parse_host_spec(hosts)
+
+        plan = self.plan(mode, engines=engines, datasets=datasets,
+                         pipelines=pipelines, lazy=lazy, streaming=streaming,
+                         stages=stages, formats=formats, backend=backend)
+        resolved_cache = resolve_cache(cache)
+        if isinstance(retry, int) and not isinstance(retry, bool):
+            retry = RetryPolicy.from_retries(retry) if retry > 0 else None
+        stage_names = ([Stage.parse(s).value for s in stages]
+                       if stages is not None else None)
+        spec = RunSpec(
+            config=RunSpec.config_to_wire(self.config),
+            plan_kwargs={
+                "mode": mode,
+                "engines": list(engines) if engines is not None else None,
+                "datasets": list(datasets) if datasets is not None else None,
+                "pipelines": (list(items) if pipelines is not None else None),
+                "lazy": lazy, "streaming": streaming, "stages": stage_names,
+                "formats": list(formats), "backend": backend,
+            },
+            cache_dir=str(resolved_cache.root) if resolved_cache else None,
+            retry=asdict(retry) if retry is not None else None,
+            faults=RunSpec.faults_to_wire(active_fault_plan()),
+            profile=profile)
+        coordinator = SweepCoordinator(
+            plan, spec=spec, hosts=expected, cache=resolved_cache,
+            retry=retry, on_result=progress, profile=profile,
+            bind=_parse_bind_address(bind))
+        host, port = coordinator.start()
+
+        # Spawn the requested local worker-host agents.  Forked children are
+        # preferred: they reuse the parent's already-imported modules (an
+        # interpreter boot plus `import repro` costs ~0.5 s per host, pure
+        # overhead at fleet sizes) while still speaking the same TCP protocol
+        # and rebuilding their plan from the wire spec like any remote agent.
+        # Platforms without fork fall back to real `python -m repro
+        # sweep-worker` subprocesses on a PYTHONPATH resolving this package.
+        import multiprocessing
+
+        agents: "list[object]" = []
+        use_fork = "fork" in multiprocessing.get_all_start_methods()
+        try:
+            if use_fork:
+                ctx = multiprocessing.get_context("fork")
+                for _ in range(spawn_local):
+                    agent = ctx.Process(
+                        target=_local_host_agent,
+                        args=(host, port, workers, executor, self))
+                    agent.start()
+                    agents.append(agent)
+            else:
+                env = dict(os.environ)
+                src_root = str(Path(__file__).resolve().parent.parent)
+                env["PYTHONPATH"] = (src_root + os.pathsep + env["PYTHONPATH"]
+                                     if env.get("PYTHONPATH") else src_root)
+                for _ in range(spawn_local):
+                    agents.append(subprocess.Popen(
+                        [sys.executable, "-m", "repro", "sweep-worker",
+                         "--connect", f"{host}:{port}",
+                         "--jobs", str(workers), "--executor", executor],
+                        stdout=subprocess.DEVNULL, env=env))
+            try:
+                return coordinator.run()
+            finally:
+                self.last_sweep = coordinator.stats
+        finally:
+            for agent in agents:
+                if isinstance(agent, subprocess.Popen):
+                    try:
+                        agent.wait(timeout=15)
+                    except subprocess.TimeoutExpired:
+                        agent.kill()
+                        agent.wait()
+                else:
+                    agent.join(timeout=15)
+                    if agent.is_alive():
+                        agent.kill()
+                        agent.join()
 
     # ------------------------------------------------------------------ #
     # the advisor: predicted-fastest configuration, nothing executed
@@ -642,3 +775,56 @@ class Session:
                 f"machine={self.config.machine.name!r}, "
                 f"engines={list(self.config.engines)}, "
                 f"datasets={list(self.config.datasets)})")
+
+
+def _local_host_agent(host: str, port: int, jobs: int, executor: str,
+                      session: "Session | None" = None) -> None:
+    """Forked local worker-host agent: same protocol as the CLI agent.
+
+    The child inherits the parent's imported modules and warm session (the
+    fork start method passes ``session`` by memory image, not pickling), so
+    it skips the interpreter boot, ``import repro`` and dataset regeneration
+    a remote ``python -m repro sweep-worker`` pays — the TCP protocol and
+    the plan rebuild from the wire spec are identical.
+    """
+    from .sweep.distributed import HostWorker
+
+    raise SystemExit(HostWorker(host, port, jobs=jobs, executor=executor,
+                                session=session).run())
+
+
+def _parse_host_spec(hosts: "int | Sequence[str]") -> "tuple[int, int]":
+    """Normalize ``hosts=`` to (expected host count, local agents to spawn).
+
+    An int spawns that many local agents; a list counts ``"local"`` entries
+    as spawned agents and any other label as an external host the
+    coordinator should wait for.
+    """
+    if isinstance(hosts, bool) or hosts is None:
+        raise ValueError("hosts must be a positive int or a list of host labels")
+    if isinstance(hosts, int):
+        if hosts < 1:
+            raise ValueError("hosts must be at least 1")
+        return hosts, hosts
+    labels = list(hosts)
+    if not labels:
+        raise ValueError("hosts list must not be empty")
+    spawn_local = sum(1 for label in labels if str(label) == "local")
+    return len(labels), spawn_local
+
+
+def _parse_bind_address(bind: "str | tuple[str, int] | None") -> "tuple[str, int]":
+    """Normalize ``bind=`` to a (host, port) the coordinator listens on."""
+    if bind is None:
+        return ("127.0.0.1", 0)
+    if isinstance(bind, str):
+        host, _, port = bind.rpartition(":")
+        if not host:
+            host, port = bind, "0"
+        try:
+            return (host, int(port))
+        except ValueError:
+            raise ValueError(f"bad bind address {bind!r}; "
+                             f"expected 'host:port'") from None
+    host, port = bind
+    return (str(host), int(port))

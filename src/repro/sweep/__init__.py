@@ -14,10 +14,22 @@ by (dataset, scale, engine), ordered longest-first from recorded wall-clock
 hints and dispatched with dataset affinity to persistent workers — process
 workers attach zero-copy to shared-memory frame segments
 (:mod:`repro.frame.sharing`) instead of unpickling a frame per cell.
+
+Beyond one machine, :mod:`repro.sweep.distributed` shards cells across TCP
+worker hosts by content hash with cache-backed dedupe and work-stealing —
+``Session.run(hosts=...)`` / CLI ``--hosts`` on the coordinator side,
+``python -m repro sweep-worker`` on each host.
 """
 
 from .cache import CACHE_VERSION, SweepCache, default_cache_dir, entry_checksum
 from .cells import Cell, context_fingerprint, dataset_fingerprint, pipeline_fingerprint
+from .distributed import (
+    HostLostError,
+    HostWorker,
+    RunSpec,
+    SweepCoordinator,
+    assign_host_shards,
+)
 from .resilience import (
     CellTimeoutError,
     RetryPolicy,
@@ -49,15 +61,20 @@ __all__ = [
     "CellTask",
     "CellTimeoutError",
     "HintMemory",
+    "HostLostError",
+    "HostWorker",
     "PlannedCell",
     "ProcessWorkerPool",
     "RetryPolicy",
+    "RunSpec",
     "SweepCache",
+    "SweepCoordinator",
     "SweepScheduler",
     "SweepStats",
     "ThreadBatchExecutor",
     "WorkerCrashError",
     "CACHE_VERSION",
+    "assign_host_shards",
     "assign_shards",
     "build_batches",
     "context_fingerprint",

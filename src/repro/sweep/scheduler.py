@@ -102,6 +102,16 @@ class SweepStats:
     quarantined: int = 0
     #: Dead (crashed/killed/hung) workers replaced mid-sweep.
     respawns: int = 0
+    #: Worker hosts that registered with the coordinator (distributed runs).
+    hosts: int = 0
+    #: Cells granted to an idle host from another host's backlog.
+    stolen: int = 0
+    #: Cells moved off a lost host and re-granted to survivors.
+    reassigned: int = 0
+    #: Worker hosts that disconnected or missed heartbeats mid-sweep.
+    hosts_lost: int = 0
+    #: Per-host records of a distributed run (see :meth:`distributed_table`).
+    distributed: list[dict] = field(default_factory=list)
 
     @property
     def overhead_seconds(self) -> float:
@@ -121,6 +131,10 @@ class SweepStats:
                      f"{self.recovered} recovered, "
                      f"{self.quarantined} quarantined, "
                      f"{self.respawns} worker(s) respawned]")
+        if self.hosts:
+            base += (f" [distributed: {self.hosts} host(s), "
+                     f"{self.stolen} stolen, {self.reassigned} reassigned, "
+                     f"{self.hosts_lost} host(s) lost]")
         return base
 
     def to_dict(self) -> dict:
@@ -135,7 +149,32 @@ class SweepStats:
             "execute_seconds": self.execute_seconds,
             "retries": self.retries, "recovered": self.recovered,
             "quarantined": self.quarantined, "respawns": self.respawns,
+            "hosts": self.hosts, "stolen": self.stolen,
+            "reassigned": self.reassigned, "hosts_lost": self.hosts_lost,
+            "distributed": list(self.distributed),
         }
+
+    def distributed_table(self) -> str:
+        """The per-host breakdown of a distributed run as an aligned table."""
+        if not self.distributed:
+            return "(no distributed records; run with hosts=...)"
+        headers = ("host", "workers", "executed", "cached", "stolen",
+                   "quarantined", "execute_s", "lost")
+        rows = [(str(record["host"]), str(record["workers"]),
+                 str(record["executed"]), str(record["cached"]),
+                 str(record["stolen"]), str(record["quarantined"]),
+                 f"{record['execute_seconds']:.3f}",
+                 "yes" if record["lost"] else "")
+                for record in self.distributed]
+        widths = [max(len(h), *(len(r[i]) for r in rows))
+                  for i, h in enumerate(headers)]
+        def fmt(values):
+            first = values[0].ljust(widths[0])
+            rest = (v.rjust(w) for v, w in zip(values[1:], widths[1:]))
+            return "  ".join((first, *rest))
+        lines = [fmt(headers), fmt(tuple("-" * w for w in widths))]
+        lines += [fmt(row) for row in rows]
+        return "\n".join(lines)
 
     def profile_table(self) -> str:
         """The per-cell breakdown as an aligned text table."""
@@ -185,6 +224,9 @@ class SweepScheduler:
     ``source`` one of ``"cache"``/``"executed"``/``"quarantined"``.
     Callbacks fire in completion order (not plan order) and always from the
     scheduling thread, so implementations need no locking of their own.
+    ``on_start`` fires (same thread) as a cell's execution begins — the
+    distributed tier uses it to report in-flight cells to the coordinator
+    so a lost host's attempt accounting matches the single-host semantics.
 
     ``retry`` selects the failure semantics: ``None`` (default) keeps the
     historical fail-fast behaviour — the first cell error aborts the sweep
@@ -201,7 +243,10 @@ class SweepScheduler:
                  executor: str = "thread",
                  on_result: "Callable[[Cell, list[Measurement], str], None] | None" = None,
                  batched: bool = True, profile: bool = False,
-                 retry: "RetryPolicy | int | None" = None):
+                 retry: "RetryPolicy | int | None" = None,
+                 on_start: "Callable[[Cell], None] | None" = None,
+                 on_complete: "Callable[[Cell, list[Measurement], str, float | None], None] | None" = None,
+                 pool=None):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if executor not in _EXECUTORS:
@@ -210,6 +255,19 @@ class SweepScheduler:
         self.cache = cache
         self.executor = executor
         self.on_result = on_result
+        self.on_start = on_start
+        #: Like ``on_result`` but carries the cell's physical wall-clock
+        #: seconds (``None`` for cache hits and quarantines) — what the
+        #: distributed tier forwards so coordinator hints stay wall-true.
+        self.on_complete = on_complete
+        #: An externally-owned batch executor (``ThreadBatchExecutor`` /
+        #: ``ProcessWorkerPool``) reused across ``run()`` calls.  The warm
+        #: per-worker state (engines, attached frames, memo) is the whole
+        #: point: a worker-host agent executes many small grants, and a fresh
+        #: pool per grant would pay the per-coordinate setup every time.
+        #: The owner shuts it down; with a pool the batched tier is used
+        #: even at ``workers=1``.
+        self.pool = pool
         #: ``False`` restores the historical per-cell futures pool.
         self.batched = batched
         #: Record per-cell timing breakdowns into ``last_stats.profile``.
@@ -222,6 +280,15 @@ class SweepScheduler:
     def _notify(self, cell: Cell, measurements: "list[Measurement]", source: str) -> None:
         if self.on_result is not None:
             self.on_result(cell, measurements, source)
+
+    def _notify_start(self, cell: Cell) -> None:
+        if self.on_start is not None:
+            self.on_start(cell)
+
+    def _notify_complete(self, cell: Cell, measurements: "list[Measurement]",
+                         source: str, seconds: "float | None") -> None:
+        if self.on_complete is not None:
+            self.on_complete(cell, measurements, source, seconds)
 
     # ------------------------------------------------------------------ #
     def run(self, plan: Sequence[PlannedCell]) -> ResultSet:
@@ -245,21 +312,24 @@ class SweepScheduler:
                 slots[index] = hit
                 stats.cached += 1
                 self._notify(planned.cell, hit, "cache")
+                self._notify_complete(planned.cell, hit, "cache", None)
             else:
                 pending.append(index)
         stats.cells = [planned.cell.cell_id for planned in plan]
 
         # The batch tier needs self-contained payloads; plans built by hand
         # with ``payload=None`` (thread-only) keep the per-cell futures path.
-        use_batched = (self.batched and self.workers > 1 and len(pending) > 1
+        use_batched = (self.batched and len(pending) > 0
+                       and (self.pool is not None
+                            or (self.workers > 1 and len(pending) > 1))
                        and all(plan[index].payload is not None
                                for index in pending))
         try:
-            if self.workers == 1 or len(pending) <= 1:
+            if use_batched:
+                self._run_batched(plan, pending, slots, stats)
+            elif self.workers == 1 or len(pending) <= 1:
                 for index in pending:
                     slots[index] = self._complete(plan[index], stats)
-            elif use_batched:
-                self._run_batched(plan, pending, slots, stats)
             else:
                 self._run_pool(plan, pending, slots, stats)
         finally:
@@ -273,6 +343,7 @@ class SweepScheduler:
     # ------------------------------------------------------------------ #
     def _complete(self, planned: PlannedCell,
                   stats: "SweepStats | None" = None) -> "list[Measurement]":
+        self._notify_start(planned.cell)
         if self.retry is None:
             measurements = self._execute_sequential(planned, stats)
         else:
@@ -286,6 +357,8 @@ class SweepScheduler:
                     stats.quarantined += 1
                     stats.retries += attempts - 1
                 self._notify(planned.cell, measurements, "quarantined")
+                self._notify_complete(planned.cell, measurements,
+                                      "quarantined", None)
                 return measurements
             if stats is not None:
                 stats.retries += attempts - 1
@@ -321,6 +394,7 @@ class SweepScheduler:
                     "serialize": 0.0, "setup": 0.0, "execute": seconds,
                     "cache": cache_seconds})
         self._notify(planned.cell, measurements, "executed")
+        self._notify_complete(planned.cell, measurements, "executed", seconds)
         return measurements
 
     # ------------------------------------------------------------------ #
@@ -337,7 +411,9 @@ class SweepScheduler:
 
         retry = self.retry
         batches = build_batches(plan, pending, cache=self.cache)
-        assignments = assign_shards(batches, self.workers)
+        pool_workers = (self.pool.workers if self.pool is not None
+                        else self.workers)
+        assignments = assign_shards(batches, pool_workers)
         stats.batches = len(batches)
         serialize_share: "dict[int, float]" = {}  # plan index → seconds
         task_by_index = {task.index: task
@@ -380,9 +456,9 @@ class SweepScheduler:
                             segment = task.manifest.segment
                             serialize_share[task.index] = (
                                 segment_cost[segment] / segment_cells[segment])
-                pool = ProcessWorkerPool(len(assignments))
+                pool = self.pool or ProcessWorkerPool(len(assignments))
             else:
-                pool = ThreadBatchExecutor(len(assignments))
+                pool = self.pool or ThreadBatchExecutor(len(assignments))
 
             # --- dispatch/recovery bookkeeping (scheduling thread only) --- #
             batch_segments: "dict[int, list[str]]" = {}  # per-dispatch retains
@@ -463,6 +539,7 @@ class SweepScheduler:
                     for segment in held.pop(index, ()):
                         store.release(segment)
                 self._notify(cell, [measurement], "quarantined")
+                self._notify_complete(cell, [measurement], "quarantined", None)
 
             def handle_failure(index: int, error: BaseException) -> None:
                 """Charge the in-flight attempt; retry with backoff or quarantine."""
@@ -573,6 +650,7 @@ class SweepScheduler:
                         _, worker_id, batch_id, index = event
                         if index in unresolved:
                             attempts[index] = attempts.get(index, 0) + 1
+                            self._notify_start(plan[index].cell)
                         current[worker_id] = index
                         started_at[index] = time.perf_counter()
                     elif kind == "ok":
@@ -606,6 +684,8 @@ class SweepScheduler:
                                 "execute": timings["execute"],
                                 "cache": cache_seconds})
                         self._notify(cell, measurements, "executed")
+                        self._notify_complete(cell, measurements, "executed",
+                                              seconds)
                     elif kind == "err":
                         _, worker_id, batch_id, index, encoded = event
                         if current.get(worker_id) == index:
@@ -645,8 +725,8 @@ class SweepScheduler:
                 pool.terminate()
             raise
         finally:
-            if pool is not None:
-                pool.shutdown()
+            if pool is not None and pool is not self.pool:
+                pool.shutdown()  # externally-owned pools outlive the run
             if store is not None:
                 # segments must never outlive the sweep, whatever happened
                 store.close()
@@ -670,6 +750,7 @@ class SweepScheduler:
                     futures[pool.submit(execute_payload, planned.payload)] = index
                 else:
                     futures[pool.submit(planned.execute)] = index
+                self._notify_start(planned.cell)
             # Results are committed to the cache as each cell completes, so a
             # sweep killed at any point resumes from the cells that finished.
             # The first failing cell cancels the cells that have not started,
@@ -692,6 +773,8 @@ class SweepScheduler:
                     if self.cache is not None:
                         self.cache.store(plan[index].cell, measurements)
                     self._notify(plan[index].cell, measurements, "executed")
+                    self._notify_complete(plan[index].cell, measurements,
+                                          "executed", None)
             except BaseException:  # e.g. Ctrl-C in the main thread
                 for queued in futures:
                     queued.cancel()
@@ -709,6 +792,8 @@ class SweepScheduler:
                     if self.cache is not None:
                         self.cache.store(plan[index].cell, measurements)
                     self._notify(plan[index].cell, measurements, "executed")
+                    self._notify_complete(plan[index].cell, measurements,
+                                          "executed", None)
                 raise
         if errors:
             stats.failed = len(errors)

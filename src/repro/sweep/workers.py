@@ -34,6 +34,7 @@ implementation every other strategy is property-tested against.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import pickle
 import queue
@@ -51,6 +52,12 @@ __all__ = ["CellTask", "CellBatch", "HintMemory", "hint_memory", "build_batches"
 #: Assumed duration of a cell nothing is known about (hints only shape
 #: scheduling order, never results).
 DEFAULT_SECONDS_HINT = 1.0
+
+#: Batch ids are unique across every ``build_batches`` call in the process:
+#: a persistent pool (reused across scheduler runs by a worker-host agent)
+#: may still hold events from an abandoned thread of an earlier run, and
+#: those must never alias a later run's batches.
+_batch_ids = itertools.count()
 
 
 # --------------------------------------------------------------------------- #
@@ -169,7 +176,7 @@ def build_batches(plan: Sequence, pending: "Sequence[int]",
         key = (cell.dataset, cell.scale, cell.engine)
         batch = grouped.get(key)
         if batch is None:
-            batch = grouped[key] = CellBatch(batch_id=len(grouped), key=key)
+            batch = grouped[key] = CellBatch(batch_id=next(_batch_ids), key=key)
         batch.tasks.append(_task_from_payload(index, planned.payload, hint))
     return list(grouped.values())
 

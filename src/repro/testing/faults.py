@@ -18,6 +18,10 @@ Hook sites (callers pass keyword context):
 * ``cache_store`` — fired after :class:`~repro.sweep.cache.SweepCache`
   commits an entry; corrupt targets have bytes flipped in the written file.
 * ``worker_start`` — fired when a pool worker boots (observability only).
+* ``host_link`` — fired by a distributed sweep-worker host as it accepts a
+  granted cell; drop targets raise :class:`ConnectionDropFault`, which the
+  host answers by severing its coordinator link and SIGKILLing itself —
+  the coordinator must reassign the host's in-flight cells to survivors.
 
 Faults are *stateless across processes*: whether a fault fires depends only
 on the bound plan (inherited by forked workers) and the attempt number the
@@ -41,6 +45,7 @@ from typing import Iterable, Mapping
 __all__ = [
     "FaultPlan",
     "TransientFaultError",
+    "ConnectionDropFault",
     "parse_fault_spec",
     "install_fault_plan",
     "clear_fault_plan",
@@ -50,19 +55,27 @@ __all__ = [
     "FAULT_KINDS",
 ]
 
-#: Recognized fault kinds, in the (fixed) order targets are drawn.
-FAULT_KINDS = ("kill", "flaky", "hang", "corrupt")
+#: Recognized fault kinds, in the (fixed) order targets are drawn.  "drop"
+#: appends after the original four so existing seeded plans keep drawing the
+#: same targets for the same specs.
+FAULT_KINDS = ("kill", "flaky", "hang", "corrupt", "drop")
 
 _ALIASES = {
     "kill": "kill", "kills": "kill", "sigkill": "kill",
     "flaky": "flaky", "transient": "flaky", "error": "flaky",
     "hang": "hang", "hangs": "hang", "timeout": "hang",
     "corrupt": "corrupt", "corruption": "corrupt",
+    "drop": "drop", "drops": "drop", "drop_connection": "drop",
+    "sever": "drop", "disconnect": "drop",
 }
 
 
 class TransientFaultError(RuntimeError):
     """Injected transient failure; retried like any real engine exception."""
+
+
+class ConnectionDropFault(RuntimeError):
+    """Injected coordinator↔host link loss; the host dies like a crash."""
 
 
 def parse_fault_spec(spec: str) -> "dict[str, int]":
@@ -121,11 +134,12 @@ class FaultPlan:
     """
 
     def __init__(self, *, seed: int = 7, kills: int = 0, flaky: int = 0,
-                 hangs: int = 0, corrupt: int = 0, flaky_attempts: int = 1,
-                 hang_seconds: float = 30.0):
+                 hangs: int = 0, corrupt: int = 0, drops: int = 0,
+                 flaky_attempts: int = 1, hang_seconds: float = 30.0):
         self.seed = int(seed)
         self.counts = {"kill": int(kills), "flaky": int(flaky),
-                       "hang": int(hangs), "corrupt": int(corrupt)}
+                       "hang": int(hangs), "corrupt": int(corrupt),
+                       "drop": int(drops)}
         self.flaky_attempts = int(flaky_attempts)
         self.hang_seconds = float(hang_seconds)
         self.targets: "dict[str, frozenset[str]]" = {
@@ -139,7 +153,8 @@ class FaultPlan:
     def from_spec(cls, spec: str, *, seed: int = 7, **kwargs) -> "FaultPlan":
         counts = parse_fault_spec(spec)
         return cls(seed=seed, kills=counts["kill"], flaky=counts["flaky"],
-                   hangs=counts["hang"], corrupt=counts["corrupt"], **kwargs)
+                   hangs=counts["hang"], corrupt=counts["corrupt"],
+                   drops=counts["drop"], **kwargs)
 
     def bind(self, cell_ids: "Iterable[str]") -> "FaultPlan":
         """Pick concrete target cells; idempotent only via the caller."""
@@ -182,6 +197,14 @@ class FaultPlan:
             if cell_id in self.targets["corrupt"] and path is not None:
                 self.fired.append(("corrupt", cell_id, attempt))
                 _corrupt_file(path)
+        elif site == "host_link":
+            # Fires at most once per target cell: the re-granted attempt
+            # arrives with attempt > 1 on a surviving host and runs clean.
+            if cell_id in self.targets["drop"] and attempt <= 1:
+                self.fired.append(("drop", cell_id, attempt))
+                raise ConnectionDropFault(
+                    f"injected link drop before cell {cell_id[:8]} "
+                    f"(attempt {attempt})")
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,310 @@
+"""Distributed sweeps: framing, sharding, the coordinator/worker protocol.
+
+Covers the PR's acceptance criteria: ``Session.run(hosts=2)`` produces a
+``ResultSet`` bit-identical to the sequential run; an idle host steals cells
+from the slowest shard; a severed coordinator↔host link (the ``drop`` fault)
+reassigns the lost host's cells and still completes bit-identically with
+zero quarantines; and the shared ``SweepCache`` stays consistent when two
+*processes* hammer the same cell concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro import ExperimentConfig, Session, SweepCache
+from repro.results import Measurement
+from repro.sweep import Cell
+from repro.sweep.distributed import (
+    ConnectionClosed,
+    HostWorker,
+    ProtocolError,
+    RunSpec,
+    SweepCoordinator,
+    assign_host_shards,
+    recv_frame,
+    send_frame,
+)
+from repro.testing.faults import FaultPlan, clear_fault_plan, install_fault_plan
+
+_CONFIG = ExperimentConfig(scale=0.02, runs=1, datasets=["athlete"],
+                           engines=["pandas", "polars"])
+
+
+@pytest.fixture(scope="module")
+def session() -> Session:
+    return Session(_CONFIG).warm()
+
+
+@pytest.fixture(scope="module")
+def sequential(session) -> "list[dict]":
+    return [m.to_dict() for m in session.run(mode="full", cache=False)]
+
+
+# --------------------------------------------------------------------------- #
+# wire framing
+# --------------------------------------------------------------------------- #
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"type": "result", "cell_id": "ab" * 12,
+                       "measurements": [{"seconds": 0.25}], "nested": {"x": [1, 2]}}
+            send_frame(a, payload)
+            send_frame(a, {"type": "heartbeat"})
+            assert recv_frame(b) == payload
+            assert recv_frame(b) == {"type": "heartbeat"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_raises_connection_closed(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(ConnectionClosed):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises_connection_closed(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b'{"type":')  # truncated
+            a.close()
+            with pytest.raises(ConnectionClosed):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 2 ** 31))  # claims a 2 GiB frame
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_untyped_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            data = json.dumps([1, 2, 3]).encode()
+            a.sendall(struct.pack(">I", len(data)) + data)
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+# --------------------------------------------------------------------------- #
+# content-hash sharding
+# --------------------------------------------------------------------------- #
+class TestHostSharding:
+    def test_backlogs_partition_pending_exactly(self, session):
+        plan = session.plan("full")
+        pending = list(range(len(plan)))
+        backlogs = assign_host_shards(plan, pending, hosts=3)
+        flat = sorted(index for backlog in backlogs for index in backlog)
+        assert flat == pending
+        assert assign_host_shards(plan, pending, hosts=3) == backlogs
+
+    def test_placement_is_content_hash_stable(self, session):
+        # a cell's host does not depend on which other cells are pending —
+        # that is what makes shards stable under resume
+        plan = session.plan("full")
+        full = assign_host_shards(plan, range(len(plan)), hosts=2)
+        owner = {index: host for host, backlog in enumerate(full)
+                 for index in backlog}
+        subset = [i for i in range(len(plan)) if i % 2 == 0]
+        for host, backlog in enumerate(assign_host_shards(plan, subset, hosts=2)):
+            for index in backlog:
+                assert owner[index] == host
+
+    def test_backlogs_are_longest_first(self, session, tmp_path):
+        plan = session.plan("full")
+        cache = SweepCache(tmp_path)
+        session.run(mode="full", cache=cache)  # record per-cell hints
+        backlogs = assign_host_shards(plan, range(len(plan)), hosts=2,
+                                      cache=cache)
+        for backlog in backlogs:
+            hints = [cache.seconds_hint(plan[i].cell) for i in backlog]
+            assert hints == sorted(hints, reverse=True)
+
+    def test_zero_hosts_rejected(self, session):
+        with pytest.raises(ValueError):
+            assign_host_shards(session.plan("full"), [], hosts=0)
+
+
+# --------------------------------------------------------------------------- #
+# the wire spec rebuilds identical plans
+# --------------------------------------------------------------------------- #
+class TestRunSpec:
+    def test_config_wire_round_trip(self):
+        wire = RunSpec.config_to_wire(_CONFIG)
+        assert RunSpec.config_from_wire(json.loads(json.dumps(wire))) == _CONFIG
+
+    def test_host_rebuilds_identical_cell_ids(self, session):
+        spec = RunSpec(config=RunSpec.config_to_wire(_CONFIG),
+                       plan_kwargs={"mode": "full", "engines": ["pandas"],
+                                    "lazy": "both"})
+        spec = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        rebuilt = spec.build_plan(spec.build_session())
+        local = session.plan("full", engines=["pandas"], lazy="both")
+        assert [p.cell.cell_id for p in rebuilt] == [p.cell.cell_id for p in local]
+
+    def test_fault_plan_round_trip(self):
+        plan = FaultPlan.from_spec("kill:1,drop:2", seed=9)
+        spec = RunSpec(config={}, plan_kwargs={},
+                       faults=RunSpec.faults_to_wire(plan))
+        rebuilt = spec.fault_plan()
+        rebuilt.bind(["a" * 24, "b" * 24, "c" * 24, "d" * 24])
+        plan.bind(["a" * 24, "b" * 24, "c" * 24, "d" * 24])
+        assert rebuilt.targets == plan.targets
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end: coordinator + worker-host agents
+# --------------------------------------------------------------------------- #
+class TestDistributedRun:
+    def test_hosts2_bit_identical_to_sequential(self, sequential):
+        session = Session(_CONFIG)
+        results = session.run(mode="full", cache=False, hosts=2)
+        assert [m.to_dict() for m in results] == sequential
+        stats = session.last_sweep
+        assert stats.hosts == 2
+        assert stats.executor == "distributed"
+        assert stats.executed == stats.total and stats.total > 0
+        assert len(stats.distributed) == 2
+        assert sum(record["executed"] for record in stats.distributed) == stats.total
+
+    def test_shared_cache_resumes_across_fleets(self, sequential, tmp_path):
+        cache = SweepCache(tmp_path)
+        first = Session(_CONFIG)
+        first.run(mode="full", cache=cache, hosts=2)
+        assert first.last_sweep.executed > 0
+        second = Session(_CONFIG)
+        results = second.run(mode="full", cache=cache, hosts=2)
+        assert [m.to_dict() for m in results] == sequential
+        assert second.last_sweep.executed == 0
+        assert second.last_sweep.cached == second.last_sweep.total
+
+    def test_idle_host_steals_from_slowest_shard(self, session, sequential):
+        # two shards, one connected host: it must drain its own backlog and
+        # then steal the other shard's cells instead of idling
+        plan = session.plan("full")
+        spec = RunSpec(config=RunSpec.config_to_wire(_CONFIG),
+                       plan_kwargs={"mode": "full"})
+        coordinator = SweepCoordinator(plan, spec=spec, hosts=2)
+        host, port = coordinator.start()
+        worker = HostWorker(host, port, jobs=1, name="solo")
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        results = coordinator.run()
+        thread.join(timeout=30)
+        assert [m.to_dict() for m in results] == sequential
+        assert coordinator.stats.stolen >= 1
+        assert coordinator.stats.hosts == 1
+        record = coordinator.stats.distributed[0]
+        assert record["host"] == "solo" and record["stolen"] >= 1
+
+    def test_profile_records_carry_host_names(self, session):
+        fresh = Session(_CONFIG)
+        fresh.run(mode="full", cache=False, hosts=2, profile=True)
+        stats = fresh.last_sweep
+        assert stats.profile and all("host" in record for record in stats.profile)
+        assert stats.distributed_table()
+
+    def test_tpch_mode_rejects_hosts(self, session):
+        with pytest.raises(ValueError, match="hosts"):
+            session.run(mode="tpch", hosts=2)
+
+
+# --------------------------------------------------------------------------- #
+# chaos: a severed link mid-sweep heals bit-identically
+# --------------------------------------------------------------------------- #
+class TestConnectionDrop:
+    def test_dropped_host_reassigns_and_heals(self, sequential):
+        plan = FaultPlan.from_spec("drop:1", seed=7)
+        install_fault_plan(plan)
+        try:
+            session = Session(_CONFIG)
+            results = session.run(mode="full", cache=False, hosts=2, retry=2)
+        finally:
+            clear_fault_plan()
+        assert [m.to_dict() for m in results] == sequential
+        stats = session.last_sweep
+        assert stats.hosts_lost == 1
+        assert stats.reassigned >= 1
+        assert stats.quarantined == 0
+        assert any(record["lost"] for record in stats.distributed)
+
+    def test_host_loss_without_retry_fails_fast(self):
+        plan = FaultPlan.from_spec("drop:1", seed=7)
+        install_fault_plan(plan)
+        try:
+            with pytest.raises(Exception, match="lost"):
+                Session(_CONFIG).run(mode="full", cache=False, hosts=2)
+        finally:
+            clear_fault_plan()
+
+
+# --------------------------------------------------------------------------- #
+# multi-process cache contention (the substrate stealing relies on)
+# --------------------------------------------------------------------------- #
+def _hammer_cache_process(root: str, cell_wire: dict, measurement_wires: list,
+                          rounds: int, barrier, failures) -> None:
+    cache = SweepCache(root)
+    cell = Cell.from_dict(cell_wire)
+    measurements = [Measurement.from_dict(m) for m in measurement_wires]
+    barrier.wait()
+    for _ in range(rounds):
+        cache.store(cell, measurements)
+        hit = cache.load(cell)
+        if hit is None:
+            continue  # lost the race to a concurrent rename: a clean miss
+        if [m.to_dict() for m in hit] != measurement_wires:
+            failures.put("torn read: loaded entry differs from what was stored")
+    if cache.stores != rounds:
+        failures.put(f"stores counter drifted: {cache.stores} != {rounds}")
+
+
+class TestMultiProcessCacheContention:
+    def test_two_processes_one_cell_exactly_one_entry(self, session, tmp_path):
+        planned = session.plan("full", engines=["pandas"])[0]
+        measurements = planned.execute()
+        wires = [m.to_dict() for m in measurements]
+        rounds = 25
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        failures = ctx.Queue()
+        procs = [ctx.Process(target=_hammer_cache_process,
+                             args=(str(tmp_path), planned.cell.to_dict(),
+                                   wires, rounds, barrier, failures))
+                 for _ in range(2)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        assert failures.empty(), failures.get()
+
+        # exactly one committed entry, no quarantined or leftover files
+        cache = SweepCache(tmp_path)
+        assert len(cache) == 1
+        assert not list(tmp_path.rglob("*.corrupt"))
+        assert not list(tmp_path.rglob("*.tmp"))
+        hit = cache.load(planned.cell)
+        assert hit is not None
+        assert [m.to_dict() for m in hit] == wires
+        stats = cache.stats()
+        assert stats["corrupt"] == 0
+        assert stats["hits"] == 1 and stats["misses"] == 0

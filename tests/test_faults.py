@@ -73,10 +73,10 @@ def _cell(suffix: str = "a") -> Cell:
 class TestFaultPlan:
     def test_parse_spec(self):
         assert parse_fault_spec("kill:1,flaky:2,corrupt:1") == {
-            "kill": 1, "flaky": 2, "hang": 0, "corrupt": 1}
+            "kill": 1, "flaky": 2, "hang": 0, "corrupt": 1, "drop": 0}
         # bare kind means one; aliases normalize
-        assert parse_fault_spec("sigkill,transient:3") == {
-            "kill": 1, "flaky": 3, "hang": 0, "corrupt": 0}
+        assert parse_fault_spec("sigkill,transient:3,disconnect") == {
+            "kill": 1, "flaky": 3, "hang": 0, "corrupt": 0, "drop": 1}
         assert parse_fault_spec("") == dict.fromkeys(FAULT_KINDS, 0)
 
     @pytest.mark.parametrize("bad", ["meteor:1", "kill:x", "flaky:-1"])

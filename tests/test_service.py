@@ -21,8 +21,11 @@ from repro.config import ExperimentConfig
 from repro.service import (
     JobScheduler,
     MemoryBudgetExceeded,
+    RateLimitExceeded,
+    ServiceClient,
     ServiceError,
     SingleFlight,
+    Tenant,
     launch_in_thread,
 )
 from repro.service.jobs import JobStore
@@ -45,7 +48,7 @@ def svc(warm_session, tmp_path_factory):
     """A long-lived service for the plain API tests (own cache directory)."""
     cache_dir = tmp_path_factory.mktemp("svc-cache")
     with launch_in_thread(session=warm_session, cache=str(cache_dir), workers=4,
-                          tenants=["cramped=0.000000001"]) as handle:
+                          tenants=["cramped=0.000000001", "limited=:2"]) as handle:
         yield handle
 
 
@@ -371,6 +374,127 @@ class TestTenancy:
         # advise jobs estimate nothing and execute nothing: always admitted
         doc = svc.client.advise(tenant="cramped")
         assert doc["job"]["state"] == "done"
+
+
+# --------------------------------------------------------------------------- #
+# per-tenant rate limits: token buckets answer 429 + Retry-After
+# --------------------------------------------------------------------------- #
+class TestRateLimits:
+    def test_token_bucket_refills_at_the_configured_rate(self):
+        tenant = Tenant(name="t", rate_per_second=2.0)
+        # a fresh bucket holds burst = max(1, rate) = 2 tokens
+        assert tenant.take_token(now=100.0) == 0.0
+        assert tenant.take_token(now=100.0) == 0.0
+        wait = tenant.take_token(now=100.0)
+        assert wait == pytest.approx(0.5)  # one token refills in 1/rate s
+        # after the advertised wait a token is available again
+        assert tenant.take_token(now=100.0 + wait) == 0.0
+        # and an idle tenant refills back up to the burst cap, no further
+        tenant2 = Tenant(name="t2", rate_per_second=2.0)
+        tenant2.take_token(now=0.0)
+        tenant2.take_token(now=0.0)
+        assert tenant2.take_token(now=1000.0) == 0.0
+        assert tenant2.take_token(now=1000.0) == 0.0
+        assert tenant2.take_token(now=1000.0) > 0.0
+
+    def test_unlimited_tenant_never_throttles(self):
+        tenant = Tenant(name="free")
+        assert all(tenant.take_token(now=0.0) == 0.0 for _ in range(100))
+
+    def test_scheduler_rejects_past_the_bucket(self):
+        async def scenario() -> None:
+            async def runner(job):
+                return None
+
+            scheduler = JobScheduler(runner, workers=1)
+            scheduler.tenant("t", rate_per_second=1.0)
+            store = JobStore()
+            scheduler.submit(store.create(tenant="t", kind="advise"))
+            throttled = store.create(tenant="t", kind="advise")
+            with pytest.raises(RateLimitExceeded) as err:
+                scheduler.submit(throttled)
+            assert err.value.retry_after > 0
+            assert throttled.state == "rejected"
+            # other tenants are unaffected by t's empty bucket
+            scheduler.submit(store.create(tenant="other", kind="advise"))
+            state = scheduler.tenants["t"]
+            assert state.throttled == 1 and state.rejected == 1
+
+        asyncio.run(scenario())
+
+    def test_throttled_tenant_gets_429_with_retry_after(self, svc):
+        statuses = []
+        retry_after = None
+        for _ in range(4):  # burst 2 → the rapid-fire tail must hit 429
+            try:
+                svc.client.explain("athlete", tenant="limited")
+                statuses.append(200)
+            except ServiceError as err:
+                statuses.append(err.status)
+                retry_after = err.payload["error"].get("retry_after")
+        assert 429 in statuses
+        assert retry_after is not None and retry_after > 0
+        # the unthrottled default tenant is unaffected
+        assert svc.client.explain("athlete")["job"]["state"] == "done"
+        limited = svc.client.stats()["scheduler"]["tenants"]["limited"]
+        assert limited["throttled"] >= 1
+        assert limited["rate_per_second"] == 2.0
+
+
+# --------------------------------------------------------------------------- #
+# HTTP keep-alive: persistent connections on both sides
+# --------------------------------------------------------------------------- #
+class TestKeepAlive:
+    def test_client_reuses_one_connection_across_requests(self, svc):
+        client = ServiceClient(port=svc.port, timeout=30.0)
+        client.wait_until_ready()
+        for _ in range(5):
+            client.healthz()
+        client.stats()
+        assert client.connections_opened == 1
+        client.close()
+
+    def test_server_honors_connection_close(self, svc):
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", svc.port, timeout=30.0)
+        try:
+            connection.request("GET", "/healthz", headers={"Connection": "close"})
+            response = connection.getresponse()
+            response.read()
+            assert (response.getheader("Connection") or "").lower() == "close"
+        finally:
+            connection.close()
+
+    def test_parse_error_closes_but_answers(self, svc):
+        import socket as socket_mod
+
+        with socket_mod.create_connection(("127.0.0.1", svc.port), timeout=30.0) as sock:
+            sock.sendall(b"NOT-HTTP\r\n\r\n")
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # server closed after the error document
+                raw += chunk
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"Connection: close" in raw
+
+    def test_client_survives_server_side_retirement(self, svc):
+        # A keep-alive socket the server already dropped (idle timeout,
+        # max-requests cap) must reconnect transparently — even with the
+        # retry budget disabled, since churn is not a request failure.
+        client = ServiceClient(port=svc.port, timeout=30.0, retries=0)
+        client.wait_until_ready()
+        opened = client.connections_opened
+        import socket as socket_mod
+
+        connection, fresh = client._connection()
+        assert not fresh
+        # dead socket the client still believes in: sends now raise EPIPE
+        connection.sock.shutdown(socket_mod.SHUT_RDWR)
+        assert client.healthz()["ok"] is True
+        assert client.connections_opened == opened + 1
 
 
 # --------------------------------------------------------------------------- #
